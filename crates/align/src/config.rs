@@ -1,0 +1,139 @@
+//! Matcher configuration.
+
+use sdtw_tseries::TsError;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds of the dominant-pair search (paper §3.2.1).
+///
+/// `tau_a` and `tau_s` are `Option`s because the paper stresses that each
+/// invariance "can also be independently controlled: one can turn on/off a
+/// particular invariance based on the application" — `None` disables the
+/// corresponding screen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Maximum allowed |amplitude difference| between matched features,
+    /// measured on scope-mean amplitudes. `None` = amplitude-invariant
+    /// matching.
+    pub tau_a: Option<f64>,
+    /// Maximum allowed scale ratio `max(σ1, σ2) / min(σ1, σ2)` between
+    /// matched features. `None` = fully scale-invariant matching.
+    pub tau_s: Option<f64>,
+    /// Dominance ratio (> 1): the best candidate's descriptor distance,
+    /// multiplied by `tau_d`, must still be no worse than every other
+    /// candidate's distance. Higher values demand more distinctive
+    /// matches.
+    pub tau_d: f64,
+    /// Absolute ceiling on the descriptor distance of an accepted pair —
+    /// the paper selects "the dominant pairs with *small distance*"; with
+    /// unit-normalised descriptors a distance around 0.5 separates
+    /// same-shape from different-shape features. `None` disables the
+    /// ceiling.
+    pub max_desc_distance: Option<f64>,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self {
+            tau_a: None,
+            // Matched features anchor interval boundaries at their scope
+            // ends, so a loose scale bound lets a small feature pair with
+            // one 4x its size and plants badly misaligned boundaries; 2.0
+            // keeps paired scopes within a factor of two.
+            tau_s: Some(2.0),
+            tau_d: 1.2,
+            max_desc_distance: Some(0.5),
+        }
+    }
+}
+
+impl MatchConfig {
+    /// Validates the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidParameter`] when `tau_d ≤ 1` or a bound is
+    /// non-positive / non-finite.
+    pub fn validate(&self) -> Result<(), TsError> {
+        if !self.tau_d.is_finite() || self.tau_d < 1.0 {
+            return Err(TsError::InvalidParameter {
+                name: "tau_d",
+                reason: format!("must be finite and >= 1, got {}", self.tau_d),
+            });
+        }
+        if let Some(a) = self.tau_a {
+            if !a.is_finite() || a <= 0.0 {
+                return Err(TsError::InvalidParameter {
+                    name: "tau_a",
+                    reason: format!("must be finite and > 0, got {a}"),
+                });
+            }
+        }
+        if let Some(s) = self.tau_s {
+            if !s.is_finite() || s < 1.0 {
+                return Err(TsError::InvalidParameter {
+                    name: "tau_s",
+                    reason: format!("must be finite and >= 1, got {s}"),
+                });
+            }
+        }
+        if let Some(d) = self.max_desc_distance {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(TsError::InvalidParameter {
+                    name: "max_desc_distance",
+                    reason: format!("must be finite and > 0, got {d}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        MatchConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_tau_d_below_one() {
+        let cfg = MatchConfig {
+            tau_d: 0.9,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = MatchConfig {
+            tau_d: f64::NAN,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        let cfg = MatchConfig {
+            tau_a: Some(0.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = MatchConfig {
+            tau_s: Some(0.5),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = MatchConfig {
+            max_desc_distance: Some(0.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = MatchConfig {
+            tau_a: Some(1.0),
+            tau_s: None,
+            tau_d: 1.0,
+            max_desc_distance: None,
+        };
+        cfg.validate().unwrap();
+    }
+}

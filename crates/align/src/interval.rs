@@ -1,0 +1,252 @@
+//! Interval partitions induced by consistent scope boundaries (paper
+//! Figure 9 and §3.3).
+//!
+//! The committed scope boundaries of the kept pairs cut both series into
+//! the same number of consecutive, order-aligned intervals: interval `k` of
+//! series `X` corresponds to interval `k` of series `Y`. These
+//! corresponding intervals are the inputs of every locally relevant
+//! constraint builder in the `sdtw` core crate.
+
+use crate::matcher::MatchedPair;
+use crate::prune::committed_boundaries;
+use serde::{Deserialize, Serialize};
+
+/// Aligned interval partition of two series.
+///
+/// `cuts_x` / `cuts_y` are the sorted boundary positions (possibly with
+/// duplicates — zero-length intervals are meaningful: they are the "empty
+/// interval" cases §3.3.2 treats specially). Interval `k` of series `X`
+/// spans `[cut_x(k), cut_x(k+1)]` where `cut_x(0) = 0` and the last cut is
+/// `n − 1`; likewise for `Y`. There are always `cuts.len() + 1` intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalPartition {
+    n: usize,
+    m: usize,
+    cuts_x: Vec<usize>,
+    cuts_y: Vec<usize>,
+}
+
+impl IntervalPartition {
+    /// Builds the partition from consistently pruned pairs. Boundaries are
+    /// clamped into the series ranges.
+    pub fn from_pairs(kept: &[MatchedPair], n: usize, m: usize) -> Self {
+        let (mut cuts_x, mut cuts_y) = committed_boundaries(kept);
+        for c in &mut cuts_x {
+            *c = (*c).min(n.saturating_sub(1));
+        }
+        for c in &mut cuts_y {
+            *c = (*c).min(m.saturating_sub(1));
+        }
+        // clamping can disorder nothing (monotone map), but re-assert
+        debug_assert!(cuts_x.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(cuts_y.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            n,
+            m,
+            cuts_x,
+            cuts_y,
+        }
+    }
+
+    /// Builds a partition directly from boundary lists (used by tests and
+    /// by callers with externally known alignments, e.g. ground-truth warp
+    /// maps).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lists differ in length or are unsorted or out of
+    /// range — these are programmer errors.
+    pub fn from_cuts(cuts_x: Vec<usize>, cuts_y: Vec<usize>, n: usize, m: usize) -> Self {
+        assert_eq!(cuts_x.len(), cuts_y.len(), "cut lists must pair up");
+        assert!(cuts_x.windows(2).all(|w| w[0] <= w[1]), "cuts_x unsorted");
+        assert!(cuts_y.windows(2).all(|w| w[0] <= w[1]), "cuts_y unsorted");
+        assert!(cuts_x.iter().all(|&c| c < n), "cut beyond series X");
+        assert!(cuts_y.iter().all(|&c| c < m), "cut beyond series Y");
+        Self {
+            n,
+            m,
+            cuts_x,
+            cuts_y,
+        }
+    }
+
+    /// Length of series `X`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Length of series `Y`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of corresponding intervals (`cuts + 1`).
+    pub fn interval_count(&self) -> usize {
+        self.cuts_x.len() + 1
+    }
+
+    /// The boundary cut positions on `X`.
+    pub fn cuts_x(&self) -> &[usize] {
+        &self.cuts_x
+    }
+
+    /// The boundary cut positions on `Y`.
+    pub fn cuts_y(&self) -> &[usize] {
+        &self.cuts_y
+    }
+
+    /// Index of the interval containing sample `i` of series `X`.
+    /// Boundary samples belong to the interval they open (the one to their
+    /// right), except the final boundary which closes the last interval.
+    pub fn interval_of_x(&self, i: usize) -> usize {
+        self.cuts_x.partition_point(|&c| c <= i)
+    }
+
+    /// Index of the interval containing sample `j` of series `Y` (same
+    /// boundary convention as [`IntervalPartition::interval_of_x`]).
+    pub fn interval_of_y(&self, j: usize) -> usize {
+        self.cuts_y.partition_point(|&c| c <= j)
+    }
+
+    /// Interval `k`'s inclusive sample range on series `X`:
+    /// `[st(X,k), end(X,k)]`.
+    pub fn bounds_x(&self, k: usize) -> (usize, usize) {
+        let st = if k == 0 { 0 } else { self.cuts_x[k - 1] };
+        let end = if k == self.cuts_x.len() {
+            self.n - 1
+        } else {
+            self.cuts_x[k]
+        };
+        (st, end)
+    }
+
+    /// Interval `k`'s inclusive sample range on series `Y`.
+    pub fn bounds_y(&self, k: usize) -> (usize, usize) {
+        let st = if k == 0 { 0 } else { self.cuts_y[k - 1] };
+        let end = if k == self.cuts_y.len() {
+            self.m - 1
+        } else {
+            self.cuts_y[k]
+        };
+        (st, end)
+    }
+
+    /// Width (in samples, ≥ 0) of interval `k` on series `Y` — the `w`
+    /// quantity driving the adaptive width constraint.
+    pub fn width_y(&self, k: usize) -> usize {
+        let (st, end) = self.bounds_y(k);
+        end - st
+    }
+
+    /// Average `Y`-interval width over `k ± r` (clamped at the partition
+    /// ends) — the neighbour-averaged width of the `ac2,aw` variant, "the
+    /// average of the `r` intervals around the interval containing `y_j`".
+    pub fn avg_width_y(&self, k: usize, r: usize) -> f64 {
+        let lo = k.saturating_sub(r);
+        let hi = (k + r).min(self.interval_count() - 1);
+        let mut acc = 0usize;
+        for idx in lo..=hi {
+            acc += self.width_y(idx);
+        }
+        acc as f64 / (hi - lo + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(cx: &[usize], cy: &[usize], n: usize, m: usize) -> IntervalPartition {
+        IntervalPartition::from_cuts(cx.to_vec(), cy.to_vec(), n, m)
+    }
+
+    #[test]
+    fn empty_cuts_give_whole_series_interval() {
+        let p = part(&[], &[], 10, 20);
+        assert_eq!(p.interval_count(), 1);
+        assert_eq!(p.bounds_x(0), (0, 9));
+        assert_eq!(p.bounds_y(0), (0, 19));
+        assert_eq!(p.interval_of_x(0), 0);
+        assert_eq!(p.interval_of_x(9), 0);
+    }
+
+    #[test]
+    fn bounds_share_cut_samples() {
+        let p = part(&[3, 7], &[5, 11], 10, 15);
+        assert_eq!(p.interval_count(), 3);
+        assert_eq!(p.bounds_x(0), (0, 3));
+        assert_eq!(p.bounds_x(1), (3, 7));
+        assert_eq!(p.bounds_x(2), (7, 9));
+        assert_eq!(p.bounds_y(1), (5, 11));
+    }
+
+    #[test]
+    fn interval_of_x_respects_boundaries() {
+        let p = part(&[3, 7], &[5, 11], 10, 15);
+        assert_eq!(p.interval_of_x(0), 0);
+        assert_eq!(p.interval_of_x(2), 0);
+        assert_eq!(p.interval_of_x(3), 1); // boundary opens the next interval
+        assert_eq!(p.interval_of_x(6), 1);
+        assert_eq!(p.interval_of_x(7), 2);
+        assert_eq!(p.interval_of_x(9), 2);
+    }
+
+    #[test]
+    fn interval_of_y_respects_boundaries() {
+        let p = part(&[3, 7], &[5, 11], 10, 15);
+        assert_eq!(p.interval_of_y(0), 0);
+        assert_eq!(p.interval_of_y(5), 1);
+        assert_eq!(p.interval_of_y(11), 2);
+        assert_eq!(p.interval_of_y(14), 2);
+    }
+
+    #[test]
+    fn zero_width_interval_from_duplicate_cuts() {
+        let p = part(&[4, 4], &[3, 9], 10, 12);
+        assert_eq!(p.interval_count(), 3);
+        assert_eq!(p.bounds_x(1), (4, 4)); // empty interval on X
+        assert_eq!(p.width_y(1), 6);
+    }
+
+    #[test]
+    fn width_and_neighbour_average() {
+        let p = part(&[3, 7], &[5, 11], 10, 15);
+        assert_eq!(p.width_y(0), 5);
+        assert_eq!(p.width_y(1), 6);
+        assert_eq!(p.width_y(2), 3);
+        assert!((p.avg_width_y(1, 1) - (5.0 + 6.0 + 3.0) / 3.0).abs() < 1e-12);
+        // clamped at the ends
+        assert!((p.avg_width_y(0, 1) - (5.0 + 6.0) / 2.0).abs() < 1e-12);
+        assert!((p.avg_width_y(2, 1) - (6.0 + 3.0) / 2.0).abs() < 1e-12);
+        // r = 0 is the plain width
+        assert!((p.avg_width_y(1, 0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cut lists must pair up")]
+    fn mismatched_cut_lists_panic() {
+        let _ = part(&[1], &[], 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn unsorted_cuts_panic() {
+        let _ = part(&[5, 2], &[1, 3], 8, 8);
+    }
+
+    #[test]
+    fn from_pairs_clamps_to_series() {
+        use crate::matcher::MatchedPair;
+        let pairs = vec![MatchedPair {
+            idx1: 0,
+            idx2: 0,
+            desc_distance: 0.0,
+            combined_score: 1.0,
+            scope1: (95, 120), // end overruns n = 100
+            scope2: (80, 90),
+        }];
+        let p = IntervalPartition::from_pairs(&pairs, 100, 100);
+        assert!(p.cuts_x().iter().all(|&c| c < 100));
+        assert_eq!(p.interval_count(), 3);
+    }
+}

@@ -1,0 +1,308 @@
+//! Dominant pair identification (paper §3.2.1) and the top-level matching
+//! entry point.
+
+use crate::config::MatchConfig;
+use crate::interval::IntervalPartition;
+use crate::prune::prune_inconsistent;
+use crate::scores::{combined_scores, mu_align, mu_sim};
+use sdtw_salient::SalientFeature;
+use sdtw_tseries::metric::euclidean;
+use serde::{Deserialize, Serialize};
+
+/// A matched pair of salient features (indices into the two feature
+/// slices) plus its scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchedPair {
+    /// Index of the feature in the first series' feature slice.
+    pub idx1: usize,
+    /// Index of the feature in the second series' feature slice.
+    pub idx2: usize,
+    /// Euclidean distance between the descriptors.
+    pub desc_distance: f64,
+    /// Combined score `µ_comb` (filled by the scoring pass).
+    pub combined_score: f64,
+    /// Scope `[start, end]` of the first feature (samples of series 1).
+    pub scope1: (usize, usize),
+    /// Scope `[start, end]` of the second feature (samples of series 2).
+    pub scope2: (usize, usize),
+}
+
+/// Full output of feature matching.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// Pairs surviving the dominance test, before inconsistency pruning —
+    /// the state of the paper's Figure 7(a).
+    pub raw_pairs: Vec<MatchedPair>,
+    /// Pairs surviving inconsistency pruning — Figure 7(c).
+    pub consistent_pairs: Vec<MatchedPair>,
+    /// The interval partition induced by the committed scope boundaries —
+    /// Figure 9.
+    pub partition: IntervalPartition,
+    /// Number of descriptor comparisons performed (`|S_X| × |S_Y|` work
+    /// term of the paper's complexity analysis, §3.4).
+    pub descriptor_comparisons: usize,
+}
+
+/// Checks the `τ_a` / `τ_s` screens for a candidate pair.
+fn passes_screens(f1: &SalientFeature, f2: &SalientFeature, cfg: &MatchConfig) -> bool {
+    if let Some(tau_a) = cfg.tau_a {
+        if (f1.amplitude - f2.amplitude).abs() >= tau_a {
+            return false;
+        }
+    }
+    if let Some(tau_s) = cfg.tau_s {
+        let (a, b) = (f1.keypoint.sigma, f2.keypoint.sigma);
+        let ratio = if a > b { a / b } else { b / a };
+        if ratio >= tau_s {
+            return false;
+        }
+    }
+    true
+}
+
+/// Dominant-pair search: for each feature of series 1, the nearest
+/// (descriptor-Euclidean) screened candidate of series 2 is returned iff it
+/// `τ_d`-dominates every other screened candidate.
+fn dominant_pairs(
+    feats1: &[SalientFeature],
+    feats2: &[SalientFeature],
+    cfg: &MatchConfig,
+) -> (Vec<MatchedPair>, usize) {
+    let mut out = Vec::new();
+    let mut comparisons = 0usize;
+    for (i, f1) in feats1.iter().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        let mut second_best = f64::INFINITY;
+        for (j, f2) in feats2.iter().enumerate() {
+            if !passes_screens(f1, f2, cfg) {
+                continue;
+            }
+            comparisons += 1;
+            let d = euclidean(&f1.descriptor, &f2.descriptor);
+            match best {
+                None => best = Some((j, d)),
+                Some((_, bd)) if d < bd => {
+                    second_best = bd;
+                    best = Some((j, d));
+                }
+                _ => second_best = second_best.min(d),
+            }
+        }
+        if let Some((j, d)) = best {
+            // absolute "small distance" ceiling, then the dominance test:
+            // best * tau_d must not exceed every other candidate's
+            // distance (vacuously true with no second)
+            let small_enough = cfg.max_desc_distance.is_none_or(|max| d <= max);
+            if small_enough && d * cfg.tau_d <= second_best {
+                out.push(MatchedPair {
+                    idx1: i,
+                    idx2: j,
+                    desc_distance: d,
+                    combined_score: 0.0,
+                    scope1: (feats1[i].scope_start, feats1[i].scope_end),
+                    scope2: (feats2[j].scope_start, feats2[j].scope_end),
+                });
+            }
+        }
+    }
+    (out, comparisons)
+}
+
+/// Scores raw pairs in place (fills `combined_score`).
+fn score_pairs(pairs: &mut [MatchedPair], feats1: &[SalientFeature], feats2: &[SalientFeature]) {
+    if pairs.is_empty() {
+        return;
+    }
+    // µ_desc,min over the matched pairs
+    let mu_desc_min = pairs
+        .iter()
+        .map(|p| 1.0 / (1.0 + p.desc_distance))
+        .fold(f64::INFINITY, f64::min);
+    let raw: Vec<(f64, f64)> = pairs
+        .iter()
+        .map(|p| {
+            let f1 = &feats1[p.idx1];
+            let f2 = &feats2[p.idx2];
+            (mu_align(f1, f2), mu_sim(f1, f2, mu_desc_min))
+        })
+        .collect();
+    for (pair, score) in pairs.iter_mut().zip(combined_scores(&raw)) {
+        pair.combined_score = score;
+    }
+}
+
+/// The complete matching pipeline of paper §3.2: dominant pairs → scoring →
+/// inconsistency pruning → interval partition. `n` and `m` are the lengths
+/// of the two series (needed to close the partition at the series ends).
+pub fn match_features(
+    feats1: &[SalientFeature],
+    feats2: &[SalientFeature],
+    n: usize,
+    m: usize,
+    cfg: &MatchConfig,
+) -> MatchResult {
+    let (mut raw_pairs, descriptor_comparisons) = dominant_pairs(feats1, feats2, cfg);
+    score_pairs(&mut raw_pairs, feats1, feats2);
+    let consistent_pairs = prune_inconsistent(&raw_pairs);
+    let partition = IntervalPartition::from_pairs(&consistent_pairs, n, m);
+    MatchResult {
+        raw_pairs,
+        consistent_pairs,
+        partition,
+        descriptor_comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdtw_salient::{Keypoint, Polarity};
+
+    fn feat(position: usize, sigma: f64, amplitude: f64, descriptor: Vec<f64>) -> SalientFeature {
+        let scope = (3.0 * sigma) as usize;
+        SalientFeature {
+            keypoint: Keypoint {
+                position,
+                octave_position: position,
+                octave: 0,
+                level: 1,
+                sigma,
+                response: 0.5,
+                polarity: Polarity::Peak,
+            },
+            scope_start: position.saturating_sub(scope),
+            scope_end: position + scope,
+            scope_len: 6.0 * sigma + 1.0,
+            amplitude,
+            descriptor,
+        }
+    }
+
+    #[test]
+    fn matches_identical_features() {
+        let f1 = vec![feat(10, 2.0, 1.0, vec![1.0, 0.0, 0.0])];
+        let f2 = vec![feat(12, 2.0, 1.0, vec![1.0, 0.0, 0.0])];
+        let r = match_features(&f1, &f2, 100, 100, &MatchConfig::default());
+        assert_eq!(r.raw_pairs.len(), 1);
+        assert_eq!(r.raw_pairs[0].idx1, 0);
+        assert_eq!(r.raw_pairs[0].idx2, 0);
+        assert_eq!(r.raw_pairs[0].desc_distance, 0.0);
+        assert_eq!(r.descriptor_comparisons, 1);
+    }
+
+    #[test]
+    fn dominance_test_rejects_ambiguous_matches() {
+        let f1 = vec![feat(10, 2.0, 1.0, vec![1.0, 0.0])];
+        // two nearly identical candidates: neither dominates
+        let f2 = vec![
+            feat(10, 2.0, 1.0, vec![0.95, 0.0]),
+            feat(60, 2.0, 1.0, vec![0.94, 0.0]),
+        ];
+        let cfg = MatchConfig {
+            tau_d: 1.5,
+            ..Default::default()
+        };
+        let r = match_features(&f1, &f2, 100, 100, &cfg);
+        assert!(r.raw_pairs.is_empty(), "ambiguous match must be dropped");
+        // a clearly distinct second candidate lets the best one through
+        let f2b = vec![
+            feat(10, 2.0, 1.0, vec![1.0, 0.0]),
+            feat(60, 2.0, 1.0, vec![0.0, 5.0]),
+        ];
+        let r = match_features(&f1, &f2b, 100, 100, &cfg);
+        assert_eq!(r.raw_pairs.len(), 1);
+        assert_eq!(r.raw_pairs[0].idx2, 0);
+    }
+
+    #[test]
+    fn amplitude_screen_applies_when_enabled() {
+        let f1 = vec![feat(10, 2.0, 1.0, vec![1.0])];
+        let f2 = vec![feat(10, 2.0, 5.0, vec![1.0])];
+        let off = MatchConfig {
+            tau_a: None,
+            ..Default::default()
+        };
+        assert_eq!(match_features(&f1, &f2, 50, 50, &off).raw_pairs.len(), 1);
+        let on = MatchConfig {
+            tau_a: Some(1.0),
+            ..Default::default()
+        };
+        assert!(match_features(&f1, &f2, 50, 50, &on).raw_pairs.is_empty());
+    }
+
+    #[test]
+    fn scale_screen_applies_when_enabled() {
+        let f1 = vec![feat(10, 1.0, 1.0, vec![1.0])];
+        let f2 = vec![feat(10, 8.0, 1.0, vec![1.0])];
+        let on = MatchConfig {
+            tau_s: Some(4.0),
+            ..Default::default()
+        };
+        assert!(match_features(&f1, &f2, 80, 80, &on).raw_pairs.is_empty());
+        let off = MatchConfig {
+            tau_s: None,
+            ..Default::default()
+        };
+        assert_eq!(match_features(&f1, &f2, 80, 80, &off).raw_pairs.len(), 1);
+    }
+
+    #[test]
+    fn scores_are_filled_and_bounded() {
+        let f1 = vec![
+            feat(10, 2.0, 1.0, vec![1.0, 0.0]),
+            feat(50, 3.0, 0.5, vec![0.0, 1.0]),
+        ];
+        let f2 = vec![
+            feat(11, 2.0, 1.0, vec![1.0, 0.0]),
+            feat(55, 3.0, 0.5, vec![0.0, 1.0]),
+        ];
+        let r = match_features(&f1, &f2, 100, 100, &MatchConfig::default());
+        assert_eq!(r.raw_pairs.len(), 2);
+        for p in &r.raw_pairs {
+            assert!((0.0..=1.0).contains(&p.combined_score));
+        }
+        // the perfectly aligned identical pair scores at least as high
+        let p0 = r.raw_pairs.iter().find(|p| p.idx1 == 0).unwrap();
+        assert!(p0.combined_score > 0.5);
+    }
+
+    #[test]
+    fn empty_feature_sets_produce_empty_result() {
+        let r = match_features(&[], &[], 10, 10, &MatchConfig::default());
+        assert!(r.raw_pairs.is_empty());
+        assert!(r.consistent_pairs.is_empty());
+        assert_eq!(r.descriptor_comparisons, 0);
+        assert_eq!(r.partition.interval_count(), 1); // whole-series interval
+    }
+
+    #[test]
+    fn comparison_counter_counts_screened_pairs_only() {
+        let f1 = vec![feat(10, 1.0, 1.0, vec![1.0]), feat(20, 1.0, 9.0, vec![1.0])];
+        let f2 = vec![feat(10, 1.0, 1.0, vec![1.0]), feat(20, 1.0, 9.0, vec![1.0])];
+        let cfg = MatchConfig {
+            tau_a: Some(0.5),
+            ..Default::default()
+        };
+        let r = match_features(&f1, &f2, 50, 50, &cfg);
+        // only amplitude-compatible combinations are compared: (0,0), (1,1)
+        assert_eq!(r.descriptor_comparisons, 2);
+    }
+
+    #[test]
+    fn crossing_matches_are_pruned() {
+        // two features in each series, matched crosswise: distinct
+        // descriptors force idx1=0 -> idx2=1 (far in time) and vice versa.
+        let f1 = vec![
+            feat(10, 2.0, 1.0, vec![1.0, 0.0]),
+            feat(80, 2.0, 1.0, vec![0.0, 1.0]),
+        ];
+        let f2 = vec![
+            feat(10, 2.0, 1.0, vec![0.0, 1.0]),
+            feat(80, 2.0, 1.0, vec![1.0, 0.0]),
+        ];
+        let r = match_features(&f1, &f2, 100, 100, &MatchConfig::default());
+        assert_eq!(r.raw_pairs.len(), 2, "both cross matches found");
+        // inconsistency pruning must drop one of the crossing pairs
+        assert_eq!(r.consistent_pairs.len(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Temporal inconsistency pruning (paper §3.2.2, step 2).
+//!
+//! The sDTW transformation model assumes time may be stretched but feature
+//! *order* is preserved, so matched pairs whose scopes are ordered
+//! differently in the two series must be discarded. Pairs are considered in
+//! descending combined-score order (a conflict then always evicts the
+//! weaker pair); a pair is committed only when the **ranks** of its scope
+//! start and end agree in the time-ordered boundary lists of both series.
+//! Equal time values are the paper's footnoted special case and are
+//! accepted: rank equality is tested as *rank-interval overlap*, where the
+//! interval spans ties.
+
+use crate::matcher::MatchedPair;
+
+/// Sorted boundary list with rank queries that treat ties as a rank
+/// interval.
+#[derive(Debug, Default)]
+struct BoundaryList {
+    times: Vec<usize>, // sorted
+}
+
+impl BoundaryList {
+    /// `[lower_bound, upper_bound]` rank interval of `t`: the number of
+    /// committed boundaries strictly before `t`, and the number at or
+    /// before `t`. Any rank in that interval is a legal insertion rank.
+    fn rank_interval(&self, t: usize) -> (usize, usize) {
+        let lb = self.times.partition_point(|&x| x < t);
+        let ub = self.times.partition_point(|&x| x <= t);
+        (lb, ub)
+    }
+
+    fn insert(&mut self, t: usize) {
+        let pos = self.times.partition_point(|&x| x <= t);
+        self.times.insert(pos, t);
+    }
+}
+
+/// Whether two rank intervals admit a common rank.
+#[inline]
+fn overlaps(a: (usize, usize), b: (usize, usize)) -> bool {
+    a.0 <= b.1 && b.0 <= a.1
+}
+
+/// Prunes temporally inconsistent pairs. Returns the surviving pairs in
+/// descending combined-score order (the commitment order, which examples
+/// print to mirror the paper's Figure 7(c)).
+pub fn prune_inconsistent(pairs: &[MatchedPair]) -> Vec<MatchedPair> {
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_by(|&a, &b| {
+        pairs[b]
+            .combined_score
+            .partial_cmp(&pairs[a].combined_score)
+            .expect("scores are finite")
+    });
+
+    let mut list1 = BoundaryList::default();
+    let mut list2 = BoundaryList::default();
+    let mut kept = Vec::new();
+
+    for &k in &order {
+        let p = &pairs[k];
+        let (st1, end1) = p.scope1;
+        let (st2, end2) = p.scope2;
+        // Rank agreement for the start and for the end boundary. The end
+        // boundary additionally counts its own start (st <= end in both
+        // series adds one boundary below the end on each side, so the
+        // offset cancels; committed boundaries are what the intervals
+        // measure).
+        let st_ok = overlaps(list1.rank_interval(st1), list2.rank_interval(st2));
+        let end_ok = overlaps(list1.rank_interval(end1), list2.rank_interval(end2));
+        // The pair's own scopes must also relate consistently to each
+        // other: st's rank interval must not be entirely above end's
+        // (always true since st <= end).
+        if st_ok && end_ok {
+            list1.insert(st1);
+            list1.insert(end1);
+            list2.insert(st2);
+            list2.insert(end2);
+            kept.push(p.clone());
+        }
+    }
+    kept
+}
+
+/// Extracts the committed boundary times of the kept pairs, sorted, for
+/// each series. Both lists always have the same length (two boundaries per
+/// kept pair).
+pub fn committed_boundaries(kept: &[MatchedPair]) -> (Vec<usize>, Vec<usize>) {
+    let mut b1 = Vec::with_capacity(kept.len() * 2);
+    let mut b2 = Vec::with_capacity(kept.len() * 2);
+    for p in kept {
+        b1.push(p.scope1.0);
+        b1.push(p.scope1.1);
+        b2.push(p.scope2.0);
+        b2.push(p.scope2.1);
+    }
+    b1.sort_unstable();
+    b2.sort_unstable();
+    (b1, b2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(scope1: (usize, usize), scope2: (usize, usize), score: f64) -> MatchedPair {
+        MatchedPair {
+            idx1: 0,
+            idx2: 0,
+            desc_distance: 0.0,
+            combined_score: score,
+            scope1,
+            scope2,
+        }
+    }
+
+    #[test]
+    fn keeps_consistent_pairs() {
+        let pairs = vec![
+            pair((0, 10), (5, 15), 1.0),
+            pair((20, 30), (25, 40), 0.9),
+            pair((50, 60), (70, 90), 0.8),
+        ];
+        let kept = prune_inconsistent(&pairs);
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn drops_crossing_pair() {
+        // pair B's scope precedes A's in series 1 but follows it in series 2
+        let pairs = vec![
+            pair((40, 50), (10, 20), 1.0),
+            pair((10, 20), (40, 50), 0.5),
+        ];
+        let kept = prune_inconsistent(&pairs);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].scope1, (40, 50), "higher score wins");
+    }
+
+    #[test]
+    fn commitment_order_is_score_descending() {
+        let pairs = vec![
+            pair((10, 20), (10, 20), 0.2),
+            pair((40, 50), (40, 50), 0.9),
+        ];
+        let kept = prune_inconsistent(&pairs);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].combined_score, 0.9);
+    }
+
+    #[test]
+    fn interleaved_scopes_are_rejected() {
+        // A committed: scope1 (10,30), scope2 (10,30).
+        // Candidate: starts before A's start in series1 (st=5) but after
+        // A's start in series2 (st=15): rank mismatch, dropped.
+        let pairs = vec![
+            pair((10, 30), (10, 30), 1.0),
+            pair((5, 40), (15, 40), 0.5),
+        ];
+        let kept = prune_inconsistent(&pairs);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn equal_time_values_are_the_confirmed_special_case() {
+        // Candidate start coincides exactly with a committed boundary in
+        // series 1 (tie) while sitting strictly between boundaries in
+        // series 2 — the rank interval of the tie spans both ranks, so the
+        // pair is accepted, as the paper's footnote prescribes.
+        let pairs = vec![
+            pair((10, 30), (10, 30), 1.0),
+            pair((10, 35), (12, 35), 0.5),
+        ];
+        let kept = prune_inconsistent(&pairs);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn nested_vs_disjoint_ordering() {
+        // A committed (10,50)/(10,50); candidate fully nested on one side
+        // but disjoint-after on the other must be dropped.
+        let pairs = vec![
+            pair((10, 50), (10, 50), 1.0),
+            pair((20, 30), (60, 70), 0.5),
+        ];
+        let kept = prune_inconsistent(&pairs);
+        assert_eq!(kept.len(), 1);
+        // nested on both sides is consistent
+        let pairs = vec![
+            pair((10, 50), (10, 50), 1.0),
+            pair((20, 30), (25, 35), 0.5),
+        ];
+        let kept = prune_inconsistent(&pairs);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(prune_inconsistent(&[]).is_empty());
+    }
+
+    #[test]
+    fn committed_boundaries_are_sorted_and_paired() {
+        let pairs = vec![
+            pair((20, 30), (25, 40), 0.9),
+            pair((0, 10), (5, 15), 1.0),
+        ];
+        let kept = prune_inconsistent(&pairs);
+        let (b1, b2) = committed_boundaries(&kept);
+        assert_eq!(b1, vec![0, 10, 20, 30]);
+        assert_eq!(b2, vec![5, 15, 25, 40]);
+        assert_eq!(b1.len(), b2.len());
+    }
+
+    #[test]
+    fn no_crossings_survive_on_random_like_input() {
+        // Deterministic pseudo-random pairs; verify the invariant that the
+        // kept set's boundary orderings agree rank-by-rank.
+        let mut pairs = Vec::new();
+        let mut s = 42u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        for k in 0..40 {
+            let a = next() % 200;
+            let b = a + 1 + next() % 40;
+            let c = next() % 200;
+            let d = c + 1 + next() % 40;
+            pairs.push(pair((a, b), (c, d), 1.0 / (k + 1) as f64));
+        }
+        let kept = prune_inconsistent(&pairs);
+        let (b1, b2) = committed_boundaries(&kept);
+        assert_eq!(b1.len(), b2.len());
+        // Rank-by-rank consistency: sorting both lists and walking kept
+        // pairs, each pair's boundaries must occupy compatible ranks.
+        for p in &kept {
+            let r1 = b1.partition_point(|&x| x < p.scope1.0);
+            let r1u = b1.partition_point(|&x| x <= p.scope1.0);
+            let r2 = b2.partition_point(|&x| x < p.scope2.0);
+            let r2u = b2.partition_point(|&x| x <= p.scope2.0);
+            assert!(
+                r1 <= r2u && r2 <= r1u,
+                "start boundary ranks diverge: [{r1},{r1u}] vs [{r2},{r2u}]"
+            );
+        }
+    }
+}

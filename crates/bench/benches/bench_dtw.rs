@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the DTW kernel: full grid vs Sakoe-Chiba vs
+//! Itakura at several series lengths (the `O(band area)` scaling claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdtw_dtw::engine::{dtw_banded, dtw_full, DtwOptions};
+use sdtw_dtw::itakura::itakura_band;
+use sdtw_dtw::sakoe::sakoe_chiba_band;
+use sdtw_tseries::TimeSeries;
+use std::hint::black_box;
+
+fn series(n: usize, phase: f64) -> TimeSeries {
+    TimeSeries::new(
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t / 9.0 + phase).sin() + 0.4 * (t / 23.0 + phase).cos()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_kernel");
+    for &n in &[128usize, 256, 512] {
+        let x = series(n, 0.0);
+        let y = series(n, 1.3);
+        let opts = DtwOptions::default();
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| black_box(dtw_full(&x, &y, &opts).distance))
+        });
+        let sc10 = sakoe_chiba_band(n, n, 0.10);
+        group.bench_with_input(BenchmarkId::new("sakoe10", n), &n, |b, _| {
+            b.iter(|| black_box(dtw_banded(&x, &y, &sc10, &opts).distance))
+        });
+        let ita = itakura_band(n, n, 2.0);
+        group.bench_with_input(BenchmarkId::new("itakura", n), &n, |b, _| {
+            b.iter(|| black_box(dtw_banded(&x, &y, &ita, &opts).distance))
+        });
+    }
+    group.finish();
+}
+
+fn bench_traceback(c: &mut Criterion) {
+    let n = 256;
+    let x = series(n, 0.0);
+    let y = series(n, 1.3);
+    c.bench_function("dtw_full_with_path_256", |b| {
+        b.iter(|| black_box(dtw_full(&x, &y, &DtwOptions::with_path()).path))
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_traceback);
+criterion_main!(benches);

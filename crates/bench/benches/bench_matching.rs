@@ -1,0 +1,40 @@
+//! Micro-benchmarks of feature matching + inconsistency pruning (the
+//! `O(|S_X| × |S_Y|)` step of the paper's complexity analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdtw_align::{match_features, MatchConfig};
+use sdtw_bench::dataset;
+use sdtw_datasets::UcrAnalog;
+use sdtw_salient::{extract_features, SalientConfig};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for kind in UcrAnalog::ALL {
+        let (name, ..) = kind.table1_spec();
+        let ds = dataset(kind);
+        let cfg = SalientConfig::default();
+        let fx = extract_features(&ds.series[0], &cfg).unwrap();
+        let fy = extract_features(&ds.series[1], &cfg).unwrap();
+        let n = ds.series[0].len();
+        let m = ds.series[1].len();
+        let mcfg = MatchConfig::default();
+        group.bench_with_input(
+            BenchmarkId::new("match_and_prune", name),
+            &name,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        match_features(&fx, &fy, n, m, &mcfg)
+                            .consistent_pairs
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end per-pair benchmarks of every constraint policy (with
+//! features precomputed, matching the paper's per-pair cost model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdtw::{ConstraintPolicy, SDtw, SDtwConfig};
+use sdtw_bench::{dataset, paper_policy_grid};
+use sdtw_datasets::UcrAnalog;
+use sdtw_salient::extract_features;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let ds = dataset(UcrAnalog::Trace);
+    let x = ds.series[0].clone();
+    let y = ds.series[30].clone(); // a different class
+    let mut group = c.benchmark_group("policy_pair_cost");
+    let mut policies = vec![ConstraintPolicy::FullGrid];
+    policies.extend(paper_policy_grid());
+    for policy in policies {
+        let engine = SDtw::new(SDtwConfig {
+            policy,
+            ..SDtwConfig::default()
+        })
+        .unwrap();
+        let fx = extract_features(&x, &engine.config().salient).unwrap();
+        let fy = extract_features(&y, &engine.config().salient).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, _| {
+                b.iter(|| {
+                    black_box(engine.distance_with_features(&x, &fx, &y, &fy).distance)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

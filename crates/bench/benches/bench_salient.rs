@@ -1,0 +1,38 @@
+//! Micro-benchmarks of salient feature extraction (the one-time indexable
+//! cost the paper measures at ~0.7–3 ms per series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdtw_bench::dataset;
+use sdtw_datasets::UcrAnalog;
+use sdtw_salient::{extract_features, SalientConfig};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("salient_extraction");
+    for kind in UcrAnalog::ALL {
+        let (name, ..) = kind.table1_spec();
+        let ds = dataset(kind);
+        let cfg = SalientConfig::default();
+        let ts = ds.series[0].clone();
+        group.bench_with_input(BenchmarkId::new("extract", name), &name, |b, _| {
+            b.iter(|| black_box(extract_features(&ts, &cfg).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_descriptor_lengths(c: &mut Criterion) {
+    let ds = dataset(UcrAnalog::Trace);
+    let ts = ds.series[0].clone();
+    let mut group = c.benchmark_group("salient_descriptor_bins");
+    for bins in [4usize, 32, 128] {
+        let cfg = SalientConfig::default().with_descriptor_bins(bins);
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| black_box(extract_features(&ts, &cfg).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_descriptor_lengths);
+criterion_main!(benches);

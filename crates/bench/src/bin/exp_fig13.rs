@@ -1,0 +1,64 @@
+//! Figure 13 — top-5 / top-10 retrieval accuracy and time gain for every
+//! policy, on all three datasets.
+
+use sdtw_bench::{dataset, eval_options, paper_policy_grid, print_table, write_result};
+use sdtw_datasets::UcrAnalog;
+use sdtw_eval::evaluate_policies;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig13Row {
+    dataset: String,
+    policy: String,
+    top5_accuracy: f64,
+    top10_accuracy: f64,
+    time_gain: f64,
+    work_gain: f64,
+}
+
+fn main() {
+    println!("== Figure 13: top-k retrieval accuracy vs time gain ==");
+    let mut json = Vec::new();
+    for kind in UcrAnalog::ALL {
+        let (name, ..) = kind.table1_spec();
+        let ds = dataset(kind);
+        let opts = eval_options(kind);
+        let evals =
+            evaluate_policies(&ds, &paper_policy_grid(), &opts).expect("evaluation succeeds");
+        println!(
+            "\n-- {name} (corpus capped at {} series) --",
+            opts.max_series.unwrap_or(ds.series.len())
+        );
+        let rows: Vec<Vec<String>> = evals
+            .iter()
+            .map(|e| {
+                vec![
+                    e.label.clone(),
+                    format!("{:.3}", e.retrieval_accuracy[&5]),
+                    format!("{:.3}", e.retrieval_accuracy[&10]),
+                    format!("{:+.3}", e.time_gain),
+                    format!("{:+.3}", e.work_gain),
+                ]
+            })
+            .collect();
+        print_table(
+            &["policy", "acc@5", "acc@10", "time gain", "work gain"],
+            &[11, 7, 7, 10, 10],
+            &rows,
+        );
+        for e in &evals {
+            json.push(Fig13Row {
+                dataset: name.to_string(),
+                policy: e.label.clone(),
+                top5_accuracy: e.retrieval_accuracy[&5],
+                top10_accuracy: e.retrieval_accuracy[&10],
+                time_gain: e.time_gain,
+                work_gain: e.work_gain,
+            });
+        }
+    }
+    println!("\nPaper shape check: accuracy rises with fc,fw width; adapting the");
+    println!("core (ac,fw) lifts accuracy; adapting the width too (ac,aw / ac2,aw)");
+    println!("lifts it further while keeping large gains.");
+    write_result("fig13", &json);
+}

@@ -1,0 +1,57 @@
+//! Figure 14 — distance error vs time gain for every policy, on all three
+//! datasets.
+
+use sdtw_bench::{dataset, eval_options, paper_policy_grid, print_table, write_result};
+use sdtw_datasets::UcrAnalog;
+use sdtw_eval::evaluate_policies;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig14Row {
+    dataset: String,
+    policy: String,
+    distance_error: f64,
+    time_gain: f64,
+    work_gain: f64,
+}
+
+fn main() {
+    println!("== Figure 14: distance error vs time gain ==");
+    let mut json = Vec::new();
+    for kind in UcrAnalog::ALL {
+        let (name, ..) = kind.table1_spec();
+        let ds = dataset(kind);
+        let opts = eval_options(kind);
+        let evals =
+            evaluate_policies(&ds, &paper_policy_grid(), &opts).expect("evaluation succeeds");
+        println!("\n-- {name} --");
+        let rows: Vec<Vec<String>> = evals
+            .iter()
+            .map(|e| {
+                vec![
+                    e.label.clone(),
+                    format!("{:.1}%", e.distance_error * 100.0),
+                    format!("{:+.3}", e.time_gain),
+                    format!("{:+.3}", e.work_gain),
+                ]
+            })
+            .collect();
+        print_table(
+            &["policy", "dist err", "time gain", "work gain"],
+            &[11, 9, 10, 10],
+            &rows,
+        );
+        for e in &evals {
+            json.push(Fig14Row {
+                dataset: name.to_string(),
+                policy: e.label.clone(),
+                distance_error: e.distance_error,
+                time_gain: e.time_gain,
+                work_gain: e.work_gain,
+            });
+        }
+    }
+    println!("\nPaper shape check: fixed core & fixed width has the largest errors");
+    println!("(worst on the 2-class Gun data); adaptive-core errors are far lower.");
+    write_result("fig14", &json);
+}

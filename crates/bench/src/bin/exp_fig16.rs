@@ -1,0 +1,52 @@
+//! Figure 16 — top-5 / top-10 k-NN classification accuracy (vs time gain)
+//! on the 50-class corpus (the paper singles out 50Words because the
+//! other datasets saturate).
+
+use sdtw_bench::{dataset, eval_options, paper_policy_grid, print_table, write_result};
+use sdtw_datasets::UcrAnalog;
+use sdtw_eval::evaluate_policies;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig16Row {
+    policy: String,
+    cls_acc_top5: f64,
+    cls_acc_top10: f64,
+    time_gain: f64,
+}
+
+fn main() {
+    println!("== Figure 16: classification accuracy vs time gain (50Words) ==\n");
+    let kind = UcrAnalog::Words50;
+    let ds = dataset(kind);
+    let opts = eval_options(kind);
+    let evals = evaluate_policies(&ds, &paper_policy_grid(), &opts).expect("evaluation succeeds");
+    let rows: Vec<Vec<String>> = evals
+        .iter()
+        .map(|e| {
+            vec![
+                e.label.clone(),
+                format!("{:.3}", e.classification_accuracy[&5]),
+                format!("{:.3}", e.classification_accuracy[&10]),
+                format!("{:+.3}", e.time_gain),
+            ]
+        })
+        .collect();
+    print_table(
+        &["policy", "cls@5", "cls@10", "time gain"],
+        &[11, 7, 7, 10],
+        &rows,
+    );
+    let json: Vec<Fig16Row> = evals
+        .iter()
+        .map(|e| Fig16Row {
+            policy: e.label.clone(),
+            cls_acc_top5: e.classification_accuracy[&5],
+            cls_acc_top10: e.classification_accuracy[&10],
+            time_gain: e.time_gain,
+        })
+        .collect();
+    println!("\nPaper shape check: adaptive core and adaptive width improve the");
+    println!("classification accuracy relative to fixed core & fixed width.");
+    write_result("fig16", &json);
+}

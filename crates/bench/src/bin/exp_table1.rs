@@ -1,0 +1,50 @@
+//! Table 1 — data sets used in the experiments: length, number of series,
+//! number of classes. Regenerated from the synthetic analogues and checked
+//! against the paper's specification.
+
+use sdtw_bench::{dataset, print_table, write_result};
+use sdtw_datasets::UcrAnalog;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table1Row {
+    dataset: String,
+    length: usize,
+    series: usize,
+    classes: usize,
+    paper_length: usize,
+    paper_series: usize,
+    paper_classes: usize,
+}
+
+fn main() {
+    println!("== Table 1: data sets used in the experiments ==\n");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for kind in UcrAnalog::ALL {
+        let (name, p_len, p_cnt, p_cls) = kind.table1_spec();
+        let ds = dataset(kind);
+        let summary = ds.summary();
+        rows.push(vec![
+            name.to_string(),
+            summary.max_len.to_string(),
+            summary.count.to_string(),
+            ds.class_count().to_string(),
+        ]);
+        json.push(Table1Row {
+            dataset: name.to_string(),
+            length: summary.max_len,
+            series: summary.count,
+            classes: ds.class_count(),
+            paper_length: p_len,
+            paper_series: p_cnt,
+            paper_classes: p_cls,
+        });
+    }
+    print_table(
+        &["Data Set", "Length", "# of Series", "# of Classes"],
+        &[10, 8, 12, 13],
+        &rows,
+    );
+    write_result("table1", &json);
+}

@@ -1,0 +1,50 @@
+//! Runs every experiment regenerator in sequence (Tables 1–2, Figures
+//! 13–18), collecting all output under `results/`. This is the
+//! one-command reproduction of the paper's evaluation section.
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "exp_table1",
+        "exp_table2",
+        "exp_fig13",
+        "exp_fig14",
+        "exp_fig15",
+        "exp_fig16",
+        "exp_fig17",
+        "exp_fig18",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in binaries {
+        println!("\n##### {bin} #####\n");
+        let path = dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // fall back to cargo when running via `cargo run` from source
+            Command::new("cargo")
+                .args(["run", "-p", "sdtw-bench", "--release", "--bin", bin])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to launch: {e}");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed. JSON outputs are under results/.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal dependency-free argument parsing for the `sdtw` binary.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-option argument).
+    pub command: String,
+    /// Remaining positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options (flags map to an empty string).
+    pub options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (without the program name).
+    ///
+    /// Rules: the first token that does not start with `--` is the
+    /// subcommand; `--key value` consumes the following token as the value
+    /// unless it also starts with `--` (then `key` is a boolean flag).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let mut command = None;
+        let mut positional = Vec::new();
+        let mut options = BTreeMap::new();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name `--`".into());
+                }
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                options.insert(key.to_string(), value);
+            } else if command.is_none() {
+                command = Some(tok);
+            } else {
+                positional.push(tok);
+            }
+        }
+        Ok(Args {
+            command: command.ok_or("missing subcommand")?,
+            positional,
+            options,
+        })
+    }
+
+    /// Option value parsed as `T`, with a default when absent.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse `{raw}`")),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_options() {
+        let a = parse(&["dist", "a.txt", "b.txt", "--policy", "ac2aw", "--path"]).unwrap();
+        assert_eq!(a.command, "dist");
+        assert_eq!(a.positional, vec!["a.txt", "b.txt"]);
+        assert_eq!(a.options.get("policy").map(String::as_str), Some("ac2aw"));
+        assert!(a.flag("path"));
+        assert!(!a.flag("nope"));
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--only", "options"]).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_option_does_not_swallow_it() {
+        let a = parse(&["cmd", "--verbose", "--k", "5"]).unwrap();
+        assert!(a.flag("verbose"));
+        assert_eq!(a.opt_parse("k", 0usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn opt_parse_defaults_and_errors() {
+        let a = parse(&["cmd", "--k", "ten"]).unwrap();
+        assert!(a.opt_parse::<usize>("k", 1).is_err());
+        assert_eq!(a.opt_parse("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_bare_double_dash() {
+        assert!(parse(&["cmd", "--"]).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! `sdtw` — command-line front-end over the sDTW reproduction.
+//!
+//! ```text
+//! sdtw dist <corpus.txt> <i> <j> [--policy P] [--width W] [--path]
+//! sdtw features <corpus.txt> <i> [--bins B] [--json]
+//! sdtw retrieve <corpus.txt> <query-index> [--k K] [--policy P] [--width W]
+//! sdtw generate <gun|trace|50words> <out.txt> [--seed S]
+//! ```
+//!
+//! Corpora are UCR text files (one series per line, label first). The
+//! `generate` subcommand writes the synthetic analogue datasets so every
+//! other subcommand has data to work on out of the box.
+
+mod args;
+
+use args::Args;
+use sdtw::{ConstraintPolicy, FeatureStore, SDtw, SDtwConfig, SalientConfig};
+use sdtw_datasets::UcrAnalog;
+use sdtw_salient::feature::extract_feature_set;
+use sdtw_tseries::io::{read_ucr_file, write_ucr_file};
+use sdtw_tseries::TimeSeries;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: sdtw <command> [args] [options]
+
+commands:
+  dist <corpus> <i> <j>      distance between series i and j of a UCR file
+                             options: --policy <full|sakoe|itakura|fcaw|acfw|acaw|ac2aw>
+                                      --width <frac>   (sakoe/acfw width, default 0.1)
+                                      --path           (print the warp path)
+  features <corpus> <i>      salient features of series i
+                             options: --bins <n> (descriptor length, default 64)
+                                      --json     (machine-readable output)
+  retrieve <corpus> <i>      top-k neighbours of series i
+                             options: --k <n> (default 5), --policy, --width
+  generate <kind> <out>      write a synthetic corpus (gun|trace|50words)
+                             options: --seed <n> (default 20120827)
+";
+
+fn policy_from(name: &str, width: f64) -> Result<ConstraintPolicy, String> {
+    let policy = match name {
+        "full" => ConstraintPolicy::FullGrid,
+        "sakoe" => ConstraintPolicy::FixedCoreFixedWidth { width_frac: width },
+        "itakura" => ConstraintPolicy::Itakura { slope: 2.0 },
+        "fcaw" => ConstraintPolicy::fixed_core_adaptive_width(),
+        "acfw" => ConstraintPolicy::adaptive_core_fixed_width(width),
+        "acaw" => ConstraintPolicy::adaptive_core_adaptive_width(),
+        "ac2aw" => ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    Ok(policy)
+}
+
+fn load_series(corpus: &[TimeSeries], idx: usize) -> Result<&TimeSeries, String> {
+    corpus
+        .get(idx)
+        .ok_or_else(|| format!("index {idx} out of range (corpus has {})", corpus.len()))
+}
+
+fn cmd_dist(a: &Args) -> Result<(), String> {
+    let [path, i, j] = a.positional.as_slice() else {
+        return Err("dist needs <corpus> <i> <j>".into());
+    };
+    let corpus = read_ucr_file(path).map_err(|e| e.to_string())?;
+    let i: usize = i.parse().map_err(|_| "i must be an index")?;
+    let j: usize = j.parse().map_err(|_| "j must be an index")?;
+    let width = a.opt_parse("width", 0.1)?;
+    let policy = policy_from(
+        a.options.get("policy").map_or("ac2aw", String::as_str),
+        width,
+    )?;
+    let mut config = SDtwConfig {
+        policy,
+        ..SDtwConfig::default()
+    };
+    config.dtw.compute_path = a.flag("path");
+    let engine = SDtw::new(config).map_err(|e| e.to_string())?;
+    let x = load_series(&corpus, i)?;
+    let y = load_series(&corpus, j)?;
+    let out = engine.distance(x, y).map_err(|e| e.to_string())?;
+    println!(
+        "distance {:.6}  cells {}  coverage {:.1}%  pairs {}/{}",
+        out.distance,
+        out.cells_filled,
+        out.band_coverage * 100.0,
+        out.consistent_pairs,
+        out.raw_pairs
+    );
+    if let Some(p) = out.path {
+        let steps: Vec<String> = p.steps().iter().map(|(a, b)| format!("{a}:{b}")).collect();
+        println!("path {}", steps.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_features(a: &Args) -> Result<(), String> {
+    let [path, i] = a.positional.as_slice() else {
+        return Err("features needs <corpus> <i>".into());
+    };
+    let corpus = read_ucr_file(path).map_err(|e| e.to_string())?;
+    let i: usize = i.parse().map_err(|_| "i must be an index")?;
+    let bins = a.opt_parse("bins", 64usize)?;
+    let cfg = SalientConfig::default().with_descriptor_bins(bins);
+    let ts = load_series(&corpus, i)?;
+    let set = extract_feature_set(ts, &cfg).map_err(|e| e.to_string())?;
+    if a.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&set).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{} features (series length {})", set.len(), set.series_len);
+        let counts = set.count_by_scale();
+        println!(
+            "scale classes: fine {} / medium {} / rough {}",
+            counts[0], counts[1], counts[2]
+        );
+        for f in &set.features {
+            println!(
+                "  pos {:>4}  sigma {:>6.2}  scope [{:>4},{:>4}]  {:?}",
+                f.keypoint.position, f.keypoint.sigma, f.scope_start, f.scope_end,
+                f.keypoint.polarity
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_retrieve(a: &Args) -> Result<(), String> {
+    let [path, i] = a.positional.as_slice() else {
+        return Err("retrieve needs <corpus> <query-index>".into());
+    };
+    let corpus = read_ucr_file(path).map_err(|e| e.to_string())?;
+    let i: usize = i.parse().map_err(|_| "query index must be a number")?;
+    let k = a.opt_parse("k", 5usize)?;
+    let width = a.opt_parse("width", 0.1)?;
+    let policy = policy_from(
+        a.options.get("policy").map_or("ac2aw", String::as_str),
+        width,
+    )?;
+    let engine = SDtw::new(SDtwConfig {
+        policy,
+        ..SDtwConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let store = FeatureStore::new(engine.config().salient.clone()).map_err(|e| e.to_string())?;
+    let query = load_series(&corpus, i)?;
+    let fq = store.features_for(query).map_err(|e| e.to_string())?;
+    let mut scored: Vec<(usize, f64)> = Vec::new();
+    for (j, candidate) in corpus.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let fc = store.features_for(candidate).map_err(|e| e.to_string())?;
+        let out = engine.distance_with_features(query, &fq, candidate, &fc);
+        scored.push((j, out.distance));
+    }
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    println!("top-{k} neighbours of series {i} (policy {}):", policy.label());
+    for (rank, (j, d)) in scored.iter().take(k).enumerate() {
+        let label = corpus[*j]
+            .label()
+            .map_or("-".to_string(), |l| l.to_string());
+        println!("  #{:<2} series {:>4}  label {:>3}  distance {:.6}", rank + 1, j, label, d);
+    }
+    Ok(())
+}
+
+fn cmd_generate(a: &Args) -> Result<(), String> {
+    let [kind, out] = a.positional.as_slice() else {
+        return Err("generate needs <kind> <out.txt>".into());
+    };
+    let seed = a.opt_parse("seed", 20120827u64)?;
+    let analog = match kind.as_str() {
+        "gun" => UcrAnalog::Gun,
+        "trace" => UcrAnalog::Trace,
+        "50words" | "words" => UcrAnalog::Words50,
+        other => return Err(format!("unknown dataset kind `{other}`")),
+    };
+    let ds = analog.generate(seed);
+    write_ucr_file(out, &ds.series).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} series ({} classes) to {out}",
+        ds.series.len(),
+        ds.class_count()
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    match args.command.as_str() {
+        "dist" => cmd_dist(&args),
+        "features" => cmd_features(&args),
+        "retrieve" => cmd_retrieve(&args),
+        "generate" => cmd_generate(&args),
+        "help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_map_to_paper_labels() {
+        assert_eq!(policy_from("full", 0.1).unwrap().label(), "dtw");
+        assert_eq!(policy_from("sakoe", 0.2).unwrap().label(), "fc,fw 20%");
+        assert_eq!(policy_from("fcaw", 0.1).unwrap().label(), "fc,aw");
+        assert_eq!(policy_from("acfw", 0.06).unwrap().label(), "ac,fw 6%");
+        assert_eq!(policy_from("acaw", 0.1).unwrap().label(), "ac,aw");
+        assert_eq!(policy_from("ac2aw", 0.1).unwrap().label(), "ac2,aw");
+        assert!(policy_from("itakura", 0.1).unwrap().label().contains("itakura"));
+        assert!(policy_from("bogus", 0.1).is_err());
+    }
+
+    #[test]
+    fn load_series_reports_range_errors() {
+        let corpus =
+            vec![TimeSeries::new(vec![1.0, 2.0]).unwrap()];
+        assert!(load_series(&corpus, 0).is_ok());
+        let err = load_series(&corpus, 5).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn generate_and_dist_round_trip_via_files() {
+        let dir = std::env::temp_dir().join("sdtw_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.txt");
+        let gen = Args::parse(
+            ["generate", "gun", path.to_str().unwrap(), "--seed", "5"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        cmd_generate(&gen).unwrap();
+        let dist = Args::parse(
+            ["dist", path.to_str().unwrap(), "0", "1", "--policy", "sakoe", "--width", "0.2"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        cmd_dist(&dist).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,454 @@
+//! The `SDtw` front-end: configuration, per-pair execution, outcome
+//! introspection.
+
+use crate::constraint::build_band;
+use crate::policy::{BandSymmetry, ConstraintPolicy};
+use sdtw_align::{match_features, IntervalPartition, MatchConfig, MatchResult};
+use sdtw_dtw::engine::{dtw_banded, DtwOptions};
+use sdtw_dtw::{Band, WarpPath};
+use sdtw_salient::{extract_features, SalientConfig, SalientFeature};
+use sdtw_tseries::{TimeSeries, TsError};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Full configuration of an [`SDtw`] engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SDtwConfig {
+    /// Salient feature extraction parameters (step 1).
+    pub salient: SalientConfig,
+    /// Feature matching thresholds (step 2).
+    pub matching: MatchConfig,
+    /// Which constraint family shapes the band (step 3).
+    pub policy: ConstraintPolicy,
+    /// Asymmetric (paper default) or symmetric-by-union band construction.
+    pub symmetry: BandSymmetry,
+    /// DP options: element metric, warp-path computation.
+    pub dtw: DtwOptions,
+}
+
+impl Default for SDtwConfig {
+    fn default() -> Self {
+        Self {
+            salient: SalientConfig::default(),
+            matching: MatchConfig::default(),
+            policy: ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
+            symmetry: BandSymmetry::Asymmetric,
+            dtw: DtwOptions::default(),
+        }
+    }
+}
+
+impl SDtwConfig {
+    /// Validates all nested configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TsError::InvalidParameter`] found.
+    pub fn validate(&self) -> Result<(), TsError> {
+        self.salient.validate()?;
+        self.matching.validate()?;
+        self.policy.validate()?;
+        Ok(())
+    }
+}
+
+/// Wall-clock decomposition of one distance computation — the quantities
+/// behind the paper's Figure 17 (matching vs dynamic programming time) and
+/// the `time*` terms of §4.2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Salient feature extraction (zero when features were supplied from a
+    /// cache — the paper treats extraction as a one-time indexable cost).
+    pub extraction: Duration,
+    /// Matching + inconsistency pruning + band construction.
+    pub matching: Duration,
+    /// Banded dynamic programming + traceback.
+    pub dynamic_programming: Duration,
+}
+
+impl PhaseTiming {
+    /// Total per-pair cost under the paper's accounting: matching + DP
+    /// (extraction is amortised across all comparisons of a series).
+    pub fn per_pair(&self) -> Duration {
+        self.matching + self.dynamic_programming
+    }
+}
+
+/// Outcome of one sDTW distance computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SDtwOutcome {
+    /// The constrained DTW distance (≥ the optimal full-grid distance).
+    pub distance: f64,
+    /// Optimal warp path within the band, when requested via
+    /// [`DtwOptions::compute_path`].
+    pub path: Option<WarpPath>,
+    /// DP cells filled (= sanitised band area) — deterministic work proxy.
+    pub cells_filled: usize,
+    /// Band area before accounting (same as `cells_filled`; kept for
+    /// symmetry with `band_coverage`).
+    pub band_area: usize,
+    /// Fraction of the full `N × M` grid the band covers.
+    pub band_coverage: f64,
+    /// Matched pairs before inconsistency pruning.
+    pub raw_pairs: usize,
+    /// Matched pairs after inconsistency pruning.
+    pub consistent_pairs: usize,
+    /// Descriptor comparisons performed during matching.
+    pub descriptor_comparisons: usize,
+    /// Per-phase wall-clock timing.
+    pub timing: PhaseTiming,
+}
+
+/// The sDTW engine (paper §3 end to end).
+///
+/// Construct once with a validated config, then call
+/// [`SDtw::distance`] per pair, or [`SDtw::distance_with_features`] when
+/// salient features are cached (see [`crate::store::FeatureStore`]).
+#[derive(Debug, Clone)]
+pub struct SDtw {
+    config: SDtwConfig,
+}
+
+impl SDtw {
+    /// Creates an engine after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any nested configuration validation error.
+    pub fn new(config: SDtwConfig) -> Result<Self, TsError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SDtwConfig {
+        &self.config
+    }
+
+    /// Computes the constrained distance between two series, extracting
+    /// salient features on the fly (only when the policy needs them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction errors.
+    pub fn distance(&self, x: &TimeSeries, y: &TimeSeries) -> Result<SDtwOutcome, TsError> {
+        if !self.config.policy.needs_alignment() {
+            return Ok(self.distance_with_features(x, &[], y, &[]));
+        }
+        let t0 = Instant::now();
+        let fx = extract_features(x, &self.config.salient)?;
+        let fy = extract_features(y, &self.config.salient)?;
+        let extraction = t0.elapsed();
+        let mut outcome = self.distance_with_features(x, &fx, y, &fy);
+        outcome.timing.extraction = extraction;
+        Ok(outcome)
+    }
+
+    /// Computes the constrained distance with pre-extracted features (the
+    /// cached path: extraction cost is reported as zero).
+    pub fn distance_with_features(
+        &self,
+        x: &TimeSeries,
+        fx: &[SalientFeature],
+        y: &TimeSeries,
+        fy: &[SalientFeature],
+    ) -> SDtwOutcome {
+        let n = x.len();
+        let m = y.len();
+
+        let t_match = Instant::now();
+        let (band, match_stats) = self.plan_band(fx, fy, n, m);
+        let matching = t_match.elapsed();
+
+        let t_dp = Instant::now();
+        let result = dtw_banded(x, y, &band, &self.config.dtw);
+        let dynamic_programming = t_dp.elapsed();
+
+        let (raw_pairs, consistent_pairs, descriptor_comparisons) = match &match_stats {
+            Some(mr) => (
+                mr.raw_pairs.len(),
+                mr.consistent_pairs.len(),
+                mr.descriptor_comparisons,
+            ),
+            None => (0, 0, 0),
+        };
+
+        SDtwOutcome {
+            distance: result.distance,
+            path: result.path,
+            cells_filled: result.cells_filled,
+            band_area: band.area(),
+            band_coverage: band.coverage(),
+            raw_pairs,
+            consistent_pairs,
+            descriptor_comparisons,
+            timing: PhaseTiming {
+                extraction: Duration::ZERO,
+                matching,
+                dynamic_programming,
+            },
+        }
+    }
+
+    /// Builds the band this engine would use for a pair (exposed for
+    /// introspection, visualisation and the experiment harness). Returns
+    /// the matching result when the policy required alignment.
+    pub fn plan_band(
+        &self,
+        fx: &[SalientFeature],
+        fy: &[SalientFeature],
+        n: usize,
+        m: usize,
+    ) -> (Band, Option<MatchResult>) {
+        if !self.config.policy.needs_alignment() {
+            let trivial = IntervalPartition::from_cuts(vec![], vec![], n, m);
+            return (build_band(&self.config.policy, &trivial, n, m), None);
+        }
+        let forward = match_features(fx, fy, n, m, &self.config.matching);
+        let band = build_band(&self.config.policy, &forward.partition, n, m);
+        let band = match self.config.symmetry {
+            BandSymmetry::Asymmetric => band,
+            BandSymmetry::Union => {
+                let backward = match_features(fy, fx, m, n, &self.config.matching);
+                let back_band = build_band(&self.config.policy, &backward.partition, m, n);
+                band.union(&back_band.transpose()).sanitize()
+            }
+        };
+        (band, Some(forward))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdtw_dtw::engine::dtw_full;
+    use sdtw_tseries::WarpMap;
+
+    /// Deterministic pair: two warped instances of a multi-feature proto.
+    fn warped_pair(n: usize, m: usize) -> (TimeSeries, TimeSeries) {
+        let proto = TimeSeries::new(
+            (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    let a = (t - n as f64 * 0.25) / (n as f64 * 0.04);
+                    let b = (t - n as f64 * 0.7) / (n as f64 * 0.07);
+                    (-a * a / 2.0).exp() + 0.7 * (-b * b / 2.0).exp() + 0.05 * (t / 11.0).sin()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let warp = WarpMap::from_anchors(&[(0.5, 0.40)]).unwrap();
+        let y = warp.apply(&proto, m).unwrap();
+        (proto, y)
+    }
+
+    fn engine(policy: ConstraintPolicy) -> SDtw {
+        SDtw::new(SDtwConfig {
+            policy,
+            ..SDtwConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn full_grid_policy_equals_optimal_dtw() {
+        let (x, y) = warped_pair(160, 160);
+        let out = engine(ConstraintPolicy::FullGrid).distance(&x, &y).unwrap();
+        let full = dtw_full(&x, &y, &DtwOptions::default());
+        assert_eq!(out.distance, full.distance);
+        assert_eq!(out.cells_filled, 160 * 160);
+        assert_eq!(out.raw_pairs, 0, "no matching for the full grid");
+    }
+
+    #[test]
+    fn all_policies_upper_bound_the_optimum() {
+        let (x, y) = warped_pair(150, 170);
+        let optimal = dtw_full(&x, &y, &DtwOptions::default()).distance;
+        for policy in [
+            ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.1 },
+            ConstraintPolicy::Itakura { slope: 2.0 },
+            ConstraintPolicy::fixed_core_adaptive_width(),
+            ConstraintPolicy::adaptive_core_fixed_width(0.1),
+            ConstraintPolicy::adaptive_core_adaptive_width(),
+            ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
+        ] {
+            let out = engine(policy).distance(&x, &y).unwrap();
+            assert!(
+                out.distance >= optimal - 1e-9,
+                "{}: {} < optimal {optimal}",
+                policy.label(),
+                out.distance
+            );
+            assert!(out.band_coverage <= 1.0);
+        }
+    }
+
+    #[test]
+    fn adaptive_core_tracks_shift_better_than_fixed_core() {
+        // A strong time shift: the diagonal band misses the true alignment,
+        // the adaptive core follows it. Same fixed width for both.
+        let (x, y) = warped_pair(200, 200);
+        let optimal = dtw_full(&x, &y, &DtwOptions::default()).distance;
+        let fc = engine(ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 })
+            .distance(&x, &y)
+            .unwrap();
+        let ac = engine(ConstraintPolicy::adaptive_core_fixed_width(0.06))
+            .distance(&x, &y)
+            .unwrap();
+        let fc_err = (fc.distance - optimal) / optimal.max(1e-12);
+        let ac_err = (ac.distance - optimal) / optimal.max(1e-12);
+        assert!(
+            ac_err <= fc_err,
+            "adaptive-core error {ac_err} should not exceed fixed-core error {fc_err}"
+        );
+        assert!(ac.consistent_pairs > 0, "alignment evidence was found");
+    }
+
+    #[test]
+    fn banded_policies_fill_fewer_cells_than_full() {
+        let (x, y) = warped_pair(180, 180);
+        let full_cells = 180 * 180;
+        for policy in [
+            ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.1 },
+            ConstraintPolicy::adaptive_core_fixed_width(0.1),
+            ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
+        ] {
+            let out = engine(policy).distance(&x, &y).unwrap();
+            assert!(
+                out.cells_filled < full_cells,
+                "{} filled {} of {}",
+                policy.label(),
+                out.cells_filled,
+                full_cells
+            );
+        }
+    }
+
+    #[test]
+    fn identical_series_have_zero_distance_under_all_policies() {
+        let (x, _) = warped_pair(150, 150);
+        for policy in [
+            ConstraintPolicy::FullGrid,
+            ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 },
+            ConstraintPolicy::fixed_core_adaptive_width(),
+            ConstraintPolicy::adaptive_core_fixed_width(0.06),
+            ConstraintPolicy::adaptive_core_adaptive_width(),
+        ] {
+            let out = engine(policy).distance(&x, &x).unwrap();
+            assert!(
+                out.distance.abs() < 1e-9,
+                "{}: self-distance {}",
+                policy.label(),
+                out.distance
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_union_band_contains_asymmetric_band() {
+        let (x, y) = warped_pair(140, 160);
+        let base = SDtwConfig {
+            policy: ConstraintPolicy::adaptive_core_adaptive_width(),
+            ..SDtwConfig::default()
+        };
+        let asym = SDtw::new(base.clone()).unwrap();
+        let sym = SDtw::new(SDtwConfig {
+            symmetry: BandSymmetry::Union,
+            ..base
+        })
+        .unwrap();
+        let fx = extract_features(&x, &asym.config().salient).unwrap();
+        let fy = extract_features(&y, &asym.config().salient).unwrap();
+        let (band_a, _) = asym.plan_band(&fx, &fy, x.len(), y.len());
+        let (band_s, _) = sym.plan_band(&fx, &fy, x.len(), y.len());
+        assert!(band_a.is_subset_of(&band_s));
+        // and the symmetric distance can only improve (band is larger)
+        let da = asym.distance(&x, &y).unwrap().distance;
+        let ds = sym.distance(&x, &y).unwrap().distance;
+        assert!(ds <= da + 1e-9);
+    }
+
+    #[test]
+    fn symmetric_union_makes_distance_direction_independent() {
+        let (x, y) = warped_pair(130, 150);
+        let sym = SDtw::new(SDtwConfig {
+            policy: ConstraintPolicy::adaptive_core_adaptive_width(),
+            symmetry: BandSymmetry::Union,
+            ..SDtwConfig::default()
+        })
+        .unwrap();
+        let xy = sym.distance(&x, &y).unwrap().distance;
+        let yx = sym.distance(&y, &x).unwrap().distance;
+        assert!(
+            (xy - yx).abs() < 1e-9,
+            "union-band distance must be symmetric: {xy} vs {yx}"
+        );
+    }
+
+    #[test]
+    fn timing_phases_are_populated() {
+        let (x, y) = warped_pair(150, 150);
+        let out = engine(ConstraintPolicy::adaptive_core_adaptive_width())
+            .distance(&x, &y)
+            .unwrap();
+        assert!(out.timing.extraction > Duration::ZERO);
+        assert!(out.timing.dynamic_programming > Duration::ZERO);
+        assert_eq!(
+            out.timing.per_pair(),
+            out.timing.matching + out.timing.dynamic_programming
+        );
+    }
+
+    #[test]
+    fn cached_features_skip_extraction_time() {
+        let (x, y) = warped_pair(150, 150);
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let fx = extract_features(&x, &eng.config().salient).unwrap();
+        let fy = extract_features(&y, &eng.config().salient).unwrap();
+        let out = eng.distance_with_features(&x, &fx, &y, &fy);
+        assert_eq!(out.timing.extraction, Duration::ZERO);
+        // identical result to the uncached path
+        let out2 = eng.distance(&x, &y).unwrap();
+        assert_eq!(out.distance, out2.distance);
+        assert_eq!(out.cells_filled, out2.cells_filled);
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let cfg = SDtwConfig {
+            policy: ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.0 },
+            ..SDtwConfig::default()
+        };
+        assert!(SDtw::new(cfg).is_err());
+        let mut cfg = SDtwConfig::default();
+        cfg.matching.tau_d = 0.5;
+        assert!(SDtw::new(cfg).is_err());
+    }
+
+    #[test]
+    fn featureless_series_fall_back_to_feasible_bands() {
+        // constant series produce no salient features; adaptive policies
+        // must still return a valid (sanitised) band and finite distance
+        let x = TimeSeries::new(vec![1.0; 120]).unwrap();
+        let y = TimeSeries::new(vec![1.5; 140]).unwrap();
+        let out = engine(ConstraintPolicy::adaptive_core_adaptive_width())
+            .distance(&x, &y)
+            .unwrap();
+        assert!(out.distance.is_finite());
+        assert_eq!(out.consistent_pairs, 0);
+    }
+
+    #[test]
+    fn path_is_produced_on_request_and_valid() {
+        let (x, y) = warped_pair(120, 140);
+        let eng = SDtw::new(SDtwConfig {
+            policy: ConstraintPolicy::adaptive_core_adaptive_width(),
+            dtw: DtwOptions::with_path(),
+            ..SDtwConfig::default()
+        })
+        .unwrap();
+        let out = eng.distance(&x, &y).unwrap();
+        let p = out.path.expect("path requested");
+        p.validate(120, 140).unwrap();
+    }
+}

@@ -1,0 +1,174 @@
+//! Feature store: one-time extraction, many reuses.
+//!
+//! Paper §3.4: "extraction of salient features is a one-time process. Once
+//! these features are extracted, they can be stored and indexed along with
+//! the time series and can be re-used repeatedly during various retrieval
+//! and classification tasks." The store caches extracted features keyed by
+//! series identifier; retrieval/classification loops then pay only the
+//! matching + DP cost per pair.
+
+use parking_lot::RwLock;
+use sdtw_salient::{extract_features, SalientConfig, SalientFeature};
+use sdtw_tseries::{TimeSeries, TsError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe cache of salient features keyed by [`TimeSeries::id`].
+///
+/// Series without an id are extracted on every call (no key to cache
+/// under); attach ids with [`TimeSeries::identified`] when building a
+/// corpus.
+#[derive(Debug)]
+pub struct FeatureStore {
+    config: SalientConfig,
+    cache: RwLock<HashMap<u64, Arc<Vec<SalientFeature>>>>,
+}
+
+impl FeatureStore {
+    /// Creates a store extracting with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation errors.
+    pub fn new(config: SalientConfig) -> Result<Self, TsError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            cache: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The extraction configuration.
+    pub fn config(&self) -> &SalientConfig {
+        &self.config
+    }
+
+    /// Features of a series, from cache when possible.
+    ///
+    /// # Errors
+    ///
+    /// Extraction errors (invalid config is caught at construction, so in
+    /// practice never fires).
+    pub fn features_for(&self, ts: &TimeSeries) -> Result<Arc<Vec<SalientFeature>>, TsError> {
+        if let Some(id) = ts.id() {
+            if let Some(cached) = self.cache.read().get(&id) {
+                return Ok(Arc::clone(cached));
+            }
+            let features = Arc::new(extract_features(ts, &self.config)?);
+            self.cache.write().insert(id, Arc::clone(&features));
+            Ok(features)
+        } else {
+            Ok(Arc::new(extract_features(ts, &self.config)?))
+        }
+    }
+
+    /// Pre-extracts features for a whole corpus (e.g. before a retrieval
+    /// experiment, so per-pair timings exclude extraction).
+    ///
+    /// # Errors
+    ///
+    /// The first extraction error.
+    pub fn warm(&self, corpus: &[TimeSeries]) -> Result<(), TsError> {
+        for ts in corpus {
+            self.features_for(ts)?;
+        }
+        Ok(())
+    }
+
+    /// Number of cached feature sets.
+    pub fn cached_count(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Drops all cached entries (e.g. when switching descriptor lengths in
+    /// the Figure 18 sweep).
+    pub fn clear(&self) {
+        self.cache.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(id: u64) -> TimeSeries {
+        TimeSeries::new(
+            (0..128)
+                .map(|i| {
+                    let d = (i as f64 - 64.0) / 8.0;
+                    (-d * d / 2.0).exp()
+                })
+                .collect(),
+        )
+        .unwrap()
+        .identified(id)
+    }
+
+    #[test]
+    fn caches_by_id() {
+        let store = FeatureStore::new(SalientConfig::default()).unwrap();
+        let ts = series(7);
+        let a = store.features_for(&ts).unwrap();
+        let b = store.features_for(&ts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(store.cached_count(), 1);
+    }
+
+    #[test]
+    fn series_without_id_are_not_cached() {
+        let store = FeatureStore::new(SalientConfig::default()).unwrap();
+        let ts = TimeSeries::new((0..64).map(|i| (i as f64 / 5.0).sin()).collect()).unwrap();
+        let a = store.features_for(&ts).unwrap();
+        let b = store.features_for(&ts).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(store.cached_count(), 0);
+        // same features nonetheless
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn warm_fills_the_cache() {
+        let store = FeatureStore::new(SalientConfig::default()).unwrap();
+        let corpus: Vec<TimeSeries> = (0..5).map(series).collect();
+        store.warm(&corpus).unwrap();
+        assert_eq!(store.cached_count(), 5);
+        store.clear();
+        assert_eq!(store.cached_count(), 0);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut cfg = SalientConfig::default();
+        cfg.epsilon = 7.0;
+        assert!(FeatureStore::new(cfg).is_err());
+    }
+
+    #[test]
+    fn distinct_ids_cached_separately() {
+        let store = FeatureStore::new(SalientConfig::default()).unwrap();
+        let a = store.features_for(&series(1)).unwrap();
+        let b = store.features_for(&series(2)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(store.cached_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let store = Arc::new(FeatureStore::new(SalientConfig::default()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8 {
+                    let ts = series((t * 8 + i) % 6);
+                    let f = store.features_for(&ts).unwrap();
+                    assert!(!f.is_empty());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(store.cached_count() <= 6);
+    }
+}

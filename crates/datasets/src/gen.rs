@@ -1,0 +1,252 @@
+//! Shared generation machinery: seeded randomness, prototypes,
+//! deformations.
+//!
+//! Every dataset instance is a *deformation* of a class prototype: a
+//! smooth random monotone time warp (feature order preserved — the sDTW
+//! transformation model), amplitude jitter, slow baseline drift and
+//! additive Gaussian noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdtw_tseries::{TimeSeries, WarpMap};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic RNG for a (seed, stream) pair, so each dataset/class/
+/// instance draws from an independent stream.
+pub fn rng_for(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Standard normal sample via Box–Muller (rand 0.8 core has no Gaussian
+/// distribution; this avoids a rand_distr dependency).
+pub fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Adds a Gaussian bump of amplitude `amp` centred at `centre_frac · n`
+/// with width `width_frac · n` onto `values`.
+pub fn add_bump(values: &mut [f64], centre_frac: f64, width_frac: f64, amp: f64) {
+    let n = values.len() as f64;
+    let centre = centre_frac * (n - 1.0);
+    let width = (width_frac * n).max(0.75);
+    for (i, v) in values.iter_mut().enumerate() {
+        let d = (i as f64 - centre) / width;
+        *v += amp * (-d * d / 2.0).exp();
+    }
+}
+
+/// Adds a smooth sigmoid step of height `amp` at `centre_frac · n` with
+/// 10–90% rise width `width_frac · n`.
+pub fn add_step(values: &mut [f64], centre_frac: f64, width_frac: f64, amp: f64) {
+    let n = values.len() as f64;
+    let centre = centre_frac * (n - 1.0);
+    let width = (width_frac * n).max(0.75);
+    for (i, v) in values.iter_mut().enumerate() {
+        let z = (i as f64 - centre) / width;
+        *v += amp / (1.0 + (-z).exp());
+    }
+}
+
+/// Adds a windowed oscillation burst: `amp · sin(2π(t−c)/period)` under a
+/// Gaussian window centred at `centre_frac` with width `width_frac`.
+pub fn add_burst(
+    values: &mut [f64],
+    centre_frac: f64,
+    width_frac: f64,
+    period_frac: f64,
+    amp: f64,
+) {
+    let n = values.len() as f64;
+    let centre = centre_frac * (n - 1.0);
+    let width = (width_frac * n).max(1.0);
+    let period = (period_frac * n).max(2.0);
+    for (i, v) in values.iter_mut().enumerate() {
+        let t = i as f64 - centre;
+        let window = (-(t / width) * (t / width) / 2.0).exp();
+        *v += amp * window * (std::f64::consts::TAU * t / period).sin();
+    }
+}
+
+/// Deformation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deformation {
+    /// Number of interior warp anchors (0 disables warping).
+    pub warp_anchors: usize,
+    /// Maximum |y − x| displacement of an anchor (normalised time units).
+    pub warp_strength: f64,
+    /// Multiplicative amplitude jitter: gain drawn from
+    /// `1 ± amp_jitter` (uniform).
+    pub amp_jitter: f64,
+    /// Additive white-noise standard deviation.
+    pub noise_sd: f64,
+    /// Peak of a slow random drift added across the series.
+    pub drift: f64,
+}
+
+impl Default for Deformation {
+    fn default() -> Self {
+        Self {
+            warp_anchors: 2,
+            warp_strength: 0.08,
+            amp_jitter: 0.10,
+            noise_sd: 0.01,
+            drift: 0.03,
+        }
+    }
+}
+
+/// Draws a random monotone warp map with up to `anchors` interior anchors
+/// displaced by at most `strength`.
+pub fn random_warp(rng: &mut StdRng, anchors: usize, strength: f64) -> WarpMap {
+    if anchors == 0 || strength <= 0.0 {
+        return WarpMap::identity();
+    }
+    // strictly increasing xs in (0.1, 0.9)
+    let mut xs: Vec<f64> = (0..anchors)
+        .map(|k| {
+            let base = 0.1 + 0.8 * (k as f64 + 0.5) / anchors as f64;
+            base + rng.gen_range(-0.25..0.25) * 0.8 / anchors as f64
+        })
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut pairs = Vec::with_capacity(anchors);
+    let mut prev_x: f64 = 0.0;
+    let mut prev_y: f64 = 0.0;
+    for &x in &xs {
+        let x = x.clamp(prev_x + 1e-3, 0.999);
+        let y_raw = x + rng.gen_range(-strength..strength);
+        let y = y_raw.clamp(prev_y + 1e-3, 0.999);
+        pairs.push((x, y));
+        prev_x = x;
+        prev_y = y;
+    }
+    WarpMap::from_anchors(&pairs).unwrap_or_else(|_| WarpMap::identity())
+}
+
+/// Deforms a prototype into a dataset instance of length `len`.
+pub fn deform(rng: &mut StdRng, proto: &[f64], len: usize, d: &Deformation) -> Vec<f64> {
+    let proto_ts = TimeSeries::new(proto.to_vec()).expect("valid prototype");
+    let warp = random_warp(rng, d.warp_anchors, d.warp_strength);
+    let warped = warp.apply(&proto_ts, len).expect("positive target length");
+    let gain = 1.0 + rng.gen_range(-d.amp_jitter..=d.amp_jitter);
+    let offset: f64 = rng.gen_range(-d.amp_jitter..=d.amp_jitter) * 0.2;
+    let drift_phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let drift_amp = rng.gen_range(0.0..=d.drift.max(f64::MIN_POSITIVE));
+    warped
+        .values()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let t = i as f64 / len.max(2) as f64;
+            let drift = drift_amp * (std::f64::consts::TAU * t * 0.7 + drift_phase).sin();
+            v * gain + offset + drift + d.noise_sd * gauss(rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_streams_are_independent_and_deterministic() {
+        let a: f64 = rng_for(1, 0).gen();
+        let b: f64 = rng_for(1, 0).gen();
+        assert_eq!(a, b);
+        let c: f64 = rng_for(1, 1).gen();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gauss_has_sane_moments() {
+        let mut rng = rng_for(42, 0);
+        let samples: Vec<f64> = (0..20_000).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn add_bump_peaks_at_centre() {
+        let mut v = vec![0.0; 101];
+        add_bump(&mut v, 0.5, 0.05, 2.0);
+        let max_idx = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 50);
+        assert!((v[50] - 2.0).abs() < 1e-9);
+        assert!(v[0] < 0.01);
+    }
+
+    #[test]
+    fn add_step_transitions_between_levels() {
+        let mut v = vec![0.0; 100];
+        add_step(&mut v, 0.5, 0.02, 3.0);
+        assert!(v[10] < 0.05);
+        assert!((v[90] - 3.0).abs() < 0.05);
+        assert!((v[49] - 1.5).abs() < 0.5);
+    }
+
+    #[test]
+    fn add_burst_is_windowed() {
+        let mut v = vec![0.0; 200];
+        add_burst(&mut v, 0.5, 0.05, 0.04, 1.0);
+        let centre_energy: f64 = v[80..120].iter().map(|x| x * x).sum();
+        let tail_energy: f64 = v[0..40].iter().map(|x| x * x).sum();
+        assert!(centre_energy > tail_energy * 100.0);
+    }
+
+    #[test]
+    fn random_warp_is_valid_and_bounded() {
+        let mut rng = rng_for(9, 3);
+        for _ in 0..50 {
+            let w = random_warp(&mut rng, 3, 0.1);
+            // strictly monotone by construction: probe a grid
+            let mut prev = -1.0;
+            for k in 0..=20 {
+                let t = k as f64 / 20.0;
+                let y = w.eval(t);
+                assert!(y >= prev);
+                assert!((y - t).abs() < 0.25, "warp displacement too large");
+                prev = y;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_anchor_warp_is_identity() {
+        let mut rng = rng_for(1, 1);
+        assert_eq!(random_warp(&mut rng, 0, 0.5), WarpMap::identity());
+        assert_eq!(random_warp(&mut rng, 3, 0.0), WarpMap::identity());
+    }
+
+    #[test]
+    fn deform_preserves_rough_shape() {
+        let mut proto = vec![0.0; 150];
+        add_bump(&mut proto, 0.4, 0.06, 1.0);
+        let mut rng = rng_for(5, 0);
+        let inst = deform(&mut rng, &proto, 150, &Deformation::default());
+        assert_eq!(inst.len(), 150);
+        // the bump survives: max in the middle region, small at the ends
+        let max_region: f64 = inst[40..90].iter().cloned().fold(f64::MIN, f64::max);
+        let edge: f64 = inst[0..10].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max_region > edge + 0.5);
+    }
+
+    #[test]
+    fn deform_instances_differ() {
+        let mut proto = vec![0.0; 100];
+        add_bump(&mut proto, 0.5, 0.1, 1.0);
+        let mut rng = rng_for(5, 0);
+        let a = deform(&mut rng, &proto, 100, &Deformation::default());
+        let b = deform(&mut rng, &proto, 100, &Deformation::default());
+        assert_ne!(a, b);
+    }
+}

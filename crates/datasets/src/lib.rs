@@ -1,0 +1,164 @@
+//! # sdtw-datasets — synthetic class-structured corpora
+//!
+//! The paper evaluates on three UCR archive datasets (Gun, Trace, 50Words;
+//! Table 1). Those archives are not redistributable with this repository,
+//! so this crate synthesises **stand-ins with the same cardinalities and
+//! the same structural regimes** (see DESIGN.md §3 for the substitution
+//! argument):
+//!
+//! * [`gun`] — 2 classes × 150 samples, 50 series: smooth motion profiles
+//!   dominated by one large plateau feature (most salient mass at rough
+//!   scales, like the real Gun/Point data);
+//! * [`trace`] — 4 classes × 275 samples, 100 series: transient signals
+//!   (steps, ramps, oscillation bursts) with class-specific shapes;
+//! * [`words`] — 50 classes × 270 samples, 450 series: busy profile curves
+//!   with many fine features and almost no large ones;
+//! * [`econ`] — the economic-index style demo series of the paper's
+//!   Figure 1 (pairwise-similar drifting indices), used by examples;
+//! * [`gen`] — the shared machinery: seeded prototype construction and
+//!   label-preserving deformations (smooth random time warps + amplitude
+//!   jitter + drift + noise), exactly the transformation model sDTW
+//!   assumes (time stretched, feature order preserved).
+//!
+//! All generators are deterministic in their seed.
+//!
+//! ```
+//! use sdtw_datasets::{UcrAnalog, Dataset};
+//!
+//! let ds: Dataset = UcrAnalog::Gun.generate(42);
+//! assert_eq!(ds.series.len(), 50);
+//! assert_eq!(ds.class_count(), 2);
+//! assert!(ds.series.iter().all(|s| s.len() == 150));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod econ;
+pub mod gen;
+pub mod gun;
+pub mod trace;
+pub mod words;
+
+use sdtw_tseries::stats::CorpusSummary;
+use sdtw_tseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// A labelled corpus with a name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `gun-analog`).
+    pub name: String,
+    /// The labelled, id-tagged series.
+    pub series: Vec<TimeSeries>,
+}
+
+impl Dataset {
+    /// Number of distinct class labels.
+    pub fn class_count(&self) -> usize {
+        CorpusSummary::of(&self.series).classes
+    }
+
+    /// Series indices per class label, ascending by label.
+    pub fn by_class(&self) -> Vec<(u32, Vec<usize>)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, s) in self.series.iter().enumerate() {
+            map.entry(s.label().unwrap_or(0)).or_default().push(i);
+        }
+        map.into_iter().collect()
+    }
+
+    /// Corpus summary (Table 1 style).
+    pub fn summary(&self) -> CorpusSummary {
+        CorpusSummary::of(&self.series)
+    }
+}
+
+/// The three UCR analogues of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UcrAnalog {
+    /// Gun analogue: length 150, 50 series, 2 classes.
+    Gun,
+    /// Trace analogue: length 275, 100 series, 4 classes.
+    Trace,
+    /// 50Words analogue: length 270, 450 series, 50 classes.
+    Words50,
+}
+
+impl UcrAnalog {
+    /// All three datasets in the paper's order.
+    pub const ALL: [UcrAnalog; 3] = [UcrAnalog::Gun, UcrAnalog::Trace, UcrAnalog::Words50];
+
+    /// The Table 1 row: (name, length, number of series, number of
+    /// classes).
+    pub fn table1_spec(&self) -> (&'static str, usize, usize, usize) {
+        match self {
+            UcrAnalog::Gun => ("Gun", 150, 50, 2),
+            UcrAnalog::Trace => ("Trace", 275, 100, 4),
+            UcrAnalog::Words50 => ("50Words", 270, 450, 50),
+        }
+    }
+
+    /// Generates the dataset deterministically from a seed.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        match self {
+            UcrAnalog::Gun => gun::generate(seed),
+            UcrAnalog::Trace => trace::generate(seed),
+            UcrAnalog::Words50 => words::generate(seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_specs_match_paper() {
+        assert_eq!(UcrAnalog::Gun.table1_spec(), ("Gun", 150, 50, 2));
+        assert_eq!(UcrAnalog::Trace.table1_spec(), ("Trace", 275, 100, 4));
+        assert_eq!(UcrAnalog::Words50.table1_spec(), ("50Words", 270, 450, 50));
+    }
+
+    #[test]
+    fn generated_datasets_match_their_specs() {
+        for kind in UcrAnalog::ALL {
+            let (name, len, count, classes) = kind.table1_spec();
+            let ds = kind.generate(7);
+            assert_eq!(ds.series.len(), count, "{name}: series count");
+            assert_eq!(ds.class_count(), classes, "{name}: class count");
+            assert!(
+                ds.series.iter().all(|s| s.len() == len),
+                "{name}: series length"
+            );
+            // ids must be unique (feature-store keys)
+            let mut ids: Vec<u64> = ds.series.iter().map(|s| s.id().unwrap()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), count, "{name}: duplicate ids");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = UcrAnalog::Gun.generate(123);
+        let b = UcrAnalog::Gun.generate(123);
+        assert_eq!(a, b);
+        let c = UcrAnalog::Gun.generate(124);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn by_class_partitions_all_series() {
+        let ds = UcrAnalog::Trace.generate(5);
+        let groups = ds.by_class();
+        assert_eq!(groups.len(), 4);
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 100);
+        // Trace classes are balanced (25 each)
+        for (_, members) in &groups {
+            assert_eq!(members.len(), 25);
+        }
+    }
+}

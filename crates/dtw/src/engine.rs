@@ -1,0 +1,645 @@
+//! Banded dynamic-programming kernel and warp-path traceback.
+//!
+//! One kernel executes every pruning policy: the accumulation matrix `D` is
+//! stored band-sparse (CSR-style row offsets into a flat buffer), so both
+//! time and memory are `O(band area)` rather than `O(NM)` — the whole point
+//! of constraining the grid. Out-of-band parents are treated as `+∞`; the
+//! band sanitiser guarantees the corner cell stays reachable.
+
+use crate::band::Band;
+use crate::path::WarpPath;
+use sdtw_tseries::{ElementMetric, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Local-transition weighting of the DTW recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StepPattern {
+    /// `D(i,j) = min(D(i-1,j), D(i,j-1), D(i-1,j-1)) + d` — the paper's
+    /// recurrence (§2.1.3) and the default.
+    #[default]
+    Symmetric1,
+    /// Sakoe & Chiba's symmetric2: the diagonal transition pays `2d`
+    /// (compensating its double time advance), making the distance
+    /// comparable across alignments of different lengths and enabling the
+    /// conventional `/(N+M)` normalisation.
+    Symmetric2,
+}
+
+impl StepPattern {
+    /// Cost multiplier of the diagonal transition.
+    #[inline]
+    pub fn diagonal_weight(self) -> f64 {
+        match self {
+            StepPattern::Symmetric1 => 1.0,
+            StepPattern::Symmetric2 => 2.0,
+        }
+    }
+}
+
+/// Post-hoc normalisation of the accumulated distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Normalization {
+    /// Report the raw accumulated cost (the paper's convention).
+    #[default]
+    None,
+    /// Divide by `N + M` — the standard normalisation for
+    /// [`StepPattern::Symmetric2`], yielding a per-step cost that is
+    /// comparable across series lengths.
+    LengthSum,
+}
+
+/// Options for a DTW computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DtwOptions {
+    /// Pointwise metric inside the recurrence.
+    pub metric: ElementMetric,
+    /// Whether to keep the accumulation matrix and trace the optimal warp
+    /// path back (costs one extra `O(N+M)` walk plus the band-sized matrix
+    /// retained during the call either way).
+    pub compute_path: bool,
+    /// Transition weighting (default: the paper's symmetric1).
+    pub step_pattern: StepPattern,
+    /// Distance normalisation (default: none, as in the paper).
+    pub normalization: Normalization,
+}
+
+impl DtwOptions {
+    /// Options that also produce the warp path.
+    pub fn with_path() -> Self {
+        Self {
+            compute_path: true,
+            ..Self::default()
+        }
+    }
+
+    /// The conventional normalised-symmetric2 configuration.
+    pub fn normalized_symmetric2() -> Self {
+        Self {
+            step_pattern: StepPattern::Symmetric2,
+            normalization: Normalization::LengthSum,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a DTW computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DtwResult {
+    /// The (possibly constrained) DTW distance. For a banded run this is an
+    /// upper bound on the optimal full-grid distance.
+    pub distance: f64,
+    /// The optimal warp path within the band, when requested.
+    pub path: Option<WarpPath>,
+    /// Number of grid cells filled — the deterministic work proxy used by
+    /// the experiment harness.
+    pub cells_filled: usize,
+}
+
+/// Band-sparse accumulation matrix.
+struct BandMatrix<'a> {
+    band: &'a Band,
+    /// Row offsets into `data`; `data[off[i] + (j - lo_i)]` is cell `(i,j)`.
+    offsets: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl<'a> BandMatrix<'a> {
+    fn new(band: &'a Band) -> Self {
+        let mut offsets = Vec::with_capacity(band.n() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for i in 0..band.n() {
+            acc += band.row(i).width();
+            offsets.push(acc);
+        }
+        Self {
+            band,
+            offsets,
+            data: vec![f64::INFINITY; acc],
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        let r = self.band.row(i);
+        if r.contains(j) {
+            self.data[self.offsets[i] + (j - r.lo)]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, v: f64) {
+        let r = self.band.row(i);
+        debug_assert!(r.contains(j));
+        self.data[self.offsets[i] + (j - r.lo)] = v;
+    }
+}
+
+/// Computes the DTW distance restricted to a band.
+///
+/// The band must match the series dimensions (`band.n() == x.len()`,
+/// `band.m() == y.len()`); it is sanitised internally when infeasible, so
+/// callers may pass raw constraint-builder output. `cells_filled` counts
+/// the sanitised band's area.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (programmer error).
+// Index loops are deliberate here: (i, j) are band coordinates addressing
+// the matrix, the band rows and both sample buffers simultaneously.
+#[allow(clippy::needless_range_loop)]
+pub fn dtw_banded(x: &TimeSeries, y: &TimeSeries, band: &Band, opts: &DtwOptions) -> DtwResult {
+    assert_eq!(band.n(), x.len(), "band rows must match |X|");
+    assert_eq!(band.m(), y.len(), "band cols must match |Y|");
+    let sanitized;
+    let band = if band.is_feasible() {
+        band
+    } else {
+        sanitized = band.sanitize();
+        &sanitized
+    };
+
+    let xv = x.values();
+    let yv = y.values();
+    let metric = opts.metric;
+    let dw = opts.step_pattern.diagonal_weight();
+    let n = band.n();
+    let mut d = BandMatrix::new(band);
+
+    // Row 0: cumulative along the allowed prefix (row 0 always starts at
+    // column 0 after sanitisation).
+    {
+        let r = band.row(0);
+        let mut acc = 0.0;
+        for j in r.lo..=r.hi {
+            acc += metric.eval(xv[0], yv[j]);
+            d.set(0, j, acc);
+        }
+    }
+    for i in 1..n {
+        let r = band.row(i);
+        for j in r.lo..=r.hi {
+            let local = metric.eval(xv[i], yv[j]);
+            let up = d.get(i - 1, j);
+            let (left, diag) = if j > 0 {
+                (d.get(i, j - 1), d.get(i - 1, j - 1))
+            } else {
+                (f64::INFINITY, f64::INFINITY)
+            };
+            // symmetric2 charges the diagonal transition 2·d
+            let best = (up + local).min(left + local).min(diag + dw * local);
+            // Cells with no reachable parent stay +inf (they cannot be on
+            // any path); feasibility guarantees the corner is reachable.
+            d.set(i, j, best);
+        }
+    }
+
+    let mut distance = d.get(n - 1, band.m() - 1);
+    debug_assert!(
+        distance.is_finite(),
+        "sanitised band must reach the corner cell"
+    );
+
+    let path = if opts.compute_path {
+        Some(traceback(&d, x, y, opts))
+    } else {
+        None
+    };
+
+    if let Normalization::LengthSum = opts.normalization {
+        distance /= (x.len() + y.len()) as f64;
+    }
+
+    DtwResult {
+        distance,
+        path,
+        cells_filled: band.area(),
+    }
+}
+
+/// Computes the unconstrained (optimal) DTW distance.
+pub fn dtw_full(x: &TimeSeries, y: &TimeSeries, opts: &DtwOptions) -> DtwResult {
+    let band = Band::full(x.len(), y.len());
+    dtw_banded(x, y, &band, opts)
+}
+
+/// Early-abandoning banded DTW: returns `None` as soon as a completed row's
+/// minimum accumulated cost exceeds `threshold` — since local costs are
+/// non-negative, no path through that row can come back under it. The
+/// staple of nearest-neighbour search loops (threshold = best-so-far).
+///
+/// `threshold` is interpreted in the same units as the configured
+/// [`Normalization`] (it is un-normalised internally). Paths are never
+/// computed on the abandoning variant; use [`dtw_banded`] for the winner.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (programmer error).
+#[allow(clippy::needless_range_loop)] // same band-coordinate loops as dtw_banded
+pub fn dtw_banded_early_abandon(
+    x: &TimeSeries,
+    y: &TimeSeries,
+    band: &Band,
+    opts: &DtwOptions,
+    threshold: f64,
+) -> Option<DtwResult> {
+    assert_eq!(band.n(), x.len(), "band rows must match |X|");
+    assert_eq!(band.m(), y.len(), "band cols must match |Y|");
+    let sanitized;
+    let band = if band.is_feasible() {
+        band
+    } else {
+        sanitized = band.sanitize();
+        &sanitized
+    };
+    let raw_threshold = match opts.normalization {
+        Normalization::None => threshold,
+        Normalization::LengthSum => threshold * (x.len() + y.len()) as f64,
+    };
+
+    let xv = x.values();
+    let yv = y.values();
+    let metric = opts.metric;
+    let dw = opts.step_pattern.diagonal_weight();
+    let n = band.n();
+    let mut d = BandMatrix::new(band);
+
+    {
+        let r = band.row(0);
+        let mut acc = 0.0;
+        let mut row_min = f64::INFINITY;
+        for j in r.lo..=r.hi {
+            acc += metric.eval(xv[0], yv[j]);
+            d.set(0, j, acc);
+            row_min = row_min.min(acc);
+        }
+        if row_min > raw_threshold {
+            return None;
+        }
+    }
+    for i in 1..n {
+        let r = band.row(i);
+        let mut row_min = f64::INFINITY;
+        for j in r.lo..=r.hi {
+            let local = metric.eval(xv[i], yv[j]);
+            let up = d.get(i - 1, j);
+            let (left, diag) = if j > 0 {
+                (d.get(i, j - 1), d.get(i - 1, j - 1))
+            } else {
+                (f64::INFINITY, f64::INFINITY)
+            };
+            let best = (up + local).min(left + local).min(diag + dw * local);
+            d.set(i, j, best);
+            row_min = row_min.min(best);
+        }
+        if row_min > raw_threshold {
+            return None;
+        }
+    }
+
+    let mut distance = d.get(n - 1, band.m() - 1);
+    if let Normalization::LengthSum = opts.normalization {
+        distance /= (x.len() + y.len()) as f64;
+    }
+    if distance > threshold {
+        return None;
+    }
+    Some(DtwResult {
+        distance,
+        path: None,
+        cells_filled: band.area(),
+    })
+}
+
+/// Walks the filled matrix from the top-right corner back to the origin,
+/// preferring the diagonal parent on ties (the conventional choice; it
+/// yields the shortest of the cost-equal paths). Parent selection accounts
+/// for the step pattern: under symmetric2 the diagonal parent's effective
+/// cost includes the doubled local term.
+fn traceback(d: &BandMatrix<'_>, x: &TimeSeries, y: &TimeSeries, opts: &DtwOptions) -> WarpPath {
+    let n = x.len();
+    let m = y.len();
+    let dw = opts.step_pattern.diagonal_weight();
+    let mut steps = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n - 1, m - 1);
+    steps.push((i, j));
+    while i > 0 || j > 0 {
+        let local = opts.metric.eval(x.at(i), y.at(j));
+        // effective arrival costs through each parent
+        let diag = if i > 0 && j > 0 {
+            d.get(i - 1, j - 1) + dw * local
+        } else {
+            f64::INFINITY
+        };
+        let up = if i > 0 {
+            d.get(i - 1, j) + local
+        } else {
+            f64::INFINITY
+        };
+        let left = if j > 0 {
+            d.get(i, j - 1) + local
+        } else {
+            f64::INFINITY
+        };
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+        steps.push((i, j));
+    }
+    steps.reverse();
+    WarpPath::from_steps(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::ColRange;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let x = ts(&[0.0, 1.0, 2.0, 1.0]);
+        let r = dtw_full(&x, &x, &DtwOptions::with_path());
+        assert_eq!(r.distance, 0.0);
+        let p = r.path.unwrap();
+        p.validate(4, 4).unwrap();
+        // zero-distance self-alignment is the diagonal
+        assert_eq!(p.steps(), &[(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // X = [0, 1, 2], Y = [0, 2]; squared metric.
+        // Optimal: (0,0)=0, (1,?) -> align 1 with 0 or 2 (cost 1), (2,1)=0.
+        let x = ts(&[0.0, 1.0, 2.0]);
+        let y = ts(&[0.0, 2.0]);
+        let r = dtw_full(&x, &y, &DtwOptions::with_path());
+        assert_eq!(r.distance, 1.0);
+        assert_eq!(r.cells_filled, 6);
+        let p = r.path.unwrap();
+        p.validate(3, 2).unwrap();
+        assert_eq!(p.cost(&x, &y, ElementMetric::Squared), r.distance);
+    }
+
+    #[test]
+    fn shifted_pattern_has_small_dtw_but_large_euclidean() {
+        // DTW's raison d'être: a temporal shift is almost free.
+        let x = ts(&[0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0]);
+        let y = ts(&[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let dtw = dtw_full(&x, &y, &DtwOptions::default()).distance;
+        let euclid: f64 = x
+            .values()
+            .iter()
+            .zip(y.values())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert_eq!(dtw, 0.0);
+        assert!(euclid > 5.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = ts(&[0.3, 1.8, 2.2, 0.1, -0.7]);
+        let y = ts(&[1.0, 1.0, 0.0, 2.0]);
+        let opts = DtwOptions::default();
+        let xy = dtw_full(&x, &y, &opts).distance;
+        let yx = dtw_full(&y, &x, &opts).distance;
+        assert!((xy - yx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banded_distance_upper_bounds_full() {
+        let x = ts(&[0.0, 3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]);
+        let y = ts(&[2.0, 7.0, 1.0, 8.0, 2.0, 8.0]);
+        let full = dtw_full(&x, &y, &DtwOptions::default());
+        // a very thin diagonal band
+        let ranges = (0..8)
+            .map(|i| {
+                let c = i * 5 / 7;
+                ColRange::new(c, c)
+            })
+            .collect();
+        let band = Band::from_ranges(8, 6, ranges).sanitize();
+        let banded = dtw_banded(&x, &y, &band, &DtwOptions::default());
+        assert!(banded.distance >= full.distance - 1e-12);
+        assert!(banded.cells_filled < full.cells_filled);
+    }
+
+    #[test]
+    fn full_width_band_equals_full_dtw() {
+        let x = ts(&[0.0, 1.0, 0.5, 2.0, 1.5]);
+        let y = ts(&[0.2, 0.9, 2.2, 1.4]);
+        let full = dtw_full(&x, &y, &DtwOptions::default());
+        let band = Band::full(5, 4);
+        let banded = dtw_banded(&x, &y, &band, &DtwOptions::default());
+        assert_eq!(full.distance, banded.distance);
+        assert_eq!(full.cells_filled, banded.cells_filled);
+    }
+
+    #[test]
+    fn infeasible_band_is_sanitised_internally() {
+        let x = ts(&[0.0, 1.0, 2.0, 3.0]);
+        let y = ts(&[0.0, 1.0, 2.0, 3.0]);
+        // gap between rows 1 and 2
+        let band = Band::from_ranges(
+            4,
+            4,
+            vec![
+                ColRange::new(0, 0),
+                ColRange::new(0, 0),
+                ColRange::new(3, 3),
+                ColRange::new(3, 3),
+            ],
+        );
+        assert!(!band.is_feasible());
+        let r = dtw_banded(&x, &y, &band, &DtwOptions::with_path());
+        assert!(r.distance.is_finite());
+        r.path.unwrap().validate(4, 4).unwrap();
+    }
+
+    #[test]
+    fn path_cost_matches_reported_distance() {
+        let x = ts(&[0.1, 0.9, 0.4, 1.7, 1.1, 0.2]);
+        let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
+        for metric in [ElementMetric::Squared, ElementMetric::Absolute] {
+            let opts = DtwOptions {
+                metric,
+                compute_path: true,
+                ..DtwOptions::default()
+            };
+            let r = dtw_full(&x, &y, &opts);
+            let p = r.path.unwrap();
+            p.validate(6, 5).unwrap();
+            assert!((p.cost(&x, &y, metric) - r.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_sample_series() {
+        let x = ts(&[2.0]);
+        let y = ts(&[5.0, 5.0, 5.0]);
+        let r = dtw_full(&x, &y, &DtwOptions::with_path());
+        assert_eq!(r.distance, 27.0); // 3 * (3^2)
+        let p = r.path.unwrap();
+        p.validate(1, 3).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn absolute_metric_known_value() {
+        let x = ts(&[0.0, 5.0]);
+        let y = ts(&[0.0, 5.0, 5.0]);
+        let opts = DtwOptions {
+            metric: ElementMetric::Absolute,
+            ..DtwOptions::default()
+        };
+        assert_eq!(dtw_full(&x, &y, &opts).distance, 0.0);
+    }
+
+    #[test]
+    fn symmetric2_weights_the_diagonal() {
+        // X = Y = [0, 1]: the diagonal path costs 0 under both patterns,
+        // so use a pair where the optimal path takes a diagonal step with
+        // non-zero local cost.
+        let x = ts(&[0.0, 1.0]);
+        let y = ts(&[0.0, 2.0]);
+        let s1 = dtw_full(&x, &y, &DtwOptions::default()).distance;
+        let s2 = dtw_full(
+            &x,
+            &y,
+            &DtwOptions {
+                step_pattern: StepPattern::Symmetric2,
+                ..DtwOptions::default()
+            },
+        )
+        .distance;
+        // symmetric1: diagonal step pays (1-2)^2 = 1; symmetric2 pays 2
+        assert_eq!(s1, 1.0);
+        assert_eq!(s2, 2.0);
+    }
+
+    #[test]
+    fn symmetric2_distance_dominates_symmetric1() {
+        let x = ts(&[0.3, 1.8, 2.2, 0.1, -0.7, 0.4]);
+        let y = ts(&[1.0, 1.0, 0.0, 2.0, 0.3]);
+        let s1 = dtw_full(&x, &y, &DtwOptions::default()).distance;
+        let s2 = dtw_full(
+            &x,
+            &y,
+            &DtwOptions {
+                step_pattern: StepPattern::Symmetric2,
+                ..DtwOptions::default()
+            },
+        )
+        .distance;
+        assert!(s2 >= s1 - 1e-12, "s2 {s2} must dominate s1 {s1}");
+    }
+
+    #[test]
+    fn normalization_divides_by_length_sum() {
+        let x = ts(&[0.0, 1.0, 2.0]);
+        let y = ts(&[0.0, 2.0]);
+        let raw = dtw_full(&x, &y, &DtwOptions::default()).distance;
+        let norm = dtw_full(
+            &x,
+            &y,
+            &DtwOptions {
+                normalization: Normalization::LengthSum,
+                ..DtwOptions::default()
+            },
+        )
+        .distance;
+        assert!((norm - raw / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_symmetric2_path_is_still_valid() {
+        let x = ts(&[0.1, 0.9, 0.4, 1.7, 1.1, 0.2]);
+        let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
+        let opts = DtwOptions {
+            compute_path: true,
+            ..DtwOptions::normalized_symmetric2()
+        };
+        let r = dtw_full(&x, &y, &opts);
+        r.path.unwrap().validate(6, 5).unwrap();
+        assert!(r.distance.is_finite() && r.distance >= 0.0);
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_full_when_under_threshold() {
+        let x = ts(&[0.1, 0.9, 0.4, 1.7, 1.1, 0.2]);
+        let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
+        let band = Band::full(6, 5);
+        let opts = DtwOptions::default();
+        let full = dtw_banded(&x, &y, &band, &opts);
+        let ea = dtw_banded_early_abandon(&x, &y, &band, &opts, f64::INFINITY)
+            .expect("infinite threshold never abandons");
+        assert_eq!(ea.distance, full.distance);
+    }
+
+    #[test]
+    fn early_abandon_fires_on_tight_threshold() {
+        let x = ts(&[0.0; 20]);
+        let y = ts(&[10.0; 20]);
+        let band = Band::full(20, 20);
+        let opts = DtwOptions::default();
+        // every cell costs 100; first row min is 100 > 1
+        assert!(dtw_banded_early_abandon(&x, &y, &band, &opts, 1.0).is_none());
+        // threshold exactly at the distance keeps the result
+        let d = dtw_banded(&x, &y, &band, &opts).distance;
+        assert!(dtw_banded_early_abandon(&x, &y, &band, &opts, d).is_some());
+    }
+
+    #[test]
+    fn early_abandon_respects_normalized_thresholds() {
+        let x = ts(&[0.0, 1.0, 2.0, 1.0]);
+        let y = ts(&[0.0, 2.0, 2.0, 0.0]);
+        let band = Band::full(4, 4);
+        let opts = DtwOptions {
+            normalization: Normalization::LengthSum,
+            ..DtwOptions::default()
+        };
+        let d = dtw_banded(&x, &y, &band, &opts).distance;
+        assert!(dtw_banded_early_abandon(&x, &y, &band, &opts, d + 1e-9).is_some());
+        assert!(dtw_banded_early_abandon(&x, &y, &band, &opts, d * 0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "band rows must match")]
+    fn dimension_mismatch_panics() {
+        let x = ts(&[0.0, 1.0]);
+        let y = ts(&[0.0]);
+        let band = Band::full(3, 1);
+        let _ = dtw_banded(&x, &y, &band, &DtwOptions::default());
+    }
+
+    #[test]
+    fn monotone_band_with_unequal_lengths_traces_back() {
+        let x = ts(&(0..40).map(|i| (i as f64 / 5.0).sin()).collect::<Vec<_>>());
+        let y = ts(&(0..25).map(|i| (i as f64 / 4.0).sin()).collect::<Vec<_>>());
+        let ranges = (0..40usize)
+            .map(|i| {
+                let c = i * 24 / 39;
+                ColRange::new(c.saturating_sub(2), (c + 2).min(24))
+            })
+            .collect();
+        let band = Band::from_ranges(40, 25, ranges).sanitize();
+        let r = dtw_banded(&x, &y, &band, &DtwOptions::with_path());
+        let p = r.path.unwrap();
+        p.validate(40, 25).unwrap();
+        // every path step must lie inside the band
+        for &(i, j) in p.steps() {
+            assert!(band.contains(i, j));
+        }
+    }
+}

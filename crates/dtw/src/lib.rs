@@ -1,0 +1,60 @@
+//! # sdtw-dtw — DTW engine substrate
+//!
+//! The dynamic-time-warping machinery everything else drives (paper §2.1).
+//! Design pivot: **every** grid-pruning policy — the full grid, the classic
+//! Sakoe-Chiba band (*fixed core & fixed width*), the Itakura parallelogram,
+//! and all of sDTW's locally relevant constraints — compiles down to a
+//! [`band::Band`]: one allowed column interval per row of the `N × M` grid.
+//! A single banded dynamic-programming kernel ([`engine`]) executes any
+//! band, so accuracy/cost comparisons across policies measure the
+//! constraint, never the implementation.
+//!
+//! Modules:
+//!
+//! * [`band`] — the band type, area accounting, union (for the symmetric
+//!   variant of sDTW), and the **sanitiser** that makes an arbitrary raw
+//!   band feasible for the DP recurrence (bridging the gaps the paper
+//!   describes in §3.3.2) while only ever *adding* cells;
+//! * [`engine`] — banded DP fill (`O(band area)` time and memory) and warp
+//!   path traceback;
+//! * [`path`] — warp-path representation and validity checking (the
+//!   §2.1.1 conditions);
+//! * [`sakoe`] — Sakoe-Chiba fixed core & fixed width bands;
+//! * [`itakura`] — Itakura parallelogram (slope-constrained) bands;
+//! * [`lower_bound`] — LB_Keogh envelope lower bound (extension; used for
+//!   retrieval pruning ablations);
+//! * [`multires`] — coarse-to-fine (FastDTW-style) corridor DTW, the
+//!   reduced-representation family the paper calls orthogonal to sDTW;
+//! * [`search`] — pruned 1-NN search (LB_Keogh prefilter + early-abandoned
+//!   banded DP), the classic similarity-search stack.
+//!
+//! # Example
+//!
+//! ```
+//! use sdtw_tseries::TimeSeries;
+//! use sdtw_dtw::engine::{dtw_full, dtw_banded, DtwOptions};
+//! use sdtw_dtw::sakoe::sakoe_chiba_band;
+//!
+//! let x = TimeSeries::new(vec![0.0, 1.0, 2.0, 1.0, 0.0]).unwrap();
+//! let y = TimeSeries::new(vec![0.0, 0.0, 1.0, 2.0, 1.0, 0.0]).unwrap();
+//! let full = dtw_full(&x, &y, &DtwOptions::default());
+//! let band = sakoe_chiba_band(x.len(), y.len(), 0.5);
+//! let banded = dtw_banded(&x, &y, &band, &DtwOptions::default());
+//! assert!(banded.distance >= full.distance); // constrained search can only do worse
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod band;
+pub mod engine;
+pub mod itakura;
+pub mod lower_bound;
+pub mod multires;
+pub mod path;
+pub mod sakoe;
+pub mod search;
+
+pub use band::Band;
+pub use engine::{dtw_banded, dtw_full, DtwOptions, DtwResult};
+pub use path::WarpPath;

@@ -1,0 +1,198 @@
+//! LB_Keogh lower bound (extension beyond the paper's core).
+//!
+//! Keogh's envelope lower bound (the paper's reference `[7]`) cheaply lower
+//! bounds the *Sakoe-Chiba-constrained* DTW distance: build the upper/lower
+//! envelope of `Y` under a window `r`, then sum, over each `x_i`, the
+//! distance from `x_i` to the envelope tube. Retrieval loops can skip the
+//! DP entirely when the running k-NN threshold is below the bound. The
+//! experiment harness uses it for pruning ablations; it is not part of the
+//! sDTW algorithm itself.
+
+use sdtw_tseries::{ElementMetric, TimeSeries};
+
+/// Upper/lower envelope of a series under a symmetric window of radius `r`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// `upper[i] = max(y[i-r ..= i+r])`
+    pub upper: Vec<f64>,
+    /// `lower[i] = min(y[i-r ..= i+r])`
+    pub lower: Vec<f64>,
+    /// The window radius the envelope was built with.
+    pub radius: usize,
+}
+
+impl Envelope {
+    /// Builds the envelope with a monotonic-deque sliding min/max, `O(n)`.
+    pub fn build(y: &TimeSeries, radius: usize) -> Self {
+        let v = y.values();
+        let n = v.len();
+        let mut upper = Vec::with_capacity(n);
+        let mut lower = Vec::with_capacity(n);
+        // Deques hold indices; front is the current extremum.
+        let mut maxq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut minq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        // window for output i is [i-radius, i+radius]; sweep right edge
+        let mut right = 0usize;
+        for i in 0..n {
+            let hi = (i + radius).min(n - 1);
+            while right <= hi {
+                while let Some(&b) = maxq.back() {
+                    if v[b] <= v[right] {
+                        maxq.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                maxq.push_back(right);
+                while let Some(&b) = minq.back() {
+                    if v[b] >= v[right] {
+                        minq.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                minq.push_back(right);
+                right += 1;
+            }
+            let lo_edge = i.saturating_sub(radius);
+            while let Some(&f) = maxq.front() {
+                if f < lo_edge {
+                    maxq.pop_front();
+                } else {
+                    break;
+                }
+            }
+            while let Some(&f) = minq.front() {
+                if f < lo_edge {
+                    minq.pop_front();
+                } else {
+                    break;
+                }
+            }
+            upper.push(v[*maxq.front().expect("window non-empty")]);
+            lower.push(v[*minq.front().expect("window non-empty")]);
+        }
+        Self {
+            upper,
+            lower,
+            radius,
+        }
+    }
+}
+
+/// LB_Keogh: lower bound on the Sakoe-Chiba-constrained DTW distance
+/// between `x` and the series whose envelope is given. Requires
+/// `x.len() == envelope.len()` (the classic formulation assumes
+/// equal-length series; resample first otherwise).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn lb_keogh(x: &TimeSeries, env: &Envelope, metric: ElementMetric) -> f64 {
+    assert_eq!(
+        x.len(),
+        env.upper.len(),
+        "LB_Keogh requires equal lengths (resample first)"
+    );
+    let mut acc = 0.0;
+    for (i, &xi) in x.values().iter().enumerate() {
+        if xi > env.upper[i] {
+            acc += metric.eval(xi, env.upper[i]);
+        } else if xi < env.lower[i] {
+            acc += metric.eval(xi, env.lower[i]);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{dtw_banded, DtwOptions};
+    use crate::sakoe::sakoe_chiba_band;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn envelope_of_constant_is_constant() {
+        let e = Envelope::build(&ts(&[2.0; 9]), 3);
+        assert!(e.upper.iter().all(|&v| v == 2.0));
+        assert!(e.lower.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn envelope_radius_zero_is_identity() {
+        let y = ts(&[1.0, 5.0, 3.0]);
+        let e = Envelope::build(&y, 0);
+        assert_eq!(e.upper, y.values());
+        assert_eq!(e.lower, y.values());
+    }
+
+    #[test]
+    fn envelope_brackets_series() {
+        let y = ts(&[0.0, 3.0, -1.0, 2.0, 5.0, 1.0]);
+        for r in [1, 2, 5] {
+            let e = Envelope::build(&y, r);
+            for i in 0..y.len() {
+                assert!(e.lower[i] <= y.at(i) && y.at(i) <= e.upper[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_matches_naive_computation() {
+        let y = ts(&[4.0, -2.0, 7.0, 7.0, 0.0, 3.0, -5.0, 1.0]);
+        let r = 2;
+        let e = Envelope::build(&y, r);
+        for i in 0..y.len() {
+            let lo = i.saturating_sub(r);
+            let hi = (i + r).min(y.len() - 1);
+            let mx = y.values()[lo..=hi].iter().cloned().fold(f64::MIN, f64::max);
+            let mn = y.values()[lo..=hi].iter().cloned().fold(f64::MAX, f64::min);
+            assert_eq!(e.upper[i], mx, "upper at {i}");
+            assert_eq!(e.lower[i], mn, "lower at {i}");
+        }
+    }
+
+    #[test]
+    fn lb_keogh_is_zero_inside_tube() {
+        let y = ts(&[0.0, 1.0, 2.0, 1.0, 0.0]);
+        let env = Envelope::build(&y, 2);
+        assert_eq!(lb_keogh(&y, &env, ElementMetric::Squared), 0.0);
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_banded_dtw() {
+        // Property over a handful of pseudo-random pairs: LB ≤ SC-DTW.
+        let mut seed = 0x12345u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..10 {
+            let n = 40;
+            let x = ts(&(0..n).map(|_| rng()).collect::<Vec<_>>());
+            let y = ts(&(0..n).map(|_| rng()).collect::<Vec<_>>());
+            let radius = 4;
+            let env = Envelope::build(&y, radius);
+            let lb = lb_keogh(&x, &env, ElementMetric::Squared);
+            // The SC band with half-width = radius dominates the envelope
+            // window, so its DTW distance is lower-bounded by LB_Keogh.
+            let band = sakoe_chiba_band(n, n, 2.0 * radius as f64 / n as f64);
+            let d = dtw_banded(&x, &y, &band, &DtwOptions::default()).distance;
+            assert!(
+                lb <= d + 1e-9,
+                "LB_Keogh {lb} exceeded banded DTW {d}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let env = Envelope::build(&ts(&[0.0, 1.0]), 1);
+        let _ = lb_keogh(&ts(&[0.0, 1.0, 2.0]), &env, ElementMetric::Squared);
+    }
+}

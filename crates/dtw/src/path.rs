@@ -1,0 +1,145 @@
+//! Warp-path representation and validation.
+
+use sdtw_tseries::{ElementMetric, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// A warp path `W = (w_1 … w_K)` over an `N × M` grid (paper §2.1.1):
+///
+/// * `max(N, M) ≤ K ≤ N + M`,
+/// * `w_1 = (0, 0)` and `w_K = (N−1, M−1)` (0-based here),
+/// * consecutive steps differ by `(1,0)`, `(0,1)` or `(1,1)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarpPath {
+    steps: Vec<(usize, usize)>,
+}
+
+impl WarpPath {
+    /// Wraps a step sequence without validation (the engine guarantees
+    /// validity by construction; call [`WarpPath::validate`] in tests).
+    pub fn from_steps(steps: Vec<(usize, usize)>) -> Self {
+        Self { steps }
+    }
+
+    /// The steps, first-to-last.
+    pub fn steps(&self) -> &[(usize, usize)] {
+        &self.steps
+    }
+
+    /// Path length `K`.
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // a valid path is never empty
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Checks all warp-path conditions for an `n × m` grid; returns a
+    /// human-readable violation if any.
+    pub fn validate(&self, n: usize, m: usize) -> Result<(), String> {
+        if self.steps.is_empty() {
+            return Err("empty path".into());
+        }
+        if self.steps[0] != (0, 0) {
+            return Err(format!("path starts at {:?}, not (0,0)", self.steps[0]));
+        }
+        let last = *self.steps.last().expect("non-empty");
+        if last != (n - 1, m - 1) {
+            return Err(format!(
+                "path ends at {last:?}, not ({},{})",
+                n - 1,
+                m - 1
+            ));
+        }
+        for (k, w) in self.steps.windows(2).enumerate() {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            let di = i1 as isize - i0 as isize;
+            let dj = j1 as isize - j0 as isize;
+            if !matches!((di, dj), (1, 0) | (0, 1) | (1, 1)) {
+                return Err(format!(
+                    "illegal step {k}: {:?} -> {:?}",
+                    w[0], w[1]
+                ));
+            }
+        }
+        let k = self.steps.len();
+        if k < n.max(m) || k > n + m {
+            return Err(format!(
+                "path length {k} outside [max(N,M), N+M] = [{}, {}]",
+                n.max(m),
+                n + m
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total cost of the path under a metric:
+    /// `Δ(W) = Σ Δ(x[w_l.0], y[w_l.1])` (paper §2.1.2).
+    pub fn cost(&self, x: &TimeSeries, y: &TimeSeries, metric: ElementMetric) -> f64 {
+        self.steps
+            .iter()
+            .map(|&(i, j)| metric.eval(x.at(i), y.at(j)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_path() {
+        let p = WarpPath::from_steps(vec![(0, 0), (1, 1), (1, 2), (2, 2)]);
+        assert!(p.validate(3, 3).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_endpoints() {
+        let p = WarpPath::from_steps(vec![(0, 1), (1, 1), (2, 2)]);
+        assert!(p.validate(3, 3).unwrap_err().contains("starts"));
+        let p = WarpPath::from_steps(vec![(0, 0), (1, 1)]);
+        assert!(p.validate(3, 3).unwrap_err().contains("ends"));
+    }
+
+    #[test]
+    fn rejects_illegal_steps() {
+        // backwards
+        let p = WarpPath::from_steps(vec![(0, 0), (1, 1), (0, 1), (2, 2)]);
+        assert!(p.validate(3, 3).unwrap_err().contains("illegal step"));
+        // jump
+        let p = WarpPath::from_steps(vec![(0, 0), (2, 2)]);
+        assert!(p.validate(3, 3).unwrap_err().contains("illegal step"));
+        // stall
+        let p = WarpPath::from_steps(vec![(0, 0), (0, 0), (1, 1), (2, 2)]);
+        assert!(p.validate(3, 3).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(WarpPath::from_steps(vec![]).validate(1, 1).is_err());
+    }
+
+    #[test]
+    fn length_bounds_are_enforced_structurally() {
+        // pure-diagonal path has length max(N,M) on a square grid
+        let p = WarpPath::from_steps(vec![(0, 0), (1, 1), (2, 2)]);
+        assert!(p.validate(3, 3).is_ok());
+        // all-right-then-down path hits the N+M-1 upper region
+        let p = WarpPath::from_steps(vec![(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]);
+        assert!(p.validate(3, 3).is_ok());
+    }
+
+    #[test]
+    fn one_cell_grid_path() {
+        let p = WarpPath::from_steps(vec![(0, 0)]);
+        assert!(p.validate(1, 1).is_ok());
+    }
+
+    #[test]
+    fn cost_sums_element_metric_along_path() {
+        let x = TimeSeries::new(vec![0.0, 1.0]).unwrap();
+        let y = TimeSeries::new(vec![0.0, 3.0]).unwrap();
+        let p = WarpPath::from_steps(vec![(0, 0), (1, 1)]);
+        assert_eq!(p.cost(&x, &y, ElementMetric::Squared), 4.0);
+        assert_eq!(p.cost(&x, &y, ElementMetric::Absolute), 2.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Pruned nearest-neighbour search: LB_Keogh prefilter + early-abandoning
+//! banded DTW.
+//!
+//! The classic similarity-search stack (the paper's references `[7]` and
+//! `[16]`): candidates are first screened with the cheap LB_Keogh lower
+//! bound against the running best distance; survivors run the banded DP
+//! with early abandoning. The result is exactly the brute-force nearest
+//! neighbour under the same band, at a fraction of the cells filled.
+//!
+//! LB_Keogh requires equal-length series and its window must dominate the
+//! band; [`NnSearch`] applies the bound only when both conditions hold, so
+//! the search is correct for arbitrary corpora (just without the prefilter
+//! where it would be unsound).
+
+use crate::band::Band;
+use crate::engine::{dtw_banded, dtw_banded_early_abandon, DtwOptions, Normalization};
+use crate::lower_bound::{lb_keogh, Envelope};
+use sdtw_tseries::TimeSeries;
+
+/// Result of a pruned 1-NN search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnResult {
+    /// Index of the nearest candidate.
+    pub index: usize,
+    /// Its (possibly normalised) DTW distance.
+    pub distance: f64,
+    /// Candidates eliminated by LB_Keogh without running the DP.
+    pub lb_pruned: usize,
+    /// Candidates whose DP run was abandoned early.
+    pub abandoned: usize,
+    /// Total DP cells filled across all candidates.
+    pub cells_filled: usize,
+}
+
+/// Pruned 1-NN search configuration.
+#[derive(Debug, Clone)]
+pub struct NnSearch<F> {
+    /// Builds the band for a `(n, m)` pair (e.g. a Sakoe-Chiba closure or
+    /// an sDTW planner).
+    pub band_for: F,
+    /// DP options. LB_Keogh pruning is only sound without normalisation
+    /// (the bound is on raw accumulated cost) — with `LengthSum` the
+    /// prefilter is skipped, early abandoning still applies.
+    pub opts: DtwOptions,
+    /// Envelope window radius for the LB_Keogh prefilter. The bound is
+    /// only applied when every band row stays within this radius of its
+    /// row index (otherwise the bound could exceed the banded distance).
+    pub lb_radius: usize,
+}
+
+impl<F: Fn(usize, usize) -> Band> NnSearch<F> {
+    /// Whether LB_Keogh soundly lower-bounds the banded DTW distance for
+    /// this query/candidate pair: equal lengths, raw costs, and a band
+    /// contained in the `±lb_radius` Sakoe window.
+    fn lb_applicable(&self, band: &Band, n: usize, m: usize) -> bool {
+        if n != m || self.opts.normalization != Normalization::None {
+            return false;
+        }
+        (0..band.n()).all(|i| {
+            let r = band.row(i);
+            r.lo + self.lb_radius >= i && r.hi <= i + self.lb_radius
+        })
+    }
+
+    /// Finds the nearest neighbour of `query` among `candidates`
+    /// (non-empty). Identical result to running `dtw_banded` on every
+    /// candidate and taking the minimum (stable tie-break: lower index).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `candidates` is empty.
+    pub fn nearest(&self, query: &TimeSeries, candidates: &[TimeSeries]) -> NnResult {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        let query_env = Envelope::build(query, self.lb_radius);
+        let mut best: Option<(usize, f64)> = None;
+        let mut lb_pruned = 0usize;
+        let mut abandoned = 0usize;
+        let mut cells_filled = 0usize;
+        for (idx, cand) in candidates.iter().enumerate() {
+            let band = (self.band_for)(query.len(), cand.len());
+            let threshold = best.map_or(f64::INFINITY, |(_, d)| d);
+            if self.lb_applicable(&band, query.len(), cand.len()) {
+                // LB on the *query's* envelope bounds DTW(query, cand)
+                let lb = lb_keogh(cand, &query_env, self.opts.metric);
+                if lb > threshold {
+                    lb_pruned += 1;
+                    continue;
+                }
+            }
+            match dtw_banded_early_abandon(query, cand, &band, &self.opts, threshold) {
+                None => {
+                    abandoned += 1;
+                    // the abandoning run still paid for part of the grid;
+                    // count the full band conservatively
+                    cells_filled += band.area();
+                }
+                Some(r) => {
+                    cells_filled += r.cells_filled;
+                    match best {
+                        Some((_, d)) if r.distance >= d => {}
+                        _ => best = Some((idx, r.distance)),
+                    }
+                }
+            }
+        }
+        // threshold pruning can only ever discard strictly-worse
+        // candidates; when everything was abandoned (possible only with an
+        // infinite threshold never being set — i.e. never), fall back
+        let (index, distance) = best.unwrap_or_else(|| {
+            // all candidates abandoned against +inf cannot happen; recover
+            // by brute force to keep the API total
+            let mut bi = 0usize;
+            let mut bd = f64::INFINITY;
+            for (idx, cand) in candidates.iter().enumerate() {
+                let band = (self.band_for)(query.len(), cand.len());
+                let d = dtw_banded(query, cand, &band, &self.opts).distance;
+                if d < bd {
+                    bd = d;
+                    bi = idx;
+                }
+            }
+            (bi, bd)
+        });
+        NnResult {
+            index,
+            distance,
+            lb_pruned,
+            abandoned,
+            cells_filled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sakoe::sakoe_chiba_band;
+
+    fn corpus(n_series: usize, len: usize) -> Vec<TimeSeries> {
+        (0..n_series)
+            .map(|k| {
+                TimeSeries::new(
+                    (0..len)
+                        .map(|i| {
+                            let t = i as f64;
+                            ((t + 13.0 * k as f64) / 9.0).sin()
+                                + 0.3 * ((t * (1.0 + k as f64 * 0.01)) / 23.0).cos()
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn brute_force(
+        query: &TimeSeries,
+        candidates: &[TimeSeries],
+        radius: usize,
+        opts: &DtwOptions,
+    ) -> (usize, f64) {
+        let mut bi = 0;
+        let mut bd = f64::INFINITY;
+        for (i, c) in candidates.iter().enumerate() {
+            let band = sakoe_chiba_band(query.len(), c.len(), 2.0 * radius as f64 / c.len() as f64);
+            let d = dtw_banded(query, c, &band, opts).distance;
+            if d < bd {
+                bd = d;
+                bi = i;
+            }
+        }
+        (bi, bd)
+    }
+
+    #[test]
+    fn pruned_search_matches_brute_force() {
+        let len = 80;
+        let radius = 8;
+        let cands = corpus(12, len);
+        let query = TimeSeries::new(
+            (0..len)
+                .map(|i| ((i as f64 + 40.0) / 9.0).sin() + 0.29 * (i as f64 / 23.0).cos())
+                .collect(),
+        )
+        .unwrap();
+        let opts = DtwOptions::default();
+        let search = NnSearch {
+            band_for: |n, m| sakoe_chiba_band(n, m, 2.0 * 8.0 / m as f64),
+            opts,
+            lb_radius: radius,
+        };
+        let r = search.nearest(&query, &cands);
+        let (bi, bd) = brute_force(&query, &cands, radius, &opts);
+        assert_eq!(r.index, bi);
+        assert!((r.distance - bd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_actually_fires_and_saves_work() {
+        let len = 100;
+        let cands = corpus(30, len);
+        let query = cands[0].clone();
+        let opts = DtwOptions::default();
+        let search = NnSearch {
+            band_for: |n, m| sakoe_chiba_band(n, m, 0.2),
+            opts,
+            lb_radius: 10,
+        };
+        let r = search.nearest(&query, &cands);
+        assert_eq!(r.index, 0, "self is its own nearest neighbour");
+        assert_eq!(r.distance, 0.0);
+        assert!(
+            r.lb_pruned + r.abandoned > 0,
+            "with a zero-distance best, pruning must fire"
+        );
+        // work must be well below running the full DP everywhere
+        let full_work: usize = cands
+            .iter()
+            .map(|c| sakoe_chiba_band(len, c.len(), 0.2).area())
+            .sum();
+        assert!(r.cells_filled < full_work);
+    }
+
+    #[test]
+    fn lb_prefilter_skipped_for_unequal_lengths() {
+        let cands = vec![
+            TimeSeries::new((0..60).map(|i| (i as f64 / 7.0).sin()).collect()).unwrap(),
+            TimeSeries::new((0..90).map(|i| (i as f64 / 7.0).sin()).collect()).unwrap(),
+        ];
+        let query = TimeSeries::new((0..75).map(|i| (i as f64 / 7.0).sin()).collect()).unwrap();
+        let search = NnSearch {
+            band_for: Band::full,
+            opts: DtwOptions::default(),
+            lb_radius: 5,
+        };
+        let r = search.nearest(&query, &cands);
+        assert_eq!(r.lb_pruned, 0, "LB must not fire on unequal lengths");
+        assert!(r.distance.is_finite());
+    }
+
+    #[test]
+    fn normalized_mode_still_correct_without_lb() {
+        let len = 64;
+        let cands = corpus(8, len);
+        let query = cands[3].clone();
+        let opts = DtwOptions::normalized_symmetric2();
+        let search = NnSearch {
+            band_for: |n, m| sakoe_chiba_band(n, m, 0.25),
+            opts,
+            lb_radius: 8,
+        };
+        let r = search.nearest(&query, &cands);
+        assert_eq!(r.index, 3);
+        assert_eq!(r.lb_pruned, 0, "LB unsound under normalisation");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panics() {
+        let q = TimeSeries::new(vec![0.0, 1.0]).unwrap();
+        let search = NnSearch {
+            band_for: Band::full,
+            opts: DtwOptions::default(),
+            lb_radius: 1,
+        };
+        let _ = search.nearest(&q, &[]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Pairwise distance matrices with work/time accounting.
+
+use rayon::prelude::*;
+use sdtw::{FeatureStore, SDtw};
+use sdtw_salient::SalientFeature;
+use sdtw_tseries::{TimeSeries, TsError};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Aggregated cost accounting over all pairs of a matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Total matching (+ band construction) wall time across pairs.
+    pub matching_time: Duration,
+    /// Total dynamic-programming wall time across pairs.
+    pub dp_time: Duration,
+    /// Total DP cells filled across pairs (deterministic work proxy).
+    pub cells_filled: u64,
+    /// Total descriptor comparisons across pairs.
+    pub descriptor_comparisons: u64,
+    /// Number of ordered pairs computed.
+    pub pairs: u64,
+}
+
+impl MatrixStats {
+    fn absorb(&mut self, other: &MatrixStats) {
+        self.matching_time += other.matching_time;
+        self.dp_time += other.dp_time;
+        self.cells_filled += other.cells_filled;
+        self.descriptor_comparisons += other.descriptor_comparisons;
+        self.pairs += other.pairs;
+    }
+
+    /// Total per-pair cost under the paper's accounting (matching + DP).
+    pub fn total_time(&self) -> Duration {
+        self.matching_time + self.dp_time
+    }
+}
+
+/// A dense `n × n` distance matrix (row `i` = distances from query `i`).
+/// Self-distances are stored as 0; the matrix may be asymmetric (adaptive
+/// sDTW constraints are direction-dependent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+    /// Aggregated accounting for the whole matrix.
+    pub stats: MatrixStats,
+}
+
+impl DistanceMatrix {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from series `i` to series `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Indices of all other series, ascending by distance from `i`
+    /// (stable tie-break by index, self excluded).
+    pub fn ranked_neighbors(&self, i: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.n).filter(|&j| j != i).collect();
+        idx.sort_by(|&a, &b| {
+            self.get(i, a)
+                .partial_cmp(&self.get(i, b))
+                .expect("distances are finite")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The `k` nearest neighbours of `i` (self excluded).
+    pub fn top_k(&self, i: usize, k: usize) -> Vec<usize> {
+        let mut r = self.ranked_neighbors(i);
+        r.truncate(k);
+        r
+    }
+}
+
+/// Computes the distance matrix of a corpus under an engine.
+///
+/// Features are taken from (and cached in) `store`, so extraction is a
+/// one-time cost excluded from the per-pair accounting — matching the
+/// paper's cost model. With `parallel` the rows are computed on the rayon
+/// pool; the accounted times are summed across threads (CPU time, which is
+/// what the time-gain ratios compare).
+///
+/// # Errors
+///
+/// Propagates feature-extraction failures.
+pub fn compute_matrix(
+    corpus: &[TimeSeries],
+    engine: &SDtw,
+    store: &FeatureStore,
+    parallel: bool,
+) -> Result<DistanceMatrix, TsError> {
+    let n = corpus.len();
+    let needs_features = engine.config().policy.needs_alignment();
+    let features: Vec<Arc<Vec<SalientFeature>>> = if needs_features {
+        corpus
+            .iter()
+            .map(|ts| store.features_for(ts))
+            .collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+    let empty: Vec<SalientFeature> = Vec::new();
+
+    let row = |i: usize| -> (Vec<f64>, MatrixStats) {
+        let mut out = vec![0.0; n];
+        let mut stats = MatrixStats::default();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (fx, fy): (&[SalientFeature], &[SalientFeature]) = if needs_features {
+                (&features[i], &features[j])
+            } else {
+                (&empty, &empty)
+            };
+            let o = engine.distance_with_features(&corpus[i], fx, &corpus[j], fy);
+            out[j] = o.distance;
+            stats.matching_time += o.timing.matching;
+            stats.dp_time += o.timing.dynamic_programming;
+            stats.cells_filled += o.cells_filled as u64;
+            stats.descriptor_comparisons += o.descriptor_comparisons as u64;
+            stats.pairs += 1;
+        }
+        (out, stats)
+    };
+
+    let rows: Vec<(Vec<f64>, MatrixStats)> = if parallel {
+        (0..n).into_par_iter().map(row).collect()
+    } else {
+        (0..n).map(row).collect()
+    };
+
+    let mut data = Vec::with_capacity(n * n);
+    let mut stats = MatrixStats::default();
+    for (r, s) in rows {
+        data.extend_from_slice(&r);
+        stats.absorb(&s);
+    }
+    Ok(DistanceMatrix { n, data, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdtw::{ConstraintPolicy, SDtwConfig};
+    use sdtw_datasets::econ;
+
+    fn small_corpus() -> Vec<TimeSeries> {
+        econ::generate(3, 3, 2).series
+    }
+
+    fn engine(policy: ConstraintPolicy) -> SDtw {
+        SDtw::new(SDtwConfig {
+            policy,
+            ..SDtwConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn full_matrix_is_symmetric_with_zero_diagonal() {
+        let corpus = small_corpus();
+        let eng = engine(ConstraintPolicy::FullGrid);
+        let store = FeatureStore::new(eng.config().salient.clone()).unwrap();
+        let m = compute_matrix(&corpus, &eng, &store, false).unwrap();
+        for i in 0..m.n() {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..m.n() {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-9);
+            }
+        }
+        assert_eq!(m.stats.pairs, (corpus.len() * (corpus.len() - 1)) as u64);
+        assert!(m.stats.cells_filled > 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let corpus = small_corpus();
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let store = FeatureStore::new(eng.config().salient.clone()).unwrap();
+        store.warm(&corpus).unwrap();
+        let a = compute_matrix(&corpus, &eng, &store, false).unwrap();
+        let b = compute_matrix(&corpus, &eng, &store, true).unwrap();
+        for i in 0..a.n() {
+            for j in 0..a.n() {
+                assert_eq!(a.get(i, j), b.get(i, j));
+            }
+        }
+        assert_eq!(a.stats.cells_filled, b.stats.cells_filled);
+    }
+
+    #[test]
+    fn ranked_neighbors_sorted_and_exclude_self() {
+        let corpus = small_corpus();
+        let eng = engine(ConstraintPolicy::FullGrid);
+        let store = FeatureStore::new(eng.config().salient.clone()).unwrap();
+        let m = compute_matrix(&corpus, &eng, &store, false).unwrap();
+        for i in 0..m.n() {
+            let r = m.ranked_neighbors(i);
+            assert_eq!(r.len(), m.n() - 1);
+            assert!(!r.contains(&i));
+            for w in r.windows(2) {
+                assert!(m.get(i, w[0]) <= m.get(i, w[1]));
+            }
+        }
+        assert_eq!(m.top_k(0, 2).len(), 2);
+    }
+
+    #[test]
+    fn banded_matrix_dominates_reference() {
+        let corpus = small_corpus();
+        let store = FeatureStore::new(sdtw::SalientConfig::default()).unwrap();
+        let reference = compute_matrix(
+            &corpus,
+            &engine(ConstraintPolicy::FullGrid),
+            &store,
+            false,
+        )
+        .unwrap();
+        let banded = compute_matrix(
+            &corpus,
+            &engine(ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 }),
+            &store,
+            false,
+        )
+        .unwrap();
+        for i in 0..reference.n() {
+            for j in 0..reference.n() {
+                assert!(banded.get(i, j) >= reference.get(i, j) - 1e-9);
+            }
+        }
+        assert!(banded.stats.cells_filled < reference.stats.cells_filled);
+    }
+}

@@ -1,0 +1,111 @@
+//! Time gain and work gain (paper §4.2):
+//! `time_gain = (time_DTW − time*) / time_DTW`, where `time*` covers
+//! matching + inconsistency pruning + constrained DP (extraction is a
+//! one-time indexed cost). The *work gain* analogue replaces wall time
+//! with DP cells filled + descriptor comparisons — deterministic, so CI
+//! can assert on it.
+
+use crate::distmat::MatrixStats;
+
+/// Wall-clock time gain of a constrained run against the reference run.
+/// Positive = faster than full DTW; can be negative when the constraint
+/// machinery costs more than it saves.
+pub fn time_gain(reference: &MatrixStats, constrained: &MatrixStats) -> f64 {
+    let t_ref = reference.total_time().as_secs_f64();
+    if t_ref <= 0.0 {
+        return 0.0;
+    }
+    (t_ref - constrained.total_time().as_secs_f64()) / t_ref
+}
+
+/// Deterministic work-proxy gain: compares DP cells + descriptor
+/// comparisons (one descriptor comparison is weighted as `weight` cell
+/// fills; descriptors are short vectors, so the default weight in
+/// [`work_gain`] is the descriptor length).
+pub fn work_gain_weighted(
+    reference: &MatrixStats,
+    constrained: &MatrixStats,
+    weight: f64,
+) -> f64 {
+    let w_ref = reference.cells_filled as f64 + weight * reference.descriptor_comparisons as f64;
+    if w_ref <= 0.0 {
+        return 0.0;
+    }
+    let w_con =
+        constrained.cells_filled as f64 + weight * constrained.descriptor_comparisons as f64;
+    (w_ref - w_con) / w_ref
+}
+
+/// Work gain with a descriptor comparison costed as 2 cell fills. A 64-bin
+/// Euclidean distance is a branch-free vectorisable loop, while a DP cell
+/// is a branchy 3-way min with band bookkeeping; wall-time calibration on
+/// this engine puts one comparison at roughly two cells. Use
+/// [`work_gain_weighted`] to ablate the weight.
+pub fn work_gain(reference: &MatrixStats, constrained: &MatrixStats) -> f64 {
+    work_gain_weighted(reference, constrained, 2.0)
+}
+
+/// Fraction of a run's cost spent in matching (Figure 17's split).
+pub fn matching_fraction(stats: &MatrixStats) -> f64 {
+    let total = stats.total_time().as_secs_f64();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    stats.matching_time.as_secs_f64() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stats(matching_ms: u64, dp_ms: u64, cells: u64, descs: u64) -> MatrixStats {
+        MatrixStats {
+            matching_time: Duration::from_millis(matching_ms),
+            dp_time: Duration::from_millis(dp_ms),
+            cells_filled: cells,
+            descriptor_comparisons: descs,
+            pairs: 1,
+        }
+    }
+
+    #[test]
+    fn time_gain_half_cost() {
+        let reference = stats(0, 100, 0, 0);
+        let constrained = stats(10, 40, 0, 0);
+        assert!((time_gain(&reference, &constrained) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_gain_can_be_negative() {
+        let reference = stats(0, 100, 0, 0);
+        let constrained = stats(80, 40, 0, 0);
+        assert!(time_gain(&reference, &constrained) < 0.0);
+    }
+
+    #[test]
+    fn zero_reference_time_gives_zero_gain() {
+        let z = stats(0, 0, 0, 0);
+        assert_eq!(time_gain(&z, &stats(1, 1, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn work_gain_counts_cells_and_descriptors() {
+        let reference = stats(0, 0, 10_000, 0);
+        let constrained = stats(0, 0, 4_000, 10);
+        // 10 descriptor comparisons at the default weight 2 = 20 cell units
+        let expected = (10_000.0 - (4_000.0 + 20.0)) / 10_000.0;
+        assert!((work_gain(&reference, &constrained) - expected).abs() < 1e-12);
+        // the weighted variant honours a custom weight
+        let heavy = work_gain_weighted(&reference, &constrained, 64.0);
+        let expected_heavy = (10_000.0 - (4_000.0 + 640.0)) / 10_000.0;
+        assert!((heavy - expected_heavy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_fraction_bounds() {
+        assert_eq!(matching_fraction(&stats(0, 0, 0, 0)), 0.0);
+        let s = stats(25, 75, 0, 0);
+        assert!((matching_fraction(&s) - 0.25).abs() < 1e-12);
+    }
+}

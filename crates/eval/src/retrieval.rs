@@ -1,0 +1,108 @@
+//! Top-k retrieval accuracy (paper §4.2):
+//! `acc_ret(k) = avg_X |top_DTW(X,k) ∩ top_*(X,k)| / k`.
+
+use crate::distmat::DistanceMatrix;
+
+/// Mean top-k overlap between the reference (optimal DTW) ranking and the
+/// constrained ranking, averaged over every query in the corpus.
+///
+/// # Panics
+///
+/// Panics when the matrices differ in dimension, `k == 0`, or
+/// `k >= n` (a top-k query needs at least `k` other series).
+pub fn retrieval_accuracy(reference: &DistanceMatrix, approx: &DistanceMatrix, k: usize) -> f64 {
+    assert_eq!(reference.n(), approx.n(), "matrix dimensions must match");
+    let n = reference.n();
+    assert!(k >= 1, "k must be positive");
+    assert!(k < n, "top-{k} needs at least {k} other series, have {}", n - 1);
+    let mut acc = 0.0;
+    for i in 0..n {
+        let top_ref = reference.top_k(i, k);
+        let top_apx = approx.top_k(i, k);
+        let overlap = top_ref
+            .iter()
+            .filter(|idx| top_apx.contains(idx))
+            .count();
+        acc += overlap as f64 / k as f64;
+    }
+    acc / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distmat::MatrixStats;
+
+    /// Builds a matrix directly from explicit distances (test helper).
+    fn matrix(d: &[&[f64]]) -> DistanceMatrix {
+        let n = d.len();
+        let mut data = Vec::with_capacity(n * n);
+        for row in d {
+            assert_eq!(row.len(), n);
+            data.extend_from_slice(row);
+        }
+        // construct through serde to avoid exposing a test-only constructor
+        let json = serde_json::json!({
+            "n": n,
+            "data": data,
+            "stats": MatrixStats::default(),
+        });
+        serde_json::from_value(json).unwrap()
+    }
+
+    #[test]
+    fn identical_matrices_score_one() {
+        let m = matrix(&[
+            &[0.0, 1.0, 2.0],
+            &[1.0, 0.0, 3.0],
+            &[2.0, 3.0, 0.0],
+        ]);
+        assert_eq!(retrieval_accuracy(&m, &m, 1), 1.0);
+        assert_eq!(retrieval_accuracy(&m, &m, 2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_top1_scores_zero() {
+        let reference = matrix(&[
+            &[0.0, 1.0, 5.0],
+            &[1.0, 0.0, 5.0],
+            &[1.0, 5.0, 0.0],
+        ]);
+        // approx inverts every preference
+        let approx = matrix(&[
+            &[0.0, 5.0, 1.0],
+            &[5.0, 0.0, 1.0],
+            &[5.0, 1.0, 0.0],
+        ]);
+        assert_eq!(retrieval_accuracy(&reference, &approx, 1), 0.0);
+        // top-2 of 2 others is always both → overlap complete
+        assert_eq!(retrieval_accuracy(&reference, &approx, 2), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_fractional() {
+        let reference = matrix(&[
+            &[0.0, 1.0, 2.0, 9.0],
+            &[1.0, 0.0, 2.0, 9.0],
+            &[1.0, 2.0, 0.0, 9.0],
+            &[1.0, 2.0, 9.0, 0.0],
+        ]);
+        // approx swaps the 2nd/3rd neighbour for query 0 only
+        let approx = matrix(&[
+            &[0.0, 1.0, 9.0, 2.0],
+            &[1.0, 0.0, 2.0, 9.0],
+            &[1.0, 2.0, 0.0, 9.0],
+            &[1.0, 2.0, 9.0, 0.0],
+        ]);
+        let acc = retrieval_accuracy(&reference, &approx, 2);
+        // query 0: overlap {1} of {1,2} = 0.5; others: 1.0
+        assert!((acc - (0.5 + 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "top-3 needs")]
+    fn k_too_large_panics() {
+        let m = matrix(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let _ = retrieval_accuracy(&m, &m, 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Keypoint representation.
+
+use serde::{Deserialize, Serialize};
+
+/// Series-centric polarity of a keypoint. With `D = L(κσ) − L(σ)`, a
+/// locally *elevated* region of the series (a peak, the white region of the
+/// paper's Figure 4(b)) produces a DoG **minimum**, and a locally depressed
+/// region (a dip, dark in Figure 4(b)) a DoG **maximum** — so the mapping
+/// is inverted relative to the DoG sign. Both polarities carry alignment
+/// information in 1D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Locally elevated series region (DoG minimum, `response < 0`).
+    Peak,
+    /// Locally depressed series region (DoG maximum, `response > 0`).
+    Dip,
+}
+
+/// Coarse scale class of a feature — the paper's fine / medium / rough
+/// reporting buckets of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ScaleClass {
+    /// Small temporal features located near the original resolution.
+    Fine,
+    /// Mid-size features.
+    Medium,
+    /// Large features found at strongly reduced scales.
+    Rough,
+}
+
+impl ScaleClass {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleClass::Fine => "fine",
+            ScaleClass::Medium => "medium",
+            ScaleClass::Rough => "rough",
+        }
+    }
+}
+
+/// A detected salient point `⟨x, σ⟩` (paper §3.1.2, step 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Keypoint {
+    /// Position in original-series samples.
+    pub position: usize,
+    /// Position at the octave's own resolution (used by the descriptor).
+    pub octave_position: usize,
+    /// Octave index the keypoint was found in.
+    pub octave: usize,
+    /// DoG level within the octave.
+    pub level: usize,
+    /// Absolute scale σ, in original-series samples.
+    pub sigma: f64,
+    /// DoG response at the keypoint (signed).
+    pub response: f64,
+    /// Peak or dip.
+    pub polarity: Polarity,
+}
+
+impl Keypoint {
+    /// Scope radius in samples: `scope_sigmas · σ` (the paper's `3σ`).
+    pub fn scope_radius(&self, scope_sigmas: f64) -> f64 {
+        scope_sigmas * self.sigma
+    }
+
+    /// Scope as a clamped inclusive sample interval `[start, end]` on a
+    /// series of length `n`.
+    pub fn scope_bounds(&self, scope_sigmas: f64, n: usize) -> (usize, usize) {
+        let r = self.scope_radius(scope_sigmas);
+        let start = (self.position as f64 - r).max(0.0).floor() as usize;
+        let end = (self.position as f64 + r).min((n - 1) as f64).ceil() as usize;
+        (start, end.min(n - 1))
+    }
+
+    /// Scope length in samples (`end - start + 1` of the unclamped scope):
+    /// the `scope(f)` quantity used by the matcher's alignment score.
+    pub fn scope_len(&self, scope_sigmas: f64) -> f64 {
+        2.0 * self.scope_radius(scope_sigmas) + 1.0
+    }
+
+    /// Classifies this keypoint into the paper's fine/medium/rough
+    /// reporting buckets (Table 2) by its *absolute* scale: σ < 4 samples
+    /// is fine (scope under ~25 samples), σ < 10 medium, anything coarser
+    /// rough. Absolute-σ bucketing is robust against octave aliasing (the
+    /// same σ is representable in two adjacent octaves) and maps 1:1 onto
+    /// the default pyramid's octaves for canonically attributed points.
+    pub fn scale_class(&self) -> ScaleClass {
+        if self.sigma < 4.0 {
+            ScaleClass::Fine
+        } else if self.sigma < 10.0 {
+            ScaleClass::Medium
+        } else {
+            ScaleClass::Rough
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(position: usize, sigma: f64) -> Keypoint {
+        Keypoint {
+            position,
+            octave_position: position,
+            octave: 0,
+            level: 1,
+            sigma,
+            response: 1.0,
+            polarity: Polarity::Peak,
+        }
+    }
+
+    #[test]
+    fn scope_radius_is_sigma_scaled() {
+        let k = kp(50, 2.0);
+        assert_eq!(k.scope_radius(3.0), 6.0);
+        assert_eq!(k.scope_len(3.0), 13.0);
+    }
+
+    #[test]
+    fn scope_bounds_clamp_to_series() {
+        let k = kp(2, 2.0);
+        let (s, e) = k.scope_bounds(3.0, 100);
+        assert_eq!(s, 0);
+        assert_eq!(e, 8);
+        let k = kp(98, 2.0);
+        let (s, e) = k.scope_bounds(3.0, 100);
+        assert_eq!(s, 92);
+        assert_eq!(e, 99);
+    }
+
+    #[test]
+    fn scale_class_follows_absolute_sigma() {
+        assert_eq!(kp(50, 1.6).scale_class(), ScaleClass::Fine);
+        assert_eq!(kp(50, 3.2).scale_class(), ScaleClass::Fine);
+        assert_eq!(kp(50, 4.52).scale_class(), ScaleClass::Medium);
+        assert_eq!(kp(50, 9.05).scale_class(), ScaleClass::Medium);
+        assert_eq!(kp(50, 12.8).scale_class(), ScaleClass::Rough);
+        assert_eq!(kp(50, 25.6).scale_class(), ScaleClass::Rough);
+        // octave aliasing must not change the bucket
+        let mut aliased = kp(50, 6.4);
+        aliased.octave = 2;
+        assert_eq!(aliased.scale_class(), ScaleClass::Medium);
+    }
+
+    #[test]
+    fn scale_class_names() {
+        assert_eq!(ScaleClass::Fine.name(), "fine");
+        assert_eq!(ScaleClass::Medium.name(), "medium");
+        assert_eq!(ScaleClass::Rough.name(), "rough");
+    }
+}

@@ -1,0 +1,88 @@
+//! Gradients of (smoothed) series.
+//!
+//! In 2D SIFT the descriptor samples gradient magnitudes and orientations
+//! around the keypoint; in the 1D adaptation "the only relevant gradients
+//! are along the horizontal direction" (paper §3.1.2, step 2), so a
+//! gradient here is a signed scalar slope.
+
+/// Central-difference gradient of a sample buffer.
+///
+/// Interior: `(v[i+1] - v[i-1]) / 2`; boundaries use one-sided differences.
+/// Output has the same length as the input; a single-sample series has
+/// gradient `[0.0]`.
+pub fn central_gradient(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    match n {
+        0 => Vec::new(),
+        1 => vec![0.0],
+        _ => {
+            let mut out = Vec::with_capacity(n);
+            out.push(values[1] - values[0]);
+            for i in 1..n - 1 {
+                out.push((values[i + 1] - values[i - 1]) * 0.5);
+            }
+            out.push(values[n - 1] - values[n - 2]);
+            out
+        }
+    }
+}
+
+/// Gradient sampled at a fractional position via linear interpolation of
+/// the central-difference gradient; positions are clamped to the buffer.
+pub fn gradient_at(gradient: &[f64], pos: f64) -> f64 {
+    if gradient.is_empty() {
+        return 0.0;
+    }
+    let pos = pos.clamp(0.0, (gradient.len() - 1) as f64);
+    let lo = pos.floor() as usize;
+    let hi = (lo + 1).min(gradient.len() - 1);
+    let frac = pos - lo as f64;
+    gradient[lo] * (1.0 - frac) + gradient[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_of_linear_ramp_is_constant() {
+        let v: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let g = central_gradient(&v);
+        assert_eq!(g.len(), 10);
+        for x in g {
+            assert!((x - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_of_constant_is_zero() {
+        let g = central_gradient(&[3.0; 7]);
+        assert!(g.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(central_gradient(&[]).is_empty());
+        assert_eq!(central_gradient(&[5.0]), &[0.0]);
+        assert_eq!(central_gradient(&[1.0, 4.0]), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn peak_has_sign_change() {
+        let v = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let g = central_gradient(&v);
+        assert!(g[1] > 0.0);
+        assert_eq!(g[2], 0.0);
+        assert!(g[3] < 0.0);
+    }
+
+    #[test]
+    fn gradient_at_interpolates_and_clamps() {
+        let g = [0.0, 2.0, 4.0];
+        assert!((gradient_at(&g, 0.5) - 1.0).abs() < 1e-12);
+        assert!((gradient_at(&g, 1.75) - 3.5).abs() < 1e-12);
+        assert_eq!(gradient_at(&g, -3.0), 0.0);
+        assert_eq!(gradient_at(&g, 99.0), 4.0);
+        assert_eq!(gradient_at(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Sampled Gaussian kernels.
+
+use sdtw_tseries::TsError;
+
+/// A sampled, normalised 1D Gaussian kernel `G(x, σ)`.
+///
+/// The kernel is sampled at integer offsets `-r ..= r` with
+/// `r = ceil(3σ)` (three standard deviations cover ≈ 99.73% of the mass,
+/// the same coverage argument the paper uses to define feature scopes) and
+/// renormalised so the weights sum to exactly 1 — this makes convolution of
+/// a constant series exactly the same constant, which downstream property
+/// tests rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianKernel {
+    sigma: f64,
+    radius: usize,
+    weights: Vec<f64>,
+}
+
+impl GaussianKernel {
+    /// Builds a kernel for standard deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidParameter`] when `sigma` is not finite and strictly
+    /// positive.
+    pub fn new(sigma: f64) -> Result<Self, TsError> {
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(TsError::InvalidParameter {
+                name: "sigma",
+                reason: format!("must be finite and > 0, got {sigma}"),
+            });
+        }
+        let radius = (3.0 * sigma).ceil() as usize;
+        let radius = radius.max(1);
+        let denom = 2.0 * sigma * sigma;
+        let mut weights = Vec::with_capacity(2 * radius + 1);
+        for off in -(radius as isize)..=(radius as isize) {
+            let x = off as f64;
+            weights.push((-(x * x) / denom).exp());
+        }
+        let sum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= sum;
+        }
+        Ok(Self {
+            sigma,
+            radius,
+            weights,
+        })
+    }
+
+    /// Standard deviation the kernel was built for.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Half-width of the support (`weights.len() == 2*radius + 1`).
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Normalised weights, centre at index `radius`.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Evaluates the *continuous* (unnormalised-by-sampling) Gaussian weight
+    /// `exp(-x² / 2σ²)` at offset `x`. Used by descriptor extraction, which
+    /// weights gradient magnitudes by distance from the keypoint.
+    #[inline]
+    pub fn continuous_weight(sigma: f64, x: f64) -> f64 {
+        (-(x * x) / (2.0 * sigma * sigma)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(GaussianKernel::new(0.0).is_err());
+        assert!(GaussianKernel::new(-1.0).is_err());
+        assert!(GaussianKernel::new(f64::NAN).is_err());
+        assert!(GaussianKernel::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for sigma in [0.3, 0.8, 1.6, 3.2, 12.8] {
+            let k = GaussianKernel::new(sigma).unwrap();
+            let sum: f64 = k.weights().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "sigma={sigma}, sum={sum}");
+        }
+    }
+
+    #[test]
+    fn weights_are_symmetric_and_peak_at_centre() {
+        let k = GaussianKernel::new(2.0).unwrap();
+        let w = k.weights();
+        let r = k.radius();
+        assert_eq!(w.len(), 2 * r + 1);
+        for i in 0..r {
+            assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-15);
+        }
+        let peak = w[r];
+        assert!(w.iter().all(|&x| x <= peak));
+    }
+
+    #[test]
+    fn radius_grows_with_sigma() {
+        let small = GaussianKernel::new(0.5).unwrap();
+        let large = GaussianKernel::new(4.0).unwrap();
+        assert!(large.radius() > small.radius());
+        assert_eq!(large.radius(), 12); // ceil(3*4)
+    }
+
+    #[test]
+    fn tiny_sigma_still_has_radius_one() {
+        let k = GaussianKernel::new(0.05).unwrap();
+        assert_eq!(k.radius(), 1);
+        // essentially a delta: centre weight dominates
+        assert!(k.weights()[1] > 0.999);
+    }
+
+    #[test]
+    fn continuous_weight_decays() {
+        let w0 = GaussianKernel::continuous_weight(2.0, 0.0);
+        let w1 = GaussianKernel::continuous_weight(2.0, 1.0);
+        let w2 = GaussianKernel::continuous_weight(2.0, 4.0);
+        assert_eq!(w0, 1.0);
+        assert!(w1 < w0 && w2 < w1);
+    }
+}

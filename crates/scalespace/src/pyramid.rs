@@ -1,0 +1,462 @@
+//! The octave/level Gaussian scale-space pyramid with
+//! difference-of-Gaussian (DoG) stacks.
+//!
+//! Construction follows the paper's §3.1.2 (which in turn follows Lowe's
+//! SIFT): the series is reduced into `o` octaves, each octave corresponding
+//! to a doubling of the smoothing rate; each octave is divided into `s`
+//! levels by repeatedly convolving with Gaussians with parameter `κ`
+//! (`κ^s = 2`); adjacent smoothed levels are subtracted to produce DoG
+//! series, which the detector (in `sdtw-salient`) scans for ε-relaxed
+//! extrema. After the `s` levels of an octave are processed, the series
+//! corresponding to the doubled σ is downsampled by picking every second
+//! sample to form the base of the next octave.
+//!
+//! Per octave we build `s + 3` smoothed levels (yielding `s + 2` DoG
+//! levels), so that extrema detection can compare the `s` interior DoG
+//! levels with a full up-scale and down-scale neighbour — the standard SIFT
+//! arrangement.
+
+use crate::convolve::{convolve_reflect, downsample_half};
+use crate::kernel::GaussianKernel;
+use sdtw_tseries::{TimeSeries, TsError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the scale-space pyramid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PyramidConfig {
+    /// Number of octaves. `None` uses the paper's default
+    /// `o = ⌊log2 N⌋ − 6`, clamped to at least 1 and capped so every octave
+    /// keeps at least [`PyramidConfig::min_octave_len`] samples.
+    pub octaves: Option<usize>,
+    /// Levels per octave (`s` in the paper; default 2, so `κ = √2`).
+    pub levels_per_octave: usize,
+    /// Base smoothing σ of the first level of each octave, in samples of
+    /// that octave's resolution (SIFT's conventional 1.6).
+    pub base_sigma: f64,
+    /// Octaves stop when the downsampled series would fall below this
+    /// length (extrema detection needs room for neighbours).
+    pub min_octave_len: usize,
+}
+
+impl Default for PyramidConfig {
+    fn default() -> Self {
+        Self {
+            octaves: None,
+            levels_per_octave: 2,
+            base_sigma: 1.6,
+            min_octave_len: 8,
+        }
+    }
+}
+
+impl PyramidConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidParameter`] for a zero level count, non-positive
+    /// base sigma, or a `min_octave_len` smaller than 3 (extrema need two
+    /// neighbours).
+    pub fn validate(&self) -> Result<(), TsError> {
+        if self.levels_per_octave == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "levels_per_octave",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if !self.base_sigma.is_finite() || self.base_sigma <= 0.0 {
+            return Err(TsError::InvalidParameter {
+                name: "base_sigma",
+                reason: format!("must be finite and > 0, got {}", self.base_sigma),
+            });
+        }
+        if self.min_octave_len < 3 {
+            return Err(TsError::InvalidParameter {
+                name: "min_octave_len",
+                reason: "must be at least 3".into(),
+            });
+        }
+        if let Some(0) = self.octaves {
+            return Err(TsError::InvalidParameter {
+                name: "octaves",
+                reason: "must be at least 1 when given".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The paper's default octave count for a series of length `n`:
+    /// `⌊log2 n⌋ − 6`, clamped to `[1, ∞)`.
+    pub fn paper_octaves(n: usize) -> usize {
+        if n < 2 {
+            return 1;
+        }
+        let log2 = (usize::BITS - 1 - n.leading_zeros()) as isize; // floor(log2 n)
+        (log2 - 6).max(1) as usize
+    }
+
+    /// Octave count actually used when `octaves` is `None`:
+    /// `max(paper_octaves(n), 4)`. For the paper's series lengths
+    /// (150–275) the literal formula yields 1–2 octaves, whose scale range
+    /// (σ ≲ 4.5 samples) cannot represent the *rough*-scale features the
+    /// paper reports in Table 2 (scopes ≥ 15% of the series). Four octaves
+    /// cover σ up to ≈ 25 samples (scopes up to the full series length for
+    /// these datasets); the cap from `min_octave_len` still applies.
+    /// Recorded as a deliberate deviation in DESIGN.md.
+    pub fn auto_octaves(n: usize) -> usize {
+        Self::paper_octaves(n).max(4)
+    }
+
+    /// The per-level scale multiplier `κ` with `κ^s = 2`.
+    pub fn kappa(&self) -> f64 {
+        2f64.powf(1.0 / self.levels_per_octave as f64)
+    }
+}
+
+/// One smoothed level of an octave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level {
+    /// Smoothing σ in the octave's own resolution.
+    pub sigma_octave: f64,
+    /// Smoothing σ expressed in original-series samples (σ_octave · 2^o).
+    pub sigma_absolute: f64,
+    /// The smoothed samples at this octave's resolution.
+    pub values: Vec<f64>,
+}
+
+/// One octave: its Gaussian levels and DoG stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Octave {
+    /// Octave index (0 = original resolution).
+    pub index: usize,
+    /// Downsampling factor relative to the input (2^index).
+    pub factor: usize,
+    /// `s + 3` Gaussian-smoothed levels (ascending σ).
+    pub gaussians: Vec<Level>,
+    /// `s + 2` DoG levels; `dog[l] = gaussians[l+1] - gaussians[l]`,
+    /// attributed the σ of `gaussians[l]`.
+    pub dog: Vec<Level>,
+}
+
+impl Octave {
+    /// Number of samples at this octave's resolution.
+    pub fn len(&self) -> usize {
+        self.gaussians.first().map_or(0, |l| l.values.len())
+    }
+
+    /// Whether the octave carries no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maps an index at this octave's resolution back to the original
+    /// series resolution.
+    #[inline]
+    pub fn to_original_index(&self, i: usize) -> usize {
+        i * self.factor
+    }
+}
+
+/// A fully built scale-space pyramid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pyramid {
+    octaves: Vec<Octave>,
+    config: PyramidConfig,
+    input_len: usize,
+}
+
+impl Pyramid {
+    /// Builds the pyramid for a series.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn build(ts: &TimeSeries, config: &PyramidConfig) -> Result<Self, TsError> {
+        config.validate()?;
+        let n = ts.len();
+        let requested = config
+            .octaves
+            .unwrap_or_else(|| PyramidConfig::auto_octaves(n));
+        let s = config.levels_per_octave;
+        let kappa = config.kappa();
+
+        let mut octaves = Vec::with_capacity(requested);
+        // base of octave 0: the input smoothed to base_sigma
+        let base_kernel = GaussianKernel::new(config.base_sigma)?;
+        let mut base = convolve_reflect(ts.values(), &base_kernel);
+        let mut factor = 1usize;
+
+        for index in 0..requested {
+            if base.len() < config.min_octave_len {
+                break;
+            }
+            // Gaussian levels: level l has sigma base_sigma * kappa^l in
+            // octave resolution. Level 0 is `base` itself; level l>0 is
+            // obtained by incrementally smoothing level l-1 with the sigma
+            // difference (Gaussian semigroup: σ_inc² = σ_l² − σ_{l-1}²).
+            let mut gaussians: Vec<Level> = Vec::with_capacity(s + 3);
+            gaussians.push(Level {
+                sigma_octave: config.base_sigma,
+                sigma_absolute: config.base_sigma * factor as f64,
+                values: base.clone(),
+            });
+            for l in 1..(s + 3) {
+                let sigma_prev = config.base_sigma * kappa.powi(l as i32 - 1);
+                let sigma_this = config.base_sigma * kappa.powi(l as i32);
+                let sigma_inc = (sigma_this * sigma_this - sigma_prev * sigma_prev).sqrt();
+                let kernel = GaussianKernel::new(sigma_inc)?;
+                let values = convolve_reflect(&gaussians[l - 1].values, &kernel);
+                gaussians.push(Level {
+                    sigma_octave: sigma_this,
+                    sigma_absolute: sigma_this * factor as f64,
+                    values,
+                });
+            }
+            // DoG stack
+            let mut dog = Vec::with_capacity(s + 2);
+            for l in 0..(s + 2) {
+                let values = gaussians[l + 1]
+                    .values
+                    .iter()
+                    .zip(&gaussians[l].values)
+                    .map(|(hi, lo)| hi - lo)
+                    .collect();
+                dog.push(Level {
+                    sigma_octave: gaussians[l].sigma_octave,
+                    sigma_absolute: gaussians[l].sigma_absolute,
+                    values,
+                });
+            }
+            // Next octave: downsample the level with doubled sigma
+            // (gaussians[s] has sigma base*kappa^s = 2*base).
+            let next_base = downsample_half(&gaussians[s].values);
+            octaves.push(Octave {
+                index,
+                factor,
+                gaussians,
+                dog,
+            });
+            base = next_base;
+            factor *= 2;
+        }
+
+        Ok(Self {
+            octaves,
+            config: config.clone(),
+            input_len: n,
+        })
+    }
+
+    /// The octaves, finest first.
+    pub fn octaves(&self) -> &[Octave] {
+        &self.octaves
+    }
+
+    /// The configuration used to build this pyramid.
+    pub fn config(&self) -> &PyramidConfig {
+        &self.config
+    }
+
+    /// Length of the input series.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Total number of DoG sample positions across all octaves and levels —
+    /// the size of the detector's search space (used in work accounting).
+    pub fn dog_cells(&self) -> usize {
+        self.octaves
+            .iter()
+            .map(|o| o.dog.iter().map(|l| l.values.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64) -> TimeSeries {
+        TimeSeries::new(
+            (0..n)
+                .map(|i| (i as f64 * std::f64::consts::TAU / period).sin())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_octave_formula() {
+        assert_eq!(PyramidConfig::paper_octaves(150), 1); // floor(log2 150)=7
+        assert_eq!(PyramidConfig::paper_octaves(275), 2); // floor(log2 275)=8
+        assert_eq!(PyramidConfig::paper_octaves(270), 2);
+        assert_eq!(PyramidConfig::paper_octaves(1 << 10), 4);
+        assert_eq!(PyramidConfig::paper_octaves(1), 1);
+        assert_eq!(PyramidConfig::paper_octaves(0), 1);
+    }
+
+    #[test]
+    fn auto_octaves_guarantees_scale_coverage() {
+        assert_eq!(PyramidConfig::auto_octaves(150), 4);
+        assert_eq!(PyramidConfig::auto_octaves(275), 4);
+        assert_eq!(PyramidConfig::auto_octaves(1 << 10), 4);
+        assert_eq!(PyramidConfig::auto_octaves(1 << 12), 6);
+    }
+
+    #[test]
+    fn kappa_satisfies_doubling() {
+        let cfg = PyramidConfig {
+            levels_per_octave: 2,
+            ..Default::default()
+        };
+        assert!((cfg.kappa().powi(2) - 2.0).abs() < 1e-12);
+        let cfg3 = PyramidConfig {
+            levels_per_octave: 3,
+            ..Default::default()
+        };
+        assert!((cfg3.kappa().powi(3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut cfg = PyramidConfig::default();
+        cfg.levels_per_octave = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = PyramidConfig::default();
+        cfg.base_sigma = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = PyramidConfig::default();
+        cfg.min_octave_len = 2;
+        assert!(cfg.validate().is_err());
+        let mut cfg = PyramidConfig::default();
+        cfg.octaves = Some(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builds_requested_octave_structure() {
+        let ts = sine(256, 40.0);
+        let cfg = PyramidConfig {
+            octaves: Some(3),
+            ..Default::default()
+        };
+        let pyr = Pyramid::build(&ts, &cfg).unwrap();
+        assert_eq!(pyr.octaves().len(), 3);
+        let s = cfg.levels_per_octave;
+        for (i, oct) in pyr.octaves().iter().enumerate() {
+            assert_eq!(oct.index, i);
+            assert_eq!(oct.factor, 1 << i);
+            assert_eq!(oct.gaussians.len(), s + 3);
+            assert_eq!(oct.dog.len(), s + 2);
+            for l in &oct.dog {
+                assert_eq!(l.values.len(), oct.len());
+            }
+        }
+        // resolutions halve
+        assert_eq!(pyr.octaves()[1].len(), 128);
+        assert_eq!(pyr.octaves()[2].len(), 64);
+    }
+
+    #[test]
+    fn octave_count_capped_by_min_len() {
+        let ts = sine(32, 8.0);
+        let cfg = PyramidConfig {
+            octaves: Some(10),
+            min_octave_len: 8,
+            ..Default::default()
+        };
+        let pyr = Pyramid::build(&ts, &cfg).unwrap();
+        // 32 -> 16 -> 8 -> (4 < 8 stops)
+        assert_eq!(pyr.octaves().len(), 3);
+    }
+
+    #[test]
+    fn sigma_increases_within_octave_and_absolute_across_octaves() {
+        let ts = sine(256, 32.0);
+        let pyr = Pyramid::build(
+            &ts,
+            &PyramidConfig {
+                octaves: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for oct in pyr.octaves() {
+            for w in oct.gaussians.windows(2) {
+                assert!(w[1].sigma_octave > w[0].sigma_octave);
+                assert!(w[1].sigma_absolute > w[0].sigma_absolute);
+            }
+        }
+        let o0 = &pyr.octaves()[0];
+        let o1 = &pyr.octaves()[1];
+        // octave 1 level 0 has the absolute sigma of octave 0's doubled base
+        assert!(o1.gaussians[0].sigma_absolute > o0.gaussians[0].sigma_absolute);
+    }
+
+    #[test]
+    fn dog_of_constant_series_is_zero() {
+        let ts = TimeSeries::new(vec![4.2; 64]).unwrap();
+        let pyr = Pyramid::build(&ts, &PyramidConfig::default()).unwrap();
+        for oct in pyr.octaves() {
+            for level in &oct.dog {
+                for &v in &level.values {
+                    assert!(v.abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dog_responds_to_a_bump() {
+        // A Gaussian bump produces non-trivial DoG response near its centre.
+        let n = 128;
+        let ts = TimeSeries::new(
+            (0..n)
+                .map(|i| {
+                    let d = i as f64 - 64.0;
+                    (-d * d / (2.0 * 25.0)).exp()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let pyr = Pyramid::build(&ts, &PyramidConfig::default()).unwrap();
+        let dog = &pyr.octaves()[0].dog[1];
+        let peak_region: f64 = dog.values[56..72].iter().map(|v| v.abs()).sum();
+        let tail_region: f64 = dog.values[0..16].iter().map(|v| v.abs()).sum();
+        assert!(peak_region > tail_region * 5.0);
+    }
+
+    #[test]
+    fn to_original_index_scales_by_factor() {
+        let ts = sine(128, 16.0);
+        let pyr = Pyramid::build(
+            &ts,
+            &PyramidConfig {
+                octaves: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pyr.octaves()[1].to_original_index(5), 10);
+    }
+
+    #[test]
+    fn dog_cells_counts_search_space() {
+        let ts = sine(64, 16.0);
+        let cfg = PyramidConfig {
+            octaves: Some(2),
+            levels_per_octave: 2,
+            ..Default::default()
+        };
+        let pyr = Pyramid::build(&ts, &cfg).unwrap();
+        // octave0: 64 samples * 4 dog levels; octave1: 32 * 4
+        assert_eq!(pyr.dog_cells(), 64 * 4 + 32 * 4);
+    }
+
+    #[test]
+    fn short_series_still_builds_one_octave() {
+        let ts = sine(9, 4.0);
+        let pyr = Pyramid::build(&ts, &PyramidConfig::default()).unwrap();
+        assert_eq!(pyr.octaves().len(), 1);
+    }
+}

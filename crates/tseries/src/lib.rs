@@ -1,0 +1,49 @@
+//! # sdtw-tseries — time-series substrate
+//!
+//! Foundation crate for the sDTW reproduction (Candan, Rossini, Sapino,
+//! Wang; PVLDB 5(11), 2012). Everything above this crate — scale spaces,
+//! salient features, matching, DTW engines — operates on the [`TimeSeries`]
+//! type and the element metrics defined here.
+//!
+//! The crate provides:
+//!
+//! * [`TimeSeries`] — an owned, validated, immutable-by-convention 1D series
+//!   of `f64` samples with an optional label (used by the classification
+//!   experiments) and an optional identifier;
+//! * [`metric`] — pointwise distance functions `Δ(x_i, y_j)` used inside the
+//!   DTW recurrence (squared, absolute, Euclidean on scalars);
+//! * [`transform`] — z-normalisation, min-max scaling, moving-average
+//!   smoothing, linear resampling, differencing;
+//! * [`warp`] — smooth monotone warp maps used by the synthetic dataset
+//!   generators and by tests that need ground-truth alignments;
+//! * [`stats`] — summary statistics used by dataset characterisation
+//!   (Table 2 style reporting) and by amplitude comparisons in matching;
+//! * [`io`] — reader/writer for the UCR text format (one series per line,
+//!   label first) so real archives drop in when available;
+//! * [`error`] — the crate error type.
+//!
+//! # Example
+//!
+//! ```
+//! use sdtw_tseries::{TimeSeries, transform};
+//!
+//! let ts = TimeSeries::new(vec![0.0, 1.0, 4.0, 1.0, 0.0]).unwrap();
+//! let z = transform::z_normalize(&ts);
+//! assert!((z.mean()).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod io;
+pub mod metric;
+pub mod series;
+pub mod stats;
+pub mod transform;
+pub mod warp;
+
+pub use error::TsError;
+pub use metric::ElementMetric;
+pub use series::TimeSeries;
+pub use warp::WarpMap;

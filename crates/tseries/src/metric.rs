@@ -1,0 +1,123 @@
+//! Element-level distance functions `Δ(x_i, y_j)`.
+//!
+//! The DTW recurrence (paper §2.1.3) is parameterised by a distance on the
+//! element domain `D`. For scalar series the common choices are the squared
+//! difference (the default in most DTW literature, including the UCR code
+//! the paper baselines against) and the absolute difference. The enum is
+//! deliberately closed: an open trait would force the DP inner loop through
+//! dynamic dispatch, and the banded kernel is the hottest code in the
+//! repository.
+
+use serde::{Deserialize, Serialize};
+
+/// Pointwise distance used inside the DTW recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ElementMetric {
+    /// `(x - y)^2` — the classic DTW local cost.
+    #[default]
+    Squared,
+    /// `|x - y|` — Manhattan local cost.
+    Absolute,
+}
+
+impl ElementMetric {
+    /// Evaluates the metric on a pair of samples.
+    #[inline(always)]
+    pub fn eval(self, x: f64, y: f64) -> f64 {
+        let d = x - y;
+        match self {
+            ElementMetric::Squared => d * d,
+            ElementMetric::Absolute => d.abs(),
+        }
+    }
+
+    /// Short identifier used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElementMetric::Squared => "sq",
+            ElementMetric::Absolute => "abs",
+        }
+    }
+}
+
+/// Euclidean distance between two equal-length vectors.
+///
+/// Used for descriptor comparison in the matcher (paper §3.2.1: "computing
+/// the distance between the feature vectors of each pair of salient points
+/// using Euclidean distance").
+///
+/// # Panics
+///
+/// Panics in debug builds when the slices differ in length; in release the
+/// shorter length wins (zip semantics) — callers validate lengths upstream.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance (saves the sqrt when only ordering matters).
+#[inline]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "euclidean_sq: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_metric() {
+        assert_eq!(ElementMetric::Squared.eval(3.0, 1.0), 4.0);
+        assert_eq!(ElementMetric::Squared.eval(1.0, 3.0), 4.0);
+        assert_eq!(ElementMetric::Squared.eval(2.5, 2.5), 0.0);
+    }
+
+    #[test]
+    fn absolute_metric() {
+        assert_eq!(ElementMetric::Absolute.eval(3.0, 1.0), 2.0);
+        assert_eq!(ElementMetric::Absolute.eval(1.0, 3.0), 2.0);
+        assert_eq!(ElementMetric::Absolute.eval(-1.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn default_is_squared() {
+        assert_eq!(ElementMetric::default(), ElementMetric::Squared);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ElementMetric::Squared.name(), "sq");
+        assert_eq!(ElementMetric::Absolute.name(), "abs");
+    }
+
+    #[test]
+    fn euclidean_on_vectors() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((euclidean(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((euclidean_sq(&a, &b) - 25.0).abs() < 1e-12);
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_symmetry() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 7.0, 1.5];
+        assert_eq!(euclidean(&a, &b), euclidean(&b, &a));
+    }
+}

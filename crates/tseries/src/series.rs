@@ -1,0 +1,244 @@
+//! The core [`TimeSeries`] type.
+
+use crate::error::TsError;
+use serde::{Deserialize, Serialize};
+
+/// A validated 1D time series of `f64` samples.
+///
+/// Invariants enforced at construction time:
+///
+/// * at least one sample,
+/// * every sample is finite (no NaN / ±∞).
+///
+/// A series may carry an optional class `label` (used by the classification
+/// experiments of the paper) and an optional `id` (used by retrieval
+/// experiments and feature stores to key cached salient features).
+///
+/// The sample buffer is intentionally *not* mutable through the public API:
+/// downstream crates cache derived artefacts (scale spaces, descriptors)
+/// keyed by series identity, and silent mutation would invalidate them.
+/// Transformations produce new series (see [`crate::transform`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+    /// Optional class label (e.g. the UCR class index).
+    label: Option<u32>,
+    /// Optional stable identifier within a corpus.
+    id: Option<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw samples, validating the invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::Empty`] when `values` is empty, [`TsError::NonFinite`] when
+    /// any sample is NaN or infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self, TsError> {
+        if values.is_empty() {
+            return Err(TsError::Empty);
+        }
+        for (index, &value) in values.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(TsError::NonFinite { index, value });
+            }
+        }
+        Ok(Self {
+            values,
+            label: None,
+            id: None,
+        })
+    }
+
+    /// Creates a series and attaches a class label in one step.
+    pub fn with_label(values: Vec<f64>, label: u32) -> Result<Self, TsError> {
+        let mut ts = Self::new(values)?;
+        ts.label = Some(label);
+        Ok(ts)
+    }
+
+    /// Returns a copy of this series with the given label attached.
+    #[must_use]
+    pub fn labeled(mut self, label: u32) -> Self {
+        self.label = Some(label);
+        self
+    }
+
+    /// Returns a copy of this series with the given identifier attached.
+    #[must_use]
+    pub fn identified(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// The samples as a slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // an empty series cannot be constructed
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Class label, if any.
+    #[inline]
+    pub fn label(&self) -> Option<u32> {
+        self.label
+    }
+
+    /// Corpus identifier, if any.
+    #[inline]
+    pub fn id(&self) -> Option<u64> {
+        self.id
+    }
+
+    /// Sample at index `i` (panics if out of range, like slice indexing).
+    #[inline]
+    pub fn at(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation of the samples.
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| {
+                let d = v - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Consumes the series and returns the raw sample buffer.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Mean of the samples inside the half-open window `[start, end)`,
+    /// clamped to the series bounds. Used for feature-scope amplitude
+    /// comparisons (`Δ_amp` in the matcher). Returns the overall mean when
+    /// the clamped window is empty.
+    pub fn window_mean(&self, start: usize, end: usize) -> f64 {
+        let end = end.min(self.values.len());
+        let start = start.min(end);
+        if start == end {
+            return self.mean();
+        }
+        self.values[start..end].iter().sum::<f64>() / (end - start) as f64
+    }
+}
+
+impl AsRef<[f64]> for TimeSeries {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl std::ops::Index<usize> for TimeSeries {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(TimeSeries::new(vec![]), Err(TsError::Empty)));
+    }
+
+    #[test]
+    fn rejects_nan_and_infinite() {
+        let e = TimeSeries::new(vec![1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(e, TsError::NonFinite { index: 1, .. }));
+        let e = TimeSeries::new(vec![f64::INFINITY]).unwrap_err();
+        assert!(matches!(e, TsError::NonFinite { index: 0, .. }));
+        let e = TimeSeries::new(vec![0.0, 1.0, f64::NEG_INFINITY]).unwrap_err();
+        assert!(matches!(e, TsError::NonFinite { index: 2, .. }));
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ts = TimeSeries::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.at(0), 3.0);
+        assert_eq!(ts[2], 2.0);
+        assert_eq!(ts.min(), 1.0);
+        assert_eq!(ts.max(), 3.0);
+        assert!((ts.mean() - 2.0).abs() < 1e-12);
+        assert!(ts.label().is_none());
+        assert!(ts.id().is_none());
+    }
+
+    #[test]
+    fn label_and_id_attachment() {
+        let ts = TimeSeries::with_label(vec![1.0], 7).unwrap().identified(42);
+        assert_eq!(ts.label(), Some(7));
+        assert_eq!(ts.id(), Some(42));
+        let ts2 = TimeSeries::new(vec![1.0]).unwrap().labeled(9);
+        assert_eq!(ts2.label(), Some(9));
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        let ts = TimeSeries::new(vec![5.0; 10]).unwrap();
+        assert_eq!(ts.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computation() {
+        // values 1,2,3,4 -> mean 2.5, population variance 1.25
+        let ts = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((ts.std_dev() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_mean_clamps_and_handles_empty() {
+        let ts = TimeSeries::new(vec![0.0, 10.0, 20.0, 30.0]).unwrap();
+        assert!((ts.window_mean(1, 3) - 15.0).abs() < 1e-12);
+        // end beyond the buffer clamps
+        assert!((ts.window_mean(2, 99) - 25.0).abs() < 1e-12);
+        // fully out-of-range / empty window falls back to the global mean
+        assert!((ts.window_mean(10, 12) - ts.mean()).abs() < 1e-12);
+        assert!((ts.window_mean(2, 2) - ts.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ts = TimeSeries::with_label(vec![1.0, 2.0], 3)
+            .unwrap()
+            .identified(11);
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(ts, back);
+    }
+}

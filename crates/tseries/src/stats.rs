@@ -1,0 +1,207 @@
+//! Summary statistics for series and corpora.
+//!
+//! Used by dataset characterisation (Table 1 / Table 2 style reporting) and
+//! by the experiment binaries when printing averages over runs.
+
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Per-series summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Number of samples.
+    pub len: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Mean absolute first difference (a cheap "busy-ness" indicator —
+    /// feature-rich series like the 50Words family score high).
+    pub roughness: f64,
+}
+
+impl SeriesSummary {
+    /// Computes the summary of a series.
+    pub fn of(ts: &TimeSeries) -> Self {
+        let v = ts.values();
+        let roughness = if v.len() < 2 {
+            0.0
+        } else {
+            v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (v.len() - 1) as f64
+        };
+        Self {
+            len: ts.len(),
+            mean: ts.mean(),
+            std_dev: ts.std_dev(),
+            min: ts.min(),
+            max: ts.max(),
+            roughness,
+        }
+    }
+}
+
+/// Mean of a slice of f64; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice; 0 for fewer than two values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter()
+        .map(|x| {
+            let d = x - m;
+            d * d
+        })
+        .sum::<f64>()
+        / xs.len() as f64)
+        .sqrt()
+}
+
+/// Median of a slice (averaging the middle pair for even lengths); 0 for an
+/// empty slice. Does not mutate the input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Corpus-level summary: label histogram and length range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSummary {
+    /// Number of series.
+    pub count: usize,
+    /// Number of distinct labels present (0 when unlabeled).
+    pub classes: usize,
+    /// Minimum series length.
+    pub min_len: usize,
+    /// Maximum series length.
+    pub max_len: usize,
+    /// Mean series length.
+    pub mean_len: f64,
+    /// Mean roughness across series.
+    pub mean_roughness: f64,
+}
+
+impl CorpusSummary {
+    /// Computes the summary of a corpus (slice of series).
+    pub fn of(corpus: &[TimeSeries]) -> Self {
+        use std::collections::BTreeSet;
+        let mut labels = BTreeSet::new();
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        let mut sum_len = 0usize;
+        let mut sum_rough = 0.0;
+        for ts in corpus {
+            if let Some(l) = ts.label() {
+                labels.insert(l);
+            }
+            min_len = min_len.min(ts.len());
+            max_len = max_len.max(ts.len());
+            sum_len += ts.len();
+            sum_rough += SeriesSummary::of(ts).roughness;
+        }
+        let count = corpus.len();
+        Self {
+            count,
+            classes: labels.len(),
+            min_len: if count == 0 { 0 } else { min_len },
+            max_len,
+            mean_len: if count == 0 {
+                0.0
+            } else {
+                sum_len as f64 / count as f64
+            },
+            mean_roughness: if count == 0 {
+                0.0
+            } else {
+                sum_rough / count as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn series_summary_basics() {
+        let s = SeriesSummary::of(&ts(&[0.0, 2.0, 0.0]));
+        assert_eq!(s.len, 3);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 2.0);
+        assert!((s.roughness - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roughness_of_single_sample_is_zero() {
+        assert_eq!(SeriesSummary::of(&ts(&[5.0])).roughness, 0.0);
+    }
+
+    #[test]
+    fn slice_stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[4.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        // input untouched
+        let xs = [9.0, 1.0];
+        let _ = median(&xs);
+        assert_eq!(xs, [9.0, 1.0]);
+    }
+
+    #[test]
+    fn corpus_summary_counts_classes_and_lengths() {
+        let corpus = vec![
+            ts(&[1.0, 2.0]).labeled(0),
+            ts(&[1.0, 2.0, 3.0]).labeled(1),
+            ts(&[1.0]).labeled(0),
+        ];
+        let s = CorpusSummary::of(&corpus);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.classes, 2);
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 3);
+        assert!((s.mean_len - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_summary_empty() {
+        let s = CorpusSummary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.classes, 0);
+        assert_eq!(s.min_len, 0);
+        assert_eq!(s.max_len, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Smooth monotone warp maps.
+//!
+//! The sDTW transformation model (paper §3.2.2) assumes that the two series
+//! being compared are deformations of a common underlying pattern where
+//! "time is stretched differently, but the order of the temporal features is
+//! not altered". A [`WarpMap`] is exactly such a deformation: a strictly
+//! monotone, continuous map `w : [0, 1] → [0, 1]` with `w(0) = 0` and
+//! `w(1) = 1`, represented as a piecewise-linear function over anchor
+//! points. Dataset generators apply warp maps to prototypes; tests use them
+//! to create pairs whose ground-truth alignments are known.
+
+use crate::error::TsError;
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// A strictly monotone piecewise-linear map of normalised time
+/// `[0,1] → [0,1]` fixing both endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarpMap {
+    /// Anchor abscissae, strictly increasing, first = 0, last = 1.
+    xs: Vec<f64>,
+    /// Anchor ordinates, strictly increasing, first = 0, last = 1.
+    ys: Vec<f64>,
+}
+
+impl WarpMap {
+    /// Identity warp.
+    pub fn identity() -> Self {
+        Self {
+            xs: vec![0.0, 1.0],
+            ys: vec![0.0, 1.0],
+        }
+    }
+
+    /// Builds a warp from interior anchors `(x, y)` (both in `(0,1)`,
+    /// strictly increasing in both coordinates). The endpoints `(0,0)` and
+    /// `(1,1)` are added automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidParameter`] if anchors are out of range or not
+    /// strictly increasing in either coordinate.
+    pub fn from_anchors(anchors: &[(f64, f64)]) -> Result<Self, TsError> {
+        let mut xs = Vec::with_capacity(anchors.len() + 2);
+        let mut ys = Vec::with_capacity(anchors.len() + 2);
+        xs.push(0.0);
+        ys.push(0.0);
+        for &(x, y) in anchors {
+            if !(0.0..1.0).contains(&x) || x <= *xs.last().unwrap() {
+                return Err(TsError::InvalidParameter {
+                    name: "anchors",
+                    reason: format!("abscissa {x} not strictly increasing in (0,1)"),
+                });
+            }
+            if !(0.0..1.0).contains(&y) || y <= *ys.last().unwrap() {
+                return Err(TsError::InvalidParameter {
+                    name: "anchors",
+                    reason: format!("ordinate {y} not strictly increasing in (0,1)"),
+                });
+            }
+            xs.push(x);
+            ys.push(y);
+        }
+        xs.push(1.0);
+        ys.push(1.0);
+        Ok(Self { xs, ys })
+    }
+
+    /// Evaluates the warp at normalised time `t` (clamped to `[0,1]`).
+    pub fn eval(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        // find segment via binary search on the abscissae
+        let seg = match self
+            .xs
+            .binary_search_by(|x| x.partial_cmp(&t).expect("anchors are finite"))
+        {
+            Ok(i) => return self.ys[i],
+            Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
+        };
+        let (x0, x1) = (self.xs[seg], self.xs[seg + 1]);
+        let (y0, y1) = (self.ys[seg], self.ys[seg + 1]);
+        let frac = if x1 > x0 { (t - x0) / (x1 - x0) } else { 0.0 };
+        y0 + frac * (y1 - y0)
+    }
+
+    /// Inverse warp (swap of anchors; valid because the map is strictly
+    /// monotone).
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        Self {
+            xs: self.ys.clone(),
+            ys: self.xs.clone(),
+        }
+    }
+
+    /// Applies the warp to a series, producing `target_len` samples:
+    /// output index `i` reads (linearly interpolated) input position
+    /// `w(i / (target_len-1)) * (n-1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidLength`] when `target_len == 0`.
+    pub fn apply(&self, ts: &TimeSeries, target_len: usize) -> Result<TimeSeries, TsError> {
+        if target_len == 0 {
+            return Err(TsError::InvalidLength {
+                requested: 0,
+                reason: "warp target length must be positive",
+            });
+        }
+        let v = ts.values();
+        let n = v.len();
+        let mut out = Vec::with_capacity(target_len);
+        for i in 0..target_len {
+            let t = if target_len == 1 {
+                0.0
+            } else {
+                i as f64 / (target_len - 1) as f64
+            };
+            let pos = self.eval(t) * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            let frac = pos - lo as f64;
+            out.push(v[lo] * (1.0 - frac) + v[hi] * frac);
+        }
+        let mut res = TimeSeries::new(out).expect("warp produced invalid series");
+        if let Some(l) = ts.label() {
+            res = res.labeled(l);
+        }
+        if let Some(id) = ts.id() {
+            res = res.identified(id);
+        }
+        Ok(res)
+    }
+
+    /// Ground-truth correspondence: for input index `j` of an `n`-sample
+    /// series, the output index (under `apply` with `target_len = m`) whose
+    /// read position is closest to `j`. Used by tests to validate that
+    /// adaptive cores track the true alignment.
+    pub fn correspondence(&self, j: usize, n: usize, m: usize) -> usize {
+        if m <= 1 || n <= 1 {
+            return 0;
+        }
+        let target = j as f64 / (n - 1) as f64;
+        let inv = self.inverse();
+        let t = inv.eval(target);
+        (t * (m - 1) as f64).round() as usize
+    }
+}
+
+impl Default for WarpMap {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_points_to_themselves() {
+        let w = WarpMap::identity();
+        for t in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert!((w.eval(t) - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eval_clamps_out_of_range() {
+        let w = WarpMap::identity();
+        assert_eq!(w.eval(-3.0), 0.0);
+        assert_eq!(w.eval(7.0), 1.0);
+    }
+
+    #[test]
+    fn anchors_must_increase() {
+        assert!(WarpMap::from_anchors(&[(0.5, 0.5), (0.4, 0.6)]).is_err());
+        assert!(WarpMap::from_anchors(&[(0.5, 0.5), (0.6, 0.4)]).is_err());
+        assert!(WarpMap::from_anchors(&[(0.0, 0.5)]).is_err());
+        assert!(WarpMap::from_anchors(&[(0.5, 1.0)]).is_err());
+        assert!(WarpMap::from_anchors(&[(0.3, 0.6), (0.7, 0.8)]).is_ok());
+    }
+
+    #[test]
+    fn piecewise_interpolation() {
+        // single interior anchor (0.5, 0.25): first half compressed
+        let w = WarpMap::from_anchors(&[(0.5, 0.25)]).unwrap();
+        assert!((w.eval(0.25) - 0.125).abs() < 1e-12);
+        assert!((w.eval(0.5) - 0.25).abs() < 1e-12);
+        assert!((w.eval(0.75) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let w = WarpMap::from_anchors(&[(0.3, 0.6), (0.7, 0.8)]).unwrap();
+        let inv = w.inverse();
+        for t in [0.0, 0.1, 0.33, 0.5, 0.77, 1.0] {
+            assert!((inv.eval(w.eval(t)) - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_identity_equals_resample() {
+        let ts = TimeSeries::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let out = WarpMap::identity().apply(&ts, 4).unwrap();
+        for i in 0..4 {
+            assert!((out.at(i) - ts.at(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_preserves_endpoints_and_monotone_order() {
+        let ts = TimeSeries::new((0..50).map(|i| (i as f64 / 7.0).sin()).collect()).unwrap();
+        let w = WarpMap::from_anchors(&[(0.4, 0.2)]).unwrap();
+        let out = w.apply(&ts, 80).unwrap();
+        assert_eq!(out.len(), 80);
+        assert!((out.at(0) - ts.at(0)).abs() < 1e-12);
+        assert!((out.at(79) - ts.at(49)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_rejects_zero_length_and_handles_len_one() {
+        let ts = TimeSeries::new(vec![1.0, 2.0]).unwrap();
+        assert!(WarpMap::identity().apply(&ts, 0).is_err());
+        let one = WarpMap::identity().apply(&ts, 1).unwrap();
+        assert_eq!(one.values(), &[1.0]);
+    }
+
+    #[test]
+    fn correspondence_identity() {
+        let w = WarpMap::identity();
+        assert_eq!(w.correspondence(0, 10, 10), 0);
+        assert_eq!(w.correspondence(9, 10, 10), 9);
+        assert_eq!(w.correspondence(4, 10, 19), 8);
+    }
+}

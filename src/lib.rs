@@ -1,0 +1,47 @@
+//! # sdtw-suite — one-stop facade over the sDTW reproduction workspace
+//!
+//! Re-exports the public APIs of every crate in the workspace so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`tseries`] — time-series substrate (types, metrics, transforms, I/O);
+//! * [`scalespace`] — 1D Gaussian scale space and DoG pyramids;
+//! * [`salient`] — SIFT-like salient feature extraction;
+//! * [`align`] — feature matching and inconsistency pruning;
+//! * [`dtw`] — DTW engine, bands, baselines;
+//! * [`core`] — the sDTW engine itself ([`core::SDtw`]);
+//! * [`datasets`] — synthetic UCR-analogue corpora;
+//! * [`eval`] — evaluation harness and metrics.
+//!
+//! See the repository `README.md` for the quickstart and `DESIGN.md` for
+//! the system inventory and experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sdtw_align as align;
+pub use sdtw_datasets as datasets;
+pub use sdtw_dtw as dtw;
+pub use sdtw_eval as eval;
+pub use sdtw_salient as salient;
+pub use sdtw_scalespace as scalespace;
+pub use sdtw_tseries as tseries;
+
+/// The core sDTW crate (named `core` here to mirror the workspace layout;
+/// the package name is `sdtw`).
+pub use sdtw as core;
+
+/// Most-used types, one import away.
+pub mod prelude {
+    pub use sdtw::{
+        BandSymmetry, ConstraintPolicy, FeatureStore, MatchConfig, SDtw, SDtwConfig, SDtwOutcome,
+        SalientConfig,
+    };
+    pub use sdtw_datasets::{Dataset, UcrAnalog};
+    pub use sdtw_dtw::engine::{
+        dtw_banded, dtw_banded_early_abandon, dtw_full, DtwOptions, Normalization, StepPattern,
+    };
+    pub use sdtw_dtw::search::{NnResult, NnSearch};
+    pub use sdtw_dtw::{Band, WarpPath};
+    pub use sdtw_eval::{evaluate_policies, EvalOptions, PolicyEval};
+    pub use sdtw_tseries::{ElementMetric, TimeSeries, TsError, WarpMap};
+}

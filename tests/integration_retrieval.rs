@@ -1,0 +1,117 @@
+//! Integration tests of the evaluation harness against the synthetic
+//! corpora: the paper's headline qualitative results must hold on small
+//! runs so that CI guards them.
+
+use sdtw_suite::eval::classify::knn_self_accuracy;
+use sdtw_suite::eval::compute_matrix;
+use sdtw_suite::eval::experiment::subsample;
+use sdtw_suite::prelude::*;
+
+fn engine(policy: ConstraintPolicy) -> SDtw {
+    SDtw::new(SDtwConfig {
+        policy,
+        ..SDtwConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn gun_corpus_is_learnable_under_full_dtw() {
+    let ds = UcrAnalog::Gun.generate(99);
+    let corpus = subsample(&ds, 20);
+    let labels: Vec<u32> = corpus.iter().map(|s| s.label().unwrap()).collect();
+    let store = FeatureStore::new(SalientConfig::default()).unwrap();
+    let m = compute_matrix(&corpus, &engine(ConstraintPolicy::FullGrid), &store, true).unwrap();
+    let acc = knn_self_accuracy(&m, &labels, 1);
+    assert!(acc >= 0.9, "Gun 1-NN ground-truth accuracy only {acc}");
+}
+
+#[test]
+fn trace_classes_cluster_under_full_dtw() {
+    let ds = UcrAnalog::Trace.generate(99);
+    let corpus = subsample(&ds, 16);
+    let labels: Vec<u32> = corpus.iter().map(|s| s.label().unwrap()).collect();
+    let store = FeatureStore::new(SalientConfig::default()).unwrap();
+    let m = compute_matrix(&corpus, &engine(ConstraintPolicy::FullGrid), &store, true).unwrap();
+    let acc = knn_self_accuracy(&m, &labels, 1);
+    assert!(acc >= 0.85, "Trace 1-NN ground-truth accuracy only {acc}");
+}
+
+#[test]
+fn evaluation_pipeline_produces_paper_shaped_results() {
+    // The core qualitative claim on a small Trace run: the adaptive-core
+    // policy has (weakly) lower distance error than the thin fixed-core
+    // band, and all banded policies show positive work gain.
+    let ds = UcrAnalog::Trace.generate(42);
+    let opts = EvalOptions {
+        max_series: Some(16),
+        ks: vec![5],
+        parallel: true,
+        base_config: SDtwConfig::default(),
+    };
+    let evals = evaluate_policies(
+        &ds,
+        &[
+            ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 },
+            ConstraintPolicy::adaptive_core_fixed_width(0.06),
+            ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
+        ],
+        &opts,
+    )
+    .unwrap();
+    let by_label = |l: &str| evals.iter().find(|e| e.label == l).unwrap();
+    let fc = by_label("fc,fw 6%");
+    let ac = by_label("ac,fw 6%");
+    assert!(
+        ac.distance_error <= fc.distance_error + 1e-9,
+        "adaptive core error {} should not exceed fixed core {}",
+        ac.distance_error,
+        fc.distance_error
+    );
+    for e in &evals {
+        assert!(e.work_gain > 0.0, "{}: no work gain", e.label);
+        assert!(e.distance_error >= -1e-9);
+        assert!(e.retrieval_accuracy[&5] > 0.0);
+    }
+}
+
+#[test]
+fn intra_class_errors_cover_every_class() {
+    let ds = UcrAnalog::Trace.generate(17);
+    let opts = EvalOptions {
+        max_series: Some(12),
+        ks: vec![3],
+        parallel: false,
+        base_config: SDtwConfig::default(),
+    };
+    let evals = evaluate_policies(
+        &ds,
+        &[ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.10 }],
+        &opts,
+    )
+    .unwrap();
+    let errors = &evals[0].intra_class_errors;
+    assert_eq!(errors.len(), 4, "one entry per Trace class: {errors:?}");
+    for (_, e) in errors {
+        assert!(e.is_finite() && *e >= -1e-9);
+    }
+}
+
+#[test]
+fn econ_retrieval_respects_groups() {
+    // nearest neighbour of each econ series stays within its group under
+    // full DTW (the Figure 1 scenario)
+    let corpus = sdtw_suite::datasets::econ::generate(5, 4, 3).series;
+    let labels: Vec<u32> = corpus.iter().map(|s| s.label().unwrap()).collect();
+    let store = FeatureStore::new(SalientConfig::default()).unwrap();
+    let m = compute_matrix(&corpus, &engine(ConstraintPolicy::FullGrid), &store, true).unwrap();
+    let mut correct = 0;
+    for i in 0..corpus.len() {
+        let nn = m.top_k(i, 1)[0];
+        if labels[nn] == labels[i] {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / corpus.len() as f64;
+    assert!(acc >= 0.8, "group retrieval accuracy only {acc}");
+}

@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+use sdtw_suite::dtw::band::{Band, ColRange};
+use sdtw_suite::dtw::sakoe::sakoe_chiba_band;
+use sdtw_suite::prelude::*;
+
+/// Strategy: a finite series of length 2..=40 with values in [-10, 10].
+fn series_strategy() -> impl Strategy<Value = TimeSeries> {
+    prop::collection::vec(-10.0f64..10.0, 2..40)
+        .prop_map(|v| TimeSeries::new(v).expect("bounded values are finite"))
+}
+
+/// Strategy: raw (possibly infeasible) bands over an n × m grid.
+fn band_strategy() -> impl Strategy<Value = Band> {
+    (2usize..20, 2usize..20).prop_flat_map(|(n, m)| {
+        prop::collection::vec((0usize..m, 0usize..m), n).prop_map(move |pairs| {
+            let ranges = pairs
+                .into_iter()
+                .map(|(a, b)| ColRange::new(a.min(b), a.max(b)))
+                .collect();
+            Band::from_ranges(n, m, ranges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dtw_is_symmetric(x in series_strategy(), y in series_strategy()) {
+        let opts = DtwOptions::default();
+        let xy = dtw_full(&x, &y, &opts).distance;
+        let yx = dtw_full(&y, &x, &opts).distance;
+        prop_assert!((xy - yx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_self_distance_is_zero(x in series_strategy()) {
+        let d = dtw_full(&x, &x, &DtwOptions::default()).distance;
+        prop_assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_is_non_negative(x in series_strategy(), y in series_strategy()) {
+        let d = dtw_full(&x, &y, &DtwOptions::default()).distance;
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn banded_distance_upper_bounds_full(
+        x in series_strategy(),
+        y in series_strategy(),
+        band in band_strategy(),
+    ) {
+        // resize the band to the series dimensions by rebuilding ranges
+        let n = x.len();
+        let m = y.len();
+        let ranges: Vec<ColRange> = (0..n)
+            .map(|i| {
+                let r = band.row(i % band.n());
+                ColRange::new(r.lo.min(m - 1), r.hi.min(m - 1))
+            })
+            .collect();
+        let band = Band::from_ranges(n, m, ranges);
+        let opts = DtwOptions::default();
+        let full = dtw_full(&x, &y, &opts).distance;
+        let banded = dtw_banded(&x, &y, &band, &opts).distance;
+        prop_assert!(banded >= full - 1e-9, "banded {banded} < full {full}");
+    }
+
+    #[test]
+    fn full_width_sakoe_equals_full_dtw(x in series_strategy(), y in series_strategy()) {
+        let opts = DtwOptions::default();
+        let full = dtw_full(&x, &y, &opts).distance;
+        let band = sakoe_chiba_band(x.len(), y.len(), 1.0);
+        let banded = dtw_banded(&x, &y, &band, &opts).distance;
+        prop_assert!((full - banded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warp_path_is_always_valid_and_costs_the_distance(
+        x in series_strategy(),
+        y in series_strategy(),
+    ) {
+        let opts = DtwOptions::with_path();
+        let r = dtw_full(&x, &y, &opts);
+        let p = r.path.expect("path requested");
+        prop_assert!(p.validate(x.len(), y.len()).is_ok());
+        let cost = p.cost(&x, &y, ElementMetric::Squared);
+        prop_assert!((cost - r.distance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sanitize_yields_feasible_superset(band in band_strategy()) {
+        let fixed = band.sanitize();
+        prop_assert!(fixed.is_feasible());
+        prop_assert!(band.is_subset_of(&fixed));
+        // idempotent
+        prop_assert_eq!(fixed.sanitize(), fixed);
+    }
+
+    #[test]
+    fn band_union_contains_both(a in band_strategy()) {
+        // derive a second band of the same dimensions by reflecting ranges
+        let n = a.n();
+        let m = a.m();
+        let b = Band::from_ranges(
+            n,
+            m,
+            (0..n)
+                .map(|i| {
+                    let r = a.row(n - 1 - i);
+                    ColRange::new(m - 1 - r.hi, m - 1 - r.lo)
+                })
+                .collect(),
+        );
+        let u = a.union(&b);
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+        prop_assert!(u.area() >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn warp_maps_are_monotone_and_fix_endpoints(
+        anchor_x in 0.1f64..0.9,
+        anchor_y in 0.1f64..0.9,
+    ) {
+        let w = WarpMap::from_anchors(&[(anchor_x, anchor_y)]).expect("single anchor valid");
+        prop_assert!(w.eval(0.0).abs() < 1e-12);
+        prop_assert!((w.eval(1.0) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for k in 0..=32 {
+            let v = w.eval(k as f64 / 32.0);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn z_normalization_is_idempotent_up_to_eps(x in series_strategy()) {
+        use sdtw_suite::tseries::transform::z_normalize;
+        let z1 = z_normalize(&x);
+        let z2 = z_normalize(&z1);
+        for (a, b) in z1.values().iter().zip(z2.values()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    // matcher consistency is slower: fewer cases
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pruned_matches_are_always_rank_consistent(
+        seed in 0u64..1000,
+        pairs in 1usize..30,
+    ) {
+        use sdtw_suite::align::matcher::MatchedPair;
+        use sdtw_suite::align::prune::{committed_boundaries, prune_inconsistent};
+        // pseudo-random raw pairs
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let raw: Vec<MatchedPair> = (0..pairs)
+            .map(|k| {
+                let a = (next() % 200) as usize;
+                let b = a + 1 + (next() % 50) as usize;
+                let c = (next() % 200) as usize;
+                let d = c + 1 + (next() % 50) as usize;
+                MatchedPair {
+                    idx1: k,
+                    idx2: k,
+                    desc_distance: 0.0,
+                    combined_score: 1.0 / (k + 1) as f64,
+                    scope1: (a, b),
+                    scope2: (c, d),
+                }
+            })
+            .collect();
+        let kept = prune_inconsistent(&raw);
+        let (b1, b2) = committed_boundaries(&kept);
+        prop_assert_eq!(b1.len(), b2.len());
+        // every kept pair occupies compatible rank intervals in both lists
+        for p in &kept {
+            for (v1, v2) in [(p.scope1.0, p.scope2.0), (p.scope1.1, p.scope2.1)] {
+                let lo1 = b1.partition_point(|&x| x < v1);
+                let hi1 = b1.partition_point(|&x| x <= v1);
+                let lo2 = b2.partition_point(|&x| x < v2);
+                let hi2 = b2.partition_point(|&x| x <= v2);
+                prop_assert!(
+                    lo1 <= hi2 && lo2 <= hi1,
+                    "rank intervals diverge: [{},{}] vs [{},{}]",
+                    lo1, hi1, lo2, hi2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_produces_finite_upper_bounds(
+        x in series_strategy(),
+        y in series_strategy(),
+        which in 0usize..6,
+    ) {
+        let policy = match which {
+            0 => ConstraintPolicy::FullGrid,
+            1 => ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 },
+            2 => ConstraintPolicy::Itakura { slope: 2.0 },
+            3 => ConstraintPolicy::fixed_core_adaptive_width(),
+            4 => ConstraintPolicy::adaptive_core_fixed_width(0.2),
+            _ => ConstraintPolicy::adaptive_core_adaptive_width(),
+        };
+        let engine = SDtw::new(SDtwConfig { policy, ..SDtwConfig::default() }).unwrap();
+        let out = engine.distance(&x, &y).unwrap();
+        let full = dtw_full(&x, &y, &DtwOptions::default()).distance;
+        prop_assert!(out.distance.is_finite());
+        prop_assert!(out.distance >= full - 1e-9);
+        prop_assert!(out.cells_filled >= x.len().max(y.len()));
+    }
+}

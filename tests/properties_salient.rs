@@ -1,0 +1,138 @@
+//! Property tests over the scale-space and salient-feature layers.
+
+use proptest::prelude::*;
+use sdtw_suite::prelude::*;
+use sdtw_suite::salient::feature::extract_features;
+use sdtw_suite::scalespace::convolve::gaussian_smooth;
+use sdtw_suite::scalespace::pyramid::{Pyramid, PyramidConfig};
+
+/// Random structured series: a handful of bumps over a base level.
+fn structured_series() -> impl Strategy<Value = TimeSeries> {
+    (
+        48usize..200,
+        prop::collection::vec((0.05f64..0.95, 0.01f64..0.08, -1.0f64..1.0), 1..6),
+    )
+        .prop_map(|(n, bumps)| {
+            let mut v = vec![0.0; n];
+            for (c, w, a) in bumps {
+                let centre = c * (n - 1) as f64;
+                let width = (w * n as f64).max(1.0);
+                for (i, x) in v.iter_mut().enumerate() {
+                    let d = (i as f64 - centre) / width;
+                    *x += a * (-d * d / 2.0).exp();
+                }
+            }
+            TimeSeries::new(v).expect("finite")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pyramid_structure_invariants(ts in structured_series()) {
+        let cfg = PyramidConfig::default();
+        let pyr = Pyramid::build(&ts, &cfg).unwrap();
+        prop_assert!(!pyr.octaves().is_empty());
+        for (k, oct) in pyr.octaves().iter().enumerate() {
+            prop_assert_eq!(oct.index, k);
+            prop_assert_eq!(oct.factor, 1usize << k);
+            // σ strictly increases within an octave
+            for w in oct.gaussians.windows(2) {
+                prop_assert!(w[1].sigma_octave > w[0].sigma_octave);
+            }
+            // every DoG level has the octave's length
+            for level in &oct.dog {
+                prop_assert_eq!(level.values.len(), oct.len());
+            }
+            prop_assert!(oct.len() >= cfg.min_octave_len);
+        }
+        // resolutions halve octave to octave
+        for w in pyr.octaves().windows(2) {
+            let expected = w[0].len().div_ceil(2);
+            prop_assert_eq!(w[1].len(), expected);
+        }
+    }
+
+    #[test]
+    fn gaussian_smoothing_is_contractive(ts in structured_series(), sigma in 0.5f64..6.0) {
+        let sm = gaussian_smooth(&ts, sigma).unwrap();
+        prop_assert_eq!(sm.len(), ts.len());
+        // smoothing cannot escape the input's range
+        prop_assert!(sm.min() >= ts.min() - 1e-9);
+        prop_assert!(sm.max() <= ts.max() + 1e-9);
+        // and reduces total variation
+        let tv = |v: &[f64]| v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
+        prop_assert!(tv(sm.values()) <= tv(ts.values()) + 1e-9);
+    }
+
+    #[test]
+    fn extracted_features_satisfy_structural_invariants(ts in structured_series()) {
+        let cfg = SalientConfig::default();
+        let feats = extract_features(&ts, &cfg).unwrap();
+        let n = ts.len();
+        for f in &feats {
+            prop_assert!(f.keypoint.position < n);
+            prop_assert!(f.scope_start <= f.scope_end);
+            prop_assert!(f.scope_end < n);
+            prop_assert!(f.scope_len >= 1.0);
+            prop_assert!(f.keypoint.sigma > 0.0);
+            prop_assert!(f.amplitude.is_finite());
+            prop_assert_eq!(f.descriptor.len(), cfg.descriptor.bins);
+            prop_assert!(f.descriptor.iter().all(|v| v.is_finite() && *v >= 0.0));
+            // unit norm (or all-zero) when amplitude invariance is on
+            let norm: f64 = f.descriptor.iter().map(|v| v * v).sum::<f64>().sqrt();
+            prop_assert!(norm < 1e-9 || (norm - 1.0).abs() < 1e-6);
+        }
+        // position-sorted
+        for w in feats.windows(2) {
+            prop_assert!(w[0].keypoint.position <= w[1].keypoint.position);
+        }
+    }
+
+    #[test]
+    fn amplitude_scaling_preserves_feature_positions(
+        ts in structured_series(),
+        gain in 0.5f64..4.0,
+    ) {
+        // scale-invariant detection: scaling the series re-finds features
+        // at (almost) the same positions
+        let cfg = SalientConfig::default();
+        let scaled = sdtw_suite::tseries::transform::scale_amplitude(&ts, gain);
+        let a = extract_features(&ts, &cfg).unwrap();
+        let b = extract_features(&scaled, &cfg).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(&b) {
+            prop_assert_eq!(fa.keypoint.position, fb.keypoint.position);
+            prop_assert_eq!(fa.keypoint.octave, fb.keypoint.octave);
+            prop_assert_eq!(fa.keypoint.polarity, fb.keypoint.polarity);
+        }
+    }
+
+    #[test]
+    fn matching_any_feature_sets_is_rank_consistent(
+        ts1 in structured_series(),
+        ts2 in structured_series(),
+    ) {
+        use sdtw_suite::align::{match_features, MatchConfig};
+        let cfg = SalientConfig::default();
+        let f1 = extract_features(&ts1, &cfg).unwrap();
+        let f2 = extract_features(&ts2, &cfg).unwrap();
+        let r = match_features(&f1, &f2, ts1.len(), ts2.len(), &MatchConfig::default());
+        // partition invariants hold for arbitrary (even unrelated) inputs
+        let p = &r.partition;
+        prop_assert_eq!(p.cuts_x().len(), p.cuts_y().len());
+        prop_assert!(p.cuts_x().windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(p.cuts_y().windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(p.cuts_x().iter().all(|&c| c < ts1.len()));
+        prop_assert!(p.cuts_y().iter().all(|&c| c < ts2.len()));
+        // interval lookups are total
+        for i in (0..ts1.len()).step_by(7) {
+            let k = p.interval_of_x(i);
+            let (st, end) = p.bounds_x(k);
+            prop_assert!(st <= i || i <= end); // boundary samples may open the next interval
+            prop_assert!(k < p.interval_count());
+        }
+        prop_assert!(r.consistent_pairs.len() <= r.raw_pairs.len());
+    }
+}
