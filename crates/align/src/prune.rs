@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn drops_crossing_pair() {
         // pair B's scope precedes A's in series 1 but follows it in series 2
-        let pairs = vec![
-            pair((40, 50), (10, 20), 1.0),
-            pair((10, 20), (40, 50), 0.5),
-        ];
+        let pairs = vec![pair((40, 50), (10, 20), 1.0), pair((10, 20), (40, 50), 0.5)];
         let kept = prune_inconsistent(&pairs);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].scope1, (40, 50), "higher score wins");
@@ -139,10 +136,7 @@ mod tests {
 
     #[test]
     fn commitment_order_is_score_descending() {
-        let pairs = vec![
-            pair((10, 20), (10, 20), 0.2),
-            pair((40, 50), (40, 50), 0.9),
-        ];
+        let pairs = vec![pair((10, 20), (10, 20), 0.2), pair((40, 50), (40, 50), 0.9)];
         let kept = prune_inconsistent(&pairs);
         assert_eq!(kept.len(), 2);
         assert_eq!(kept[0].combined_score, 0.9);
@@ -153,10 +147,7 @@ mod tests {
         // A committed: scope1 (10,30), scope2 (10,30).
         // Candidate: starts before A's start in series1 (st=5) but after
         // A's start in series2 (st=15): rank mismatch, dropped.
-        let pairs = vec![
-            pair((10, 30), (10, 30), 1.0),
-            pair((5, 40), (15, 40), 0.5),
-        ];
+        let pairs = vec![pair((10, 30), (10, 30), 1.0), pair((5, 40), (15, 40), 0.5)];
         let kept = prune_inconsistent(&pairs);
         assert_eq!(kept.len(), 1);
     }
@@ -167,10 +158,7 @@ mod tests {
         // series 1 (tie) while sitting strictly between boundaries in
         // series 2 — the rank interval of the tie spans both ranks, so the
         // pair is accepted, as the paper's footnote prescribes.
-        let pairs = vec![
-            pair((10, 30), (10, 30), 1.0),
-            pair((10, 35), (12, 35), 0.5),
-        ];
+        let pairs = vec![pair((10, 30), (10, 30), 1.0), pair((10, 35), (12, 35), 0.5)];
         let kept = prune_inconsistent(&pairs);
         assert_eq!(kept.len(), 2);
     }
@@ -179,17 +167,11 @@ mod tests {
     fn nested_vs_disjoint_ordering() {
         // A committed (10,50)/(10,50); candidate fully nested on one side
         // but disjoint-after on the other must be dropped.
-        let pairs = vec![
-            pair((10, 50), (10, 50), 1.0),
-            pair((20, 30), (60, 70), 0.5),
-        ];
+        let pairs = vec![pair((10, 50), (10, 50), 1.0), pair((20, 30), (60, 70), 0.5)];
         let kept = prune_inconsistent(&pairs);
         assert_eq!(kept.len(), 1);
         // nested on both sides is consistent
-        let pairs = vec![
-            pair((10, 50), (10, 50), 1.0),
-            pair((20, 30), (25, 35), 0.5),
-        ];
+        let pairs = vec![pair((10, 50), (10, 50), 1.0), pair((20, 30), (25, 35), 0.5)];
         let kept = prune_inconsistent(&pairs);
         assert_eq!(kept.len(), 2);
     }
@@ -201,10 +183,7 @@ mod tests {
 
     #[test]
     fn committed_boundaries_are_sorted_and_paired() {
-        let pairs = vec![
-            pair((20, 30), (25, 40), 0.9),
-            pair((0, 10), (5, 15), 1.0),
-        ];
+        let pairs = vec![pair((20, 30), (25, 40), 0.9), pair((0, 10), (5, 15), 1.0)];
         let kept = prune_inconsistent(&pairs);
         let (b1, b2) = committed_boundaries(&kept);
         assert_eq!(b1, vec![0, 10, 20, 30]);
@@ -219,7 +198,9 @@ mod tests {
         let mut pairs = Vec::new();
         let mut s = 42u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as usize
         };
         for k in 0..40 {

@@ -70,7 +70,12 @@ mod tests {
     use super::*;
     use sdtw_salient::{Keypoint, Polarity};
 
-    fn feat(position: usize, scope_len: f64, amplitude: f64, descriptor: Vec<f64>) -> SalientFeature {
+    fn feat(
+        position: usize,
+        scope_len: f64,
+        amplitude: f64,
+        descriptor: Vec<f64>,
+    ) -> SalientFeature {
         SalientFeature {
             keypoint: Keypoint {
                 position,

@@ -15,8 +15,10 @@ fn bench_epsilon(c: &mut Criterion) {
     let ts = ds.series[0].clone();
     let mut group = c.benchmark_group("ablation_epsilon");
     for (label, eps) in [("strict", 0.0), ("paper", 0.0096), ("loose", 0.05)] {
-        let mut cfg = SalientConfig::default();
-        cfg.epsilon = eps;
+        let cfg = SalientConfig {
+            epsilon: eps,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &eps, |b, _| {
             b.iter(|| black_box(extract_features(&ts, &cfg).unwrap().len()))
         });

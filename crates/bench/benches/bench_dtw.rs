@@ -1,10 +1,15 @@
 //! Micro-benchmarks of the DTW kernel: full grid vs Sakoe-Chiba vs
-//! Itakura at several series lengths (the `O(band area)` scaling claim).
+//! Itakura at several series lengths (the `O(band area)` scaling claim),
+//! the scratch-reuse saving on the banded kernel, and the serial vs
+//! parallel batch distance-matrix path on a 200-series corpus (the
+//! 200×200 matrix baseline tracked in `BENCH_baseline.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sdtw_dtw::engine::{dtw_banded, dtw_full, DtwOptions};
+use sdtw::{ConstraintPolicy, FeatureStore, SDtw, SDtwConfig};
+use sdtw_dtw::engine::{dtw_banded, dtw_banded_with_scratch, dtw_full, DtwOptions, DtwScratch};
 use sdtw_dtw::itakura::itakura_band;
 use sdtw_dtw::sakoe::sakoe_chiba_band;
+use sdtw_eval::compute_matrix;
 use sdtw_tseries::TimeSeries;
 use std::hint::black_box;
 
@@ -50,5 +55,81 @@ fn bench_traceback(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kernels, bench_traceback);
+fn bench_scratch_reuse(c: &mut Criterion) {
+    // per-pair allocation vs reused scratch on a batch of banded runs
+    let n = 256;
+    let x = series(n, 0.0);
+    let y = series(n, 1.3);
+    let band = sakoe_chiba_band(n, n, 0.10);
+    let opts = DtwOptions::default();
+    let mut group = c.benchmark_group("dtw_scratch");
+    group.bench_function("alloc_per_call", |b| {
+        b.iter(|| black_box(dtw_banded(&x, &y, &band, &opts).distance))
+    });
+    let mut scratch = DtwScratch::new();
+    group.bench_function("reused_scratch", |b| {
+        b.iter(|| black_box(dtw_banded_with_scratch(&x, &y, &band, &opts, &mut scratch).distance))
+    });
+    group.finish();
+}
+
+/// 200 synthetic series (length 48) — big enough that the 200×200 matrix
+/// dominates over setup, small enough for a tracked baseline.
+fn distmat_corpus() -> Vec<TimeSeries> {
+    (0..200usize)
+        .map(|k| {
+            TimeSeries::new(
+                (0..48)
+                    .map(|i| {
+                        let t = i as f64;
+                        ((t + k as f64) / 7.0).sin()
+                            + 0.4 * ((t * (1.0 + k as f64 * 0.003)) / 17.0).cos()
+                    })
+                    .collect(),
+            )
+            .unwrap()
+            .identified(k as u64)
+        })
+        .collect()
+}
+
+fn bench_distmat(c: &mut Criterion) {
+    let corpus = distmat_corpus();
+    let engine = SDtw::new(SDtwConfig {
+        policy: ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 },
+        ..SDtwConfig::default()
+    })
+    .unwrap();
+    let store = FeatureStore::new(engine.config().salient.clone()).unwrap();
+    let mut group = c.benchmark_group("distmat_200x200");
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(
+                compute_matrix(&corpus, &engine, &store, false)
+                    .unwrap()
+                    .stats
+                    .pairs,
+            )
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(
+                compute_matrix(&corpus, &engine, &store, true)
+                    .unwrap()
+                    .stats
+                    .pairs,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_traceback,
+    bench_scratch_reuse,
+    bench_distmat
+);
 criterion_main!(benches);

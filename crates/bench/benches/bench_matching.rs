@@ -19,19 +19,9 @@ fn bench_matching(c: &mut Criterion) {
         let n = ds.series[0].len();
         let m = ds.series[1].len();
         let mcfg = MatchConfig::default();
-        group.bench_with_input(
-            BenchmarkId::new("match_and_prune", name),
-            &name,
-            |b, _| {
-                b.iter(|| {
-                    black_box(
-                        match_features(&fx, &fy, n, m, &mcfg)
-                            .consistent_pairs
-                            .len(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("match_and_prune", name), &name, |b, _| {
+            b.iter(|| black_box(match_features(&fx, &fy, n, m, &mcfg).consistent_pairs.len()))
+        });
     }
     group.finish();
 }

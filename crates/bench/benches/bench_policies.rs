@@ -26,11 +26,7 @@ fn bench_policies(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.label()),
             &policy,
-            |b, _| {
-                b.iter(|| {
-                    black_box(engine.distance_with_features(&x, &fx, &y, &fy).distance)
-                })
-            },
+            |b, _| b.iter(|| black_box(engine.distance_with_features(&x, &fx, &y, &fy).distance)),
         );
     }
     group.finish();

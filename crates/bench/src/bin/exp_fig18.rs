@@ -41,8 +41,7 @@ fn main() {
                 salient: SalientConfig::default().with_descriptor_bins(bins),
                 ..SDtwConfig::default()
             };
-            let evals =
-                evaluate_policies(&ds, &policies, &opts).expect("evaluation succeeds");
+            let evals = evaluate_policies(&ds, &policies, &opts).expect("evaluation succeeds");
             for e in &evals {
                 rows.push(vec![
                     bins.to_string(),

@@ -58,6 +58,6 @@ fn main() {
     println!("\nPaper shape check: every corpus is fine-scale-dominated (fine >");
     println!("medium > rough), as in the paper; the cross-dataset ordering of");
     println!("absolute rough counts diverges from the paper's — see the Table 2");
-    println!("entry in EXPERIMENTS.md for the honest comparison.");
+    println!("section in DESIGN.md §3 for the honest comparison.");
     write_result("table2", &json);
 }

@@ -26,7 +26,7 @@ fn main() {
         } else {
             // fall back to cargo when running via `cargo run` from source
             Command::new("cargo")
-                .args(["run", "-p", "sdtw-bench", "--release", "--bin", bin])
+                .args(["run", "-p", "sdtw_bench", "--release", "--bin", bin])
                 .status()
         };
         match status {

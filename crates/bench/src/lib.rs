@@ -4,10 +4,10 @@
 //! 13–18) plus Criterion micro-benchmarks of the hot paths. The binaries
 //! print the same rows/series the paper reports and append their output to
 //! `results/` as JSON; `run_all` executes everything and assembles the
-//! data behind `EXPERIMENTS.md`.
+//! data behind the experiment index in `DESIGN.md` §6.
 //!
 //! Run an individual experiment with e.g.
-//! `cargo run -p sdtw-bench --release --bin exp_fig13`.
+//! `cargo run -p sdtw_bench --release --bin exp_fig13`.
 //!
 //! # Example
 //!

@@ -4,6 +4,7 @@
 //! sdtw dist <corpus.txt> <i> <j> [--policy P] [--width W] [--path]
 //! sdtw features <corpus.txt> <i> [--bins B] [--json]
 //! sdtw retrieve <corpus.txt> <query-index> [--k K] [--policy P] [--width W]
+//! sdtw distmat <corpus.txt> [--policy P] [--width W] [--serial] [--queries q.txt] [--out m.json]
 //! sdtw generate <gun|trace|50words> <out.txt> [--seed S]
 //! ```
 //!
@@ -34,6 +35,13 @@ commands:
                                       --json     (machine-readable output)
   retrieve <corpus> <i>      top-k neighbours of series i
                              options: --k <n> (default 5), --policy, --width
+  distmat <corpus>           full pairwise distance matrix of a corpus
+                             (parallel over rows by default)
+                             options: --policy, --width
+                                      --serial          (disable parallelism)
+                                      --queries <file>  (query-vs-corpus matrix
+                                                         instead of pairwise)
+                                      --out <file.json> (write the matrix)
   generate <kind> <out>      write a synthetic corpus (gun|trace|50words)
                              options: --seed <n> (default 20120827)
 ";
@@ -119,7 +127,10 @@ fn cmd_features(a: &Args) -> Result<(), String> {
         for f in &set.features {
             println!(
                 "  pos {:>4}  sigma {:>6.2}  scope [{:>4},{:>4}]  {:?}",
-                f.keypoint.position, f.keypoint.sigma, f.scope_start, f.scope_end,
+                f.keypoint.position,
+                f.keypoint.sigma,
+                f.scope_start,
+                f.scope_end,
                 f.keypoint.polarity
             );
         }
@@ -157,12 +168,115 @@ fn cmd_retrieve(a: &Args) -> Result<(), String> {
         scored.push((j, out.distance));
     }
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
-    println!("top-{k} neighbours of series {i} (policy {}):", policy.label());
+    println!(
+        "top-{k} neighbours of series {i} (policy {}):",
+        policy.label()
+    );
     for (rank, (j, d)) in scored.iter().take(k).enumerate() {
         let label = corpus[*j]
             .label()
             .map_or("-".to_string(), |l| l.to_string());
-        println!("  #{:<2} series {:>4}  label {:>3}  distance {:.6}", rank + 1, j, label, d);
+        println!(
+            "  #{:<2} series {:>4}  label {:>3}  distance {:.6}",
+            rank + 1,
+            j,
+            label,
+            d
+        );
+    }
+    Ok(())
+}
+
+fn cmd_distmat(a: &Args) -> Result<(), String> {
+    let [path] = a.positional.as_slice() else {
+        return Err("distmat needs <corpus>".into());
+    };
+    let corpus = read_ucr_file(path).map_err(|e| e.to_string())?;
+    if corpus.is_empty() {
+        return Err("corpus is empty".into());
+    }
+    let width = a.opt_parse("width", 0.1)?;
+    let policy = policy_from(
+        a.options.get("policy").map_or("ac2aw", String::as_str),
+        width,
+    )?;
+    let parallel = !a.flag("serial");
+    // validate value-carrying options up front (a bare flag parses as "")
+    let queries = match a.options.get("queries") {
+        Some(q) if q.is_empty() => return Err("option --queries requires a file path".into()),
+        Some(q) => {
+            let queries = read_ucr_file(q).map_err(|e| e.to_string())?;
+            if queries.is_empty() {
+                return Err("query file is empty".into());
+            }
+            Some(queries)
+        }
+        None => None,
+    };
+    let out_path = match a.options.get("out") {
+        Some(o) if o.is_empty() => return Err("option --out requires a file path".into()),
+        other => other,
+    };
+    let engine = SDtw::new(SDtwConfig {
+        policy,
+        ..SDtwConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let store = FeatureStore::new(engine.config().salient.clone()).map_err(|e| e.to_string())?;
+
+    // one-time feature indexing (corpus + queries), so the wall time below
+    // is pure matching + DP — the paper's cost split. Non-adaptive
+    // policies never read features; skip extraction entirely for them.
+    let t0 = std::time::Instant::now();
+    if policy.needs_alignment() {
+        store.warm(&corpus).map_err(|e| e.to_string())?;
+        if let Some(q) = &queries {
+            store.warm(q).map_err(|e| e.to_string())?;
+        }
+    }
+    let extraction = t0.elapsed();
+
+    let rows = queries.as_ref().map_or(corpus.len(), Vec::len);
+    let t1 = std::time::Instant::now();
+    let (stats, summary, json) = match &queries {
+        Some(queries) => {
+            let m = sdtw_eval::compute_query_matrix(queries, &corpus, &engine, &store, parallel)
+                .map_err(|e| e.to_string())?;
+            let summary = format!("matrix {} queries x {} corpus", m.queries(), m.corpus());
+            let json = serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?;
+            (m.stats, summary, json)
+        }
+        None => {
+            let m = sdtw_eval::compute_matrix(&corpus, &engine, &store, parallel)
+                .map_err(|e| e.to_string())?;
+            let summary = format!("matrix {} x {} (pairwise)", m.n(), m.n());
+            let json = serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?;
+            (m.stats, summary, json)
+        }
+    };
+    let wall = t1.elapsed();
+
+    println!("{summary}  policy {}", policy.label());
+    println!(
+        "mode {}  workers {}",
+        if parallel { "parallel" } else { "serial" },
+        if parallel {
+            rayon::current_num_threads().min(rows)
+        } else {
+            1
+        }
+    );
+    println!(
+        "pairs {}  cells {}  descriptor comparisons {}",
+        stats.pairs, stats.cells_filled, stats.descriptor_comparisons
+    );
+    println!(
+        "extraction {extraction:?}  wall {wall:?}  cpu(match+dp) {:?}",
+        stats.total_time()
+    );
+    if let Some(out) = out_path {
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
     }
     Ok(())
 }
@@ -194,6 +308,7 @@ fn run() -> Result<(), String> {
         "dist" => cmd_dist(&args),
         "features" => cmd_features(&args),
         "retrieve" => cmd_retrieve(&args),
+        "distmat" => cmd_distmat(&args),
         "generate" => cmd_generate(&args),
         "help" | "-h" => {
             print!("{USAGE}");
@@ -225,17 +340,58 @@ mod tests {
         assert_eq!(policy_from("acfw", 0.06).unwrap().label(), "ac,fw 6%");
         assert_eq!(policy_from("acaw", 0.1).unwrap().label(), "ac,aw");
         assert_eq!(policy_from("ac2aw", 0.1).unwrap().label(), "ac2,aw");
-        assert!(policy_from("itakura", 0.1).unwrap().label().contains("itakura"));
+        assert!(policy_from("itakura", 0.1)
+            .unwrap()
+            .label()
+            .contains("itakura"));
         assert!(policy_from("bogus", 0.1).is_err());
     }
 
     #[test]
     fn load_series_reports_range_errors() {
-        let corpus =
-            vec![TimeSeries::new(vec![1.0, 2.0]).unwrap()];
+        let corpus = vec![TimeSeries::new(vec![1.0, 2.0]).unwrap()];
         assert!(load_series(&corpus, 0).is_ok());
         let err = load_series(&corpus, 5).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn distmat_subcommand_runs_serial_and_parallel() {
+        let dir = std::env::temp_dir().join("sdtw_cli_distmat_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("corpus.txt");
+        let out_path = dir.join("matrix.json");
+        // tiny corpus: first six gun series
+        let ds = UcrAnalog::Gun.generate(5);
+        write_ucr_file(&corpus_path, &ds.series[..6]).unwrap();
+
+        let base = [
+            "distmat",
+            corpus_path.to_str().unwrap(),
+            "--policy",
+            "sakoe",
+            "--width",
+            "0.2",
+        ];
+        let mut serial: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        serial.push("--serial".into());
+        serial.push("--out".into());
+        serial.push(out_path.to_str().unwrap().into());
+        cmd_distmat(&Args::parse(serial).unwrap()).unwrap();
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        assert!(written.contains("\"data\""), "matrix JSON written");
+
+        let parallel: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        cmd_distmat(&Args::parse(parallel).unwrap()).unwrap();
+
+        // query-vs-corpus mode with the corpus file reused as queries
+        let mut with_queries: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        with_queries.push("--queries".into());
+        with_queries.push(corpus_path.to_str().unwrap().into());
+        cmd_distmat(&Args::parse(with_queries).unwrap()).unwrap();
+
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_file(&out_path).ok();
     }
 
     #[test]
@@ -251,9 +407,18 @@ mod tests {
         .unwrap();
         cmd_generate(&gen).unwrap();
         let dist = Args::parse(
-            ["dist", path.to_str().unwrap(), "0", "1", "--policy", "sakoe", "--width", "0.2"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "dist",
+                path.to_str().unwrap(),
+                "0",
+                "1",
+                "--policy",
+                "sakoe",
+                "--width",
+                "0.2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .unwrap();
         cmd_dist(&dist).unwrap();

@@ -74,9 +74,7 @@ pub fn build_band(
     }
     match *policy {
         ConstraintPolicy::FullGrid => Band::full(n, m),
-        ConstraintPolicy::FixedCoreFixedWidth { width_frac } => {
-            sakoe_chiba_band(n, m, width_frac)
-        }
+        ConstraintPolicy::FixedCoreFixedWidth { width_frac } => sakoe_chiba_band(n, m, width_frac),
         ConstraintPolicy::Itakura { slope } => itakura_band(n, m, slope),
         ConstraintPolicy::FixedCoreAdaptiveWidth {
             min_width_frac,
@@ -133,12 +131,7 @@ mod tests {
     /// A partition with one matched pair of intervals at 40%..60% of each
     /// series, the Y side shifted right.
     fn shifted_partition(n: usize, m: usize) -> IntervalPartition {
-        IntervalPartition::from_cuts(
-            vec![n * 2 / 5, n * 3 / 5],
-            vec![m * 3 / 5, m * 4 / 5],
-            n,
-            m,
-        )
+        IntervalPartition::from_cuts(vec![n * 2 / 5, n * 3 / 5], vec![m * 3 / 5, m * 4 / 5], n, m)
     }
 
     #[test]
@@ -197,12 +190,7 @@ mod tests {
         let n = 100;
         let m = 100;
         let p = shifted_partition(n, m);
-        let b = build_band(
-            &ConstraintPolicy::adaptive_core_fixed_width(0.06),
-            &p,
-            n,
-            m,
-        );
+        let b = build_band(&ConstraintPolicy::adaptive_core_fixed_width(0.06), &p, n, m);
         assert!(b.is_feasible());
         // In the middle of X's matched interval (i = 50), the adaptive core
         // sits inside Y's matched interval (60..80), well right of the
@@ -274,12 +262,7 @@ mod tests {
         let n = 80;
         let m = 80;
         let p = IntervalPartition::from_cuts(vec![], vec![], n, m);
-        let b = build_band(
-            &ConstraintPolicy::adaptive_core_fixed_width(0.1),
-            &p,
-            n,
-            m,
-        );
+        let b = build_band(&ConstraintPolicy::adaptive_core_fixed_width(0.1), &p, n, m);
         for i in (0..n).step_by(7) {
             assert!(
                 b.contains(i, i),
@@ -326,6 +309,11 @@ mod tests {
     #[should_panic(expected = "partition built for a different")]
     fn dimension_mismatch_panics_for_adaptive() {
         let p = shifted_partition(50, 50);
-        let _ = build_band(&ConstraintPolicy::adaptive_core_adaptive_width(), &p, 60, 50);
+        let _ = build_band(
+            &ConstraintPolicy::adaptive_core_adaptive_width(),
+            &p,
+            60,
+            50,
+        );
     }
 }

@@ -4,7 +4,7 @@
 use crate::constraint::build_band;
 use crate::policy::{BandSymmetry, ConstraintPolicy};
 use sdtw_align::{match_features, IntervalPartition, MatchConfig, MatchResult};
-use sdtw_dtw::engine::{dtw_banded, DtwOptions};
+use sdtw_dtw::engine::{dtw_banded_with_scratch, DtwOptions, DtwScratch};
 use sdtw_dtw::{Band, WarpPath};
 use sdtw_salient::{extract_features, SalientConfig, SalientFeature};
 use sdtw_tseries::{TimeSeries, TsError};
@@ -153,6 +153,22 @@ impl SDtw {
         y: &TimeSeries,
         fy: &[SalientFeature],
     ) -> SDtwOutcome {
+        let mut scratch = DtwScratch::new();
+        self.distance_with_features_scratch(x, fx, y, fy, &mut scratch)
+    }
+
+    /// [`SDtw::distance_with_features`] with caller-provided DP scratch
+    /// buffers — the batch hot path. Results are bit-identical to the
+    /// allocating variant; batch drivers keep one [`DtwScratch`] per
+    /// worker thread (see `sdtw_eval::distmat`).
+    pub fn distance_with_features_scratch(
+        &self,
+        x: &TimeSeries,
+        fx: &[SalientFeature],
+        y: &TimeSeries,
+        fy: &[SalientFeature],
+        scratch: &mut DtwScratch,
+    ) -> SDtwOutcome {
         let n = x.len();
         let m = y.len();
 
@@ -161,7 +177,7 @@ impl SDtw {
         let matching = t_match.elapsed();
 
         let t_dp = Instant::now();
-        let result = dtw_banded(x, y, &band, &self.config.dtw);
+        let result = dtw_banded_with_scratch(x, y, &band, &self.config.dtw, scratch);
         let dynamic_programming = t_dp.elapsed();
 
         let (raw_pairs, consistent_pairs, descriptor_comparisons) = match &match_stats {
@@ -411,6 +427,24 @@ mod tests {
         let out2 = eng.distance(&x, &y).unwrap();
         assert_eq!(out.distance, out2.distance);
         assert_eq!(out.cells_filled, out2.cells_filled);
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_allocating_path() {
+        let (x, y) = warped_pair(150, 170);
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let fx = extract_features(&x, &eng.config().salient).unwrap();
+        let fy = extract_features(&y, &eng.config().salient).unwrap();
+        let mut scratch = sdtw_dtw::DtwScratch::new();
+        // reuse the same scratch across both directions and repeats
+        for _ in 0..2 {
+            let plain = eng.distance_with_features(&x, &fx, &y, &fy);
+            let reused = eng.distance_with_features_scratch(&x, &fx, &y, &fy, &mut scratch);
+            assert_eq!(plain.distance.to_bits(), reused.distance.to_bits());
+            assert_eq!(plain.cells_filled, reused.cells_filled);
+            let back = eng.distance_with_features_scratch(&y, &fy, &x, &fx, &mut scratch);
+            assert!(back.distance.is_finite());
+        }
     }
 
     #[test]

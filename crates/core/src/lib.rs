@@ -58,11 +58,11 @@ pub mod engine;
 pub mod policy;
 pub mod store;
 
-pub use engine::{SDtw, SDtwConfig, SDtwOutcome, PhaseTiming};
+pub use engine::{PhaseTiming, SDtw, SDtwConfig, SDtwOutcome};
 pub use policy::{BandSymmetry, ConstraintPolicy};
 pub use store::FeatureStore;
 
 // Re-export the commonly needed config types so `sdtw` is usable alone.
 pub use sdtw_align::MatchConfig;
-pub use sdtw_dtw::{Band, DtwOptions, WarpPath};
+pub use sdtw_dtw::{Band, DtwOptions, DtwScratch, WarpPath};
 pub use sdtw_salient::SalientConfig;

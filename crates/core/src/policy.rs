@@ -191,12 +191,18 @@ mod tests {
             ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 }.label(),
             "fc,fw 6%"
         );
-        assert_eq!(ConstraintPolicy::fixed_core_adaptive_width().label(), "fc,aw");
+        assert_eq!(
+            ConstraintPolicy::fixed_core_adaptive_width().label(),
+            "fc,aw"
+        );
         assert_eq!(
             ConstraintPolicy::adaptive_core_fixed_width(0.10).label(),
             "ac,fw 10%"
         );
-        assert_eq!(ConstraintPolicy::adaptive_core_adaptive_width().label(), "ac,aw");
+        assert_eq!(
+            ConstraintPolicy::adaptive_core_adaptive_width().label(),
+            "ac,aw"
+        );
         assert_eq!(
             ConstraintPolicy::adaptive_core_adaptive_width_averaged().label(),
             "ac2,aw"
@@ -222,9 +228,11 @@ mod tests {
             .validate()
             .is_err());
         assert!(ConstraintPolicy::Itakura { slope: 1.0 }.validate().is_err());
-        assert!(ConstraintPolicy::AdaptiveCoreFixedWidth { width_frac: f64::NAN }
-            .validate()
-            .is_err());
+        assert!(ConstraintPolicy::AdaptiveCoreFixedWidth {
+            width_frac: f64::NAN
+        }
+        .validate()
+        .is_err());
         // zero lower bound is legal for adaptive widths
         ConstraintPolicy::AdaptiveCoreAdaptiveWidth {
             min_width_frac: 0.0,

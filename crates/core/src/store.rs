@@ -138,8 +138,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_config() {
-        let mut cfg = SalientConfig::default();
-        cfg.epsilon = 7.0;
+        let cfg = SalientConfig {
+            epsilon: 7.0,
+            ..Default::default()
+        };
         assert!(FeatureStore::new(cfg).is_err());
     }
 

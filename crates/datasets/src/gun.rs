@@ -133,10 +133,10 @@ mod tests {
         let groups = ds.by_class();
         let (_, c0) = &groups[0];
         let (_, c1) = &groups[1];
-        let intra = d(&ds.series[c0[0]], &ds.series[c0[1]])
-            + d(&ds.series[c1[0]], &ds.series[c1[1]]);
-        let inter = d(&ds.series[c0[0]], &ds.series[c1[0]])
-            + d(&ds.series[c0[1]], &ds.series[c1[1]]);
+        let intra =
+            d(&ds.series[c0[0]], &ds.series[c0[1]]) + d(&ds.series[c1[0]], &ds.series[c1[1]]);
+        let inter =
+            d(&ds.series[c0[0]], &ds.series[c1[0]]) + d(&ds.series[c0[1]], &ds.series[c1[1]]);
         assert!(
             inter > intra * 0.8,
             "inter {inter} should not be far below intra {intra}"

@@ -8,7 +8,7 @@
 //! shows for Trace, and four tight clusters for the intra-class error
 //! experiment (Figure 15).
 
-use crate::gen::{add_burst, add_bump, add_step, deform, rng_for, Deformation};
+use crate::gen::{add_bump, add_burst, add_step, deform, rng_for, Deformation};
 use crate::Dataset;
 use sdtw_tseries::TimeSeries;
 

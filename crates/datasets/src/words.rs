@@ -113,8 +113,7 @@ mod tests {
         let words = generate(2);
         let gun = crate::gun::generate(2);
         let rough = |s: &TimeSeries| SeriesSummary::of(s).roughness;
-        let w_mean: f64 =
-            words.series.iter().take(30).map(rough).sum::<f64>() / 30.0;
+        let w_mean: f64 = words.series.iter().take(30).map(rough).sum::<f64>() / 30.0;
         let g_mean: f64 = gun.series.iter().take(30).map(rough).sum::<f64>() / 30.0;
         assert!(
             w_mean > g_mean,

@@ -349,7 +349,10 @@ mod tests {
         Band::from_ranges(
             n,
             m,
-            ranges.iter().map(|&(lo, hi)| ColRange::new(lo, hi)).collect(),
+            ranges
+                .iter()
+                .map(|&(lo, hi)| ColRange::new(lo, hi))
+                .collect(),
         )
     }
 

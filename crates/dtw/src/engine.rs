@@ -95,35 +95,62 @@ pub struct DtwResult {
     pub cells_filled: usize,
 }
 
-/// Band-sparse accumulation matrix.
-struct BandMatrix<'a> {
-    band: &'a Band,
-    /// Row offsets into `data`; `data[off[i] + (j - lo_i)]` is cell `(i,j)`.
+/// Reusable DP buffers: the band-sparse accumulation matrix's row offsets
+/// and cell storage.
+///
+/// A `dtw_banded` call allocates one of these internally; batch workloads
+/// (distance matrices, nearest-neighbour loops) instead keep one
+/// `DtwScratch` per worker thread and call
+/// [`dtw_banded_with_scratch`], turning the per-pair allocation into a
+/// cheap `resize` of already-hot buffers. Reuse never changes results:
+/// the buffers are re-initialised per call, so scratch and non-scratch
+/// paths are bit-identical.
+#[derive(Debug, Default, Clone)]
+pub struct DtwScratch {
     offsets: Vec<usize>,
     data: Vec<f64>,
 }
 
+impl DtwScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity currently held by the cell buffer (diagnostics/tests).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+}
+
+/// Band-sparse accumulation matrix over borrowed scratch buffers.
+struct BandMatrix<'a> {
+    band: &'a Band,
+    /// Holds the row offsets (`data[offsets[i] + (j - lo_i)]` is cell
+    /// `(i,j)`) and the cell buffer.
+    scratch: &'a mut DtwScratch,
+}
+
 impl<'a> BandMatrix<'a> {
-    fn new(band: &'a Band) -> Self {
-        let mut offsets = Vec::with_capacity(band.n() + 1);
+    fn new(band: &'a Band, scratch: &'a mut DtwScratch) -> Self {
+        scratch.offsets.clear();
+        scratch.offsets.reserve(band.n() + 1);
         let mut acc = 0usize;
-        offsets.push(0);
+        scratch.offsets.push(0);
         for i in 0..band.n() {
             acc += band.row(i).width();
-            offsets.push(acc);
+            scratch.offsets.push(acc);
         }
-        Self {
-            band,
-            offsets,
-            data: vec![f64::INFINITY; acc],
-        }
+        scratch.data.clear();
+        scratch.data.resize(acc, f64::INFINITY);
+        Self { band, scratch }
     }
 
     #[inline]
     fn get(&self, i: usize, j: usize) -> f64 {
         let r = self.band.row(i);
         if r.contains(j) {
-            self.data[self.offsets[i] + (j - r.lo)]
+            self.scratch.data[self.scratch.offsets[i] + (j - r.lo)]
         } else {
             f64::INFINITY
         }
@@ -133,7 +160,7 @@ impl<'a> BandMatrix<'a> {
     fn set(&mut self, i: usize, j: usize, v: f64) {
         let r = self.band.row(i);
         debug_assert!(r.contains(j));
-        self.data[self.offsets[i] + (j - r.lo)] = v;
+        self.scratch.data[self.scratch.offsets[i] + (j - r.lo)] = v;
     }
 }
 
@@ -147,10 +174,31 @@ impl<'a> BandMatrix<'a> {
 /// # Panics
 ///
 /// Panics on dimension mismatch (programmer error).
+pub fn dtw_banded(x: &TimeSeries, y: &TimeSeries, band: &Band, opts: &DtwOptions) -> DtwResult {
+    let mut scratch = DtwScratch::new();
+    dtw_banded_with_scratch(x, y, band, opts, &mut scratch)
+}
+
+/// [`dtw_banded`] with caller-provided scratch buffers.
+///
+/// Identical results to [`dtw_banded`] (bit-for-bit); the only difference
+/// is that the accumulation matrix lives in `scratch`, so tight batch
+/// loops amortise the allocation across calls. Keep one scratch per
+/// thread — see `sdtw_eval::distmat` for the rayon `map_init` pattern.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (programmer error).
 // Index loops are deliberate here: (i, j) are band coordinates addressing
 // the matrix, the band rows and both sample buffers simultaneously.
 #[allow(clippy::needless_range_loop)]
-pub fn dtw_banded(x: &TimeSeries, y: &TimeSeries, band: &Band, opts: &DtwOptions) -> DtwResult {
+pub fn dtw_banded_with_scratch(
+    x: &TimeSeries,
+    y: &TimeSeries,
+    band: &Band,
+    opts: &DtwOptions,
+    scratch: &mut DtwScratch,
+) -> DtwResult {
     assert_eq!(band.n(), x.len(), "band rows must match |X|");
     assert_eq!(band.m(), y.len(), "band cols must match |Y|");
     let sanitized;
@@ -166,7 +214,7 @@ pub fn dtw_banded(x: &TimeSeries, y: &TimeSeries, band: &Band, opts: &DtwOptions
     let metric = opts.metric;
     let dw = opts.step_pattern.diagonal_weight();
     let n = band.n();
-    let mut d = BandMatrix::new(band);
+    let mut d = BandMatrix::new(band, scratch);
 
     // Row 0: cumulative along the allowed prefix (row 0 always starts at
     // column 0 after sanitisation).
@@ -264,7 +312,8 @@ pub fn dtw_banded_early_abandon(
     let metric = opts.metric;
     let dw = opts.step_pattern.diagonal_weight();
     let n = band.n();
-    let mut d = BandMatrix::new(band);
+    let mut scratch = DtwScratch::new();
+    let mut d = BandMatrix::new(band, &mut scratch);
 
     {
         let r = band.row(0);
@@ -641,5 +690,47 @@ mod tests {
         for &(i, j) in p.steps() {
             assert!(band.contains(i, j));
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_mixed_shapes() {
+        // one scratch reused across pairs of different sizes and bands
+        // must reproduce the allocating path exactly
+        let mut scratch = DtwScratch::new();
+        let series: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                ts(&(0..(20 + 7 * k))
+                    .map(|i| ((i + 3 * k) as f64 / (4 + k) as f64).sin())
+                    .collect::<Vec<_>>())
+            })
+            .collect();
+        for a in &series {
+            for b in &series {
+                for band in [
+                    Band::full(a.len(), b.len()),
+                    crate::sakoe::sakoe_chiba_band(a.len(), b.len(), 0.3),
+                ] {
+                    for opts in [DtwOptions::default(), DtwOptions::normalized_symmetric2()] {
+                        let fresh = dtw_banded(a, b, &band, &opts);
+                        let reused = dtw_banded_with_scratch(a, b, &band, &opts, &mut scratch);
+                        assert_eq!(fresh.distance.to_bits(), reused.distance.to_bits());
+                        assert_eq!(fresh.cells_filled, reused.cells_filled);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_produces_valid_paths_too() {
+        let mut scratch = DtwScratch::new();
+        let x = ts(&[0.1, 0.9, 0.4, 1.7, 1.1, 0.2]);
+        let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
+        let band = Band::full(6, 5);
+        let r = dtw_banded_with_scratch(&x, &y, &band, &DtwOptions::with_path(), &mut scratch);
+        let p = r.path.unwrap();
+        p.validate(6, 5).unwrap();
+        // buffers were retained for reuse
+        assert!(scratch.capacity() >= 30);
     }
 }

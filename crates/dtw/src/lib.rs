@@ -56,5 +56,7 @@ pub mod sakoe;
 pub mod search;
 
 pub use band::Band;
-pub use engine::{dtw_banded, dtw_full, DtwOptions, DtwResult};
+pub use engine::{
+    dtw_banded, dtw_banded_with_scratch, dtw_full, DtwOptions, DtwResult, DtwScratch,
+};
 pub use path::WarpPath;

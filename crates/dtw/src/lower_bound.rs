@@ -168,7 +168,9 @@ mod tests {
         // Property over a handful of pseudo-random pairs: LB ≤ SC-DTW.
         let mut seed = 0x12345u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for _ in 0..10 {
@@ -182,10 +184,7 @@ mod tests {
             // window, so its DTW distance is lower-bounded by LB_Keogh.
             let band = sakoe_chiba_band(n, n, 2.0 * radius as f64 / n as f64);
             let d = dtw_banded(&x, &y, &band, &DtwOptions::default()).distance;
-            assert!(
-                lb <= d + 1e-9,
-                "LB_Keogh {lb} exceeded banded DTW {d}"
-            );
+            assert!(lb <= d + 1e-9, "LB_Keogh {lb} exceeded banded DTW {d}");
         }
     }
 

@@ -27,12 +27,7 @@ const BASE_SIZE: usize = 16;
 ///
 /// Always returns a warp path when `opts.compute_path` is set; the path is
 /// optimal *within the corridor*.
-pub fn dtw_multires(
-    x: &TimeSeries,
-    y: &TimeSeries,
-    radius: usize,
-    opts: &DtwOptions,
-) -> DtwResult {
+pub fn dtw_multires(x: &TimeSeries, y: &TimeSeries, radius: usize, opts: &DtwOptions) -> DtwResult {
     let band = multires_band(x, y, radius, opts);
     dtw_banded(x, y, &band, opts)
 }

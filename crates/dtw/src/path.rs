@@ -43,11 +43,7 @@ impl WarpPath {
         }
         let last = *self.steps.last().expect("non-empty");
         if last != (n - 1, m - 1) {
-            return Err(format!(
-                "path ends at {last:?}, not ({},{})",
-                n - 1,
-                m - 1
-            ));
+            return Err(format!("path ends at {last:?}, not ({},{})", n - 1, m - 1));
         }
         for (k, w) in self.steps.windows(2).enumerate() {
             let (i0, j0) = w[0];
@@ -55,10 +51,7 @@ impl WarpPath {
             let di = i1 as isize - i0 as isize;
             let dj = j1 as isize - j0 as isize;
             if !matches!((di, dj), (1, 0) | (0, 1) | (1, 1)) {
-                return Err(format!(
-                    "illegal step {k}: {:?} -> {:?}",
-                    w[0], w[1]
-                ));
+                return Err(format!("illegal step {k}: {:?} -> {:?}", w[0], w[1]));
             }
         }
         let k = self.steps.len();

@@ -9,12 +9,7 @@ use std::collections::BTreeSet;
 /// The paper notes "the k nearest neighbor algorithm can attach more than
 /// one label … if there are more than one class labels with the same
 /// maximum count".
-pub fn knn_label_set(
-    matrix: &DistanceMatrix,
-    labels: &[u32],
-    i: usize,
-    k: usize,
-) -> BTreeSet<u32> {
+pub fn knn_label_set(matrix: &DistanceMatrix, labels: &[u32], i: usize, k: usize) -> BTreeSet<u32> {
     assert_eq!(matrix.n(), labels.len(), "one label per series required");
     let top = matrix.top_k(i, k);
     let mut counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();

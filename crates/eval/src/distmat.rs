@@ -1,7 +1,17 @@
-//! Pairwise distance matrices with work/time accounting.
+//! Batch distance evaluation: full pairwise matrices and query-vs-corpus
+//! matrices, serial or rayon-parallel, with work/time accounting.
+//!
+//! The parallel path distributes rows across worker threads with dynamic
+//! self-scheduling and keeps **one reusable DP scratch buffer per worker**
+//! (`rayon`'s `map_init` + [`sdtw::DtwScratch`]), so a batch of `n²` DTW
+//! runs performs `O(workers)` allocations instead of `O(n²)`. Scratch
+//! reuse and row-order reassembly make the parallel results
+//! **bit-identical** to the serial ones — the tests assert it, and the
+//! experiment harness depends on it (a policy's metrics must not depend on
+//! the worker count).
 
 use rayon::prelude::*;
-use sdtw::{FeatureStore, SDtw};
+use sdtw::{DtwScratch, FeatureStore, SDtw};
 use sdtw_salient::SalientFeature;
 use sdtw_tseries::{TimeSeries, TsError};
 use serde::{Deserialize, Serialize};
@@ -82,13 +92,104 @@ impl DistanceMatrix {
     }
 }
 
-/// Computes the distance matrix of a corpus under an engine.
+/// A dense `queries × corpus` distance matrix — the retrieval-serving
+/// shape: a batch of incoming queries scored against an indexed corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryMatrix {
+    queries: usize,
+    corpus: usize,
+    data: Vec<f64>,
+    /// Aggregated accounting for the whole matrix.
+    pub stats: MatrixStats,
+}
+
+impl QueryMatrix {
+    /// Number of query rows.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Number of corpus columns.
+    pub fn corpus(&self) -> usize {
+        self.corpus
+    }
+
+    /// Distance from query `q` to corpus series `j`.
+    #[inline]
+    pub fn get(&self, q: usize, j: usize) -> f64 {
+        self.data[q * self.corpus + j]
+    }
+
+    /// Corpus indices ascending by distance from query `q` (stable
+    /// tie-break by index).
+    pub fn ranked(&self, q: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.corpus).collect();
+        idx.sort_by(|&a, &b| {
+            self.get(q, a)
+                .partial_cmp(&self.get(q, b))
+                .expect("distances are finite")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The `k` nearest corpus series of query `q`.
+    pub fn top_k(&self, q: usize, k: usize) -> Vec<usize> {
+        let mut r = self.ranked(q);
+        r.truncate(k);
+        r
+    }
+}
+
+/// Pre-extracted (cached) features for a series set; empty when the
+/// engine's policy ignores alignment.
+fn features_of(
+    series: &[TimeSeries],
+    engine: &SDtw,
+    store: &FeatureStore,
+) -> Result<Vec<Arc<Vec<SalientFeature>>>, TsError> {
+    if engine.config().policy.needs_alignment() {
+        series.iter().map(|ts| store.features_for(ts)).collect()
+    } else {
+        Ok(Vec::new())
+    }
+}
+
+/// Runs `row` over `0..rows`, serially or on the worker pool, with one
+/// [`DtwScratch`] per worker either way. Output is in row order.
+fn run_rows<F>(rows: usize, parallel: bool, row: F) -> Vec<(Vec<f64>, MatrixStats)>
+where
+    F: Fn(&mut DtwScratch, usize) -> (Vec<f64>, MatrixStats) + Sync,
+{
+    if parallel {
+        (0..rows)
+            .into_par_iter()
+            .map_init(DtwScratch::new, |scratch, i| row(scratch, i))
+            .collect()
+    } else {
+        let mut scratch = DtwScratch::new();
+        (0..rows).map(|i| row(&mut scratch, i)).collect()
+    }
+}
+
+fn merge(rows: Vec<(Vec<f64>, MatrixStats)>) -> (Vec<f64>, MatrixStats) {
+    let mut data = Vec::with_capacity(rows.iter().map(|(r, _)| r.len()).sum());
+    let mut stats = MatrixStats::default();
+    for (r, s) in rows {
+        data.extend_from_slice(&r);
+        stats.absorb(&s);
+    }
+    (data, stats)
+}
+
+/// Computes the full pairwise distance matrix of a corpus under an engine.
 ///
 /// Features are taken from (and cached in) `store`, so extraction is a
 /// one-time cost excluded from the per-pair accounting — matching the
-/// paper's cost model. With `parallel` the rows are computed on the rayon
-/// pool; the accounted times are summed across threads (CPU time, which is
-/// what the time-gain ratios compare).
+/// paper's cost model. With `parallel` the rows run on the worker pool
+/// (one DP scratch per worker); the accounted times are summed across
+/// threads (CPU time, which is what the time-gain ratios compare).
+/// Distances are identical between the serial and parallel paths.
 ///
 /// # Errors
 ///
@@ -100,18 +201,11 @@ pub fn compute_matrix(
     parallel: bool,
 ) -> Result<DistanceMatrix, TsError> {
     let n = corpus.len();
-    let needs_features = engine.config().policy.needs_alignment();
-    let features: Vec<Arc<Vec<SalientFeature>>> = if needs_features {
-        corpus
-            .iter()
-            .map(|ts| store.features_for(ts))
-            .collect::<Result<_, _>>()?
-    } else {
-        Vec::new()
-    };
+    let features = features_of(corpus, engine, store)?;
     let empty: Vec<SalientFeature> = Vec::new();
+    let needs_features = engine.config().policy.needs_alignment();
 
-    let row = |i: usize| -> (Vec<f64>, MatrixStats) {
+    let row = |scratch: &mut DtwScratch, i: usize| -> (Vec<f64>, MatrixStats) {
         let mut out = vec![0.0; n];
         let mut stats = MatrixStats::default();
         for j in 0..n {
@@ -123,7 +217,7 @@ pub fn compute_matrix(
             } else {
                 (&empty, &empty)
             };
-            let o = engine.distance_with_features(&corpus[i], fx, &corpus[j], fy);
+            let o = engine.distance_with_features_scratch(&corpus[i], fx, &corpus[j], fy, scratch);
             out[j] = o.distance;
             stats.matching_time += o.timing.matching;
             stats.dp_time += o.timing.dynamic_programming;
@@ -134,19 +228,60 @@ pub fn compute_matrix(
         (out, stats)
     };
 
-    let rows: Vec<(Vec<f64>, MatrixStats)> = if parallel {
-        (0..n).into_par_iter().map(row).collect()
-    } else {
-        (0..n).map(row).collect()
+    let (data, stats) = merge(run_rows(n, parallel, row));
+    Ok(DistanceMatrix { n, data, stats })
+}
+
+/// Computes a query-vs-corpus distance matrix: every query series scored
+/// against every corpus series (no self-skipping — queries are external).
+///
+/// Same caching, parallelism and determinism contract as
+/// [`compute_matrix`]; queries and corpus may have different lengths and
+/// sizes.
+///
+/// # Errors
+///
+/// Propagates feature-extraction failures.
+pub fn compute_query_matrix(
+    queries: &[TimeSeries],
+    corpus: &[TimeSeries],
+    engine: &SDtw,
+    store: &FeatureStore,
+    parallel: bool,
+) -> Result<QueryMatrix, TsError> {
+    let q_features = features_of(queries, engine, store)?;
+    let c_features = features_of(corpus, engine, store)?;
+    let empty: Vec<SalientFeature> = Vec::new();
+    let needs_features = engine.config().policy.needs_alignment();
+    let cols = corpus.len();
+
+    let row = |scratch: &mut DtwScratch, q: usize| -> (Vec<f64>, MatrixStats) {
+        let mut out = vec![0.0; cols];
+        let mut stats = MatrixStats::default();
+        for (j, cand) in corpus.iter().enumerate() {
+            let (fq, fc): (&[SalientFeature], &[SalientFeature]) = if needs_features {
+                (&q_features[q], &c_features[j])
+            } else {
+                (&empty, &empty)
+            };
+            let o = engine.distance_with_features_scratch(&queries[q], fq, cand, fc, scratch);
+            out[j] = o.distance;
+            stats.matching_time += o.timing.matching;
+            stats.dp_time += o.timing.dynamic_programming;
+            stats.cells_filled += o.cells_filled as u64;
+            stats.descriptor_comparisons += o.descriptor_comparisons as u64;
+            stats.pairs += 1;
+        }
+        (out, stats)
     };
 
-    let mut data = Vec::with_capacity(n * n);
-    let mut stats = MatrixStats::default();
-    for (r, s) in rows {
-        data.extend_from_slice(&r);
-        stats.absorb(&s);
-    }
-    Ok(DistanceMatrix { n, data, stats })
+    let (data, stats) = merge(run_rows(queries.len(), parallel, row));
+    Ok(QueryMatrix {
+        queries: queries.len(),
+        corpus: cols,
+        data,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -184,7 +319,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_serial_agree() {
+    fn parallel_and_serial_agree_bitwise() {
         let corpus = small_corpus();
         let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
         let store = FeatureStore::new(eng.config().salient.clone()).unwrap();
@@ -193,10 +328,11 @@ mod tests {
         let b = compute_matrix(&corpus, &eng, &store, true).unwrap();
         for i in 0..a.n() {
             for j in 0..a.n() {
-                assert_eq!(a.get(i, j), b.get(i, j));
+                assert_eq!(a.get(i, j).to_bits(), b.get(i, j).to_bits());
             }
         }
         assert_eq!(a.stats.cells_filled, b.stats.cells_filled);
+        assert_eq!(a.stats.pairs, b.stats.pairs);
     }
 
     #[test]
@@ -220,13 +356,8 @@ mod tests {
     fn banded_matrix_dominates_reference() {
         let corpus = small_corpus();
         let store = FeatureStore::new(sdtw::SalientConfig::default()).unwrap();
-        let reference = compute_matrix(
-            &corpus,
-            &engine(ConstraintPolicy::FullGrid),
-            &store,
-            false,
-        )
-        .unwrap();
+        let reference =
+            compute_matrix(&corpus, &engine(ConstraintPolicy::FullGrid), &store, false).unwrap();
         let banded = compute_matrix(
             &corpus,
             &engine(ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 }),
@@ -240,5 +371,59 @@ mod tests {
             }
         }
         assert!(banded.stats.cells_filled < reference.stats.cells_filled);
+    }
+
+    #[test]
+    fn query_matrix_matches_pairwise_distances() {
+        let corpus = small_corpus();
+        let queries = vec![corpus[0].clone(), corpus[3].clone()];
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let store = FeatureStore::new(eng.config().salient.clone()).unwrap();
+        let qm = compute_query_matrix(&queries, &corpus, &eng, &store, false).unwrap();
+        assert_eq!(qm.queries(), 2);
+        assert_eq!(qm.corpus(), corpus.len());
+        assert_eq!(qm.stats.pairs, (2 * corpus.len()) as u64);
+        // rows must equal individually computed distances
+        for (q, query) in queries.iter().enumerate() {
+            let fq = store.features_for(query).unwrap();
+            for (j, cand) in corpus.iter().enumerate() {
+                let fc = store.features_for(cand).unwrap();
+                let d = eng.distance_with_features(query, &fq, cand, &fc).distance;
+                assert_eq!(qm.get(q, j).to_bits(), d.to_bits());
+            }
+        }
+        // a corpus member used as query is its own nearest neighbour
+        assert_eq!(qm.top_k(0, 1), vec![0]);
+        assert_eq!(qm.top_k(1, 1), vec![3]);
+    }
+
+    #[test]
+    fn query_matrix_parallel_and_serial_agree_bitwise() {
+        let corpus = small_corpus();
+        let queries: Vec<TimeSeries> = corpus.iter().take(3).cloned().collect();
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width_averaged());
+        let store = FeatureStore::new(eng.config().salient.clone()).unwrap();
+        let a = compute_query_matrix(&queries, &corpus, &eng, &store, false).unwrap();
+        let b = compute_query_matrix(&queries, &corpus, &eng, &store, true).unwrap();
+        for q in 0..a.queries() {
+            for j in 0..a.corpus() {
+                assert_eq!(a.get(q, j).to_bits(), b.get(q, j).to_bits());
+            }
+        }
+        assert_eq!(a.stats.cells_filled, b.stats.cells_filled);
+    }
+
+    #[test]
+    fn query_matrix_ranking_is_stable_and_sorted() {
+        let corpus = small_corpus();
+        let queries = vec![corpus[1].clone()];
+        let eng = engine(ConstraintPolicy::FullGrid);
+        let store = FeatureStore::new(eng.config().salient.clone()).unwrap();
+        let qm = compute_query_matrix(&queries, &corpus, &eng, &store, false).unwrap();
+        let ranked = qm.ranked(0);
+        assert_eq!(ranked.len(), corpus.len());
+        for w in ranked.windows(2) {
+            assert!(qm.get(0, w[0]) <= qm.get(0, w[1]));
+        }
     }
 }

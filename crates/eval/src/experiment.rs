@@ -99,7 +99,10 @@ pub fn subsample(dataset: &Dataset, max: usize) -> Vec<TimeSeries> {
         }
     }
     taken.sort_unstable();
-    taken.into_iter().map(|i| dataset.series[i].clone()).collect()
+    taken
+        .into_iter()
+        .map(|i| dataset.series[i].clone())
+        .collect()
 }
 
 /// Evaluates a list of policies on a dataset. The reference matrix (full
@@ -193,8 +196,7 @@ mod tests {
     #[test]
     fn full_grid_policy_scores_perfectly_against_itself() {
         let ds = tiny_dataset();
-        let evals =
-            evaluate_policies(&ds, &[ConstraintPolicy::FullGrid], &fast_opts()).unwrap();
+        let evals = evaluate_policies(&ds, &[ConstraintPolicy::FullGrid], &fast_opts()).unwrap();
         let e = &evals[0];
         assert_eq!(e.distance_error, 0.0);
         assert_eq!(e.retrieval_accuracy[&2], 1.0);

@@ -22,11 +22,7 @@ pub fn time_gain(reference: &MatrixStats, constrained: &MatrixStats) -> f64 {
 /// comparisons (one descriptor comparison is weighted as `weight` cell
 /// fills; descriptors are short vectors, so the default weight in
 /// [`work_gain`] is the descriptor length).
-pub fn work_gain_weighted(
-    reference: &MatrixStats,
-    constrained: &MatrixStats,
-    weight: f64,
-) -> f64 {
+pub fn work_gain_weighted(reference: &MatrixStats, constrained: &MatrixStats, weight: f64) -> f64 {
     let w_ref = reference.cells_filled as f64 + weight * reference.descriptor_comparisons as f64;
     if w_ref <= 0.0 {
         return 0.0;

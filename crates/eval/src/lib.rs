@@ -52,5 +52,5 @@ pub mod experiment;
 pub mod gain;
 pub mod retrieval;
 
-pub use distmat::{compute_matrix, DistanceMatrix, MatrixStats};
+pub use distmat::{compute_matrix, compute_query_matrix, DistanceMatrix, MatrixStats, QueryMatrix};
 pub use experiment::{evaluate_policies, EvalOptions, PolicyEval};

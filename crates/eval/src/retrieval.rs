@@ -14,15 +14,16 @@ pub fn retrieval_accuracy(reference: &DistanceMatrix, approx: &DistanceMatrix, k
     assert_eq!(reference.n(), approx.n(), "matrix dimensions must match");
     let n = reference.n();
     assert!(k >= 1, "k must be positive");
-    assert!(k < n, "top-{k} needs at least {k} other series, have {}", n - 1);
+    assert!(
+        k < n,
+        "top-{k} needs at least {k} other series, have {}",
+        n - 1
+    );
     let mut acc = 0.0;
     for i in 0..n {
         let top_ref = reference.top_k(i, k);
         let top_apx = approx.top_k(i, k);
-        let overlap = top_ref
-            .iter()
-            .filter(|idx| top_apx.contains(idx))
-            .count();
+        let overlap = top_ref.iter().filter(|idx| top_apx.contains(idx)).count();
         acc += overlap as f64 / k as f64;
     }
     acc / n as f64
@@ -52,28 +53,16 @@ mod tests {
 
     #[test]
     fn identical_matrices_score_one() {
-        let m = matrix(&[
-            &[0.0, 1.0, 2.0],
-            &[1.0, 0.0, 3.0],
-            &[2.0, 3.0, 0.0],
-        ]);
+        let m = matrix(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 3.0], &[2.0, 3.0, 0.0]]);
         assert_eq!(retrieval_accuracy(&m, &m, 1), 1.0);
         assert_eq!(retrieval_accuracy(&m, &m, 2), 1.0);
     }
 
     #[test]
     fn disjoint_top1_scores_zero() {
-        let reference = matrix(&[
-            &[0.0, 1.0, 5.0],
-            &[1.0, 0.0, 5.0],
-            &[1.0, 5.0, 0.0],
-        ]);
+        let reference = matrix(&[&[0.0, 1.0, 5.0], &[1.0, 0.0, 5.0], &[1.0, 5.0, 0.0]]);
         // approx inverts every preference
-        let approx = matrix(&[
-            &[0.0, 5.0, 1.0],
-            &[5.0, 0.0, 1.0],
-            &[5.0, 1.0, 0.0],
-        ]);
+        let approx = matrix(&[&[0.0, 5.0, 1.0], &[5.0, 0.0, 1.0], &[5.0, 1.0, 0.0]]);
         assert_eq!(retrieval_accuracy(&reference, &approx, 1), 0.0);
         // top-2 of 2 others is always both → overlap complete
         assert_eq!(retrieval_accuracy(&reference, &approx, 2), 1.0);

@@ -200,17 +200,25 @@ mod tests {
 
     #[test]
     fn salient_rejects_bad_epsilon_and_thresholds() {
-        let mut cfg = SalientConfig::default();
-        cfg.epsilon = 1.0;
+        let cfg = SalientConfig {
+            epsilon: 1.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = SalientConfig::default();
-        cfg.epsilon = -0.1;
+        let cfg = SalientConfig {
+            epsilon: -0.1,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = SalientConfig::default();
-        cfg.contrast_threshold = f64::NAN;
+        let cfg = SalientConfig {
+            contrast_threshold: f64::NAN,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = SalientConfig::default();
-        cfg.scope_sigmas = 0.0;
+        let cfg = SalientConfig {
+            scope_sigmas: 0.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -102,7 +102,7 @@ mod tests {
     use super::*;
     use crate::config::SalientConfig;
     use crate::detect::detect_keypoints;
-    
+
     use sdtw_tseries::TimeSeries;
 
     fn bump(n: usize, centre: f64, width: f64, amp: f64) -> Vec<f64> {
@@ -114,10 +114,7 @@ mod tests {
             .collect()
     }
 
-    fn strongest_peak_descriptor(
-        values: Vec<f64>,
-        cfg: &SalientConfig,
-    ) -> (Keypoint, Vec<f64>) {
+    fn strongest_peak_descriptor(values: Vec<f64>, cfg: &SalientConfig) -> (Keypoint, Vec<f64>) {
         strongest_descriptor_near(values, cfg, None)
     }
 
@@ -133,9 +130,7 @@ mod tests {
         let kps = detect_keypoints(&pyr, cfg, ts.max() - ts.min());
         let kp = kps
             .into_iter()
-            .filter(|k| {
-                near.is_none_or(|c| (k.position as i64 - c as i64).unsigned_abs() <= 12)
-            })
+            .filter(|k| near.is_none_or(|c| (k.position as i64 - c as i64).unsigned_abs() <= 12))
             .max_by(|a, b| {
                 a.response
                     .abs()

@@ -32,7 +32,11 @@ fn dominates_min(v: f64, neighbours: &[f64], eps: f64) -> bool {
 /// `value_range` is the input series' `max − min`; the contrast threshold
 /// is expressed relative to it so detection is insensitive to absolute
 /// amplitude units.
-pub fn detect_keypoints(pyramid: &Pyramid, config: &SalientConfig, value_range: f64) -> Vec<Keypoint> {
+pub fn detect_keypoints(
+    pyramid: &Pyramid,
+    config: &SalientConfig,
+    value_range: f64,
+) -> Vec<Keypoint> {
     if value_range <= 0.0 {
         // a constant series has no structure; without this early-out the
         // DoG's ~1e-16 floating-point residue would read as "features"
@@ -159,7 +163,7 @@ fn ordered(v: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use sdtw_tseries::TimeSeries;
 
     fn bump_series(n: usize, centre: f64, width: f64, amp: f64) -> Vec<f64> {
@@ -262,10 +266,14 @@ mod tests {
             })
             .collect();
         let ts = TimeSeries::new(v).unwrap();
-        let mut strict = SalientConfig::default();
-        strict.epsilon = 0.0;
-        let mut relaxed = SalientConfig::default();
-        relaxed.epsilon = 0.1;
+        let strict = SalientConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        let relaxed = SalientConfig {
+            epsilon: 0.1,
+            ..Default::default()
+        };
         let ks = detect(&ts, &strict).len();
         let kr = detect(&ts, &relaxed).len();
         assert!(kr > ks, "relaxed {kr} should exceed strict {ks}");
@@ -281,10 +289,14 @@ mod tests {
             })
             .collect();
         let ts = TimeSeries::new(v).unwrap();
-        let mut lax = SalientConfig::default();
-        lax.contrast_threshold = 0.0;
-        let mut tight = SalientConfig::default();
-        tight.contrast_threshold = 0.02;
+        let lax = SalientConfig {
+            contrast_threshold: 0.0,
+            ..Default::default()
+        };
+        let tight = SalientConfig {
+            contrast_threshold: 0.02,
+            ..Default::default()
+        };
         let n_lax = detect(&ts, &lax).len();
         let n_tight = detect(&ts, &tight).len();
         assert!(n_tight < n_lax, "tight {n_tight} vs lax {n_lax}");

@@ -82,7 +82,10 @@ impl FeatureSet {
 /// # Errors
 ///
 /// Propagates configuration validation failures.
-pub fn extract_features(ts: &TimeSeries, config: &SalientConfig) -> Result<Vec<SalientFeature>, TsError> {
+pub fn extract_features(
+    ts: &TimeSeries,
+    config: &SalientConfig,
+) -> Result<Vec<SalientFeature>, TsError> {
     config.validate()?;
     let pyramid = Pyramid::build(ts, &config.pyramid)?;
     let keypoints = detect_keypoints(&pyramid, config, ts.max() - ts.min());
@@ -186,8 +189,10 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let ts = two_bumps(64);
-        let mut cfg = SalientConfig::default();
-        cfg.epsilon = 2.0;
+        let cfg = SalientConfig {
+            epsilon: 2.0,
+            ..Default::default()
+        };
         assert!(extract_features(&ts, &cfg).is_err());
     }
 
@@ -199,15 +204,14 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        let smooth = TimeSeries::new(
-            (0..256).map(|i| (i as f64 / 60.0).sin()).collect(),
-        )
-        .unwrap();
+        let smooth = TimeSeries::new((0..256).map(|i| (i as f64 / 60.0).sin()).collect()).unwrap();
         // strict extremality isolates the scale-attribution claim from the
         // ε-relaxed plateau acceptance (which admits near-extremal runs on
         // smooth series by design)
-        let mut cfg = SalientConfig::default();
-        cfg.epsilon = 0.0;
+        let cfg = SalientConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        };
         let b = extract_feature_set(&busy, &cfg).unwrap();
         let s = extract_feature_set(&smooth, &cfg).unwrap();
         let b_counts = b.count_by_scale();

@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn downsample_keeps_even_indices() {
-        assert_eq!(downsample_half(&[0.0, 1.0, 2.0, 3.0, 4.0]), &[0.0, 2.0, 4.0]);
+        assert_eq!(
+            downsample_half(&[0.0, 1.0, 2.0, 3.0, 4.0]),
+            &[0.0, 2.0, 4.0]
+        );
         assert_eq!(downsample_half(&[7.0]), &[7.0]);
         assert!(downsample_half(&[]).is_empty());
     }

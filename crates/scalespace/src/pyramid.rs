@@ -319,17 +319,25 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let mut cfg = PyramidConfig::default();
-        cfg.levels_per_octave = 0;
+        let cfg = PyramidConfig {
+            levels_per_octave: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = PyramidConfig::default();
-        cfg.base_sigma = 0.0;
+        let cfg = PyramidConfig {
+            base_sigma: 0.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = PyramidConfig::default();
-        cfg.min_octave_len = 2;
+        let cfg = PyramidConfig {
+            min_octave_len: 2,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = PyramidConfig::default();
-        cfg.octaves = Some(0);
+        let cfg = PyramidConfig {
+            octaves: Some(0),
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -27,7 +27,10 @@ fn main() {
 
     // Reference: optimal DTW over the full grid.
     let full = dtw_full(&x, &y, &DtwOptions::default());
-    println!("full DTW        distance = {:10.4}   cells = {}", full.distance, full.cells_filled);
+    println!(
+        "full DTW        distance = {:10.4}   cells = {}",
+        full.distance, full.cells_filled
+    );
 
     // sDTW with the paper's best-performing policy (ac2,aw).
     let engine = SDtw::new(SDtwConfig {
@@ -60,7 +63,11 @@ fn main() {
     );
 
     let err = |d: f64| (d - full.distance) / full.distance.max(1e-12) * 100.0;
-    println!("\nrelative error vs optimal: sDTW {:+.2}%  |  Sakoe {:+.2}%", err(out.distance), err(sc.distance));
+    println!(
+        "\nrelative error vs optimal: sDTW {:+.2}%  |  Sakoe {:+.2}%",
+        err(out.distance),
+        err(sc.distance)
+    );
     println!(
         "work saved vs full grid:   sDTW {:.1}%  |  Sakoe {:.1}%",
         (1.0 - out.cells_filled as f64 / full.cells_filled as f64) * 100.0,

@@ -12,7 +12,11 @@ use sdtw_suite::prelude::*;
 fn main() {
     // 6 groups x 4 series, like Figure 1's A/B vs C/D pairs but larger.
     let corpus = econ::generate(2024, 6, 4).series;
-    println!("corpus: {} series of length {}", corpus.len(), corpus[0].len());
+    println!(
+        "corpus: {} series of length {}",
+        corpus.len(),
+        corpus[0].len()
+    );
 
     // one-time feature indexing (the paper's §3.4 cost model)
     let store = FeatureStore::new(SalientConfig::default()).expect("valid config");
@@ -32,7 +36,10 @@ fn main() {
     let reference =
         compute_matrix(&corpus, &reference_engine, &store, true).expect("matrix computes");
 
-    println!("{:<12} {:>7} {:>7} {:>12} {:>12}", "policy", "acc@3", "acc@5", "cells", "vs full");
+    println!(
+        "{:<12} {:>7} {:>7} {:>12} {:>12}",
+        "policy", "acc@3", "acc@5", "cells", "vs full"
+    );
     for policy in [
         ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 },
         ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.20 },

@@ -10,7 +10,10 @@ use sdtw_suite::prelude::*;
 use sdtw_suite::salient::feature::extract_features;
 
 fn sparkline(ts: &TimeSeries, width: usize) -> String {
-    const GLYPHS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const GLYPHS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let (min, max) = (ts.min(), ts.max());
     let range = (max - min).max(1e-9);
     let n = ts.len();
@@ -76,7 +79,10 @@ fn main() {
     }
 
     let part = &result.partition;
-    println!("\ninterval partition ({} intervals):", part.interval_count());
+    println!(
+        "\ninterval partition ({} intervals):",
+        part.interval_count()
+    );
     for k in 0..part.interval_count() {
         let (sx, ex) = part.bounds_x(k);
         let (sy, ey) = part.bounds_y(k);

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`/`bench_with_input`, `BenchmarkId`, `Bencher::iter` —
+//! with a simple adaptive timer: a warm-up estimates the per-iteration
+//! cost, the measurement window is sized from it, and mean/min
+//! nanoseconds per iteration are reported.
+//!
+//! Results print as one line per benchmark and, when
+//! `CRITERION_OUTPUT_JSON` names a file, are also appended there as a
+//! JSON array — that is how `BENCH_baseline.json` is produced.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+use serde::Serialize;
+
+/// Target wall-clock length of one measurement window.
+fn measure_budget() -> Duration {
+    match std::env::var("CRITERION_MEASURE_MS") {
+        Ok(ms) => Duration::from_millis(ms.parse().unwrap_or(200)),
+        Err(_) => Duration::from_millis(200),
+    }
+}
+
+/// One benchmark's aggregated measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Iterations in the measurement window.
+    pub iterations: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest single batch's nanoseconds per iteration.
+    pub min_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to the closure under test; [`Bencher::iter`] runs the timing.
+pub struct Bencher {
+    record: Option<(u64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `f`, adapting the iteration count to the measurement budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // warm-up + cost estimate
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed();
+        let budget = measure_budget();
+        let per_iter = first.max(Duration::from_nanos(1));
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+        // measure in a few batches so `min` smooths scheduler noise
+        let batches = if iters >= 4 { 4 } else { 1 };
+        let per_batch = (iters / batches).max(1);
+        let mut total = Duration::ZERO;
+        let mut min_batch_ns = f64::INFINITY;
+        let mut counted = 0u64;
+        for _ in 0..batches {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            total += elapsed;
+            counted += per_batch;
+            min_batch_ns = min_batch_ns.min(elapsed.as_nanos() as f64 / per_batch as f64);
+        }
+        let mean_ns = total.as_nanos() as f64 / counted as f64;
+        self.record = Some((counted, mean_ns, min_batch_ns));
+    }
+}
+
+fn run_one(id: String, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { record: None };
+    f(&mut bencher);
+    let (iterations, mean_ns, min_ns) = bencher.record.unwrap_or((0, 0.0, 0.0));
+    println!(
+        "bench {id:<50} {:>12.1} ns/iter (min {:>12.1}, {} iters)",
+        mean_ns, min_ns, iterations
+    );
+    RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(BenchRecord {
+            id,
+            iterations,
+            mean_ns,
+            min_ns,
+        });
+}
+
+/// Benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _c: self,
+        }
+    }
+}
+
+/// A group of related benchmarks (`group/...` ids).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(format!("{}/{name}", self.name), f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; measurement is eager).
+    pub fn finish(self) {}
+}
+
+/// Dumps accumulated results; called by `criterion_main!` after all groups
+/// ran. Honours `CRITERION_OUTPUT_JSON`.
+pub fn finalize() {
+    let results = RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") {
+        let json = serde_json::to_string_pretty(&*results).expect("bench records serialise");
+        std::fs::write(&path, json).expect("benchmark output file must be writable");
+        eprintln!("[criterion-shim] wrote {} records to {path}", results.len());
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_times() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        let results = RESULTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let r = results.iter().find(|r| r.id == "spin").expect("recorded");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.iterations > 0);
+        assert!(r.min_ns <= r.mean_ns * 1.5);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 32).0, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

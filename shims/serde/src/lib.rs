@@ -1,0 +1,543 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment of this repository has no access to a crate
+//! registry, so the workspace vendors a minimal serialisation framework
+//! under the familiar package names. The surface mirrors what the sDTW
+//! crates actually use: `#[derive(Serialize, Deserialize)]` on structs and
+//! enums with named/unit variants, and JSON round-trips via the sibling
+//! `serde_json` shim.
+//!
+//! Unlike real serde there is no zero-copy or format-generic layer: both
+//! traits go through the in-memory [`Value`] tree. That keeps the derive
+//! macros (hand-rolled, no `syn`/`quote`) small while preserving the JSON
+//! wire format real serde would produce for the same types (externally
+//! tagged enums, `Duration` as `{secs, nanos}`, `Option` as value-or-null).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON number: integers are kept exact, everything else is an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer payload.
+    U(u64),
+    /// Negative integer payload.
+    I(i64),
+    /// Floating-point payload.
+    F(f64),
+}
+
+impl Number {
+    /// Lossy view as `f64` (exact for integers below 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// Exact view as `u64` when representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Exact view as `i64` when representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// In-memory JSON document tree (the shim's single data model).
+///
+/// Objects preserve insertion order, matching what serde_json's
+/// `preserve_order` feature would do; key lookup is linear, which is fine
+/// for the struct-sized objects this workspace serialises.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object (ordered key/value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object view, if this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Array view, if this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String view, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (`None` elsewhere or when absent).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// One-word description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialisation error (a plain message, like `serde_json::Error`'s
+/// display form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Type-mismatch helper used by the generated impls.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialisation into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Deserialisation from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    fn from_json(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a required object member (used by derived impls).
+pub fn obj_get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, DeError> {
+    v.get(key)
+        .ok_or_else(|| DeError(format!("missing field `{key}`")))
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| DeError::expected(stringify!($t), v)),
+                    _ => Err(DeError::expected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| DeError::expected(stringify!($t), v)),
+                    _ => Err(DeError::expected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // serde_json emits null for non-finite floats; accept it back
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- strings
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if items.len() != 2 {
+            return Err(DeError(format!(
+                "expected 2-tuple, got {} items",
+                items.len()
+            )));
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if items.len() != 3 {
+            return Err(DeError(format!(
+                "expected 3-tuple, got {} items",
+                items.len()
+            )));
+        }
+        Ok((
+            A::from_json(&items[0])?,
+            B::from_json(&items[1])?,
+            C::from_json(&items[2])?,
+        ))
+    }
+}
+
+/// Map keys must render as JSON object keys (strings on the wire).
+pub trait MapKey: Sized {
+    /// Key to string.
+    fn to_key(&self) -> String;
+    /// Key from string.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_map_key_parse {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError(format!("bad map key `{key}`")))
+            }
+        }
+    )*};
+}
+
+impl_map_key_parse!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, String);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_json(val)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Value {
+        // deterministic output: sort keys on the wire
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_json()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_json(val)?)))
+            .collect()
+    }
+}
+
+// --------------------------------------------------------------- std types
+
+impl Serialize for Duration {
+    fn to_json(&self) -> Value {
+        // real serde's wire format for Duration
+        Value::Object(vec![
+            ("secs".to_string(), self.as_secs().to_json()),
+            ("nanos".to_string(), self.subsec_nanos().to_json()),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        let secs = u64::from_json(obj_get(v, "secs")?)?;
+        let nanos = u32::from_json(obj_get(v, "nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_json(&7u32.to_json()).unwrap(), 7);
+        assert_eq!(i64::from_json(&(-3i64).to_json()).unwrap(), -3);
+        assert_eq!(f64::from_json(&1.5f64.to_json()).unwrap(), 1.5);
+        assert!(bool::from_json(&true.to_json()).unwrap());
+        assert_eq!(
+            String::from_json(&"hi".to_string().to_json()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn options_vectors_tuples() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_json(), Value::Null);
+        assert_eq!(Option::<u32>::from_json(&Value::Null).unwrap(), None);
+        let xs = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::from_json(&xs.to_json()).unwrap(), xs);
+        let t = (4usize, 5usize);
+        assert_eq!(<(usize, usize)>::from_json(&t.to_json()).unwrap(), t);
+    }
+
+    #[test]
+    fn maps_and_durations() {
+        let mut m = BTreeMap::new();
+        m.insert(5usize, 0.25f64);
+        let back = BTreeMap::<usize, f64>::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        let d = Duration::new(3, 450);
+        assert_eq!(Duration::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn errors_name_the_mismatch() {
+        let e = u32::from_json(&Value::String("x".into())).unwrap_err();
+        assert!(e.to_string().contains("number"), "{e}");
+        let e = obj_get(&Value::Object(vec![]), "missing").unwrap_err();
+        assert!(e.to_string().contains("missing"), "{e}");
+    }
+}

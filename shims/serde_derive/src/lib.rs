@@ -1,0 +1,333 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` available in this
+//! environment) and emits `Serialize`/`Deserialize` impls that go through
+//! the shim's `Value` tree. Supported shapes — which cover every type this
+//! workspace derives on:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or have named fields (externally tagged
+//!   on the wire, like real serde: `"Variant"` / `{"Variant": {...}}`).
+//!
+//! Anything else (generics, tuple structs/variants) produces a compile
+//! error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips `#[...]` attribute groups (including doc comments) starting at
+/// `i`; returns the next index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the named fields inside a brace group: returns the field names,
+/// skipping types (tracking `<...>` depth so `Map<K, V>` commas don't
+/// split fields).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after `{name}`, found `{other}`"),
+        }
+        // consume the type: until a comma at angle depth 0
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parses the variants inside an enum's brace group.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g));
+                    i += 1;
+                }
+                Delimiter::Parenthesis => panic!(
+                    "serde shim derive: tuple variant `{name}` is not supported (use named fields)"
+                ),
+                _ => {}
+            }
+        }
+        // skip to past the next comma (also skips `= discriminant`)
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            panic!("serde shim derive: unit struct `{name}` is not supported")
+        }
+        other => panic!("serde shim derive: expected `{{...}}` body for `{name}`, found {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_json(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "fields.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_json({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(fields))])\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json(::serde::obj_get(v, \"{f}\")?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if v.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"object\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
+            let tagged: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_some()).collect();
+            let mut body = String::new();
+            if !unit.is_empty() {
+                let mut arms = String::new();
+                for v in &unit {
+                    let vname = &v.name;
+                    arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                     return match s {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                     }};\n}}\n"
+                ));
+            }
+            if !tagged.is_empty() {
+                let mut arms = String::new();
+                for v in &tagged {
+                    let vname = &v.name;
+                    let mut inits = String::new();
+                    for f in v.fields.as_ref().expect("tagged variant has fields") {
+                        inits.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_json(\
+                             ::serde::obj_get(inner, \"{f}\")?)?,\n"
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok(\
+                         {name}::{vname} {{\n{inits}}}),\n"
+                    ));
+                }
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some(obj) = v.as_object() {{\n\
+                     if obj.len() == 1 {{\n\
+                     let (tag, inner) = &obj[0];\n\
+                     match tag.as_str() {{\n{arms}\
+                     other => return ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                     }}\n}}\n}}\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\
+                 ::std::result::Result::Err(::serde::DeError::expected(\"enum variant\", v))\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}

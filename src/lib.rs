@@ -33,8 +33,8 @@ pub use sdtw as core;
 /// Most-used types, one import away.
 pub mod prelude {
     pub use sdtw::{
-        BandSymmetry, ConstraintPolicy, FeatureStore, MatchConfig, SDtw, SDtwConfig, SDtwOutcome,
-        SalientConfig,
+        BandSymmetry, ConstraintPolicy, DtwScratch, FeatureStore, MatchConfig, SDtw, SDtwConfig,
+        SDtwOutcome, SalientConfig,
     };
     pub use sdtw_datasets::{Dataset, UcrAnalog};
     pub use sdtw_dtw::engine::{
@@ -42,6 +42,9 @@ pub mod prelude {
     };
     pub use sdtw_dtw::search::{NnResult, NnSearch};
     pub use sdtw_dtw::{Band, WarpPath};
-    pub use sdtw_eval::{evaluate_policies, EvalOptions, PolicyEval};
+    pub use sdtw_eval::{
+        compute_matrix, compute_query_matrix, evaluate_policies, DistanceMatrix, EvalOptions,
+        PolicyEval, QueryMatrix,
+    };
     pub use sdtw_tseries::{ElementMetric, TimeSeries, TsError, WarpMap};
 }

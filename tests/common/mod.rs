@@ -1,0 +1,75 @@
+//! Shared helpers for the deterministic property-test harness.
+//!
+//! The repository deliberately avoids a property-testing framework
+//! dependency: cases are driven by an explicit SplitMix64 stream, so every
+//! run — locally and in CI — exercises exactly the same inputs, and a
+//! failing case is reproducible from its printed seed alone.
+
+// Each integration-test binary compiles this module independently and
+// uses a subset of the helpers.
+#![allow(dead_code)]
+
+/// Tiny deterministic generator (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// A finite random series of length `[2, 40)` with values in `[-10, 10)` —
+/// the same distribution the previous proptest strategy drew from.
+pub fn random_series(rng: &mut TestRng) -> sdtw_suite::tseries::TimeSeries {
+    let n = rng.usize_in(2, 40);
+    let values: Vec<f64> = (0..n).map(|_| rng.f64_in(-10.0, 10.0)).collect();
+    sdtw_suite::tseries::TimeSeries::new(values).expect("bounded values are finite")
+}
+
+/// A structured random series: 1–5 Gaussian bumps over a flat base, length
+/// `[48, 200)` — what the salient-layer properties run on.
+pub fn structured_series(rng: &mut TestRng) -> sdtw_suite::tseries::TimeSeries {
+    let n = rng.usize_in(48, 200);
+    let bumps = rng.usize_in(1, 6);
+    let mut values = vec![0.0; n];
+    for _ in 0..bumps {
+        let centre = rng.f64_in(0.05, 0.95) * (n - 1) as f64;
+        let width = (rng.f64_in(0.01, 0.08) * n as f64).max(1.0);
+        let amp = rng.f64_in(-1.0, 1.0);
+        for (i, v) in values.iter_mut().enumerate() {
+            let d = (i as f64 - centre) / width;
+            *v += amp * (-d * d / 2.0).exp();
+        }
+    }
+    sdtw_suite::tseries::TimeSeries::new(values).expect("finite")
+}

@@ -1,110 +1,155 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Property tests over the DTW core invariants, run on seeded
+//! pseudo-random inputs (deterministic — no framework, no wall-clock or
+//! entropy dependence; see `tests/common/mod.rs`).
 
-use proptest::prelude::*;
+mod common;
+
+use common::{random_series, TestRng};
 use sdtw_suite::dtw::band::{Band, ColRange};
+use sdtw_suite::dtw::itakura::itakura_band;
 use sdtw_suite::dtw::sakoe::sakoe_chiba_band;
 use sdtw_suite::prelude::*;
 
-/// Strategy: a finite series of length 2..=40 with values in [-10, 10].
-fn series_strategy() -> impl Strategy<Value = TimeSeries> {
-    prop::collection::vec(-10.0f64..10.0, 2..40)
-        .prop_map(|v| TimeSeries::new(v).expect("bounded values are finite"))
-}
-
-/// Strategy: raw (possibly infeasible) bands over an n × m grid.
-fn band_strategy() -> impl Strategy<Value = Band> {
-    (2usize..20, 2usize..20).prop_flat_map(|(n, m)| {
-        prop::collection::vec((0usize..m, 0usize..m), n).prop_map(move |pairs| {
-            let ranges = pairs
-                .into_iter()
-                .map(|(a, b)| ColRange::new(a.min(b), a.max(b)))
-                .collect();
-            Band::from_ranges(n, m, ranges)
+/// A random (possibly infeasible) band over an `n × m` grid.
+fn random_band(rng: &mut TestRng, n: usize, m: usize) -> Band {
+    let ranges = (0..n)
+        .map(|_| {
+            let a = rng.usize_in(0, m);
+            let b = rng.usize_in(0, m);
+            ColRange::new(a.min(b), a.max(b))
         })
-    })
+        .collect();
+    Band::from_ranges(n, m, ranges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dtw_is_symmetric(x in series_strategy(), y in series_strategy()) {
-        let opts = DtwOptions::default();
+#[test]
+fn dtw_is_symmetric_on_random_series() {
+    let mut rng = TestRng::new(1);
+    let opts = DtwOptions::default();
+    for case in 0..64 {
+        let x = random_series(&mut rng);
+        let y = random_series(&mut rng);
         let xy = dtw_full(&x, &y, &opts).distance;
         let yx = dtw_full(&y, &x, &opts).distance;
-        prop_assert!((xy - yx).abs() < 1e-9);
+        assert!((xy - yx).abs() < 1e-9, "case {case}: {xy} vs {yx}");
     }
+}
 
-    #[test]
-    fn dtw_self_distance_is_zero(x in series_strategy()) {
-        let d = dtw_full(&x, &x, &DtwOptions::default()).distance;
-        prop_assert!(d.abs() < 1e-12);
+#[test]
+fn dtw_self_distance_is_zero_and_distances_non_negative() {
+    let mut rng = TestRng::new(2);
+    let opts = DtwOptions::default();
+    for case in 0..64 {
+        let x = random_series(&mut rng);
+        let d_self = dtw_full(&x, &x, &opts).distance;
+        assert!(d_self.abs() < 1e-12, "case {case}: self-distance {d_self}");
+        let y = random_series(&mut rng);
+        let d = dtw_full(&x, &y, &opts).distance;
+        assert!(d >= 0.0, "case {case}: negative distance {d}");
     }
+}
 
-    #[test]
-    fn dtw_is_non_negative(x in series_strategy(), y in series_strategy()) {
-        let d = dtw_full(&x, &y, &DtwOptions::default()).distance;
-        prop_assert!(d >= 0.0);
+#[test]
+fn every_band_family_upper_bounds_exact_dtw() {
+    // Sakoe-Chiba, Itakura, random raw bands, and the sDTW locally
+    // relevant band: constrained search can never beat the full grid.
+    let mut rng = TestRng::new(3);
+    let opts = DtwOptions::default();
+    let sdtw_engine = SDtw::new(SDtwConfig {
+        policy: ConstraintPolicy::adaptive_core_adaptive_width(),
+        ..SDtwConfig::default()
+    })
+    .unwrap();
+    for case in 0..32 {
+        let x = random_series(&mut rng);
+        let y = random_series(&mut rng);
+        let exact = dtw_full(&x, &y, &opts).distance;
+        let checks: [(&str, f64); 4] = [
+            (
+                "sakoe",
+                dtw_banded(&x, &y, &sakoe_chiba_band(x.len(), y.len(), 0.2), &opts).distance,
+            ),
+            (
+                "itakura",
+                dtw_banded(&x, &y, &itakura_band(x.len(), y.len(), 2.0), &opts).distance,
+            ),
+            (
+                "random-band",
+                dtw_banded(&x, &y, &random_band(&mut rng, x.len(), y.len()), &opts).distance,
+            ),
+            ("sdtw", sdtw_engine.distance(&x, &y).unwrap().distance),
+        ];
+        for (name, banded) in checks {
+            assert!(
+                banded >= exact - 1e-9,
+                "case {case}: {name} distance {banded} < exact {exact}"
+            );
+        }
     }
+}
 
-    #[test]
-    fn banded_distance_upper_bounds_full(
-        x in series_strategy(),
-        y in series_strategy(),
-        band in band_strategy(),
-    ) {
-        // resize the band to the series dimensions by rebuilding ranges
-        let n = x.len();
-        let m = y.len();
-        let ranges: Vec<ColRange> = (0..n)
-            .map(|i| {
-                let r = band.row(i % band.n());
-                ColRange::new(r.lo.min(m - 1), r.hi.min(m - 1))
-            })
-            .collect();
-        let band = Band::from_ranges(n, m, ranges);
-        let opts = DtwOptions::default();
-        let full = dtw_full(&x, &y, &opts).distance;
-        let banded = dtw_banded(&x, &y, &band, &opts).distance;
-        prop_assert!(banded >= full - 1e-9, "banded {banded} < full {full}");
-    }
-
-    #[test]
-    fn full_width_sakoe_equals_full_dtw(x in series_strategy(), y in series_strategy()) {
-        let opts = DtwOptions::default();
+#[test]
+fn full_width_sakoe_equals_full_dtw() {
+    let mut rng = TestRng::new(4);
+    let opts = DtwOptions::default();
+    for case in 0..32 {
+        let x = random_series(&mut rng);
+        let y = random_series(&mut rng);
         let full = dtw_full(&x, &y, &opts).distance;
         let band = sakoe_chiba_band(x.len(), y.len(), 1.0);
         let banded = dtw_banded(&x, &y, &band, &opts).distance;
-        prop_assert!((full - banded).abs() < 1e-12);
+        assert!(
+            (full - banded).abs() < 1e-12,
+            "case {case}: {banded} vs {full}"
+        );
     }
+}
 
-    #[test]
-    fn warp_path_is_always_valid_and_costs_the_distance(
-        x in series_strategy(),
-        y in series_strategy(),
-    ) {
-        let opts = DtwOptions::with_path();
+#[test]
+fn warp_path_is_always_valid_and_costs_the_distance() {
+    let mut rng = TestRng::new(5);
+    let opts = DtwOptions::with_path();
+    for case in 0..64 {
+        let x = random_series(&mut rng);
+        let y = random_series(&mut rng);
         let r = dtw_full(&x, &y, &opts);
         let p = r.path.expect("path requested");
-        prop_assert!(p.validate(x.len(), y.len()).is_ok());
+        p.validate(x.len(), y.len())
+            .unwrap_or_else(|e| panic!("case {case}: invalid path: {e}"));
         let cost = p.cost(&x, &y, ElementMetric::Squared);
-        prop_assert!((cost - r.distance).abs() < 1e-6);
+        assert!(
+            (cost - r.distance).abs() < 1e-6,
+            "case {case}: path cost {cost} vs distance {}",
+            r.distance
+        );
     }
+}
 
-    #[test]
-    fn sanitize_yields_feasible_superset(band in band_strategy()) {
+#[test]
+fn sanitize_yields_feasible_superset_idempotently() {
+    let mut rng = TestRng::new(6);
+    for case in 0..128 {
+        let n = rng.usize_in(2, 20);
+        let m = rng.usize_in(2, 20);
+        let band = random_band(&mut rng, n, m);
         let fixed = band.sanitize();
-        prop_assert!(fixed.is_feasible());
-        prop_assert!(band.is_subset_of(&fixed));
-        // idempotent
-        prop_assert_eq!(fixed.sanitize(), fixed);
+        assert!(fixed.is_feasible(), "case {case}: sanitize not feasible");
+        assert!(
+            band.is_subset_of(&fixed),
+            "case {case}: sanitize dropped cells"
+        );
+        assert_eq!(fixed.sanitize(), fixed, "case {case}: not idempotent");
     }
+}
 
-    #[test]
-    fn band_union_contains_both(a in band_strategy()) {
-        // derive a second band of the same dimensions by reflecting ranges
-        let n = a.n();
-        let m = a.m();
+#[test]
+fn band_union_contains_both_operands() {
+    let mut rng = TestRng::new(7);
+    for case in 0..64 {
+        let n = rng.usize_in(2, 20);
+        let m = rng.usize_in(2, 20);
+        let a = random_band(&mut rng, n, m);
+        // reflected sibling of the same dimensions
         let b = Band::from_ranges(
             n,
             m,
@@ -116,63 +161,57 @@ proptest! {
                 .collect(),
         );
         let u = a.union(&b);
-        prop_assert!(a.is_subset_of(&u));
-        prop_assert!(b.is_subset_of(&u));
-        prop_assert!(u.area() >= a.area().max(b.area()));
+        assert!(a.is_subset_of(&u), "case {case}: lost a");
+        assert!(b.is_subset_of(&u), "case {case}: lost b");
+        assert!(u.area() >= a.area().max(b.area()), "case {case}");
     }
+}
 
-    #[test]
-    fn warp_maps_are_monotone_and_fix_endpoints(
-        anchor_x in 0.1f64..0.9,
-        anchor_y in 0.1f64..0.9,
-    ) {
+#[test]
+fn warp_maps_are_monotone_and_fix_endpoints() {
+    let mut rng = TestRng::new(8);
+    for case in 0..64 {
+        let anchor_x = rng.f64_in(0.1, 0.9);
+        let anchor_y = rng.f64_in(0.1, 0.9);
         let w = WarpMap::from_anchors(&[(anchor_x, anchor_y)]).expect("single anchor valid");
-        prop_assert!(w.eval(0.0).abs() < 1e-12);
-        prop_assert!((w.eval(1.0) - 1.0).abs() < 1e-12);
+        assert!(w.eval(0.0).abs() < 1e-12, "case {case}");
+        assert!((w.eval(1.0) - 1.0).abs() < 1e-12, "case {case}");
         let mut prev = 0.0;
         for k in 0..=32 {
             let v = w.eval(k as f64 / 32.0);
-            prop_assert!(v >= prev - 1e-12);
+            assert!(v >= prev - 1e-12, "case {case}: not monotone at {k}");
             prev = v;
-        }
-    }
-
-    #[test]
-    fn z_normalization_is_idempotent_up_to_eps(x in series_strategy()) {
-        use sdtw_suite::tseries::transform::z_normalize;
-        let z1 = z_normalize(&x);
-        let z2 = z_normalize(&z1);
-        for (a, b) in z1.values().iter().zip(z2.values()) {
-            prop_assert!((a - b).abs() < 1e-9);
         }
     }
 }
 
-proptest! {
-    // matcher consistency is slower: fewer cases
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn z_normalization_is_idempotent_up_to_eps() {
+    use sdtw_suite::tseries::transform::z_normalize;
+    let mut rng = TestRng::new(9);
+    for case in 0..64 {
+        let x = random_series(&mut rng);
+        let z1 = z_normalize(&x);
+        let z2 = z_normalize(&z1);
+        for (a, b) in z1.values().iter().zip(z2.values()) {
+            assert!((a - b).abs() < 1e-9, "case {case}");
+        }
+    }
+}
 
-    #[test]
-    fn pruned_matches_are_always_rank_consistent(
-        seed in 0u64..1000,
-        pairs in 1usize..30,
-    ) {
-        use sdtw_suite::align::matcher::MatchedPair;
-        use sdtw_suite::align::prune::{committed_boundaries, prune_inconsistent};
-        // pseudo-random raw pairs
-        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        let mut next = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            s
-        };
+#[test]
+fn pruned_matches_are_always_rank_consistent() {
+    use sdtw_suite::align::matcher::MatchedPair;
+    use sdtw_suite::align::prune::{committed_boundaries, prune_inconsistent};
+    let mut rng = TestRng::new(10);
+    for case in 0..200 {
+        let pairs = rng.usize_in(1, 30);
         let raw: Vec<MatchedPair> = (0..pairs)
             .map(|k| {
-                let a = (next() % 200) as usize;
-                let b = a + 1 + (next() % 50) as usize;
-                let c = (next() % 200) as usize;
-                let d = c + 1 + (next() % 50) as usize;
+                let a = rng.usize_in(0, 200);
+                let b = a + 1 + rng.usize_in(0, 50);
+                let c = rng.usize_in(0, 200);
+                let d = c + 1 + rng.usize_in(0, 50);
                 MatchedPair {
                     idx1: k,
                     idx2: k,
@@ -185,42 +224,55 @@ proptest! {
             .collect();
         let kept = prune_inconsistent(&raw);
         let (b1, b2) = committed_boundaries(&kept);
-        prop_assert_eq!(b1.len(), b2.len());
-        // every kept pair occupies compatible rank intervals in both lists
+        assert_eq!(b1.len(), b2.len(), "case {case}");
         for p in &kept {
             for (v1, v2) in [(p.scope1.0, p.scope2.0), (p.scope1.1, p.scope2.1)] {
                 let lo1 = b1.partition_point(|&x| x < v1);
                 let hi1 = b1.partition_point(|&x| x <= v1);
                 let lo2 = b2.partition_point(|&x| x < v2);
                 let hi2 = b2.partition_point(|&x| x <= v2);
-                prop_assert!(
+                assert!(
                     lo1 <= hi2 && lo2 <= hi1,
-                    "rank intervals diverge: [{},{}] vs [{},{}]",
-                    lo1, hi1, lo2, hi2
+                    "case {case}: ranks diverge [{lo1},{hi1}] vs [{lo2},{hi2}]"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn every_policy_produces_finite_upper_bounds(
-        x in series_strategy(),
-        y in series_strategy(),
-        which in 0usize..6,
-    ) {
-        let policy = match which {
-            0 => ConstraintPolicy::FullGrid,
-            1 => ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 },
-            2 => ConstraintPolicy::Itakura { slope: 2.0 },
-            3 => ConstraintPolicy::fixed_core_adaptive_width(),
-            4 => ConstraintPolicy::adaptive_core_fixed_width(0.2),
-            _ => ConstraintPolicy::adaptive_core_adaptive_width(),
-        };
-        let engine = SDtw::new(SDtwConfig { policy, ..SDtwConfig::default() }).unwrap();
+#[test]
+fn every_policy_produces_finite_upper_bounds() {
+    let mut rng = TestRng::new(11);
+    let policies = [
+        ConstraintPolicy::FullGrid,
+        ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 },
+        ConstraintPolicy::Itakura { slope: 2.0 },
+        ConstraintPolicy::fixed_core_adaptive_width(),
+        ConstraintPolicy::adaptive_core_fixed_width(0.2),
+        ConstraintPolicy::adaptive_core_adaptive_width(),
+    ];
+    for case in 0..18 {
+        let x = random_series(&mut rng);
+        let y = random_series(&mut rng);
+        let policy = policies[case % policies.len()];
+        let engine = SDtw::new(SDtwConfig {
+            policy,
+            ..SDtwConfig::default()
+        })
+        .unwrap();
         let out = engine.distance(&x, &y).unwrap();
         let full = dtw_full(&x, &y, &DtwOptions::default()).distance;
-        prop_assert!(out.distance.is_finite());
-        prop_assert!(out.distance >= full - 1e-9);
-        prop_assert!(out.cells_filled >= x.len().max(y.len()));
+        assert!(out.distance.is_finite(), "case {case} ({})", policy.label());
+        assert!(
+            out.distance >= full - 1e-9,
+            "case {case} ({}): {} < {full}",
+            policy.label(),
+            out.distance
+        );
+        assert!(
+            out.cells_filled >= x.len().max(y.len()),
+            "case {case} ({})",
+            policy.label()
+        );
     }
 }

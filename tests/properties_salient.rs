@@ -1,138 +1,239 @@
-//! Property tests over the scale-space and salient-feature layers.
+//! Property tests over the scale-space and salient-feature layers, plus
+//! the detector-recovery unit tests on synthetic Gaussian bumps. All
+//! cases run on seeded pseudo-random inputs (deterministic; see
+//! `tests/common/mod.rs`).
 
-use proptest::prelude::*;
+mod common;
+
+use common::{structured_series, TestRng};
 use sdtw_suite::prelude::*;
 use sdtw_suite::salient::feature::extract_features;
 use sdtw_suite::scalespace::convolve::gaussian_smooth;
 use sdtw_suite::scalespace::pyramid::{Pyramid, PyramidConfig};
 
-/// Random structured series: a handful of bumps over a base level.
-fn structured_series() -> impl Strategy<Value = TimeSeries> {
-    (
-        48usize..200,
-        prop::collection::vec((0.05f64..0.95, 0.01f64..0.08, -1.0f64..1.0), 1..6),
-    )
-        .prop_map(|(n, bumps)| {
-            let mut v = vec![0.0; n];
-            for (c, w, a) in bumps {
-                let centre = c * (n - 1) as f64;
-                let width = (w * n as f64).max(1.0);
-                for (i, x) in v.iter_mut().enumerate() {
-                    let d = (i as f64 - centre) / width;
-                    *x += a * (-d * d / 2.0).exp();
-                }
-            }
-            TimeSeries::new(v).expect("finite")
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pyramid_structure_invariants(ts in structured_series()) {
-        let cfg = PyramidConfig::default();
+#[test]
+fn pyramid_structure_invariants() {
+    let mut rng = TestRng::new(21);
+    let cfg = PyramidConfig::default();
+    for case in 0..48 {
+        let ts = structured_series(&mut rng);
         let pyr = Pyramid::build(&ts, &cfg).unwrap();
-        prop_assert!(!pyr.octaves().is_empty());
+        assert!(!pyr.octaves().is_empty(), "case {case}");
         for (k, oct) in pyr.octaves().iter().enumerate() {
-            prop_assert_eq!(oct.index, k);
-            prop_assert_eq!(oct.factor, 1usize << k);
-            // σ strictly increases within an octave
+            assert_eq!(oct.index, k, "case {case}");
+            assert_eq!(oct.factor, 1usize << k, "case {case}");
+            // s + 3 Gaussian levels yield s + 2 DoG levels
+            assert_eq!(
+                oct.gaussians.len(),
+                cfg.levels_per_octave + 3,
+                "case {case}"
+            );
+            assert_eq!(oct.dog.len(), cfg.levels_per_octave + 2, "case {case}");
             for w in oct.gaussians.windows(2) {
-                prop_assert!(w[1].sigma_octave > w[0].sigma_octave);
+                assert!(w[1].sigma_octave > w[0].sigma_octave, "case {case}");
             }
-            // every DoG level has the octave's length
             for level in &oct.dog {
-                prop_assert_eq!(level.values.len(), oct.len());
+                assert_eq!(level.values.len(), oct.len(), "case {case}");
             }
-            prop_assert!(oct.len() >= cfg.min_octave_len);
+            assert!(oct.len() >= cfg.min_octave_len, "case {case}");
         }
         // resolutions halve octave to octave
         for w in pyr.octaves().windows(2) {
-            let expected = w[0].len().div_ceil(2);
-            prop_assert_eq!(w[1].len(), expected);
+            assert_eq!(w[1].len(), w[0].len().div_ceil(2), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn gaussian_smoothing_is_contractive(ts in structured_series(), sigma in 0.5f64..6.0) {
+#[test]
+fn gaussian_smoothing_is_contractive() {
+    let mut rng = TestRng::new(22);
+    for case in 0..48 {
+        let ts = structured_series(&mut rng);
+        let sigma = rng.f64_in(0.5, 6.0);
         let sm = gaussian_smooth(&ts, sigma).unwrap();
-        prop_assert_eq!(sm.len(), ts.len());
-        // smoothing cannot escape the input's range
-        prop_assert!(sm.min() >= ts.min() - 1e-9);
-        prop_assert!(sm.max() <= ts.max() + 1e-9);
-        // and reduces total variation
+        assert_eq!(sm.len(), ts.len(), "case {case}");
+        assert!(sm.min() >= ts.min() - 1e-9, "case {case}");
+        assert!(sm.max() <= ts.max() + 1e-9, "case {case}");
         let tv = |v: &[f64]| v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
-        prop_assert!(tv(sm.values()) <= tv(ts.values()) + 1e-9);
+        assert!(
+            tv(sm.values()) <= tv(ts.values()) + 1e-9,
+            "case {case}: smoothing increased total variation"
+        );
     }
+}
 
-    #[test]
-    fn extracted_features_satisfy_structural_invariants(ts in structured_series()) {
-        let cfg = SalientConfig::default();
+#[test]
+fn extracted_features_satisfy_structural_invariants() {
+    let mut rng = TestRng::new(23);
+    let cfg = SalientConfig::default();
+    for case in 0..48 {
+        let ts = structured_series(&mut rng);
         let feats = extract_features(&ts, &cfg).unwrap();
         let n = ts.len();
         for f in &feats {
-            prop_assert!(f.keypoint.position < n);
-            prop_assert!(f.scope_start <= f.scope_end);
-            prop_assert!(f.scope_end < n);
-            prop_assert!(f.scope_len >= 1.0);
-            prop_assert!(f.keypoint.sigma > 0.0);
-            prop_assert!(f.amplitude.is_finite());
-            prop_assert_eq!(f.descriptor.len(), cfg.descriptor.bins);
-            prop_assert!(f.descriptor.iter().all(|v| v.is_finite() && *v >= 0.0));
-            // unit norm (or all-zero) when amplitude invariance is on
+            assert!(f.keypoint.position < n, "case {case}");
+            assert!(f.scope_start <= f.scope_end, "case {case}");
+            assert!(f.scope_end < n, "case {case}");
+            assert!(f.scope_len >= 1.0, "case {case}");
+            assert!(f.keypoint.sigma > 0.0, "case {case}");
+            assert!(f.amplitude.is_finite(), "case {case}");
+            assert_eq!(f.descriptor.len(), cfg.descriptor.bins, "case {case}");
+            assert!(
+                f.descriptor.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "case {case}"
+            );
             let norm: f64 = f.descriptor.iter().map(|v| v * v).sum::<f64>().sqrt();
-            prop_assert!(norm < 1e-9 || (norm - 1.0).abs() < 1e-6);
+            assert!(
+                norm < 1e-9 || (norm - 1.0).abs() < 1e-6,
+                "case {case}: descriptor norm {norm}"
+            );
         }
-        // position-sorted
         for w in feats.windows(2) {
-            prop_assert!(w[0].keypoint.position <= w[1].keypoint.position);
+            assert!(
+                w[0].keypoint.position <= w[1].keypoint.position,
+                "case {case}: not position-sorted"
+            );
         }
     }
+}
 
-    #[test]
-    fn amplitude_scaling_preserves_feature_positions(
-        ts in structured_series(),
-        gain in 0.5f64..4.0,
-    ) {
-        // scale-invariant detection: scaling the series re-finds features
-        // at (almost) the same positions
-        let cfg = SalientConfig::default();
+#[test]
+fn amplitude_scaling_preserves_feature_positions() {
+    let mut rng = TestRng::new(24);
+    let cfg = SalientConfig::default();
+    for case in 0..48 {
+        let ts = structured_series(&mut rng);
+        let gain = rng.f64_in(0.5, 4.0);
         let scaled = sdtw_suite::tseries::transform::scale_amplitude(&ts, gain);
         let a = extract_features(&ts, &cfg).unwrap();
         let b = extract_features(&scaled, &cfg).unwrap();
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len(), "case {case} (gain {gain})");
         for (fa, fb) in a.iter().zip(&b) {
-            prop_assert_eq!(fa.keypoint.position, fb.keypoint.position);
-            prop_assert_eq!(fa.keypoint.octave, fb.keypoint.octave);
-            prop_assert_eq!(fa.keypoint.polarity, fb.keypoint.polarity);
+            assert_eq!(fa.keypoint.position, fb.keypoint.position, "case {case}");
+            assert_eq!(fa.keypoint.octave, fb.keypoint.octave, "case {case}");
+            assert_eq!(fa.keypoint.polarity, fb.keypoint.polarity, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn matching_any_feature_sets_is_rank_consistent(
-        ts1 in structured_series(),
-        ts2 in structured_series(),
-    ) {
-        use sdtw_suite::align::{match_features, MatchConfig};
-        let cfg = SalientConfig::default();
+#[test]
+fn matching_any_feature_sets_is_rank_consistent() {
+    use sdtw_suite::align::{match_features, MatchConfig};
+    let mut rng = TestRng::new(25);
+    let cfg = SalientConfig::default();
+    for case in 0..32 {
+        let ts1 = structured_series(&mut rng);
+        let ts2 = structured_series(&mut rng);
         let f1 = extract_features(&ts1, &cfg).unwrap();
         let f2 = extract_features(&ts2, &cfg).unwrap();
         let r = match_features(&f1, &f2, ts1.len(), ts2.len(), &MatchConfig::default());
-        // partition invariants hold for arbitrary (even unrelated) inputs
         let p = &r.partition;
-        prop_assert_eq!(p.cuts_x().len(), p.cuts_y().len());
-        prop_assert!(p.cuts_x().windows(2).all(|w| w[0] <= w[1]));
-        prop_assert!(p.cuts_y().windows(2).all(|w| w[0] <= w[1]));
-        prop_assert!(p.cuts_x().iter().all(|&c| c < ts1.len()));
-        prop_assert!(p.cuts_y().iter().all(|&c| c < ts2.len()));
-        // interval lookups are total
+        assert_eq!(p.cuts_x().len(), p.cuts_y().len(), "case {case}");
+        assert!(p.cuts_x().windows(2).all(|w| w[0] <= w[1]), "case {case}");
+        assert!(p.cuts_y().windows(2).all(|w| w[0] <= w[1]), "case {case}");
+        assert!(p.cuts_x().iter().all(|&c| c < ts1.len()), "case {case}");
+        assert!(p.cuts_y().iter().all(|&c| c < ts2.len()), "case {case}");
         for i in (0..ts1.len()).step_by(7) {
             let k = p.interval_of_x(i);
+            assert!(k < p.interval_count(), "case {case}");
             let (st, end) = p.bounds_x(k);
-            prop_assert!(st <= i || i <= end); // boundary samples may open the next interval
-            prop_assert!(k < p.interval_count());
+            assert!(st <= i || i <= end, "case {case}");
         }
-        prop_assert!(r.consistent_pairs.len() <= r.raw_pairs.len());
+        assert!(r.consistent_pairs.len() <= r.raw_pairs.len(), "case {case}");
     }
+}
+
+// ------------------------------------------------------------------------
+// Detector recovery on synthetic Gaussian bumps: known bump centres must
+// be re-found within a scale-dependent tolerance, with the right polarity
+// and a scale tracking the bump width.
+
+fn bump_series(n: usize, bumps: &[(f64, f64, f64)]) -> TimeSeries {
+    // (centre, width, amplitude) per bump, in samples
+    let mut v = vec![0.0; n];
+    for &(centre, width, amp) in bumps {
+        for (i, x) in v.iter_mut().enumerate() {
+            let d = (i as f64 - centre) / width;
+            *x += amp * (-d * d / 2.0).exp();
+        }
+    }
+    TimeSeries::new(v).unwrap()
+}
+
+#[test]
+fn known_bump_centres_are_recovered_within_scale_tolerance() {
+    let cfg = SalientConfig::default();
+    let mut rng = TestRng::new(26);
+    for case in 0..24 {
+        let n = 256;
+        // two well-separated bumps of random widths
+        let c1 = rng.f64_in(0.15, 0.35) * n as f64;
+        let c2 = rng.f64_in(0.60, 0.85) * n as f64;
+        let w1 = rng.f64_in(3.0, 12.0);
+        let w2 = rng.f64_in(3.0, 12.0);
+        let ts = bump_series(n, &[(c1, w1, 1.0), (c2, w2, 0.8)]);
+        let feats = extract_features(&ts, &cfg).unwrap();
+        for (centre, width) in [(c1, w1), (c2, w2)] {
+            // tolerance scales with the bump's width (feature scale)
+            let tol = (width * 1.5).max(4.0);
+            let found = feats.iter().any(|f| {
+                f.keypoint.polarity == sdtw_suite::salient::Polarity::Peak
+                    && (f.center() - centre).abs() <= tol
+            });
+            assert!(
+                found,
+                "case {case}: bump at {centre:.1} (width {width:.1}) not recovered \
+                 within ±{tol:.1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bump_width_drives_detected_scale() {
+    let cfg = SalientConfig::default();
+    let strongest_sigma = |ts: &TimeSeries, centre: f64| -> f64 {
+        extract_features(ts, &cfg)
+            .unwrap()
+            .into_iter()
+            .filter(|f| {
+                (f.center() - centre).abs() <= 16.0
+                    && f.keypoint.polarity == sdtw_suite::salient::Polarity::Peak
+            })
+            .max_by(|a, b| {
+                a.keypoint
+                    .response
+                    .abs()
+                    .partial_cmp(&b.keypoint.response.abs())
+                    .expect("finite")
+            })
+            .map(|f| f.keypoint.sigma)
+            .unwrap_or(0.0)
+    };
+    let narrow = bump_series(256, &[(128.0, 3.0, 1.0)]);
+    let wide = bump_series(256, &[(128.0, 20.0, 1.0)]);
+    let sn = strongest_sigma(&narrow, 128.0);
+    let sw = strongest_sigma(&wide, 128.0);
+    assert!(sn > 0.0 && sw > 0.0, "both bumps must be detected");
+    assert!(sw > sn, "wide-bump sigma {sw} should exceed narrow {sn}");
+}
+
+#[test]
+fn dips_are_recovered_with_dip_polarity() {
+    let cfg = SalientConfig::default();
+    let mut base = vec![1.0; 200];
+    let dip_centre = 90.0;
+    for (i, v) in base.iter_mut().enumerate() {
+        let d = (i as f64 - dip_centre) / 7.0;
+        *v -= 0.9 * (-d * d / 2.0).exp();
+    }
+    let ts = TimeSeries::new(base).unwrap();
+    let feats = extract_features(&ts, &cfg).unwrap();
+    assert!(
+        feats.iter().any(|f| {
+            f.keypoint.polarity == sdtw_suite::salient::Polarity::Dip
+                && (f.center() - dip_centre).abs() <= 10.0
+        }),
+        "dip at {dip_centre} not recovered"
+    );
 }
