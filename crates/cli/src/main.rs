@@ -5,6 +5,8 @@
 //! sdtw features <corpus.txt> <i> [--bins B] [--json]
 //! sdtw retrieve <corpus.txt> <query-index> [--k K] [--policy P] [--width W]
 //! sdtw distmat <corpus.txt> [--policy P] [--width W] [--serial] [--queries q.txt] [--out m.json]
+//! sdtw index build <corpus.txt> <out.json> [--policy P] [--width W] [--radius F] [--znorm]
+//! sdtw index query <index.json> <queries.txt> [--k K] [--serial] [--json]
 //! sdtw generate <gun|trace|50words> <out.txt> [--seed S]
 //! ```
 //!
@@ -17,6 +19,7 @@ mod args;
 use args::Args;
 use sdtw::{ConstraintPolicy, FeatureStore, SDtw, SDtwConfig, SalientConfig};
 use sdtw_datasets::UcrAnalog;
+use sdtw_index::{CascadeStats, IndexConfig, SdtwIndex};
 use sdtw_salient::feature::extract_feature_set;
 use sdtw_tseries::io::{read_ucr_file, write_ucr_file};
 use sdtw_tseries::TimeSeries;
@@ -42,6 +45,17 @@ commands:
                                       --queries <file>  (query-vs-corpus matrix
                                                          instead of pairwise)
                                       --out <file.json> (write the matrix)
+  index build <corpus> <out> prebuild a kNN index (envelopes, summaries,
+                             cached salient descriptors) as JSON
+                             options: --policy, --width
+                                      --radius <frac> (envelope window, default 0.1)
+                                      --znorm         (z-normalise entries+queries)
+  index query <idx> <q>      answer top-k queries from a prebuilt index via
+                             the LB_Kim -> LB_Keogh -> reversed LB_Keogh ->
+                             early-abandon cascade (parallel by default)
+                             options: --k <n> (default 5)
+                                      --serial (disable parallelism)
+                                      --json   (machine-readable output)
   generate <kind> <out>      write a synthetic corpus (gun|trace|50words)
                              options: --seed <n> (default 20120827)
 ";
@@ -281,6 +295,110 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_index(a: &Args) -> Result<(), String> {
+    match a.positional.first().map(String::as_str) {
+        Some("build") => cmd_index_build(a),
+        Some("query") => cmd_index_query(a),
+        _ => Err("index needs a subcommand: `index build` or `index query`".into()),
+    }
+}
+
+fn cmd_index_build(a: &Args) -> Result<(), String> {
+    let [_, corpus_path, out_path] = a.positional.as_slice() else {
+        return Err("index build needs <corpus> <out.json>".into());
+    };
+    let corpus = read_ucr_file(corpus_path).map_err(|e| e.to_string())?;
+    if corpus.is_empty() {
+        return Err("corpus is empty".into());
+    }
+    let width = a.opt_parse("width", 0.1)?;
+    let policy = policy_from(
+        a.options.get("policy").map_or("ac2aw", String::as_str),
+        width,
+    )?;
+    let config = IndexConfig {
+        sdtw: SDtwConfig {
+            policy,
+            ..SDtwConfig::default()
+        },
+        z_normalize: a.flag("znorm"),
+        lb_radius_frac: a.opt_parse("radius", 0.1)?,
+    };
+    let t0 = std::time::Instant::now();
+    let index = SdtwIndex::build(&corpus, config).map_err(|e| e.to_string())?;
+    let built = t0.elapsed();
+    let json = index.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} series  policy {}  radius {:.0}%  znorm {}  build {built:?}",
+        index.len(),
+        policy.label(),
+        index.config().lb_radius_frac * 100.0,
+        index.config().z_normalize,
+    );
+    println!("wrote {out_path} ({} bytes)", json.len());
+    Ok(())
+}
+
+fn cmd_index_query(a: &Args) -> Result<(), String> {
+    let [_, index_path, queries_path] = a.positional.as_slice() else {
+        return Err("index query needs <index.json> <queries>".into());
+    };
+    let json = std::fs::read_to_string(index_path).map_err(|e| e.to_string())?;
+    let index = SdtwIndex::from_json(&json).map_err(|e| e.to_string())?;
+    let queries = read_ucr_file(queries_path).map_err(|e| e.to_string())?;
+    if queries.is_empty() {
+        return Err("query file is empty".into());
+    }
+    let k = a.opt_parse("k", 5usize)?;
+    let parallel = !a.flag("serial");
+    let t0 = std::time::Instant::now();
+    let results = index
+        .batch_query(&queries, k, parallel)
+        .map_err(|e| e.to_string())?;
+    let wall = t0.elapsed();
+    if a.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let mut total = CascadeStats::default();
+    for (q, r) in results.iter().enumerate() {
+        total.absorb(&r.stats);
+        let hits: Vec<String> = r
+            .neighbors
+            .iter()
+            .map(|n| {
+                let label = index
+                    .entry_series(n.index)
+                    .label()
+                    .map_or("-".to_string(), |l| l.to_string());
+                format!("{}(l{label}, {:.4})", n.index, n.distance)
+            })
+            .collect();
+        println!("query {q:>3}: {}", hits.join("  "));
+    }
+    println!(
+        "cascade over {} candidates: kim {}  keogh {}  keogh-rev {}  abandoned {}  dp {}  (lb n/a {})",
+        total.candidates,
+        total.pruned_kim,
+        total.pruned_keogh,
+        total.pruned_keogh_rev,
+        total.abandoned,
+        total.dp_completed,
+        total.lb_inapplicable,
+    );
+    println!(
+        "prune rate {:.1}%  cells filled {}  mode {}  wall {wall:?}",
+        total.prune_rate() * 100.0,
+        total.cells_filled,
+        if parallel { "parallel" } else { "serial" },
+    );
+    Ok(())
+}
+
 fn cmd_generate(a: &Args) -> Result<(), String> {
     let [kind, out] = a.positional.as_slice() else {
         return Err("generate needs <kind> <out.txt>".into());
@@ -309,6 +427,7 @@ fn run() -> Result<(), String> {
         "features" => cmd_features(&args),
         "retrieve" => cmd_retrieve(&args),
         "distmat" => cmd_distmat(&args),
+        "index" => cmd_index(&args),
         "generate" => cmd_generate(&args),
         "help" | "-h" => {
             print!("{USAGE}");
@@ -392,6 +511,59 @@ mod tests {
 
         std::fs::remove_file(&corpus_path).ok();
         std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn index_build_and_query_round_trip_via_files() {
+        let dir = std::env::temp_dir().join("sdtw_cli_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("corpus.txt");
+        let index_path = dir.join("index.json");
+        let ds = UcrAnalog::Gun.generate(9);
+        write_ucr_file(&corpus_path, &ds.series[..8]).unwrap();
+
+        let build = [
+            "index",
+            "build",
+            corpus_path.to_str().unwrap(),
+            index_path.to_str().unwrap(),
+            "--policy",
+            "sakoe",
+            "--width",
+            "0.2",
+            "--radius",
+            "0.2",
+        ];
+        cmd_index(&Args::parse(build.iter().map(|s| s.to_string())).unwrap()).unwrap();
+        assert!(index_path.exists(), "index JSON written");
+
+        for extra in [&["--serial"][..], &["--json"][..], &[][..]] {
+            let mut query = vec![
+                "index".to_string(),
+                "query".to_string(),
+                index_path.to_str().unwrap().to_string(),
+                corpus_path.to_str().unwrap().to_string(),
+                "--k".to_string(),
+                "3".to_string(),
+            ];
+            query.extend(extra.iter().map(|s| s.to_string()));
+            cmd_index(&Args::parse(query).unwrap()).unwrap();
+        }
+
+        // bad invocations are reported, not panicked
+        assert!(cmd_index(&Args::parse(["index".to_string()]).unwrap()).is_err());
+        assert!(cmd_index(
+            &Args::parse(
+                ["index", "build", "only-one-arg"]
+                    .iter()
+                    .map(|s| s.to_string())
+            )
+            .unwrap()
+        )
+        .is_err());
+
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_file(&index_path).ok();
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use crate::constraint::build_band;
 use crate::policy::{BandSymmetry, ConstraintPolicy};
 use sdtw_align::{match_features, IntervalPartition, MatchConfig, MatchResult};
-use sdtw_dtw::engine::{dtw_banded_with_scratch, DtwOptions, DtwScratch};
+use sdtw_dtw::engine::{
+    dtw_banded_early_abandon_with_scratch, dtw_banded_with_scratch, DtwOptions, DtwScratch,
+};
 use sdtw_dtw::{Band, WarpPath};
 use sdtw_salient::{extract_features, SalientConfig, SalientFeature};
 use sdtw_tseries::{TimeSeries, TsError};
@@ -204,6 +206,83 @@ impl SDtw {
                 dynamic_programming,
             },
         }
+    }
+
+    /// Early-abandoning variant of
+    /// [`SDtw::distance_with_features_scratch`] — the retrieval hot path.
+    ///
+    /// Plans the band from the supplied (typically cached) features
+    /// exactly as the non-abandoning path does, then runs the abandoning
+    /// DP kernel against `threshold` (interpreted in the units of the
+    /// configured normalisation, i.e. directly comparable to
+    /// [`SDtwOutcome::distance`]). Returns `None` as soon as no path
+    /// through the band can come in at or under the threshold; when `Some`
+    /// is returned the distance is bit-identical to the one
+    /// [`SDtw::distance_with_features_scratch`] computes for the pair.
+    /// Warp paths are never produced on this variant.
+    pub fn distance_early_abandon_with_features_scratch(
+        &self,
+        x: &TimeSeries,
+        fx: &[SalientFeature],
+        y: &TimeSeries,
+        fy: &[SalientFeature],
+        threshold: f64,
+        scratch: &mut DtwScratch,
+    ) -> Option<SDtwOutcome> {
+        let n = x.len();
+        let m = y.len();
+
+        let t_match = Instant::now();
+        let (band, match_stats) = self.plan_band(fx, fy, n, m);
+        let matching = t_match.elapsed();
+
+        let t_dp = Instant::now();
+        let result = self.banded_distance_early_abandon_scratch(x, y, &band, threshold, scratch)?;
+        let dynamic_programming = t_dp.elapsed();
+
+        let (raw_pairs, consistent_pairs, descriptor_comparisons) = match &match_stats {
+            Some(mr) => (
+                mr.raw_pairs.len(),
+                mr.consistent_pairs.len(),
+                mr.descriptor_comparisons,
+            ),
+            None => (0, 0, 0),
+        };
+
+        Some(SDtwOutcome {
+            distance: result.distance,
+            path: None,
+            cells_filled: result.cells_filled,
+            band_area: band.area(),
+            band_coverage: band.coverage(),
+            raw_pairs,
+            consistent_pairs,
+            descriptor_comparisons,
+            timing: PhaseTiming {
+                extraction: Duration::ZERO,
+                matching,
+                dynamic_programming,
+            },
+        })
+    }
+
+    /// Runs the early-abandoning DP kernel on a *pre-planned* band under
+    /// this engine's DP options. The building block for retrieval
+    /// cascades (e.g. `sdtw-index`) that plan the band once via
+    /// [`SDtw::plan_band`], screen it with lower bounds, and only then
+    /// pay for the DP — without re-planning. `threshold` is in the units
+    /// of the configured normalisation; completed runs are bit-identical
+    /// to the non-abandoning kernel on the same band. Warp paths are
+    /// never produced.
+    pub fn banded_distance_early_abandon_scratch(
+        &self,
+        x: &TimeSeries,
+        y: &TimeSeries,
+        band: &Band,
+        threshold: f64,
+        scratch: &mut DtwScratch,
+    ) -> Option<sdtw_dtw::DtwResult> {
+        dtw_banded_early_abandon_with_scratch(x, y, band, &self.config.dtw, threshold, scratch)
     }
 
     /// Builds the band this engine would use for a pair (exposed for
@@ -445,6 +524,63 @@ mod tests {
             let back = eng.distance_with_features_scratch(&y, &fy, &x, &fx, &mut scratch);
             assert!(back.distance.is_finite());
         }
+    }
+
+    #[test]
+    fn early_abandon_path_is_bit_identical_when_under_threshold() {
+        let (x, y) = warped_pair(150, 170);
+        for policy in [
+            ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 },
+            ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
+        ] {
+            let eng = engine(policy);
+            let fx = extract_features(&x, &eng.config().salient).unwrap();
+            let fy = extract_features(&y, &eng.config().salient).unwrap();
+            let mut scratch = DtwScratch::new();
+            let full = eng.distance_with_features(&x, &fx, &y, &fy);
+            let ea = eng
+                .distance_early_abandon_with_features_scratch(
+                    &x,
+                    &fx,
+                    &y,
+                    &fy,
+                    f64::INFINITY,
+                    &mut scratch,
+                )
+                .expect("infinite threshold never abandons");
+            assert_eq!(full.distance.to_bits(), ea.distance.to_bits());
+            assert_eq!(full.cells_filled, ea.cells_filled);
+            // threshold exactly at the distance keeps the candidate
+            let at = eng.distance_early_abandon_with_features_scratch(
+                &x,
+                &fx,
+                &y,
+                &fy,
+                full.distance,
+                &mut scratch,
+            );
+            assert!(at.is_some(), "threshold == distance must not abandon");
+        }
+    }
+
+    #[test]
+    fn early_abandon_fires_below_the_distance() {
+        let (x, y) = warped_pair(150, 170);
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let fx = extract_features(&x, &eng.config().salient).unwrap();
+        let fy = extract_features(&y, &eng.config().salient).unwrap();
+        let mut scratch = DtwScratch::new();
+        let d = eng.distance_with_features(&x, &fx, &y, &fy).distance;
+        assert!(d > 0.0);
+        let out = eng.distance_early_abandon_with_features_scratch(
+            &x,
+            &fx,
+            &y,
+            &fy,
+            d * 0.5,
+            &mut scratch,
+        );
+        assert!(out.is_none(), "threshold below the distance must abandon");
     }
 
     #[test]

@@ -279,19 +279,46 @@ pub fn dtw_full(x: &TimeSeries, y: &TimeSeries, opts: &DtwOptions) -> DtwResult 
 /// staple of nearest-neighbour search loops (threshold = best-so-far).
 ///
 /// `threshold` is interpreted in the same units as the configured
-/// [`Normalization`] (it is un-normalised internally). Paths are never
-/// computed on the abandoning variant; use [`dtw_banded`] for the winner.
+/// [`Normalization`]: row minima are converted into those units before
+/// comparing (never the threshold into raw units — float division is
+/// monotone, so a candidate whose final normalised distance ties the
+/// threshold can never be abandoned mid-run by a rounding artefact; k-NN
+/// loops rely on this for tie-exactness). Paths are never computed on the
+/// abandoning variant; use [`dtw_banded`] for the winner.
 ///
 /// # Panics
 ///
 /// Panics on dimension mismatch (programmer error).
-#[allow(clippy::needless_range_loop)] // same band-coordinate loops as dtw_banded
 pub fn dtw_banded_early_abandon(
     x: &TimeSeries,
     y: &TimeSeries,
     band: &Band,
     opts: &DtwOptions,
     threshold: f64,
+) -> Option<DtwResult> {
+    let mut scratch = DtwScratch::new();
+    dtw_banded_early_abandon_with_scratch(x, y, band, opts, threshold, &mut scratch)
+}
+
+/// [`dtw_banded_early_abandon`] with caller-provided scratch buffers — the
+/// nearest-neighbour hot path. A k-NN loop runs one abandoning DP per
+/// surviving candidate; keeping one [`DtwScratch`] per query (or per
+/// worker thread in batch mode) turns the per-candidate allocation into a
+/// buffer reuse, exactly as [`dtw_banded_with_scratch`] does for the
+/// non-abandoning kernel. Results are bit-identical to the allocating
+/// variant.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (programmer error).
+#[allow(clippy::needless_range_loop)] // same band-coordinate loops as dtw_banded
+pub fn dtw_banded_early_abandon_with_scratch(
+    x: &TimeSeries,
+    y: &TimeSeries,
+    band: &Band,
+    opts: &DtwOptions,
+    threshold: f64,
+    scratch: &mut DtwScratch,
 ) -> Option<DtwResult> {
     assert_eq!(band.n(), x.len(), "band rows must match |X|");
     assert_eq!(band.m(), y.len(), "band cols must match |Y|");
@@ -302,9 +329,14 @@ pub fn dtw_banded_early_abandon(
         sanitized = band.sanitize();
         &sanitized
     };
-    let raw_threshold = match opts.normalization {
-        Normalization::None => threshold,
-        Normalization::LengthSum => threshold * (x.len() + y.len()) as f64,
+    // Convert raw accumulated costs into the threshold's units. Division
+    // is monotone under rounding: row_min ≤ final raw cost implies
+    // in_units(row_min) ≤ the reported distance, so the row check can
+    // never abandon a candidate whose final distance would have passed
+    // the `distance > threshold` check below — ties survive exactly.
+    let in_units = |raw: f64| match opts.normalization {
+        Normalization::None => raw,
+        Normalization::LengthSum => raw / (x.len() + y.len()) as f64,
     };
 
     let xv = x.values();
@@ -312,8 +344,7 @@ pub fn dtw_banded_early_abandon(
     let metric = opts.metric;
     let dw = opts.step_pattern.diagonal_weight();
     let n = band.n();
-    let mut scratch = DtwScratch::new();
-    let mut d = BandMatrix::new(band, &mut scratch);
+    let mut d = BandMatrix::new(band, scratch);
 
     {
         let r = band.row(0);
@@ -324,7 +355,7 @@ pub fn dtw_banded_early_abandon(
             d.set(0, j, acc);
             row_min = row_min.min(acc);
         }
-        if row_min > raw_threshold {
+        if in_units(row_min) > threshold {
             return None;
         }
     }
@@ -343,7 +374,7 @@ pub fn dtw_banded_early_abandon(
             d.set(i, j, best);
             row_min = row_min.min(best);
         }
-        if row_min > raw_threshold {
+        if in_units(row_min) > threshold {
             return None;
         }
     }
@@ -715,6 +746,47 @@ mod tests {
                         let reused = dtw_banded_with_scratch(a, b, &band, &opts, &mut scratch);
                         assert_eq!(fresh.distance.to_bits(), reused.distance.to_bits());
                         assert_eq!(fresh.cells_filled, reused.cells_filled);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandon_scratch_reuse_is_bit_identical() {
+        // one scratch reused across candidates of mixed shapes must agree
+        // exactly with the allocating early-abandon path, both in outcome
+        // (abandon vs complete) and in the returned distance bits
+        let mut scratch = DtwScratch::new();
+        let series: Vec<TimeSeries> = (0..5)
+            .map(|k| {
+                ts(&(0..(18 + 9 * k))
+                    .map(|i| ((i + 2 * k) as f64 / (3 + k) as f64).sin())
+                    .collect::<Vec<_>>())
+            })
+            .collect();
+        for a in &series {
+            for b in &series {
+                let band = Band::full(a.len(), b.len());
+                for threshold in [0.05, 1.0, f64::INFINITY] {
+                    for opts in [DtwOptions::default(), DtwOptions::normalized_symmetric2()] {
+                        let fresh = dtw_banded_early_abandon(a, b, &band, &opts, threshold);
+                        let reused = dtw_banded_early_abandon_with_scratch(
+                            a,
+                            b,
+                            &band,
+                            &opts,
+                            threshold,
+                            &mut scratch,
+                        );
+                        match (fresh, reused) {
+                            (None, None) => {}
+                            (Some(f), Some(r)) => {
+                                assert_eq!(f.distance.to_bits(), r.distance.to_bits());
+                                assert_eq!(f.cells_filled, r.cells_filled);
+                            }
+                            (f, r) => panic!("abandon disagreement: {f:?} vs {r:?}"),
+                        }
                     }
                 }
             }

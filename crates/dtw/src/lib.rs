@@ -21,12 +21,14 @@
 //!   §2.1.1 conditions);
 //! * [`sakoe`] — Sakoe-Chiba fixed core & fixed width bands;
 //! * [`itakura`] — Itakura parallelogram (slope-constrained) bands;
-//! * [`lower_bound`] — LB_Keogh envelope lower bound (extension; used for
-//!   retrieval pruning ablations);
+//! * [`lower_bound`] — the LB_Kim constant-time bound (endpoint/extremum
+//!   summaries) and the LB_Keogh envelope bound (extensions; they power
+//!   the `sdtw-index` retrieval cascade and the pruning ablations);
 //! * [`multires`] — coarse-to-fine (FastDTW-style) corridor DTW, the
 //!   reduced-representation family the paper calls orthogonal to sDTW;
 //! * [`search`] — pruned 1-NN search (LB_Keogh prefilter + early-abandoned
-//!   banded DP), the classic similarity-search stack.
+//!   banded DP). Deprecated in favour of the `sdtw-index` crate's cascade;
+//!   kept as the exactness oracle in tests.
 //!
 //! # Example
 //!
@@ -57,6 +59,8 @@ pub mod search;
 
 pub use band::Band;
 pub use engine::{
-    dtw_banded, dtw_banded_with_scratch, dtw_full, DtwOptions, DtwResult, DtwScratch,
+    dtw_banded, dtw_banded_early_abandon, dtw_banded_early_abandon_with_scratch,
+    dtw_banded_with_scratch, dtw_full, DtwOptions, DtwResult, DtwScratch,
 };
+pub use lower_bound::{lb_keogh, lb_kim, Envelope, SeriesSummary};
 pub use path::WarpPath;

@@ -11,9 +11,18 @@
 //! band; [`NnSearch`] applies the bound only when both conditions hold, so
 //! the search is correct for arbitrary corpora (just without the prefilter
 //! where it would be unsound).
+//!
+//! **Deprecated**: the `sdtw-index` crate supersedes this with a prebuilt
+//! corpus index running the full cascade (LB_Kim → LB_Keogh → reversed
+//! LB_Keogh → early-abandoned banded DP) over precomputed envelopes and
+//! cached salient features, with top-k, batch parallelism and
+//! serialization. `NnSearch` remains the small self-contained exactness
+//! oracle the test suites compare against.
 
 use crate::band::Band;
-use crate::engine::{dtw_banded, dtw_banded_early_abandon, DtwOptions, Normalization};
+use crate::engine::{
+    dtw_banded, dtw_banded_early_abandon_with_scratch, DtwOptions, DtwScratch, Normalization,
+};
 use crate::lower_bound::{lb_keogh, Envelope};
 use sdtw_tseries::TimeSeries;
 
@@ -33,6 +42,11 @@ pub struct NnResult {
 }
 
 /// Pruned 1-NN search configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the `sdtw-index` crate's cascading kNN index; \
+            kept as the brute-force-equivalent exactness oracle for tests"
+)]
 #[derive(Debug, Clone)]
 pub struct NnSearch<F> {
     /// Builds the band for a `(n, m)` pair (e.g. a Sakoe-Chiba closure or
@@ -48,6 +62,7 @@ pub struct NnSearch<F> {
     pub lb_radius: usize,
 }
 
+#[allow(deprecated)] // the impl of the deprecated oracle itself
 impl<F: Fn(usize, usize) -> Band> NnSearch<F> {
     /// Whether LB_Keogh soundly lower-bounds the banded DTW distance for
     /// this query/candidate pair: equal lengths, raw costs, and a band
@@ -72,6 +87,8 @@ impl<F: Fn(usize, usize) -> Band> NnSearch<F> {
     pub fn nearest(&self, query: &TimeSeries, candidates: &[TimeSeries]) -> NnResult {
         assert!(!candidates.is_empty(), "need at least one candidate");
         let query_env = Envelope::build(query, self.lb_radius);
+        // one DP scratch for the whole candidate sweep
+        let mut scratch = DtwScratch::new();
         let mut best: Option<(usize, f64)> = None;
         let mut lb_pruned = 0usize;
         let mut abandoned = 0usize;
@@ -87,7 +104,14 @@ impl<F: Fn(usize, usize) -> Band> NnSearch<F> {
                     continue;
                 }
             }
-            match dtw_banded_early_abandon(query, cand, &band, &self.opts, threshold) {
+            match dtw_banded_early_abandon_with_scratch(
+                query,
+                cand,
+                &band,
+                &self.opts,
+                threshold,
+                &mut scratch,
+            ) {
                 None => {
                     abandoned += 1;
                     // the abandoning run still paid for part of the grid;
@@ -132,6 +156,7 @@ impl<F: Fn(usize, usize) -> Band> NnSearch<F> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercising the deprecated oracle is the point
 mod tests {
     use super::*;
     use crate::sakoe::sakoe_chiba_band;

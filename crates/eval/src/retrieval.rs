@@ -94,4 +94,79 @@ mod tests {
         let m = matrix(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let _ = retrieval_accuracy(&m, &m, 3);
     }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn k_zero_panics() {
+        let m = matrix(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let _ = retrieval_accuracy(&m, &m, 0);
+    }
+
+    #[test]
+    fn approx_equal_to_reference_scores_one_for_every_valid_k() {
+        // approx == reference ⇒ accuracy 1.0 regardless of k — including
+        // matrices containing distance ties
+        let m = matrix(&[
+            &[0.0, 2.0, 2.0, 5.0, 1.0],
+            &[2.0, 0.0, 3.0, 3.0, 4.0],
+            &[2.0, 3.0, 0.0, 1.0, 1.0],
+            &[5.0, 3.0, 1.0, 0.0, 2.0],
+            &[1.0, 4.0, 1.0, 2.0, 0.0],
+        ]);
+        let approx = m.clone();
+        for k in 1..5 {
+            assert_eq!(
+                retrieval_accuracy(&m, &approx, k),
+                1.0,
+                "self-accuracy must be perfect at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_are_broken_by_index_consistently_on_both_sides() {
+        // query 0 sees candidates 1 and 2 at the same distance; the
+        // stable tie-break keeps the lower index in both rankings, so
+        // top-1 overlaps even though the tie could have gone either way
+        let reference = matrix(&[&[0.0, 1.0, 1.0], &[1.0, 0.0, 2.0], &[1.0, 2.0, 0.0]]);
+        let approx = matrix(&[&[0.0, 3.0, 3.0], &[3.0, 0.0, 4.0], &[3.0, 4.0, 0.0]]);
+        // scaled distances: same induced (tie-broken) orderings everywhere
+        assert_eq!(retrieval_accuracy(&reference, &approx, 1), 1.0);
+        assert_eq!(retrieval_accuracy(&reference, &approx, 2), 1.0);
+    }
+
+    #[test]
+    fn tie_resolution_mismatch_costs_exactly_the_swapped_slot() {
+        // reference: query 0 ties candidates 1, 2 → stable top-1 is {1};
+        // approx strictly prefers candidate 2, so top-1 misses, while
+        // top-2 (both candidates) still overlaps fully
+        let reference = matrix(&[&[0.0, 1.0, 1.0], &[1.0, 0.0, 5.0], &[1.0, 5.0, 0.0]]);
+        let approx = matrix(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 5.0], &[1.0, 5.0, 0.0]]);
+        let acc1 = retrieval_accuracy(&reference, &approx, 1);
+        // queries 1 and 2 agree (1/1 each); query 0 misses (0/1)
+        assert!((acc1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(retrieval_accuracy(&reference, &approx, 2), 1.0);
+    }
+
+    #[test]
+    fn k1_and_larger_k_measure_different_things() {
+        // approx gets every 1-NN right but scrambles the deeper ranks
+        let reference = matrix(&[
+            &[0.0, 1.0, 2.0, 3.0],
+            &[1.0, 0.0, 2.0, 3.0],
+            &[2.0, 1.0, 0.0, 3.0],
+            &[3.0, 1.0, 2.0, 0.0],
+        ]);
+        let approx = matrix(&[
+            &[0.0, 1.0, 9.0, 3.0],
+            &[1.0, 0.0, 9.0, 3.0],
+            &[9.0, 1.0, 0.0, 3.0],
+            &[9.0, 1.0, 3.0, 0.0],
+        ]);
+        assert_eq!(retrieval_accuracy(&reference, &approx, 1), 1.0);
+        let acc2 = retrieval_accuracy(&reference, &approx, 2);
+        assert!(acc2 < 1.0, "rank-2 disagreements must show at k=2");
+        // top-3 of 3 others is always all of them → back to perfect
+        assert_eq!(retrieval_accuracy(&reference, &approx, 3), 1.0);
+    }
 }

@@ -1,0 +1,414 @@
+//! The corpus index: build, cascade query, batch queries, JSON snapshots.
+
+use crate::config::IndexConfig;
+use crate::knn::{Neighbor, TopK};
+use crate::stats::CascadeStats;
+use rayon::prelude::*;
+use sdtw::{DtwScratch, SDtw};
+use sdtw_dtw::engine::Normalization;
+use sdtw_dtw::lower_bound::{lb_keogh, lb_kim, Envelope, SeriesSummary};
+use sdtw_dtw::Band;
+use sdtw_salient::{extract_features, SalientFeature};
+use sdtw_tseries::transform::z_normalize;
+use sdtw_tseries::{TimeSeries, TsError};
+use serde::{Deserialize, Serialize};
+
+/// One indexed corpus entry: the (possibly z-normalised) series plus every
+/// precomputed artefact the cascade consumes — the LB_Kim summary, the
+/// LB_Keogh envelope, and the salient descriptors the sDTW band planner
+/// reuses across all queries (paper §3.4: extraction is a one-time,
+/// indexable cost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// The stored series (post-normalisation when the index z-normalises).
+    pub series: TimeSeries,
+    /// Upper/lower envelope under the configured window radius.
+    pub envelope: Envelope,
+    /// Endpoint/extremum summary for the O(1) first filter.
+    pub summary: SeriesSummary,
+    /// Cached salient features (empty when the policy ignores alignment).
+    pub features: Vec<SalientFeature>,
+}
+
+/// Answer to one kNN query: neighbours ascending by `(distance, index)`,
+/// plus the per-stage pruning accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The k nearest entries (fewer when the corpus is smaller than k).
+    pub neighbors: Vec<Neighbor>,
+    /// What each cascade stage disposed of for this query.
+    pub stats: CascadeStats,
+}
+
+/// Serialisable image of an index (the engine is rebuilt on load).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IndexSnapshot {
+    config: IndexConfig,
+    entries: Vec<IndexEntry>,
+}
+
+/// A prebuilt kNN index over a `TimeSeries` corpus.
+///
+/// Build time precomputes, per entry: the z-normalised series (optional),
+/// the LB_Kim [`SeriesSummary`], the LB_Keogh [`Envelope`], and the
+/// salient descriptors the sDTW band planner needs. Query time runs the
+/// cascade, visiting candidates in ascending LB_Kim order so the top-k
+/// heap tightens as early as possible:
+///
+/// 1. **LB_Kim** — O(1) endpoint/extremum bound (admissible for every
+///    feasible band);
+/// 2. **LB_Keogh** — query samples against the entry's precomputed
+///    envelope (admissible when the pair's sanitised band stays inside
+///    the envelope window);
+/// 3. **reversed LB_Keogh** — entry samples against the query's envelope
+///    (built once per query);
+/// 4. **early-abandoned banded DP** — seeded with the current k-th best
+///    distance, reusing one [`DtwScratch`] per query (or per worker in
+///    batch mode).
+///
+/// Results are exact: identical ids *and* distances (bit-for-bit) to
+/// brute-forcing the same [`SDtw`] engine over the corpus, including
+/// distance ties, which break toward the lower entry index exactly as the
+/// `sdtw_eval::QueryMatrix` oracle does.
+#[derive(Debug, Clone)]
+pub struct SdtwIndex {
+    config: IndexConfig,
+    engine: SDtw,
+    entries: Vec<IndexEntry>,
+}
+
+impl SdtwIndex {
+    /// Builds an index over a corpus.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation and feature-extraction errors.
+    pub fn build(corpus: &[TimeSeries], config: IndexConfig) -> Result<Self, TsError> {
+        config.validate()?;
+        let engine = SDtw::new(config.sdtw.clone())?;
+        let needs_features = config.sdtw.policy.needs_alignment();
+        let entries = corpus
+            .iter()
+            .map(|ts| {
+                let series = if config.z_normalize {
+                    z_normalize(ts)
+                } else {
+                    ts.clone()
+                };
+                let envelope = Envelope::build(&series, config.radius_for(series.len()));
+                let summary = SeriesSummary::of(&series);
+                let features = if needs_features {
+                    extract_features(&series, &config.sdtw.salient)?
+                } else {
+                    Vec::new()
+                };
+                Ok(IndexEntry {
+                    series,
+                    envelope,
+                    summary,
+                    features,
+                })
+            })
+            .collect::<Result<Vec<_>, TsError>>()?;
+        Ok(Self {
+            config,
+            engine,
+            entries,
+        })
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored (post-normalisation) series of entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn entry_series(&self, i: usize) -> &TimeSeries {
+        &self.entries[i].series
+    }
+
+    /// The indexed entries (inspection/tests).
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Converts a raw accumulated-cost bound into the units of the
+    /// configured normalisation, so it compares against final distances.
+    fn normalize_bound(&self, raw: f64, n: usize, m: usize) -> f64 {
+        match self.config.sdtw.dtw.normalization {
+            Normalization::None => raw,
+            Normalization::LengthSum => raw / (n + m) as f64,
+        }
+    }
+
+    /// Whether LB_Keogh (both directions) soundly lower-bounds the banded
+    /// distance of this pair: equal lengths and every band row inside the
+    /// `±radius` window (`radius` = the smaller of the two envelope
+    /// radii, so the check covers the reversed direction too).
+    fn keogh_applicable(band: &Band, n: usize, m: usize, radius: usize) -> bool {
+        n == m
+            && (0..band.n()).all(|i| {
+                let r = band.row(i);
+                r.lo + radius >= i && r.hi <= i + radius
+            })
+    }
+
+    /// kNN query with a caller-provided DP scratch (the batch hot path).
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, or feature extraction failing on the query.
+    pub fn query_with_scratch(
+        &self,
+        query: &TimeSeries,
+        k: usize,
+        scratch: &mut DtwScratch,
+    ) -> Result<QueryResult, TsError> {
+        if k == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "k",
+                reason: "top-k retrieval needs k >= 1".to_string(),
+            });
+        }
+        let q = if self.config.z_normalize {
+            z_normalize(query)
+        } else {
+            query.clone()
+        };
+        let fq = if self.config.sdtw.policy.needs_alignment() {
+            extract_features(&q, &self.config.sdtw.salient)?
+        } else {
+            Vec::new()
+        };
+        let metric = self.config.sdtw.dtw.metric;
+        let q_summary = SeriesSummary::of(&q);
+        let q_radius = self.config.radius_for(q.len());
+        let q_env = Envelope::build(&q, q_radius);
+
+        // Stage 1 for everyone up front: O(1) per entry, and the visit
+        // order it induces (ascending bound, stable by index) tightens the
+        // top-k threshold as early as possible.
+        let mut order: Vec<(f64, usize)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let raw = lb_kim(&q_summary, &e.summary, metric);
+                (self.normalize_bound(raw, q.len(), e.series.len()), i)
+            })
+            .collect();
+        order.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("lower bounds are finite")
+                .then(a.1.cmp(&b.1))
+        });
+
+        let mut topk = TopK::new(k);
+        let mut stats = CascadeStats {
+            candidates: self.entries.len() as u64,
+            ..CascadeStats::default()
+        };
+
+        for &(kim, idx) in &order {
+            let entry = &self.entries[idx];
+            let threshold = topk.threshold();
+            // strict comparisons throughout: a candidate tying the
+            // current k-th distance must still be examined — the index
+            // tie-break decides whether it displaces the incumbent
+            if kim > threshold {
+                stats.pruned_kim += 1;
+                continue;
+            }
+            let (n, m) = (q.len(), entry.series.len());
+            let (band, _) = self.engine.plan_band(&fq, &entry.features, n, m);
+            // The DP kernel sanitises infeasible bands internally (for the
+            // oracle path too — deterministically, so distances cannot
+            // diverge); LB admissibility must be judged on those same
+            // cells. Every current policy already emits feasible bands, so
+            // this is a no-op guard for future band builders.
+            let band = if band.is_feasible() {
+                band
+            } else {
+                band.sanitize()
+            };
+            if Self::keogh_applicable(&band, n, m, q_radius.min(entry.envelope.radius)) {
+                let lb = self.normalize_bound(lb_keogh(&q, &entry.envelope, metric), n, m);
+                if lb > threshold {
+                    stats.pruned_keogh += 1;
+                    continue;
+                }
+                let lb_rev = self.normalize_bound(lb_keogh(&entry.series, &q_env, metric), n, m);
+                if lb_rev > threshold {
+                    stats.pruned_keogh_rev += 1;
+                    continue;
+                }
+            } else {
+                stats.lb_inapplicable += 1;
+            }
+            match self.engine.banded_distance_early_abandon_scratch(
+                &q,
+                &entry.series,
+                &band,
+                threshold,
+                scratch,
+            ) {
+                None => {
+                    stats.abandoned += 1;
+                    // the abandoning run still paid for part of the grid;
+                    // charge the full band conservatively
+                    stats.cells_filled += band.area() as u64;
+                }
+                Some(r) => {
+                    stats.dp_completed += 1;
+                    stats.cells_filled += r.cells_filled as u64;
+                    topk.offer(idx, r.distance);
+                }
+            }
+        }
+        debug_assert!(stats.is_consistent(), "every candidate accounted once");
+        Ok(QueryResult {
+            neighbors: topk.into_sorted(),
+            stats,
+        })
+    }
+
+    /// kNN query (allocates a fresh DP scratch; see
+    /// [`SdtwIndex::query_with_scratch`] for the reusing variant).
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, or feature extraction failing on the query.
+    pub fn query(&self, query: &TimeSeries, k: usize) -> Result<QueryResult, TsError> {
+        let mut scratch = DtwScratch::new();
+        self.query_with_scratch(query, k, &mut scratch)
+    }
+
+    /// Answers a batch of queries, optionally on the rayon worker pool
+    /// (one DP scratch per worker). Queries are independent, so parallel
+    /// results are bit-identical to serial ones and arrive in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// The first per-query error (`k == 0`, feature extraction).
+    pub fn batch_query(
+        &self,
+        queries: &[TimeSeries],
+        k: usize,
+        parallel: bool,
+    ) -> Result<Vec<QueryResult>, TsError> {
+        let results: Vec<Result<QueryResult, TsError>> = if parallel {
+            (0..queries.len())
+                .into_par_iter()
+                .map_init(DtwScratch::new, |scratch, i| {
+                    self.query_with_scratch(&queries[i], k, scratch)
+                })
+                .collect()
+        } else {
+            let mut scratch = DtwScratch::new();
+            queries
+                .iter()
+                .map(|q| self.query_with_scratch(q, k, &mut scratch))
+                .collect()
+        };
+        results.into_iter().collect()
+    }
+
+    /// Serialises the index to JSON (configuration + entries; the engine
+    /// is rebuilt on load).
+    ///
+    /// # Errors
+    ///
+    /// Serialisation failures (propagated from the serde layer).
+    pub fn to_json(&self) -> Result<String, TsError> {
+        let snapshot = IndexSnapshot {
+            config: self.config.clone(),
+            entries: self.entries.clone(),
+        };
+        serde_json::to_string(&snapshot).map_err(|e| TsError::InvalidParameter {
+            name: "index_snapshot",
+            reason: e.to_string(),
+        })
+    }
+
+    /// Loads an index from a JSON snapshot, revalidating the
+    /// configuration and the per-entry structural invariants: envelope
+    /// length/radius and summary length must match the stored series and
+    /// configuration, cached features must lie within their series, and
+    /// alignment-free policies must carry no features. Feature *content*
+    /// (descriptor values) is trusted, like any database file — rebuild
+    /// from the raw corpus if the snapshot's provenance is in doubt.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures, configuration validation failures, or corrupted
+    /// entries.
+    pub fn from_json(json: &str) -> Result<Self, TsError> {
+        let snapshot: IndexSnapshot =
+            serde_json::from_str(json).map_err(|e| TsError::InvalidParameter {
+                name: "index_json",
+                reason: e.to_string(),
+            })?;
+        snapshot.config.validate()?;
+        let engine = SDtw::new(snapshot.config.sdtw.clone())?;
+        let needs_features = snapshot.config.sdtw.policy.needs_alignment();
+        let corrupt = |i: usize, what: String| TsError::InvalidParameter {
+            name: "index_json",
+            reason: format!("entry {i}: {what}"),
+        };
+        for (i, e) in snapshot.entries.iter().enumerate() {
+            let len = e.series.len();
+            let expected_radius = snapshot.config.radius_for(len);
+            if e.envelope.upper.len() != len
+                || e.envelope.lower.len() != len
+                || e.envelope.radius != expected_radius
+                || e.summary.len != len
+            {
+                return Err(corrupt(
+                    i,
+                    format!(
+                        "envelope/summary inconsistent with series \
+                         (len {len}, expected radius {expected_radius})"
+                    ),
+                ));
+            }
+            if !needs_features && !e.features.is_empty() {
+                return Err(corrupt(
+                    i,
+                    "cached features present under an alignment-free policy".to_string(),
+                ));
+            }
+            for f in &e.features {
+                if f.keypoint.position >= len || f.scope_start > f.scope_end || f.scope_end >= len {
+                    return Err(corrupt(
+                        i,
+                        format!(
+                            "cached feature outside its series (pos {}, scope \
+                             [{}, {}], len {len})",
+                            f.keypoint.position, f.scope_start, f.scope_end
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            config: snapshot.config,
+            engine,
+            entries: snapshot.entries,
+        })
+    }
+}

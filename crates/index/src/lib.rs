@@ -1,0 +1,61 @@
+//! # sdtw-index — corpus kNN with a cascading lower-bound pruning pipeline
+//!
+//! The paper cuts per-pair DTW cost by constraining the grid; this crate
+//! cuts *corpus* retrieval cost by not running the grid at all for most
+//! candidates. A [`SdtwIndex`] is built once over a corpus and answers
+//! top-k queries through the classic UCR-suite-style cascade, cheapest
+//! bound first, visiting candidates in ascending lower-bound order:
+//!
+//! | stage | cost | prunes a candidate when |
+//! |---|---|---|
+//! | LB_Kim | O(1) | endpoint/extremum bound > k-th best |
+//! | LB_Keogh | O(n) | query vs precomputed entry envelope > k-th best |
+//! | reversed LB_Keogh | O(n) | entry vs query envelope > k-th best |
+//! | early-abandoned banded DP | ≤ O(band) | a completed DP row's minimum > k-th best |
+//!
+//! Every bound is admissible for the band actually used (see
+//! `DESIGN.md` §7), so results are **exact** — identical ids and
+//! bit-identical distances to brute-forcing the same [`sdtw::SDtw`]
+//! engine, in both exact-banded-DTW and adaptive sDTW-band modes.
+//! Build-time artefacts per entry: optional z-normalisation, the LB_Kim
+//! [`SeriesSummary`](sdtw_dtw::SeriesSummary), the LB_Keogh
+//! [`Envelope`](sdtw_dtw::Envelope), and cached salient descriptors so
+//! the sDTW band planner never re-extracts (paper §3.4). Queries reuse
+//! one DP scratch each, batch queries run rayon-parallel, and the whole
+//! index round-trips through JSON.
+//!
+//! # Example
+//!
+//! ```
+//! use sdtw_index::{IndexConfig, SdtwIndex};
+//! use sdtw_tseries::TimeSeries;
+//!
+//! let corpus: Vec<TimeSeries> = (0..12)
+//!     .map(|k| {
+//!         TimeSeries::new(
+//!             (0..64)
+//!                 .map(|i| ((i + 5 * k) as f64 / 6.0).sin())
+//!                 .collect(),
+//!         )
+//!         .unwrap()
+//!     })
+//!     .collect();
+//! let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+//! let result = index.query(&corpus[3], 2).unwrap();
+//! assert_eq!(result.neighbors[0].index, 3); // a member is its own 1-NN
+//! assert_eq!(result.neighbors[0].distance, 0.0);
+//! assert!(result.stats.is_consistent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod index;
+pub mod knn;
+pub mod stats;
+
+pub use config::IndexConfig;
+pub use index::{IndexEntry, QueryResult, SdtwIndex};
+pub use knn::Neighbor;
+pub use stats::CascadeStats;

@@ -1,0 +1,95 @@
+//! Pruning-power behaviour of the cascade: on the benchmark-style corpus
+//! every stage must dispose of candidates, and the cascade must do
+//! strictly less DP work than a linear scan.
+
+use sdtw_index::{CascadeStats, IndexConfig, SdtwIndex};
+use sdtw_tseries::TimeSeries;
+
+/// The 200-series corpus shape tracked by `bench_index` (and, at 200×200,
+/// by `BENCH_baseline.json`).
+fn bench_corpus() -> Vec<TimeSeries> {
+    (0..200usize)
+        .map(|k| {
+            TimeSeries::new(
+                (0..48)
+                    .map(|i| {
+                        let t = i as f64;
+                        ((t + k as f64) / 7.0).sin()
+                            + 0.4 * ((t * (1.0 + k as f64 * 0.003)) / 17.0).cos()
+                    })
+                    .collect(),
+            )
+            .unwrap()
+            .identified(k as u64)
+        })
+        .collect()
+}
+
+fn aggregate(index: &SdtwIndex, queries: &[TimeSeries], k: usize) -> CascadeStats {
+    let results = index.batch_query(queries, k, false).unwrap();
+    let mut total = CascadeStats::default();
+    for r in &results {
+        total.absorb(&r.stats);
+    }
+    total
+}
+
+#[test]
+fn every_cascade_stage_prunes_on_the_bench_corpus() {
+    let corpus = bench_corpus();
+    let queries: Vec<TimeSeries> = corpus.iter().take(10).cloned().collect();
+    let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+    let total = aggregate(&index, &queries, 5);
+    assert!(total.is_consistent());
+    assert_eq!(total.candidates, (queries.len() * corpus.len()) as u64);
+    assert!(total.pruned_kim > 0, "LB_Kim never fired: {total:?}");
+    assert!(total.pruned_keogh > 0, "LB_Keogh never fired: {total:?}");
+    assert!(
+        total.pruned_keogh_rev > 0,
+        "reversed LB_Keogh never fired: {total:?}"
+    );
+    assert!(
+        total.abandoned > 0,
+        "early abandoning never fired: {total:?}"
+    );
+    assert!(total.dp_completed >= 5, "top-k needs completed DP runs");
+    assert!(
+        total.prune_rate() > 0.5,
+        "cascade should dispose of most of the corpus, got {}",
+        total.prune_rate()
+    );
+}
+
+#[test]
+fn cascade_does_less_dp_work_than_a_linear_scan() {
+    let corpus = bench_corpus();
+    let queries: Vec<TimeSeries> = corpus.iter().take(5).cloned().collect();
+    let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+    let total = aggregate(&index, &queries, 5);
+    // a linear scan fills the full band for every (query, entry) pair
+    let per_pair_cells = sdtw_dtw::sakoe::sakoe_chiba_band(48, 48, 0.2).area() as u64;
+    let scan_cells = per_pair_cells * (queries.len() * corpus.len()) as u64;
+    assert!(
+        total.cells_filled < scan_cells / 2,
+        "cascade filled {} cells, linear scan {}",
+        total.cells_filled,
+        scan_cells
+    );
+}
+
+#[test]
+fn sdtw_band_mode_also_prunes_on_structured_data() {
+    // adaptive bands wander with the salient alignment; the LB_Keogh
+    // stages only apply where the planned band stays inside the envelope
+    // window, but LB_Kim and early abandoning are always live
+    let ds = sdtw_datasets::UcrAnalog::Gun.generate(17);
+    let corpus = ds.series[..24].to_vec();
+    let queries: Vec<TimeSeries> = corpus.iter().take(4).cloned().collect();
+    let index = SdtwIndex::build(&corpus, IndexConfig::sdtw_bands()).unwrap();
+    let total = aggregate(&index, &queries, 3);
+    assert!(total.is_consistent());
+    assert!(
+        total.pruned_before_dp() + total.abandoned > 0,
+        "no pruning at all in sDTW mode: {total:?}"
+    );
+}

@@ -10,7 +10,9 @@
 //! * [`dtw`] — DTW engine, bands, baselines;
 //! * [`core`] — the sDTW engine itself ([`core::SDtw`]);
 //! * [`datasets`] — synthetic UCR-analogue corpora;
-//! * [`eval`] — evaluation harness and metrics.
+//! * [`eval`] — evaluation harness and metrics;
+//! * [`index`] — prebuilt corpus kNN index with the cascading
+//!   lower-bound pruning pipeline ([`index::SdtwIndex`]).
 //!
 //! See the repository `README.md` for the quickstart and `DESIGN.md` for
 //! the system inventory and experiment index.
@@ -22,6 +24,7 @@ pub use sdtw_align as align;
 pub use sdtw_datasets as datasets;
 pub use sdtw_dtw as dtw;
 pub use sdtw_eval as eval;
+pub use sdtw_index as index;
 pub use sdtw_salient as salient;
 pub use sdtw_scalespace as scalespace;
 pub use sdtw_tseries as tseries;
@@ -40,11 +43,14 @@ pub mod prelude {
     pub use sdtw_dtw::engine::{
         dtw_banded, dtw_banded_early_abandon, dtw_full, DtwOptions, Normalization, StepPattern,
     };
+    pub use sdtw_dtw::lower_bound::{lb_keogh, lb_kim, Envelope, SeriesSummary};
+    #[allow(deprecated)] // the exactness oracle stays reachable for tests
     pub use sdtw_dtw::search::{NnResult, NnSearch};
     pub use sdtw_dtw::{Band, WarpPath};
     pub use sdtw_eval::{
         compute_matrix, compute_query_matrix, evaluate_policies, DistanceMatrix, EvalOptions,
         PolicyEval, QueryMatrix,
     };
+    pub use sdtw_index::{CascadeStats, IndexConfig, Neighbor, SdtwIndex};
     pub use sdtw_tseries::{ElementMetric, TimeSeries, TsError, WarpMap};
 }

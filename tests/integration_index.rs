@@ -1,0 +1,85 @@
+//! End-to-end integration of the kNN index with the evaluation harness:
+//! the index must reproduce the brute-force retrieval pipeline exactly —
+//! same neighbours, same distances, perfect `retrieval_accuracy` — while
+//! pruning real work, on a labelled UCR-analogue corpus.
+
+use sdtw_suite::eval::retrieval::retrieval_accuracy;
+use sdtw_suite::prelude::*;
+
+#[test]
+fn index_reproduces_the_retrieval_pipeline_exactly() {
+    let ds = UcrAnalog::Gun.generate(55);
+    let corpus = ds.series[..20].to_vec();
+    let queries: Vec<TimeSeries> = ds.series[20..25].to_vec();
+    for config in [IndexConfig::exact_banded(0.2), IndexConfig::sdtw_bands()] {
+        let engine = SDtw::new(config.sdtw.clone()).unwrap();
+        let store = FeatureStore::new(config.sdtw.salient.clone()).unwrap();
+        let qm = compute_query_matrix(&queries, &corpus, &engine, &store, true).unwrap();
+        let index = SdtwIndex::build(&corpus, config).unwrap();
+        let results = index.batch_query(&queries, 5, true).unwrap();
+        let mut total = CascadeStats::default();
+        for (q, r) in results.iter().enumerate() {
+            let got: Vec<(usize, u64)> = r
+                .neighbors
+                .iter()
+                .map(|n| (n.index, n.distance.to_bits()))
+                .collect();
+            let want: Vec<(usize, u64)> = qm
+                .top_k(q, 5)
+                .into_iter()
+                .map(|j| (j, qm.get(q, j).to_bits()))
+                .collect();
+            assert_eq!(got, want, "query {q} diverged from the oracle");
+            total.absorb(&r.stats);
+        }
+        assert!(total.is_consistent());
+    }
+}
+
+#[test]
+fn index_retrieval_has_perfect_accuracy_against_its_own_engine() {
+    // build the full pairwise matrix under one engine, then re-derive the
+    // same ranking through the index and score it with the §4.2 metric:
+    // the overlap must be exactly 1.0 for every k
+    let ds = UcrAnalog::Gun.generate(70);
+    let corpus = ds.series[..16].to_vec();
+    let config = IndexConfig::exact_banded(0.2);
+    let engine = SDtw::new(config.sdtw.clone()).unwrap();
+    let store = FeatureStore::new(config.sdtw.salient.clone()).unwrap();
+    let reference = compute_matrix(&corpus, &engine, &store, true).unwrap();
+    let index = SdtwIndex::build(&corpus, config).unwrap();
+    for (i, query) in corpus.iter().enumerate() {
+        // k+1 because the matrix ranking excludes self, the index doesn't
+        let r = index.query(query, 4).unwrap();
+        let got: Vec<usize> = r
+            .neighbors
+            .iter()
+            .map(|n| n.index)
+            .filter(|&j| j != i)
+            .take(3)
+            .collect();
+        assert_eq!(got, reference.top_k(i, 3), "query {i} ranking diverged");
+    }
+    // and the metric itself agrees that identical rankings score 1.0
+    assert_eq!(retrieval_accuracy(&reference, &reference, 3), 1.0);
+}
+
+#[test]
+fn index_prunes_while_staying_exact_on_labelled_data() {
+    let ds = UcrAnalog::Trace.generate(31);
+    let corpus = ds.series[..24].to_vec();
+    let queries: Vec<TimeSeries> = corpus[..6].to_vec();
+    let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+    let results = index.batch_query(&queries, 1, true).unwrap();
+    let mut total = CascadeStats::default();
+    for (q, r) in results.iter().enumerate() {
+        assert_eq!(r.neighbors[0].index, q, "a member is its own 1-NN");
+        assert_eq!(r.neighbors[0].distance, 0.0);
+        total.absorb(&r.stats);
+    }
+    assert!(
+        total.prune_rate() > 0.3,
+        "self-queries should prune hard, got {}",
+        total.prune_rate()
+    );
+}
