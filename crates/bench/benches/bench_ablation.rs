@@ -44,7 +44,17 @@ fn bench_symmetry(c: &mut Criterion) {
         let fx = extract_features(&x, &engine.config().salient).unwrap();
         let fy = extract_features(&y, &engine.config().salient).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(label), &symmetry, |b, _| {
-            b.iter(|| black_box(engine.distance_with_features(&x, &fx, &y, &fy).distance))
+            b.iter(|| {
+                black_box(
+                    engine
+                        .query(&x, &y)
+                        .features(&fx, &fy)
+                        .run()
+                        .unwrap()
+                        .expect("no cutoff")
+                        .distance,
+                )
+            })
         });
     }
     group.finish();
@@ -54,7 +64,7 @@ fn bench_multires_combination(c: &mut Criterion) {
     // The paper (§2.1.4): sDTW "can naturally be implemented along with
     // reduced representation based solutions". Compare plain sDTW,
     // plain multi-resolution corridor, and their intersected band.
-    use sdtw_dtw::engine::{dtw_banded, DtwOptions};
+    use sdtw_dtw::engine::{dtw_run_options, DtwOptions, DtwScratch};
     use sdtw_dtw::multires::multires_band;
     let ds = dataset(UcrAnalog::Trace);
     let x = ds.series[0].clone();
@@ -78,7 +88,14 @@ fn bench_multires_combination(c: &mut Criterion) {
         ("intersection", &combined),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &band, |b, band| {
-            b.iter(|| black_box(dtw_banded(&x, &y, band, &opts).distance))
+            let mut scratch = DtwScratch::new();
+            b.iter(|| {
+                black_box(
+                    dtw_run_options(&x, &y, band, &opts, None, &mut scratch)
+                        .expect("no cutoff")
+                        .distance,
+                )
+            })
         });
     }
     group.finish();

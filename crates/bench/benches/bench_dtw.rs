@@ -1,15 +1,25 @@
-//! Micro-benchmarks of the DTW kernel: full grid vs Sakoe-Chiba vs
+//! Micro-benchmarks of the DTW engine: full grid vs Sakoe-Chiba vs
 //! Itakura at several series lengths (the `O(band area)` scaling claim),
-//! the scratch-reuse saving on the banded kernel, and the serial vs
-//! parallel batch distance-matrix path on a 200-series corpus (the
-//! 200×200 matrix baseline tracked in `BENCH_baseline.json`).
+//! the scratch-reuse saving, the serial vs parallel batch distance-matrix
+//! path on a 200-series corpus (`BENCH_baseline.json`), and the
+//! API-redesign overhead checks tracked in `BENCH_api.json`:
+//!
+//! * `api_pairwise` — the deprecated shims vs `dtw_run_options` vs the
+//!   `SDtw::query` builder on the same pair (the builder must add zero
+//!   measurable overhead — it *is* the shims' implementation);
+//! * `api_kernel` — the amerced (ADTW) kernel inside the same band
+//!   machinery as the standard kernel;
+//! * `api_knn` — index kNN batches under the standard and amerced
+//!   kernels (same cascade, kernel swapped via configuration).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sdtw::{ConstraintPolicy, FeatureStore, SDtw, SDtwConfig};
-use sdtw_dtw::engine::{dtw_banded, dtw_banded_with_scratch, dtw_full, DtwOptions, DtwScratch};
+use sdtw::{ConstraintPolicy, FeatureStore, KernelChoice, SDtw, SDtwConfig};
+use sdtw_dtw::engine::{dtw_full, dtw_run_options, DtwOptions, DtwScratch};
 use sdtw_dtw::itakura::itakura_band;
 use sdtw_dtw::sakoe::sakoe_chiba_band;
 use sdtw_eval::compute_matrix;
+use sdtw_index::{IndexConfig, SdtwIndex};
+use sdtw_salient::extract_features;
 use sdtw_tseries::TimeSeries;
 use std::hint::black_box;
 
@@ -25,6 +35,13 @@ fn series(n: usize, phase: f64) -> TimeSeries {
     .unwrap()
 }
 
+/// Unified-path shorthand used throughout this file.
+fn run(x: &TimeSeries, y: &TimeSeries, band: &sdtw_dtw::Band, opts: &DtwOptions) -> f64 {
+    dtw_run_options(x, y, band, opts, None, &mut DtwScratch::new())
+        .expect("no cutoff configured")
+        .distance
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("dtw_kernel");
     for &n in &[128usize, 256, 512] {
@@ -36,11 +53,11 @@ fn bench_kernels(c: &mut Criterion) {
         });
         let sc10 = sakoe_chiba_band(n, n, 0.10);
         group.bench_with_input(BenchmarkId::new("sakoe10", n), &n, |b, _| {
-            b.iter(|| black_box(dtw_banded(&x, &y, &sc10, &opts).distance))
+            b.iter(|| black_box(run(&x, &y, &sc10, &opts)))
         });
         let ita = itakura_band(n, n, 2.0);
         group.bench_with_input(BenchmarkId::new("itakura", n), &n, |b, _| {
-            b.iter(|| black_box(dtw_banded(&x, &y, &ita, &opts).distance))
+            b.iter(|| black_box(run(&x, &y, &ita, &opts)))
         });
     }
     group.finish();
@@ -64,12 +81,106 @@ fn bench_scratch_reuse(c: &mut Criterion) {
     let opts = DtwOptions::default();
     let mut group = c.benchmark_group("dtw_scratch");
     group.bench_function("alloc_per_call", |b| {
-        b.iter(|| black_box(dtw_banded(&x, &y, &band, &opts).distance))
+        b.iter(|| black_box(run(&x, &y, &band, &opts)))
     });
     let mut scratch = DtwScratch::new();
     group.bench_function("reused_scratch", |b| {
-        b.iter(|| black_box(dtw_banded_with_scratch(&x, &y, &band, &opts, &mut scratch).distance))
+        b.iter(|| {
+            black_box(
+                dtw_run_options(&x, &y, &band, &opts, None, &mut scratch)
+                    .expect("no cutoff")
+                    .distance,
+            )
+        })
     });
+    group.finish();
+}
+
+/// Builder-vs-legacy on one pair: the shims delegate to the builder, so
+/// any measurable gap is dispatch overhead the redesign must not add.
+#[allow(deprecated)] // benchmarking the deprecated shims is the point
+fn bench_api_pairwise(c: &mut Criterion) {
+    let n = 256;
+    let x = series(n, 0.0);
+    let y = series(n, 1.3);
+    let band = sakoe_chiba_band(n, n, 0.10);
+    let opts = DtwOptions::default();
+    let mut group = c.benchmark_group("api_pairwise");
+
+    let mut scratch = DtwScratch::new();
+    group.bench_function("legacy_dtw_banded_with_scratch", |b| {
+        b.iter(|| {
+            black_box(
+                sdtw_dtw::engine::dtw_banded_with_scratch(&x, &y, &band, &opts, &mut scratch)
+                    .distance,
+            )
+        })
+    });
+    group.bench_function("unified_dtw_run_options", |b| {
+        b.iter(|| {
+            black_box(
+                dtw_run_options(&x, &y, &band, &opts, None, &mut scratch)
+                    .expect("no cutoff")
+                    .distance,
+            )
+        })
+    });
+
+    let engine = SDtw::new(SDtwConfig {
+        policy: ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
+        ..SDtwConfig::default()
+    })
+    .unwrap();
+    let fx = extract_features(&x, &engine.config().salient).unwrap();
+    let fy = extract_features(&y, &engine.config().salient).unwrap();
+    group.bench_function("legacy_distance_with_features_scratch", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .distance_with_features_scratch(&x, &fx, &y, &fy, &mut scratch)
+                    .distance,
+            )
+        })
+    });
+    group.bench_function("builder_query", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .query(&x, &y)
+                    .features(&fx, &fy)
+                    .scratch(&mut scratch)
+                    .run()
+                    .expect("supplied features")
+                    .expect("no cutoff")
+                    .distance,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The amerced kernel inside the same band machinery as the standard one.
+fn bench_api_kernel(c: &mut Criterion) {
+    let n = 256;
+    let x = series(n, 0.0);
+    let y = series(n, 1.3);
+    let band = sakoe_chiba_band(n, n, 0.10);
+    let mut group = c.benchmark_group("api_kernel");
+    let mut scratch = DtwScratch::new();
+    for (name, opts) in [
+        ("standard", DtwOptions::default()),
+        ("amerced", DtwOptions::amerced(0.25)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    dtw_run_options(&x, &y, &band, &opts, None, &mut scratch)
+                        .expect("no cutoff")
+                        .distance,
+                )
+            })
+        });
+    }
     group.finish();
 }
 
@@ -125,11 +236,43 @@ fn bench_distmat(c: &mut Criterion) {
     group.finish();
 }
 
+/// Index kNN batches under both kernels: the amerced cascade reuses the
+/// whole band/LB machinery (bounds stay admissible for ω ≥ 0).
+fn bench_api_knn(c: &mut Criterion) {
+    let corpus = distmat_corpus();
+    let queries: Vec<TimeSeries> = (0..20).map(|k| series(48, 0.05 * k as f64)).collect();
+    let mut group = c.benchmark_group("api_knn");
+    for (name, kernel) in [
+        ("standard", KernelChoice::Standard),
+        ("amerced", KernelChoice::Amerced { penalty: 0.25 }),
+    ] {
+        let mut config = IndexConfig::exact_banded(0.2);
+        config.sdtw.dtw.kernel = kernel;
+        let index = SdtwIndex::build(&corpus, config).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    index
+                        .batch_query(&queries, 5, false)
+                        .unwrap()
+                        .iter()
+                        .map(|r| r.stats.dp_completed)
+                        .sum::<u64>(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernels,
     bench_traceback,
     bench_scratch_reuse,
-    bench_distmat
+    bench_api_pairwise,
+    bench_api_kernel,
+    bench_distmat,
+    bench_api_knn
 );
 criterion_main!(benches);

@@ -26,7 +26,19 @@ fn bench_policies(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.label()),
             &policy,
-            |b, _| b.iter(|| black_box(engine.distance_with_features(&x, &fx, &y, &fy).distance)),
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .query(&x, &y)
+                            .features(&fx, &fy)
+                            .run()
+                            .unwrap()
+                            .expect("no cutoff")
+                            .distance,
+                    )
+                })
+            },
         );
     }
     group.finish();

@@ -17,7 +17,7 @@
 mod args;
 
 use args::Args;
-use sdtw::{ConstraintPolicy, FeatureStore, SDtw, SDtwConfig, SalientConfig};
+use sdtw::{ConstraintPolicy, FeatureStore, KernelChoice, SDtw, SDtwConfig, SalientConfig};
 use sdtw_datasets::UcrAnalog;
 use sdtw_index::{CascadeStats, IndexConfig, SdtwIndex};
 use sdtw_salient::feature::extract_feature_set;
@@ -33,21 +33,24 @@ commands:
                              options: --policy <full|sakoe|itakura|fcaw|acfw|acaw|ac2aw>
                                       --width <frac>   (sakoe/acfw width, default 0.1)
                                       --path           (print the warp path)
+                                      --kernel <std|amerced>  (cost kernel, default std)
+                                      --penalty <w>    (amerced warp penalty, default 1.0)
   features <corpus> <i>      salient features of series i
                              options: --bins <n> (descriptor length, default 64)
                                       --json     (machine-readable output)
   retrieve <corpus> <i>      top-k neighbours of series i
-                             options: --k <n> (default 5), --policy, --width
+                             options: --k <n> (default 5), --policy, --width,
+                                      --kernel, --penalty
   distmat <corpus>           full pairwise distance matrix of a corpus
                              (parallel over rows by default)
-                             options: --policy, --width
+                             options: --policy, --width, --kernel, --penalty
                                       --serial          (disable parallelism)
                                       --queries <file>  (query-vs-corpus matrix
                                                          instead of pairwise)
                                       --out <file.json> (write the matrix)
   index build <corpus> <out> prebuild a kNN index (envelopes, summaries,
                              cached salient descriptors) as JSON
-                             options: --policy, --width
+                             options: --policy, --width, --kernel, --penalty
                                       --radius <frac> (envelope window, default 0.1)
                                       --znorm         (z-normalise entries+queries)
   index query <idx> <q>      answer top-k queries from a prebuilt index via
@@ -74,6 +77,43 @@ fn policy_from(name: &str, width: f64) -> Result<ConstraintPolicy, String> {
     Ok(policy)
 }
 
+/// Parses `--kernel` / `--penalty` into a [`KernelChoice`].
+fn kernel_from(a: &Args) -> Result<KernelChoice, String> {
+    let penalty = a.opt_parse("penalty", 1.0f64)?;
+    match a.options.get("kernel").map(String::as_str) {
+        None | Some("std") | Some("standard") => {
+            if a.flag("penalty") {
+                // a silently ignored penalty means the user thought they
+                // were running ADTW — refuse rather than mislead
+                return Err("--penalty requires --kernel amerced".into());
+            }
+            Ok(KernelChoice::Standard)
+        }
+        Some("amerced") | Some("adtw") => {
+            if !penalty.is_finite() || penalty < 0.0 {
+                return Err(format!("--penalty must be finite and >= 0, got {penalty}"));
+            }
+            Ok(KernelChoice::Amerced { penalty })
+        }
+        Some(other) => Err(format!("unknown kernel `{other}` (std|amerced)")),
+    }
+}
+
+/// Base engine configuration from the shared CLI options.
+fn config_from(a: &Args) -> Result<SDtwConfig, String> {
+    let width = a.opt_parse("width", 0.1)?;
+    let policy = policy_from(
+        a.options.get("policy").map_or("ac2aw", String::as_str),
+        width,
+    )?;
+    let mut config = SDtwConfig {
+        policy,
+        ..SDtwConfig::default()
+    };
+    config.dtw.kernel = kernel_from(a)?;
+    Ok(config)
+}
+
 fn load_series(corpus: &[TimeSeries], idx: usize) -> Result<&TimeSeries, String> {
     corpus
         .get(idx)
@@ -87,23 +127,20 @@ fn cmd_dist(a: &Args) -> Result<(), String> {
     let corpus = read_ucr_file(path).map_err(|e| e.to_string())?;
     let i: usize = i.parse().map_err(|_| "i must be an index")?;
     let j: usize = j.parse().map_err(|_| "j must be an index")?;
-    let width = a.opt_parse("width", 0.1)?;
-    let policy = policy_from(
-        a.options.get("policy").map_or("ac2aw", String::as_str),
-        width,
-    )?;
-    let mut config = SDtwConfig {
-        policy,
-        ..SDtwConfig::default()
-    };
+    let mut config = config_from(a)?;
     config.dtw.compute_path = a.flag("path");
     let engine = SDtw::new(config).map_err(|e| e.to_string())?;
     let x = load_series(&corpus, i)?;
     let y = load_series(&corpus, j)?;
-    let out = engine.distance(x, y).map_err(|e| e.to_string())?;
+    let out = engine
+        .query(x, y)
+        .run()
+        .map_err(|e| e.to_string())?
+        .expect("no cutoff configured");
     println!(
-        "distance {:.6}  cells {}  coverage {:.1}%  pairs {}/{}",
+        "distance {:.6}  kernel {}  cells {}  coverage {:.1}%  pairs {}/{}",
         out.distance,
+        engine.config().dtw.kernel_label(),
         out.cells_filled,
         out.band_coverage * 100.0,
         out.consistent_pairs,
@@ -159,32 +196,31 @@ fn cmd_retrieve(a: &Args) -> Result<(), String> {
     let corpus = read_ucr_file(path).map_err(|e| e.to_string())?;
     let i: usize = i.parse().map_err(|_| "query index must be a number")?;
     let k = a.opt_parse("k", 5usize)?;
-    let width = a.opt_parse("width", 0.1)?;
-    let policy = policy_from(
-        a.options.get("policy").map_or("ac2aw", String::as_str),
-        width,
-    )?;
-    let engine = SDtw::new(SDtwConfig {
-        policy,
-        ..SDtwConfig::default()
-    })
-    .map_err(|e| e.to_string())?;
+    let config = config_from(a)?;
+    let policy = config.policy;
+    let engine = SDtw::new(config).map_err(|e| e.to_string())?;
     let store = FeatureStore::new(engine.config().salient.clone()).map_err(|e| e.to_string())?;
     let query = load_series(&corpus, i)?;
-    let fq = store.features_for(query).map_err(|e| e.to_string())?;
+    let mut scratch = sdtw::DtwScratch::new();
     let mut scored: Vec<(usize, f64)> = Vec::new();
     for (j, candidate) in corpus.iter().enumerate() {
         if j == i {
             continue;
         }
-        let fc = store.features_for(candidate).map_err(|e| e.to_string())?;
-        let out = engine.distance_with_features(query, &fq, candidate, &fc);
+        let out = engine
+            .query(query, candidate)
+            .store(&store)
+            .scratch(&mut scratch)
+            .run()
+            .map_err(|e| e.to_string())?
+            .expect("no cutoff configured");
         scored.push((j, out.distance));
     }
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
     println!(
-        "top-{k} neighbours of series {i} (policy {}):",
-        policy.label()
+        "top-{k} neighbours of series {i} (policy {}, kernel {}):",
+        policy.label(),
+        engine.config().dtw.kernel_label()
     );
     for (rank, (j, d)) in scored.iter().take(k).enumerate() {
         let label = corpus[*j]
@@ -209,11 +245,8 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
     if corpus.is_empty() {
         return Err("corpus is empty".into());
     }
-    let width = a.opt_parse("width", 0.1)?;
-    let policy = policy_from(
-        a.options.get("policy").map_or("ac2aw", String::as_str),
-        width,
-    )?;
+    let config = config_from(a)?;
+    let policy = config.policy;
     let parallel = !a.flag("serial");
     // validate value-carrying options up front (a bare flag parses as "")
     let queries = match a.options.get("queries") {
@@ -231,11 +264,7 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
         Some(o) if o.is_empty() => return Err("option --out requires a file path".into()),
         other => other,
     };
-    let engine = SDtw::new(SDtwConfig {
-        policy,
-        ..SDtwConfig::default()
-    })
-    .map_err(|e| e.to_string())?;
+    let engine = SDtw::new(config).map_err(|e| e.to_string())?;
     let store = FeatureStore::new(engine.config().salient.clone()).map_err(|e| e.to_string())?;
 
     // one-time feature indexing (corpus + queries), so the wall time below
@@ -270,7 +299,11 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
     };
     let wall = t1.elapsed();
 
-    println!("{summary}  policy {}", policy.label());
+    println!(
+        "{summary}  policy {}  kernel {}",
+        policy.label(),
+        engine.config().dtw.kernel_label()
+    );
     println!(
         "mode {}  workers {}",
         if parallel { "parallel" } else { "serial" },
@@ -311,16 +344,10 @@ fn cmd_index_build(a: &Args) -> Result<(), String> {
     if corpus.is_empty() {
         return Err("corpus is empty".into());
     }
-    let width = a.opt_parse("width", 0.1)?;
-    let policy = policy_from(
-        a.options.get("policy").map_or("ac2aw", String::as_str),
-        width,
-    )?;
+    let sdtw_config = config_from(a)?;
+    let policy = sdtw_config.policy;
     let config = IndexConfig {
-        sdtw: SDtwConfig {
-            policy,
-            ..SDtwConfig::default()
-        },
+        sdtw: sdtw_config,
         z_normalize: a.flag("znorm"),
         lb_radius_frac: a.opt_parse("radius", 0.1)?,
     };
@@ -330,9 +357,10 @@ fn cmd_index_build(a: &Args) -> Result<(), String> {
     let json = index.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
     println!(
-        "indexed {} series  policy {}  radius {:.0}%  znorm {}  build {built:?}",
+        "indexed {} series  policy {}  kernel {}  radius {:.0}%  znorm {}  build {built:?}",
         index.len(),
         policy.label(),
+        index.config().sdtw.dtw.kernel_label(),
         index.config().lb_radius_frac * 100.0,
         index.config().z_normalize,
     );
@@ -396,6 +424,13 @@ fn cmd_index_query(a: &Args) -> Result<(), String> {
         total.cells_filled,
         if parallel { "parallel" } else { "serial" },
     );
+    if total.bounds_disabled {
+        println!(
+            "note: lower-bound pruning disabled — the configured kernel \
+             reports LB_Kim/LB_Keogh inadmissible; queries ran on early \
+             abandoning alone"
+        );
+    }
     Ok(())
 }
 
@@ -464,6 +499,35 @@ mod tests {
             .label()
             .contains("itakura"));
         assert!(policy_from("bogus", 0.1).is_err());
+    }
+
+    #[test]
+    fn kernel_flag_parses_and_rejects_bad_input() {
+        let parse = |tokens: &[&str]| Args::parse(tokens.iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(
+            kernel_from(&parse(&["dist"])).unwrap(),
+            KernelChoice::Standard
+        );
+        assert_eq!(
+            kernel_from(&parse(&["dist", "--kernel", "std"])).unwrap(),
+            KernelChoice::Standard
+        );
+        assert_eq!(
+            kernel_from(&parse(&["dist", "--kernel", "amerced"])).unwrap(),
+            KernelChoice::Amerced { penalty: 1.0 }
+        );
+        assert_eq!(
+            kernel_from(&parse(&["dist", "--kernel", "adtw", "--penalty", "0.25"])).unwrap(),
+            KernelChoice::Amerced { penalty: 0.25 }
+        );
+        assert!(kernel_from(&parse(&["dist", "--kernel", "bogus"])).is_err());
+        assert!(kernel_from(&parse(&["dist", "--kernel", "amerced", "--penalty", "-1"])).is_err());
+        // a --penalty without --kernel amerced is a mistake, not a no-op
+        let err = kernel_from(&parse(&["dist", "--penalty", "0.5"])).unwrap_err();
+        assert!(err.contains("requires --kernel amerced"), "{err}");
+        let err =
+            kernel_from(&parse(&["dist", "--kernel", "std", "--penalty", "0.5"])).unwrap_err();
+        assert!(err.contains("requires --kernel amerced"), "{err}");
     }
 
     #[test]
@@ -550,6 +614,35 @@ mod tests {
             cmd_index(&Args::parse(query).unwrap()).unwrap();
         }
 
+        // amerced kernel end-to-end through build + query
+        let amerced_path = dir.join("index_amerced.json");
+        let build_am = [
+            "index",
+            "build",
+            corpus_path.to_str().unwrap(),
+            amerced_path.to_str().unwrap(),
+            "--policy",
+            "sakoe",
+            "--width",
+            "0.2",
+            "--kernel",
+            "amerced",
+            "--penalty",
+            "0.5",
+        ];
+        cmd_index(&Args::parse(build_am.iter().map(|s| s.to_string())).unwrap()).unwrap();
+        let query_am = [
+            "index",
+            "query",
+            amerced_path.to_str().unwrap(),
+            corpus_path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--serial",
+        ];
+        cmd_index(&Args::parse(query_am.iter().map(|s| s.to_string())).unwrap()).unwrap();
+        std::fs::remove_file(&amerced_path).ok();
+
         // bad invocations are reported, not panicked
         assert!(cmd_index(&Args::parse(["index".to_string()]).unwrap()).is_err());
         assert!(cmd_index(
@@ -594,6 +687,26 @@ mod tests {
         )
         .unwrap();
         cmd_dist(&dist).unwrap();
+        let amerced = Args::parse(
+            [
+                "dist",
+                path.to_str().unwrap(),
+                "0",
+                "1",
+                "--policy",
+                "sakoe",
+                "--width",
+                "0.2",
+                "--kernel",
+                "amerced",
+                "--penalty",
+                "0.3",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        cmd_dist(&amerced).unwrap();
         std::fs::remove_file(&path).ok();
     }
 }

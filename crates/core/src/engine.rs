@@ -1,17 +1,20 @@
-//! The `SDtw` front-end: configuration, per-pair execution, outcome
-//! introspection.
+//! The `SDtw` front-end: configuration, the [`SDtw::query`] execution
+//! path, outcome introspection.
+//!
+//! All distance computation flows through the [`crate::query::Query`]
+//! builder (`SDtw::query(&x, &y).….run()`); the historical `distance*`
+//! method family survives as `#[deprecated]` shims over it, bit-identical
+//! to their original outputs.
 
 use crate::constraint::build_band;
 use crate::policy::{BandSymmetry, ConstraintPolicy};
 use sdtw_align::{match_features, IntervalPartition, MatchConfig, MatchResult};
-use sdtw_dtw::engine::{
-    dtw_banded_early_abandon_with_scratch, dtw_banded_with_scratch, DtwOptions, DtwScratch,
-};
+use sdtw_dtw::engine::{DtwOptions, DtwScratch};
 use sdtw_dtw::{Band, WarpPath};
-use sdtw_salient::{extract_features, SalientConfig, SalientFeature};
+use sdtw_salient::{SalientConfig, SalientFeature};
 use sdtw_tseries::{TimeSeries, TsError};
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Full configuration of an [`SDtw`] engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,7 +27,7 @@ pub struct SDtwConfig {
     pub policy: ConstraintPolicy,
     /// Asymmetric (paper default) or symmetric-by-union band construction.
     pub symmetry: BandSymmetry,
-    /// DP options: element metric, warp-path computation.
+    /// DP options: element metric, warp-path computation, cost kernel.
     pub dtw: DtwOptions,
 }
 
@@ -50,6 +53,7 @@ impl SDtwConfig {
         self.salient.validate()?;
         self.matching.validate()?;
         self.policy.validate()?;
+        self.dtw.validate()?;
         Ok(())
     }
 }
@@ -59,9 +63,13 @@ impl SDtwConfig {
 /// the `time*` terms of §4.2.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTiming {
-    /// Salient feature extraction (zero when features were supplied from a
-    /// cache — the paper treats extraction as a one-time indexable cost).
-    pub extraction: Duration,
+    /// Salient feature extraction when it happened **in this call**:
+    /// `None` on the cached/supplied-features paths (the paper treats
+    /// extraction as a one-time indexable cost, so a cache hit has no
+    /// extraction phase at all — it is absent, not zero), `Some` when the
+    /// call extracted (including a `FeatureStore` miss, which attributes
+    /// the one-time cost to exactly one call).
+    pub extraction: Option<Duration>,
     /// Matching + inconsistency pruning + band construction.
     pub matching: Duration,
     /// Banded dynamic programming + traceback.
@@ -74,15 +82,21 @@ impl PhaseTiming {
     pub fn per_pair(&self) -> Duration {
         self.matching + self.dynamic_programming
     }
+
+    /// Total including any extraction attributed to this call.
+    pub fn total(&self) -> Duration {
+        self.extraction.unwrap_or_default() + self.per_pair()
+    }
 }
 
 /// Outcome of one sDTW distance computation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SDtwOutcome {
-    /// The constrained DTW distance (≥ the optimal full-grid distance).
+    /// The constrained DTW distance (≥ the optimal full-grid distance
+    /// under the same kernel).
     pub distance: f64,
     /// Optimal warp path within the band, when requested via
-    /// [`DtwOptions::compute_path`].
+    /// [`DtwOptions::compute_path`] or [`crate::query::Query::path`].
     pub path: Option<WarpPath>,
     /// DP cells filled (= sanitised band area) — deterministic work proxy.
     pub cells_filled: usize,
@@ -103,9 +117,10 @@ pub struct SDtwOutcome {
 
 /// The sDTW engine (paper §3 end to end).
 ///
-/// Construct once with a validated config, then call
-/// [`SDtw::distance`] per pair, or [`SDtw::distance_with_features`] when
-/// salient features are cached (see [`crate::store::FeatureStore`]).
+/// Construct once with a validated config, then call [`SDtw::query`] per
+/// pair — features (extract vs cached), band override, warp path,
+/// early-abandon cutoff, scratch reuse and kernel choice are orthogonal
+/// builder options (see [`crate::query::Query`]).
 #[derive(Debug, Clone)]
 pub struct SDtw {
     config: SDtwConfig,
@@ -133,21 +148,23 @@ impl SDtw {
     /// # Errors
     ///
     /// Propagates feature-extraction errors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the query builder: `engine.query(&x, &y).run()`"
+    )]
     pub fn distance(&self, x: &TimeSeries, y: &TimeSeries) -> Result<SDtwOutcome, TsError> {
-        if !self.config.policy.needs_alignment() {
-            return Ok(self.distance_with_features(x, &[], y, &[]));
-        }
-        let t0 = Instant::now();
-        let fx = extract_features(x, &self.config.salient)?;
-        let fy = extract_features(y, &self.config.salient)?;
-        let extraction = t0.elapsed();
-        let mut outcome = self.distance_with_features(x, &fx, y, &fy);
-        outcome.timing.extraction = extraction;
-        Ok(outcome)
+        Ok(self
+            .query(x, y)
+            .run()?
+            .expect("no cutoff configured, the run cannot abandon"))
     }
 
     /// Computes the constrained distance with pre-extracted features (the
-    /// cached path: extraction cost is reported as zero).
+    /// cached path: extraction is reported as absent).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the query builder: `engine.query(&x, &y).features(fx, fy).run()`"
+    )]
     pub fn distance_with_features(
         &self,
         x: &TimeSeries,
@@ -155,14 +172,19 @@ impl SDtw {
         y: &TimeSeries,
         fy: &[SalientFeature],
     ) -> SDtwOutcome {
-        let mut scratch = DtwScratch::new();
-        self.distance_with_features_scratch(x, fx, y, fy, &mut scratch)
+        self.query(x, y)
+            .features(fx, fy)
+            .run()
+            .expect("supplied features cannot fail extraction")
+            .expect("no cutoff configured, the run cannot abandon")
     }
 
-    /// [`SDtw::distance_with_features`] with caller-provided DP scratch
-    /// buffers — the batch hot path. Results are bit-identical to the
-    /// allocating variant; batch drivers keep one [`DtwScratch`] per
-    /// worker thread (see `sdtw_eval::distmat`).
+    /// Cached-features distance with caller-provided DP scratch buffers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the query builder: \
+                `engine.query(&x, &y).features(fx, fy).scratch(&mut s).run()`"
+    )]
     pub fn distance_with_features_scratch(
         &self,
         x: &TimeSeries,
@@ -171,55 +193,23 @@ impl SDtw {
         fy: &[SalientFeature],
         scratch: &mut DtwScratch,
     ) -> SDtwOutcome {
-        let n = x.len();
-        let m = y.len();
-
-        let t_match = Instant::now();
-        let (band, match_stats) = self.plan_band(fx, fy, n, m);
-        let matching = t_match.elapsed();
-
-        let t_dp = Instant::now();
-        let result = dtw_banded_with_scratch(x, y, &band, &self.config.dtw, scratch);
-        let dynamic_programming = t_dp.elapsed();
-
-        let (raw_pairs, consistent_pairs, descriptor_comparisons) = match &match_stats {
-            Some(mr) => (
-                mr.raw_pairs.len(),
-                mr.consistent_pairs.len(),
-                mr.descriptor_comparisons,
-            ),
-            None => (0, 0, 0),
-        };
-
-        SDtwOutcome {
-            distance: result.distance,
-            path: result.path,
-            cells_filled: result.cells_filled,
-            band_area: band.area(),
-            band_coverage: band.coverage(),
-            raw_pairs,
-            consistent_pairs,
-            descriptor_comparisons,
-            timing: PhaseTiming {
-                extraction: Duration::ZERO,
-                matching,
-                dynamic_programming,
-            },
-        }
+        self.query(x, y)
+            .features(fx, fy)
+            .scratch(scratch)
+            .run()
+            .expect("supplied features cannot fail extraction")
+            .expect("no cutoff configured, the run cannot abandon")
     }
 
-    /// Early-abandoning variant of
-    /// [`SDtw::distance_with_features_scratch`] — the retrieval hot path.
-    ///
-    /// Plans the band from the supplied (typically cached) features
-    /// exactly as the non-abandoning path does, then runs the abandoning
-    /// DP kernel against `threshold` (interpreted in the units of the
-    /// configured normalisation, i.e. directly comparable to
-    /// [`SDtwOutcome::distance`]). Returns `None` as soon as no path
-    /// through the band can come in at or under the threshold; when `Some`
-    /// is returned the distance is bit-identical to the one
-    /// [`SDtw::distance_with_features_scratch`] computes for the pair.
-    /// Warp paths are never produced on this variant.
+    /// Early-abandoning cached-features distance (the retrieval hot
+    /// path). Returns `None` as soon as no path through the band can come
+    /// in at or under `threshold` (reported-distance units). Warp paths
+    /// are never produced on this variant.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the query builder: \
+                `engine.query(&x, &y).features(fx, fy).cutoff(t).scratch(&mut s).run()`"
+    )]
     pub fn distance_early_abandon_with_features_scratch(
         &self,
         x: &TimeSeries,
@@ -229,51 +219,22 @@ impl SDtw {
         threshold: f64,
         scratch: &mut DtwScratch,
     ) -> Option<SDtwOutcome> {
-        let n = x.len();
-        let m = y.len();
-
-        let t_match = Instant::now();
-        let (band, match_stats) = self.plan_band(fx, fy, n, m);
-        let matching = t_match.elapsed();
-
-        let t_dp = Instant::now();
-        let result = self.banded_distance_early_abandon_scratch(x, y, &band, threshold, scratch)?;
-        let dynamic_programming = t_dp.elapsed();
-
-        let (raw_pairs, consistent_pairs, descriptor_comparisons) = match &match_stats {
-            Some(mr) => (
-                mr.raw_pairs.len(),
-                mr.consistent_pairs.len(),
-                mr.descriptor_comparisons,
-            ),
-            None => (0, 0, 0),
-        };
-
-        Some(SDtwOutcome {
-            distance: result.distance,
-            path: None,
-            cells_filled: result.cells_filled,
-            band_area: band.area(),
-            band_coverage: band.coverage(),
-            raw_pairs,
-            consistent_pairs,
-            descriptor_comparisons,
-            timing: PhaseTiming {
-                extraction: Duration::ZERO,
-                matching,
-                dynamic_programming,
-            },
-        })
+        self.query(x, y)
+            .features(fx, fy)
+            .cutoff(threshold)
+            .path(false)
+            .scratch(scratch)
+            .run()
+            .expect("supplied features cannot fail extraction")
     }
 
     /// Runs the early-abandoning DP kernel on a *pre-planned* band under
-    /// this engine's DP options. The building block for retrieval
-    /// cascades (e.g. `sdtw-index`) that plan the band once via
-    /// [`SDtw::plan_band`], screen it with lower bounds, and only then
-    /// pay for the DP — without re-planning. `threshold` is in the units
-    /// of the configured normalisation; completed runs are bit-identical
-    /// to the non-abandoning kernel on the same band. Warp paths are
-    /// never produced.
+    /// this engine's DP options. Warp paths are never produced.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the query builder: \
+                `engine.query(&x, &y).band(&band).cutoff(t).scratch(&mut s).run()`"
+    )]
     pub fn banded_distance_early_abandon_scratch(
         &self,
         x: &TimeSeries,
@@ -282,12 +243,25 @@ impl SDtw {
         threshold: f64,
         scratch: &mut DtwScratch,
     ) -> Option<sdtw_dtw::DtwResult> {
-        dtw_banded_early_abandon_with_scratch(x, y, band, &self.config.dtw, threshold, scratch)
+        self.query(x, y)
+            .band(band)
+            .cutoff(threshold)
+            .path(false)
+            .scratch(scratch)
+            .run()
+            .expect("band override cannot fail extraction")
+            .map(|o| sdtw_dtw::DtwResult {
+                distance: o.distance,
+                path: None,
+                cells_filled: o.cells_filled,
+            })
     }
 
     /// Builds the band this engine would use for a pair (exposed for
-    /// introspection, visualisation and the experiment harness). Returns
-    /// the matching result when the policy required alignment.
+    /// introspection, visualisation, the experiment harness and retrieval
+    /// cascades that screen the band with lower bounds before paying for
+    /// the DP — pass the result back via [`crate::query::Query::band`]).
+    /// Returns the matching result when the policy required alignment.
     pub fn plan_band(
         &self,
         fx: &[SalientFeature],
@@ -317,6 +291,8 @@ impl SDtw {
 mod tests {
     use super::*;
     use sdtw_dtw::engine::dtw_full;
+    use sdtw_dtw::KernelChoice;
+    use sdtw_salient::extract_features;
     use sdtw_tseries::WarpMap;
 
     /// Deterministic pair: two warped instances of a multi-feature proto.
@@ -345,10 +321,18 @@ mod tests {
         .unwrap()
     }
 
+    /// Builder shorthand: run to completion with on-the-fly extraction.
+    fn dist(eng: &SDtw, x: &TimeSeries, y: &TimeSeries) -> SDtwOutcome {
+        eng.query(x, y)
+            .run()
+            .unwrap()
+            .expect("no cutoff configured")
+    }
+
     #[test]
     fn full_grid_policy_equals_optimal_dtw() {
         let (x, y) = warped_pair(160, 160);
-        let out = engine(ConstraintPolicy::FullGrid).distance(&x, &y).unwrap();
+        let out = dist(&engine(ConstraintPolicy::FullGrid), &x, &y);
         let full = dtw_full(&x, &y, &DtwOptions::default());
         assert_eq!(out.distance, full.distance);
         assert_eq!(out.cells_filled, 160 * 160);
@@ -367,7 +351,7 @@ mod tests {
             ConstraintPolicy::adaptive_core_adaptive_width(),
             ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
         ] {
-            let out = engine(policy).distance(&x, &y).unwrap();
+            let out = dist(&engine(policy), &x, &y);
             assert!(
                 out.distance >= optimal - 1e-9,
                 "{}: {} < optimal {optimal}",
@@ -384,12 +368,16 @@ mod tests {
         // the adaptive core follows it. Same fixed width for both.
         let (x, y) = warped_pair(200, 200);
         let optimal = dtw_full(&x, &y, &DtwOptions::default()).distance;
-        let fc = engine(ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 })
-            .distance(&x, &y)
-            .unwrap();
-        let ac = engine(ConstraintPolicy::adaptive_core_fixed_width(0.06))
-            .distance(&x, &y)
-            .unwrap();
+        let fc = dist(
+            &engine(ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.06 }),
+            &x,
+            &y,
+        );
+        let ac = dist(
+            &engine(ConstraintPolicy::adaptive_core_fixed_width(0.06)),
+            &x,
+            &y,
+        );
         let fc_err = (fc.distance - optimal) / optimal.max(1e-12);
         let ac_err = (ac.distance - optimal) / optimal.max(1e-12);
         assert!(
@@ -408,7 +396,7 @@ mod tests {
             ConstraintPolicy::adaptive_core_fixed_width(0.1),
             ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
         ] {
-            let out = engine(policy).distance(&x, &y).unwrap();
+            let out = dist(&engine(policy), &x, &y);
             assert!(
                 out.cells_filled < full_cells,
                 "{} filled {} of {}",
@@ -429,7 +417,7 @@ mod tests {
             ConstraintPolicy::adaptive_core_fixed_width(0.06),
             ConstraintPolicy::adaptive_core_adaptive_width(),
         ] {
-            let out = engine(policy).distance(&x, &x).unwrap();
+            let out = dist(&engine(policy), &x, &x);
             assert!(
                 out.distance.abs() < 1e-9,
                 "{}: self-distance {}",
@@ -458,8 +446,8 @@ mod tests {
         let (band_s, _) = sym.plan_band(&fx, &fy, x.len(), y.len());
         assert!(band_a.is_subset_of(&band_s));
         // and the symmetric distance can only improve (band is larger)
-        let da = asym.distance(&x, &y).unwrap().distance;
-        let ds = sym.distance(&x, &y).unwrap().distance;
+        let da = dist(&asym, &x, &y).distance;
+        let ds = dist(&sym, &x, &y).distance;
         assert!(ds <= da + 1e-9);
     }
 
@@ -472,8 +460,8 @@ mod tests {
             ..SDtwConfig::default()
         })
         .unwrap();
-        let xy = sym.distance(&x, &y).unwrap().distance;
-        let yx = sym.distance(&y, &x).unwrap().distance;
+        let xy = dist(&sym, &x, &y).distance;
+        let yx = dist(&sym, &y, &x).distance;
         assert!(
             (xy - yx).abs() < 1e-9,
             "union-band distance must be symmetric: {xy} vs {yx}"
@@ -483,29 +471,62 @@ mod tests {
     #[test]
     fn timing_phases_are_populated() {
         let (x, y) = warped_pair(150, 150);
-        let out = engine(ConstraintPolicy::adaptive_core_adaptive_width())
-            .distance(&x, &y)
-            .unwrap();
-        assert!(out.timing.extraction > Duration::ZERO);
+        let out = dist(
+            &engine(ConstraintPolicy::adaptive_core_adaptive_width()),
+            &x,
+            &y,
+        );
+        let extraction = out.timing.extraction.expect("extracted in this call");
+        assert!(extraction > Duration::ZERO);
         assert!(out.timing.dynamic_programming > Duration::ZERO);
         assert_eq!(
             out.timing.per_pair(),
             out.timing.matching + out.timing.dynamic_programming
         );
+        assert_eq!(out.timing.total(), extraction + out.timing.per_pair());
     }
 
     #[test]
-    fn cached_features_skip_extraction_time() {
+    fn cached_features_report_extraction_as_absent() {
         let (x, y) = warped_pair(150, 150);
         let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
         let fx = extract_features(&x, &eng.config().salient).unwrap();
         let fy = extract_features(&y, &eng.config().salient).unwrap();
-        let out = eng.distance_with_features(&x, &fx, &y, &fy);
-        assert_eq!(out.timing.extraction, Duration::ZERO);
+        let out = eng.query(&x, &y).features(&fx, &fy).run().unwrap().unwrap();
+        assert_eq!(out.timing.extraction, None, "no extraction in this call");
+        assert_eq!(out.timing.total(), out.timing.per_pair());
         // identical result to the uncached path
-        let out2 = eng.distance(&x, &y).unwrap();
+        let out2 = dist(&eng, &x, &y);
         assert_eq!(out.distance, out2.distance);
         assert_eq!(out.cells_filled, out2.cells_filled);
+    }
+
+    #[test]
+    fn alignment_free_policies_never_extract() {
+        let (x, y) = warped_pair(120, 120);
+        let out = dist(
+            &engine(ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.1 }),
+            &x,
+            &y,
+        );
+        assert_eq!(out.timing.extraction, None);
+    }
+
+    #[test]
+    fn store_misses_attribute_extraction_once_then_report_absent() {
+        let (x, y) = warped_pair(150, 150);
+        let x = x.identified(1);
+        let y = y.identified(2);
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let store = crate::store::FeatureStore::new(eng.config().salient.clone()).unwrap();
+        let first = eng.query(&x, &y).store(&store).run().unwrap().unwrap();
+        assert!(
+            first.timing.extraction.expect("cold store extracts") > Duration::ZERO,
+            "the miss pays the one-time extraction"
+        );
+        let second = eng.query(&x, &y).store(&store).run().unwrap().unwrap();
+        assert_eq!(second.timing.extraction, None, "hits have no extraction");
+        assert_eq!(first.distance.to_bits(), second.distance.to_bits());
     }
 
     #[test]
@@ -517,17 +538,29 @@ mod tests {
         let mut scratch = sdtw_dtw::DtwScratch::new();
         // reuse the same scratch across both directions and repeats
         for _ in 0..2 {
-            let plain = eng.distance_with_features(&x, &fx, &y, &fy);
-            let reused = eng.distance_with_features_scratch(&x, &fx, &y, &fy, &mut scratch);
+            let plain = eng.query(&x, &y).features(&fx, &fy).run().unwrap().unwrap();
+            let reused = eng
+                .query(&x, &y)
+                .features(&fx, &fy)
+                .scratch(&mut scratch)
+                .run()
+                .unwrap()
+                .unwrap();
             assert_eq!(plain.distance.to_bits(), reused.distance.to_bits());
             assert_eq!(plain.cells_filled, reused.cells_filled);
-            let back = eng.distance_with_features_scratch(&y, &fy, &x, &fx, &mut scratch);
+            let back = eng
+                .query(&y, &x)
+                .features(&fy, &fx)
+                .scratch(&mut scratch)
+                .run()
+                .unwrap()
+                .unwrap();
             assert!(back.distance.is_finite());
         }
     }
 
     #[test]
-    fn early_abandon_path_is_bit_identical_when_under_threshold() {
+    fn cutoff_path_is_bit_identical_when_under_threshold() {
         let (x, y) = warped_pair(150, 170);
         for policy in [
             ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 },
@@ -537,50 +570,105 @@ mod tests {
             let fx = extract_features(&x, &eng.config().salient).unwrap();
             let fy = extract_features(&y, &eng.config().salient).unwrap();
             let mut scratch = DtwScratch::new();
-            let full = eng.distance_with_features(&x, &fx, &y, &fy);
+            let full = eng.query(&x, &y).features(&fx, &fy).run().unwrap().unwrap();
             let ea = eng
-                .distance_early_abandon_with_features_scratch(
-                    &x,
-                    &fx,
-                    &y,
-                    &fy,
-                    f64::INFINITY,
-                    &mut scratch,
-                )
+                .query(&x, &y)
+                .features(&fx, &fy)
+                .cutoff(f64::INFINITY)
+                .scratch(&mut scratch)
+                .run()
+                .unwrap()
                 .expect("infinite threshold never abandons");
             assert_eq!(full.distance.to_bits(), ea.distance.to_bits());
             assert_eq!(full.cells_filled, ea.cells_filled);
             // threshold exactly at the distance keeps the candidate
-            let at = eng.distance_early_abandon_with_features_scratch(
-                &x,
-                &fx,
-                &y,
-                &fy,
-                full.distance,
-                &mut scratch,
-            );
+            let at = eng
+                .query(&x, &y)
+                .features(&fx, &fy)
+                .cutoff(full.distance)
+                .scratch(&mut scratch)
+                .run()
+                .unwrap();
             assert!(at.is_some(), "threshold == distance must not abandon");
         }
     }
 
     #[test]
-    fn early_abandon_fires_below_the_distance() {
+    fn cutoff_fires_below_the_distance() {
         let (x, y) = warped_pair(150, 170);
         let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
         let fx = extract_features(&x, &eng.config().salient).unwrap();
         let fy = extract_features(&y, &eng.config().salient).unwrap();
         let mut scratch = DtwScratch::new();
-        let d = eng.distance_with_features(&x, &fx, &y, &fy).distance;
+        let d = eng
+            .query(&x, &y)
+            .features(&fx, &fy)
+            .run()
+            .unwrap()
+            .unwrap()
+            .distance;
         assert!(d > 0.0);
-        let out = eng.distance_early_abandon_with_features_scratch(
-            &x,
-            &fx,
-            &y,
-            &fy,
-            d * 0.5,
-            &mut scratch,
-        );
+        let out = eng
+            .query(&x, &y)
+            .features(&fx, &fy)
+            .cutoff(d * 0.5)
+            .scratch(&mut scratch)
+            .run()
+            .unwrap();
         assert!(out.is_none(), "threshold below the distance must abandon");
+    }
+
+    #[test]
+    fn band_override_skips_planning_and_runs_that_band() {
+        let (x, y) = warped_pair(140, 140);
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let fx = extract_features(&x, &eng.config().salient).unwrap();
+        let fy = extract_features(&y, &eng.config().salient).unwrap();
+        let (band, _) = eng.plan_band(&fx, &fy, x.len(), y.len());
+        let via_override = eng.query(&x, &y).band(&band).run().unwrap().unwrap();
+        let via_planning = eng.query(&x, &y).features(&fx, &fy).run().unwrap().unwrap();
+        assert_eq!(
+            via_override.distance.to_bits(),
+            via_planning.distance.to_bits()
+        );
+        assert_eq!(via_override.cells_filled, via_planning.cells_filled);
+        // no matching happened on the override path
+        assert_eq!(via_override.raw_pairs, 0);
+        assert_eq!(via_override.timing.extraction, None);
+    }
+
+    #[test]
+    fn kernel_override_changes_the_distance_per_call() {
+        let (x, y) = warped_pair(150, 150);
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let standard = dist(&eng, &x, &y);
+        let amerced = eng
+            .query(&x, &y)
+            .kernel(KernelChoice::Amerced { penalty: 0.1 })
+            .run()
+            .unwrap()
+            .unwrap();
+        assert!(
+            amerced.distance >= standard.distance - 1e-12,
+            "amercing can only add cost: {} vs {}",
+            amerced.distance,
+            standard.distance
+        );
+        // the engine's configuration is untouched
+        assert_eq!(eng.config().dtw.kernel, KernelChoice::Standard);
+        let again = dist(&eng, &x, &y);
+        assert_eq!(standard.distance.to_bits(), again.distance.to_bits());
+    }
+
+    #[test]
+    fn invalid_kernel_override_is_an_error_not_a_panic() {
+        let (x, y) = warped_pair(120, 120);
+        let eng = engine(ConstraintPolicy::FullGrid);
+        let res = eng
+            .query(&x, &y)
+            .kernel(KernelChoice::Amerced { penalty: -1.0 })
+            .run();
+        assert!(res.is_err(), "negative penalty must be rejected");
     }
 
     #[test]
@@ -593,6 +681,9 @@ mod tests {
         let mut cfg = SDtwConfig::default();
         cfg.matching.tau_d = 0.5;
         assert!(SDtw::new(cfg).is_err());
+        let mut cfg = SDtwConfig::default();
+        cfg.dtw.kernel = KernelChoice::Amerced { penalty: -2.0 };
+        assert!(SDtw::new(cfg).is_err(), "bad kernel penalty must fail");
     }
 
     #[test]
@@ -601,9 +692,11 @@ mod tests {
         // must still return a valid (sanitised) band and finite distance
         let x = TimeSeries::new(vec![1.0; 120]).unwrap();
         let y = TimeSeries::new(vec![1.5; 140]).unwrap();
-        let out = engine(ConstraintPolicy::adaptive_core_adaptive_width())
-            .distance(&x, &y)
-            .unwrap();
+        let out = dist(
+            &engine(ConstraintPolicy::adaptive_core_adaptive_width()),
+            &x,
+            &y,
+        );
         assert!(out.distance.is_finite());
         assert_eq!(out.consistent_pairs, 0);
     }
@@ -617,8 +710,53 @@ mod tests {
             ..SDtwConfig::default()
         })
         .unwrap();
-        let out = eng.distance(&x, &y).unwrap();
+        let out = dist(&eng, &x, &y);
         let p = out.path.expect("path requested");
         p.validate(120, 140).unwrap();
+        // the per-call override wins over the config in both directions
+        let no_path = eng.query(&x, &y).path(false).run().unwrap().unwrap();
+        assert!(no_path.path.is_none());
+        let plain = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let with_path = plain.query(&x, &y).path(true).run().unwrap().unwrap();
+        with_path
+            .path
+            .expect("path override")
+            .validate(120, 140)
+            .unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder_bitwise() {
+        let (x, y) = warped_pair(150, 170);
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width_averaged());
+        let fx = extract_features(&x, &eng.config().salient).unwrap();
+        let fy = extract_features(&y, &eng.config().salient).unwrap();
+        let mut scratch = DtwScratch::new();
+
+        let new = eng.query(&x, &y).features(&fx, &fy).run().unwrap().unwrap();
+        let old = eng.distance_with_features(&x, &fx, &y, &fy);
+        assert_eq!(old.distance.to_bits(), new.distance.to_bits());
+        assert_eq!(old.cells_filled, new.cells_filled);
+        let old_s = eng.distance_with_features_scratch(&x, &fx, &y, &fy, &mut scratch);
+        assert_eq!(old_s.distance.to_bits(), new.distance.to_bits());
+        let old_d = eng.distance(&x, &y).unwrap();
+        assert_eq!(old_d.distance.to_bits(), new.distance.to_bits());
+        let old_ea = eng
+            .distance_early_abandon_with_features_scratch(
+                &x,
+                &fx,
+                &y,
+                &fy,
+                f64::INFINITY,
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(old_ea.distance.to_bits(), new.distance.to_bits());
+        let (band, _) = eng.plan_band(&fx, &fy, x.len(), y.len());
+        let old_band = eng
+            .banded_distance_early_abandon_scratch(&x, &y, &band, f64::INFINITY, &mut scratch)
+            .unwrap();
+        assert_eq!(old_band.distance.to_bits(), new.distance.to_bits());
     }
 }

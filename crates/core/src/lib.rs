@@ -45,7 +45,7 @@
 //!     policy: ConstraintPolicy::adaptive_core_adaptive_width(),
 //!     ..SDtwConfig::default()
 //! }).unwrap();
-//! let out = engine.distance(&x, &y).unwrap();
+//! let out = engine.query(&x, &y).run().unwrap().expect("no cutoff configured");
 //! assert!(out.distance.is_finite());
 //! assert!(out.band_coverage < 1.0); // pruned a real fraction of the grid
 //! ```
@@ -56,13 +56,17 @@
 pub mod constraint;
 pub mod engine;
 pub mod policy;
+pub mod query;
 pub mod store;
 
 pub use engine::{PhaseTiming, SDtw, SDtwConfig, SDtwOutcome};
 pub use policy::{BandSymmetry, ConstraintPolicy};
+pub use query::Query;
 pub use store::FeatureStore;
 
 // Re-export the commonly needed config types so `sdtw` is usable alone.
 pub use sdtw_align::MatchConfig;
-pub use sdtw_dtw::{Band, DtwOptions, DtwScratch, WarpPath};
+pub use sdtw_dtw::{
+    AmercedKernel, Band, DtwKernel, DtwOptions, DtwScratch, KernelChoice, StandardKernel, WarpPath,
+};
 pub use sdtw_salient::SalientConfig;

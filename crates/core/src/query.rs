@@ -1,0 +1,272 @@
+//! The one execution path: [`SDtw::query`] returns a [`Query`] builder
+//! whose orthogonal options replace the former `distance*` method family.
+//!
+//! Every capability that used to need its own entry point is an
+//! independent builder option:
+//!
+//! | option | method | default |
+//! |---|---|---|
+//! | feature source | [`Query::features`] / [`Query::store`] | extract on the fly |
+//! | band override | [`Query::band`] | plan from the policy |
+//! | warp path | [`Query::path`] | the engine's `dtw.compute_path` |
+//! | early-abandon cutoff | [`Query::cutoff`] | none |
+//! | scratch reuse | [`Query::scratch`] | allocate internally |
+//! | cost kernel | [`Query::kernel`] | the engine's `dtw.kernel` |
+//!
+//! All combinations resolve through one internal `run()`; the deprecated
+//! `SDtw::distance*` methods are thin shims over it and bit-identical to
+//! their historical outputs (the equivalence suite in
+//! `tests/equivalence_api.rs` asserts this).
+
+use crate::engine::{PhaseTiming, SDtw, SDtwOutcome};
+use crate::store::FeatureStore;
+use sdtw_dtw::engine::{dtw_run_options, DtwScratch};
+use sdtw_dtw::{Band, KernelChoice};
+use sdtw_salient::{extract_features, SalientFeature};
+use sdtw_tseries::{TimeSeries, TsError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where the salient features of the pair come from.
+enum FeatureSource<'a> {
+    /// Extract per call (timed and reported in
+    /// [`PhaseTiming::extraction`]).
+    Extract,
+    /// Caller-supplied slices (pre-extracted; extraction reported as
+    /// absent).
+    Supplied {
+        fx: &'a [SalientFeature],
+        fy: &'a [SalientFeature],
+    },
+    /// A [`FeatureStore`]: cache hits report extraction as absent, cache
+    /// misses attribute the one-time extraction cost to this call — so
+    /// per-phase accounting sees each series' extraction exactly once.
+    Store(&'a FeatureStore),
+}
+
+/// A configured sDTW distance computation — build with [`SDtw::query`],
+/// chain options, then [`Query::run`].
+///
+/// ```
+/// use sdtw::{ConstraintPolicy, SDtw, SDtwConfig};
+/// use sdtw_tseries::TimeSeries;
+///
+/// let engine = SDtw::new(SDtwConfig::default()).unwrap();
+/// let x = TimeSeries::new((0..160).map(|i| (i as f64 / 9.0).sin()).collect()).unwrap();
+/// let y = TimeSeries::new((0..150).map(|i| (i as f64 / 8.0).sin()).collect()).unwrap();
+/// let out = engine.query(&x, &y).run().unwrap().expect("no cutoff configured");
+/// assert!(out.distance.is_finite());
+/// ```
+#[must_use = "a Query does nothing until `run()` is called"]
+pub struct Query<'a> {
+    engine: &'a SDtw,
+    x: &'a TimeSeries,
+    y: &'a TimeSeries,
+    features: FeatureSource<'a>,
+    band_override: Option<&'a Band>,
+    path: Option<bool>,
+    cutoff: Option<f64>,
+    scratch: Option<&'a mut DtwScratch>,
+    kernel: Option<KernelChoice>,
+}
+
+impl SDtw {
+    /// Starts a distance computation between `x` and `y`. See [`Query`]
+    /// for the options; with none set, `run()` behaves like the historic
+    /// `distance()` (extract features, plan the band, run the configured
+    /// DP to completion).
+    pub fn query<'a>(&'a self, x: &'a TimeSeries, y: &'a TimeSeries) -> Query<'a> {
+        Query {
+            engine: self,
+            x,
+            y,
+            features: FeatureSource::Extract,
+            band_override: None,
+            path: None,
+            cutoff: None,
+            scratch: None,
+            kernel: None,
+        }
+    }
+}
+
+impl<'a> Query<'a> {
+    /// Uses pre-extracted salient features for both series (the cached
+    /// path: extraction is reported as absent).
+    pub fn features(mut self, fx: &'a [SalientFeature], fy: &'a [SalientFeature]) -> Self {
+        self.features = FeatureSource::Supplied { fx, fy };
+        self
+    }
+
+    /// Pulls features from a [`FeatureStore`] (extracting and caching on
+    /// miss). Misses attribute their extraction time to this call;
+    /// hits report extraction as absent.
+    pub fn store(mut self, store: &'a FeatureStore) -> Self {
+        self.features = FeatureSource::Store(store);
+        self
+    }
+
+    /// Runs the DP inside this pre-planned band instead of planning one
+    /// from the policy (the retrieval-cascade path: plan once via
+    /// [`SDtw::plan_band`], screen with lower bounds, then execute).
+    /// Feature options are ignored — no planning happens.
+    pub fn band(mut self, band: &'a Band) -> Self {
+        self.band_override = Some(band);
+        self
+    }
+
+    /// Overrides warp-path tracing for this call (default: the engine's
+    /// `dtw.compute_path`). Paths compose with [`Query::cutoff`]: a run
+    /// that survives its cutoff can still trace its path.
+    pub fn path(mut self, compute_path: bool) -> Self {
+        self.path = Some(compute_path);
+        self
+    }
+
+    /// Early-abandon cutoff in reported-distance units (directly
+    /// comparable to [`SDtwOutcome::distance`]): `run()` returns
+    /// `Ok(None)` as soon as no path through the band can come in at or
+    /// under the cutoff. Ties survive exactly — k-NN loops rely on it.
+    pub fn cutoff(mut self, threshold: f64) -> Self {
+        self.cutoff = Some(threshold);
+        self
+    }
+
+    /// Reuses caller-owned DP buffers (the batch hot path: keep one
+    /// [`DtwScratch`] per worker thread). Results are bit-identical with
+    /// or without reuse.
+    pub fn scratch(mut self, scratch: &'a mut DtwScratch) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// Overrides the cost kernel for this call (default: the engine's
+    /// `dtw.kernel`). The amerced kernel must carry a valid penalty —
+    /// invalid overrides surface as an error from `run()`.
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Executes the query: resolve features, plan (or adopt) the band,
+    /// run the banded DP under the configured kernel.
+    ///
+    /// Returns `Ok(None)` **only** when a [`Query::cutoff`] was set and
+    /// the run abandoned; without a cutoff the result is always
+    /// `Ok(Some(..))` (or an error).
+    ///
+    /// # Errors
+    ///
+    /// Feature-extraction failures (only possible on the extract/store
+    /// paths) and invalid kernel overrides.
+    pub fn run(self) -> Result<Option<SDtwOutcome>, TsError> {
+        let Query {
+            engine,
+            x,
+            y,
+            features,
+            band_override,
+            path,
+            cutoff,
+            scratch,
+            kernel,
+        } = self;
+        let config = engine.config();
+        let (n, m) = (x.len(), y.len());
+        let needs_features = band_override.is_none() && config.policy.needs_alignment();
+
+        // Phase 1: resolve the feature source (timed only when extraction
+        // actually happens in this call).
+        let mut extraction: Option<Duration> = None;
+        let empty: &[SalientFeature] = &[];
+        let extracted: (Vec<SalientFeature>, Vec<SalientFeature>);
+        let cached: (Arc<Vec<SalientFeature>>, Arc<Vec<SalientFeature>>);
+        let (fx, fy): (&[SalientFeature], &[SalientFeature]) = if !needs_features {
+            (empty, empty)
+        } else {
+            match features {
+                FeatureSource::Supplied { fx, fy } => (fx, fy),
+                FeatureSource::Extract => {
+                    let t0 = Instant::now();
+                    extracted = (
+                        extract_features(x, &config.salient)?,
+                        extract_features(y, &config.salient)?,
+                    );
+                    extraction = Some(t0.elapsed());
+                    (&extracted.0, &extracted.1)
+                }
+                FeatureSource::Store(store) => {
+                    let (fx, dx) = store.features_for_timed(x)?;
+                    let (fy, dy) = store.features_for_timed(y)?;
+                    if dx.is_some() || dy.is_some() {
+                        extraction = Some(dx.unwrap_or_default() + dy.unwrap_or_default());
+                    }
+                    cached = (fx, fy);
+                    (&cached.0, &cached.1)
+                }
+            }
+        };
+
+        // Phase 2: the band — planned from the policy, or adopted as-is.
+        let t_match = Instant::now();
+        let planned;
+        let (band, match_stats) = match band_override {
+            Some(b) => (b, None),
+            None => {
+                let (b, stats) = engine.plan_band(fx, fy, n, m);
+                planned = b;
+                (&planned, stats)
+            }
+        };
+        let matching = t_match.elapsed();
+
+        // Phase 3: the DP, under the (possibly overridden) options.
+        let mut opts = config.dtw;
+        if let Some(p) = path {
+            opts.compute_path = p;
+        }
+        if let Some(k) = kernel {
+            opts.kernel = k;
+            opts.validate()?;
+        }
+        let mut local_scratch;
+        let scratch = match scratch {
+            Some(s) => s,
+            None => {
+                local_scratch = DtwScratch::new();
+                &mut local_scratch
+            }
+        };
+        let t_dp = Instant::now();
+        let result = dtw_run_options(x, y, band, &opts, cutoff, scratch);
+        let dynamic_programming = t_dp.elapsed();
+        let Some(result) = result else {
+            return Ok(None);
+        };
+
+        let (raw_pairs, consistent_pairs, descriptor_comparisons) = match &match_stats {
+            Some(mr) => (
+                mr.raw_pairs.len(),
+                mr.consistent_pairs.len(),
+                mr.descriptor_comparisons,
+            ),
+            None => (0, 0, 0),
+        };
+
+        Ok(Some(SDtwOutcome {
+            distance: result.distance,
+            path: result.path,
+            cells_filled: result.cells_filled,
+            band_area: band.area(),
+            band_coverage: band.coverage(),
+            raw_pairs,
+            consistent_pairs,
+            descriptor_comparisons,
+            timing: PhaseTiming {
+                extraction,
+                matching,
+                dynamic_programming,
+            },
+        }))
+    }
+}

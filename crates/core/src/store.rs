@@ -12,6 +12,7 @@ use sdtw_salient::{extract_features, SalientConfig, SalientFeature};
 use sdtw_tseries::{TimeSeries, TsError};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Thread-safe cache of salient features keyed by [`TimeSeries::id`].
 ///
@@ -50,15 +51,36 @@ impl FeatureStore {
     /// Extraction errors (invalid config is caught at construction, so in
     /// practice never fires).
     pub fn features_for(&self, ts: &TimeSeries) -> Result<Arc<Vec<SalientFeature>>, TsError> {
+        self.features_for_timed(ts).map(|(features, _)| features)
+    }
+
+    /// [`FeatureStore::features_for`] plus the extraction cost when the
+    /// call actually extracted: `Some(duration)` on a cache miss (or for
+    /// an id-less series, which can never be cached), `None` on a hit.
+    /// Per-phase accounting uses this to attribute the one-time
+    /// extraction cost to exactly one call instead of reporting it as
+    /// zero-but-present on every cached call.
+    ///
+    /// # Errors
+    ///
+    /// Extraction errors.
+    pub fn features_for_timed(
+        &self,
+        ts: &TimeSeries,
+    ) -> Result<(Arc<Vec<SalientFeature>>, Option<Duration>), TsError> {
         if let Some(id) = ts.id() {
             if let Some(cached) = self.cache.read().get(&id) {
-                return Ok(Arc::clone(cached));
+                return Ok((Arc::clone(cached), None));
             }
+            let t0 = Instant::now();
             let features = Arc::new(extract_features(ts, &self.config)?);
+            let elapsed = t0.elapsed();
             self.cache.write().insert(id, Arc::clone(&features));
-            Ok(features)
+            Ok((features, Some(elapsed)))
         } else {
-            Ok(Arc::new(extract_features(ts, &self.config)?))
+            let t0 = Instant::now();
+            let features = Arc::new(extract_features(ts, &self.config)?);
+            Ok((features, Some(t0.elapsed())))
         }
     }
 

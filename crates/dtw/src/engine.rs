@@ -1,14 +1,27 @@
-//! Banded dynamic-programming kernel and warp-path traceback.
+//! Banded dynamic-programming engine and warp-path traceback.
 //!
-//! One kernel executes every pruning policy: the accumulation matrix `D` is
-//! stored band-sparse (CSR-style row offsets into a flat buffer), so both
-//! time and memory are `O(band area)` rather than `O(NM)` — the whole point
-//! of constraining the grid. Out-of-band parents are treated as `+∞`; the
+//! One kernel-generic fill executes every pruning policy **and** every
+//! cost model: the accumulation matrix `D` is stored band-sparse
+//! (CSR-style row offsets into a flat buffer), so both time and memory
+//! are `O(band area)` rather than `O(NM)` — the whole point of
+//! constraining the grid. Out-of-band parents are treated as `+∞`; the
 //! band sanitiser guarantees the corner cell stays reachable.
+//!
+//! The execution surface is **one** function pair:
+//!
+//! * [`dtw_run`] — generic over any [`DtwKernel`] (static dispatch, the
+//!   fill loop monomorphises per kernel), with warp-path tracing and the
+//!   early-abandon cutoff as orthogonal options;
+//! * [`dtw_run_options`] — the same path driven by a serialisable
+//!   [`DtwOptions`] (its [`KernelChoice`] is dispatched once per call).
+//!
+//! The historical `dtw_banded*` entry points survive as `#[deprecated]`
+//! shims over [`dtw_run_options`] and are bit-identical to it.
 
 use crate::band::Band;
+use crate::kernel::{AmercedKernel, DtwKernel, KernelChoice, StandardKernel};
 use crate::path::WarpPath;
-use sdtw_tseries::{ElementMetric, TimeSeries};
+use sdtw_tseries::{ElementMetric, TimeSeries, TsError};
 use serde::{Deserialize, Serialize};
 
 /// Local-transition weighting of the DTW recurrence.
@@ -49,7 +62,7 @@ pub enum Normalization {
 }
 
 /// Options for a DTW computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub struct DtwOptions {
     /// Pointwise metric inside the recurrence.
     pub metric: ElementMetric,
@@ -57,10 +70,36 @@ pub struct DtwOptions {
     /// path back (costs one extra `O(N+M)` walk plus the band-sized matrix
     /// retained during the call either way).
     pub compute_path: bool,
-    /// Transition weighting (default: the paper's symmetric1).
+    /// Transition weighting (default: the paper's symmetric1). Ignored by
+    /// the amerced kernel, which defines its own weighting.
     pub step_pattern: StepPattern,
     /// Distance normalisation (default: none, as in the paper).
     pub normalization: Normalization,
+    /// Which cost kernel runs the recurrence (default: the standard
+    /// step-pattern kernel).
+    pub kernel: KernelChoice,
+}
+
+// Hand-written (the shim derive has no `#[serde(default)]`): `kernel`
+// falls back to `Standard` when absent, so JSON artifacts persisted
+// before the field existed — index snapshots in particular — keep
+// loading.
+impl serde::Deserialize for DtwOptions {
+    fn from_json(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if v.as_object().is_none() {
+            return Err(serde::DeError::expected("object", v));
+        }
+        Ok(Self {
+            metric: serde::Deserialize::from_json(serde::obj_get(v, "metric")?)?,
+            compute_path: serde::Deserialize::from_json(serde::obj_get(v, "compute_path")?)?,
+            step_pattern: serde::Deserialize::from_json(serde::obj_get(v, "step_pattern")?)?,
+            normalization: serde::Deserialize::from_json(serde::obj_get(v, "normalization")?)?,
+            kernel: match v.get("kernel") {
+                Some(k) => serde::Deserialize::from_json(k)?,
+                None => KernelChoice::default(),
+            },
+        })
+    }
 }
 
 impl DtwOptions {
@@ -80,6 +119,45 @@ impl DtwOptions {
             ..Self::default()
         }
     }
+
+    /// ADTW options: the amerced kernel with the given warp penalty.
+    pub fn amerced(penalty: f64) -> Self {
+        Self {
+            kernel: KernelChoice::Amerced { penalty },
+            ..Self::default()
+        }
+    }
+
+    /// Validates kernel parameters (the amerced penalty must be finite
+    /// and non-negative — both early abandoning and the lower-bound
+    /// admissibility argument rely on it).
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidParameter`] on a bad penalty.
+    pub fn validate(&self) -> Result<(), TsError> {
+        if let KernelChoice::Amerced { penalty } = self.kernel {
+            if !penalty.is_finite() || penalty < 0.0 {
+                return Err(TsError::InvalidParameter {
+                    name: "kernel.penalty",
+                    reason: format!("amerced warp penalty must be finite and >= 0, got {penalty}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `LB_Kim`/`LB_Keogh` remain admissible under the configured
+    /// kernel (retrieval cascades consult this before enabling
+    /// lower-bound pruning).
+    pub fn lower_bounds_admissible(&self) -> bool {
+        self.kernel.lower_bounds_admissible()
+    }
+
+    /// Short label of the configured kernel (experiment output, CLI).
+    pub fn kernel_label(&self) -> String {
+        self.kernel.label(self.step_pattern)
+    }
 }
 
 /// Result of a DTW computation.
@@ -98,13 +176,12 @@ pub struct DtwResult {
 /// Reusable DP buffers: the band-sparse accumulation matrix's row offsets
 /// and cell storage.
 ///
-/// A `dtw_banded` call allocates one of these internally; batch workloads
-/// (distance matrices, nearest-neighbour loops) instead keep one
-/// `DtwScratch` per worker thread and call
-/// [`dtw_banded_with_scratch`], turning the per-pair allocation into a
-/// cheap `resize` of already-hot buffers. Reuse never changes results:
-/// the buffers are re-initialised per call, so scratch and non-scratch
-/// paths are bit-identical.
+/// A [`dtw_run`] call without caller scratch allocates one internally;
+/// batch workloads (distance matrices, nearest-neighbour loops) instead
+/// keep one `DtwScratch` per worker thread, turning the per-pair
+/// allocation into a cheap `resize` of already-hot buffers. Reuse never
+/// changes results: the buffers are re-initialised per call, so scratch
+/// and non-scratch paths are bit-identical.
 #[derive(Debug, Default, Clone)]
 pub struct DtwScratch {
     offsets: Vec<usize>,
@@ -164,55 +241,26 @@ impl<'a> BandMatrix<'a> {
     }
 }
 
-/// Computes the DTW distance restricted to a band.
-///
-/// The band must match the series dimensions (`band.n() == x.len()`,
-/// `band.m() == y.len()`); it is sanitised internally when infeasible, so
-/// callers may pass raw constraint-builder output. `cells_filled` counts
-/// the sanitised band's area.
-///
-/// # Panics
-///
-/// Panics on dimension mismatch (programmer error).
-pub fn dtw_banded(x: &TimeSeries, y: &TimeSeries, band: &Band, opts: &DtwOptions) -> DtwResult {
-    let mut scratch = DtwScratch::new();
-    dtw_banded_with_scratch(x, y, band, opts, &mut scratch)
-}
-
-/// [`dtw_banded`] with caller-provided scratch buffers.
-///
-/// Identical results to [`dtw_banded`] (bit-for-bit); the only difference
-/// is that the accumulation matrix lives in `scratch`, so tight batch
-/// loops amortise the allocation across calls. Keep one scratch per
-/// thread — see `sdtw_eval::distmat` for the rayon `map_init` pattern.
-///
-/// # Panics
-///
-/// Panics on dimension mismatch (programmer error).
+/// Fills the band-sparse matrix under a kernel. With `ABANDON`, returns
+/// `None` as soon as a completed row's minimum (converted into reported
+/// units, which is monotone) exceeds `cutoff` — kernels guarantee costs
+/// never decrease along a path, so no path through that row can come back
+/// under it. With `ABANDON = false` the cutoff comparisons compile out
+/// and the fill always completes.
 // Index loops are deliberate here: (i, j) are band coordinates addressing
 // the matrix, the band rows and both sample buffers simultaneously.
 #[allow(clippy::needless_range_loop)]
-pub fn dtw_banded_with_scratch(
+fn fill<'a, K: DtwKernel, const ABANDON: bool>(
     x: &TimeSeries,
     y: &TimeSeries,
-    band: &Band,
-    opts: &DtwOptions,
-    scratch: &mut DtwScratch,
-) -> DtwResult {
-    assert_eq!(band.n(), x.len(), "band rows must match |X|");
-    assert_eq!(band.m(), y.len(), "band cols must match |Y|");
-    let sanitized;
-    let band = if band.is_feasible() {
-        band
-    } else {
-        sanitized = band.sanitize();
-        &sanitized
-    };
-
+    band: &'a Band,
+    metric: ElementMetric,
+    kernel: &K,
+    cutoff: f64,
+    scratch: &'a mut DtwScratch,
+) -> Option<BandMatrix<'a>> {
     let xv = x.values();
     let yv = y.values();
-    let metric = opts.metric;
-    let dw = opts.step_pattern.diagonal_weight();
     let n = band.n();
     let mut d = BandMatrix::new(band, scratch);
 
@@ -221,13 +269,26 @@ pub fn dtw_banded_with_scratch(
     {
         let r = band.row(0);
         let mut acc = 0.0;
+        let mut row_min = f64::INFINITY;
         for j in r.lo..=r.hi {
-            acc += metric.eval(xv[0], yv[j]);
+            let local = metric.eval(xv[0], yv[j]);
+            acc = if j == r.lo {
+                kernel.start(local)
+            } else {
+                kernel.left(acc, local)
+            };
             d.set(0, j, acc);
+            if ABANDON {
+                row_min = row_min.min(acc);
+            }
+        }
+        if ABANDON && kernel.normalize(row_min, x.len(), y.len()) > cutoff {
+            return None;
         }
     }
     for i in 1..n {
         let r = band.row(i);
+        let mut row_min = f64::INFINITY;
         for j in r.lo..=r.hi {
             let local = metric.eval(xv[i], yv[j]);
             let up = d.get(i - 1, j);
@@ -236,88 +297,57 @@ pub fn dtw_banded_with_scratch(
             } else {
                 (f64::INFINITY, f64::INFINITY)
             };
-            // symmetric2 charges the diagonal transition 2·d
-            let best = (up + local).min(left + local).min(diag + dw * local);
+            let best = kernel
+                .up(up, local)
+                .min(kernel.left(left, local))
+                .min(kernel.diagonal(diag, local));
             // Cells with no reachable parent stay +inf (they cannot be on
             // any path); feasibility guarantees the corner is reachable.
             d.set(i, j, best);
+            if ABANDON {
+                row_min = row_min.min(best);
+            }
+        }
+        if ABANDON && kernel.normalize(row_min, x.len(), y.len()) > cutoff {
+            return None;
         }
     }
-
-    let mut distance = d.get(n - 1, band.m() - 1);
-    debug_assert!(
-        distance.is_finite(),
-        "sanitised band must reach the corner cell"
-    );
-
-    let path = if opts.compute_path {
-        Some(traceback(&d, x, y, opts))
-    } else {
-        None
-    };
-
-    if let Normalization::LengthSum = opts.normalization {
-        distance /= (x.len() + y.len()) as f64;
-    }
-
-    DtwResult {
-        distance,
-        path,
-        cells_filled: band.area(),
-    }
+    Some(d)
 }
 
-/// Computes the unconstrained (optimal) DTW distance.
-pub fn dtw_full(x: &TimeSeries, y: &TimeSeries, opts: &DtwOptions) -> DtwResult {
-    let band = Band::full(x.len(), y.len());
-    dtw_banded(x, y, &band, opts)
-}
-
-/// Early-abandoning banded DTW: returns `None` as soon as a completed row's
-/// minimum accumulated cost exceeds `threshold` — since local costs are
-/// non-negative, no path through that row can come back under it. The
-/// staple of nearest-neighbour search loops (threshold = best-so-far).
+/// The unified banded DTW execution path, generic over the cost kernel.
 ///
-/// `threshold` is interpreted in the same units as the configured
-/// [`Normalization`]: row minima are converted into those units before
-/// comparing (never the threshold into raw units — float division is
-/// monotone, so a candidate whose final normalised distance ties the
-/// threshold can never be abandoned mid-run by a rounding artefact; k-NN
-/// loops rely on this for tie-exactness). Paths are never computed on the
-/// abandoning variant; use [`dtw_banded`] for the winner.
+/// Orthogonal options, all in one call:
+///
+/// * **kernel** — any [`DtwKernel`]; the fill loop monomorphises (no
+///   per-cell dispatch). Config-driven callers use [`dtw_run_options`].
+/// * **`compute_path`** — trace the optimal warp path back from the
+///   corner (one extra `O(N+M)` walk).
+/// * **`cutoff`** — early abandoning: `Some(t)` returns `None` as soon as
+///   a completed row's minimum accumulated cost (in reported-distance
+///   units — conversion is monotone, so ties survive exactly) exceeds
+///   `t`, or when the final distance does. `None` never abandons.
+/// * **`scratch`** — caller-owned DP buffers; keep one per worker thread
+///   in batch loops. Results are bit-identical regardless of reuse.
+///
+/// The band must match the series dimensions; it is sanitised internally
+/// when infeasible, so callers may pass raw constraint-builder output.
+/// `cells_filled` counts the sanitised band's area.
 ///
 /// # Panics
 ///
 /// Panics on dimension mismatch (programmer error).
-pub fn dtw_banded_early_abandon(
+// The argument list IS the option set, each orthogonal by design; a config
+// struct would just re-wrap DtwOptions (see dtw_run_options for that form).
+#[allow(clippy::too_many_arguments)]
+pub fn dtw_run<K: DtwKernel>(
     x: &TimeSeries,
     y: &TimeSeries,
     band: &Band,
-    opts: &DtwOptions,
-    threshold: f64,
-) -> Option<DtwResult> {
-    let mut scratch = DtwScratch::new();
-    dtw_banded_early_abandon_with_scratch(x, y, band, opts, threshold, &mut scratch)
-}
-
-/// [`dtw_banded_early_abandon`] with caller-provided scratch buffers — the
-/// nearest-neighbour hot path. A k-NN loop runs one abandoning DP per
-/// surviving candidate; keeping one [`DtwScratch`] per query (or per
-/// worker thread in batch mode) turns the per-candidate allocation into a
-/// buffer reuse, exactly as [`dtw_banded_with_scratch`] does for the
-/// non-abandoning kernel. Results are bit-identical to the allocating
-/// variant.
-///
-/// # Panics
-///
-/// Panics on dimension mismatch (programmer error).
-#[allow(clippy::needless_range_loop)] // same band-coordinate loops as dtw_banded
-pub fn dtw_banded_early_abandon_with_scratch(
-    x: &TimeSeries,
-    y: &TimeSeries,
-    band: &Band,
-    opts: &DtwOptions,
-    threshold: f64,
+    metric: ElementMetric,
+    kernel: &K,
+    compute_path: bool,
+    cutoff: Option<f64>,
     scratch: &mut DtwScratch,
 ) -> Option<DtwResult> {
     assert_eq!(band.n(), x.len(), "band rows must match |X|");
@@ -329,97 +359,203 @@ pub fn dtw_banded_early_abandon_with_scratch(
         sanitized = band.sanitize();
         &sanitized
     };
-    // Convert raw accumulated costs into the threshold's units. Division
-    // is monotone under rounding: row_min ≤ final raw cost implies
-    // in_units(row_min) ≤ the reported distance, so the row check can
-    // never abandon a candidate whose final distance would have passed
-    // the `distance > threshold` check below — ties survive exactly.
-    let in_units = |raw: f64| match opts.normalization {
-        Normalization::None => raw,
-        Normalization::LengthSum => raw / (x.len() + y.len()) as f64,
+
+    let d = match cutoff {
+        Some(t) => fill::<K, true>(x, y, band, metric, kernel, t, scratch)?,
+        None => fill::<K, false>(x, y, band, metric, kernel, f64::INFINITY, scratch)
+            .expect("a fill without a cutoff never abandons"),
     };
 
-    let xv = x.values();
-    let yv = y.values();
-    let metric = opts.metric;
-    let dw = opts.step_pattern.diagonal_weight();
-    let n = band.n();
-    let mut d = BandMatrix::new(band, scratch);
-
-    {
-        let r = band.row(0);
-        let mut acc = 0.0;
-        let mut row_min = f64::INFINITY;
-        for j in r.lo..=r.hi {
-            acc += metric.eval(xv[0], yv[j]);
-            d.set(0, j, acc);
-            row_min = row_min.min(acc);
-        }
-        if in_units(row_min) > threshold {
+    let raw = d.get(band.n() - 1, band.m() - 1);
+    debug_assert!(raw.is_finite(), "sanitised band must reach the corner cell");
+    let distance = kernel.normalize(raw, x.len(), y.len());
+    // reject against the cutoff before paying for the traceback walk
+    if let Some(t) = cutoff {
+        if distance > t {
             return None;
         }
     }
-    for i in 1..n {
-        let r = band.row(i);
-        let mut row_min = f64::INFINITY;
-        for j in r.lo..=r.hi {
-            let local = metric.eval(xv[i], yv[j]);
-            let up = d.get(i - 1, j);
-            let (left, diag) = if j > 0 {
-                (d.get(i, j - 1), d.get(i - 1, j - 1))
-            } else {
-                (f64::INFINITY, f64::INFINITY)
-            };
-            let best = (up + local).min(left + local).min(diag + dw * local);
-            d.set(i, j, best);
-            row_min = row_min.min(best);
-        }
-        if in_units(row_min) > threshold {
-            return None;
-        }
-    }
-
-    let mut distance = d.get(n - 1, band.m() - 1);
-    if let Normalization::LengthSum = opts.normalization {
-        distance /= (x.len() + y.len()) as f64;
-    }
-    if distance > threshold {
-        return None;
-    }
+    let path = if compute_path {
+        Some(traceback(&d, x, y, metric, kernel))
+    } else {
+        None
+    };
     Some(DtwResult {
         distance,
-        path: None,
+        path,
         cells_filled: band.area(),
     })
 }
 
+/// [`dtw_run`] driven by serialisable [`DtwOptions`]: dispatches the
+/// options' [`KernelChoice`] to a concrete kernel once, then runs the
+/// monomorphic fill. This is the single execution path every legacy
+/// `dtw_banded*` entry point (and the `SDtw` query builder above it)
+/// resolves to.
+///
+/// Returns `None` only when `cutoff` is `Some` and the run abandoned.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, or on an invalid amerced penalty
+/// (negative/non-finite — both programmer errors; config-driven callers
+/// reject bad penalties earlier via [`DtwOptions::validate`]).
+pub fn dtw_run_options(
+    x: &TimeSeries,
+    y: &TimeSeries,
+    band: &Band,
+    opts: &DtwOptions,
+    cutoff: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<DtwResult> {
+    match opts.kernel {
+        KernelChoice::Standard => dtw_run(
+            x,
+            y,
+            band,
+            opts.metric,
+            &StandardKernel::new(opts.step_pattern, opts.normalization),
+            opts.compute_path,
+            cutoff,
+            scratch,
+        ),
+        KernelChoice::Amerced { penalty } => dtw_run(
+            x,
+            y,
+            band,
+            opts.metric,
+            &AmercedKernel::new(penalty, opts.normalization),
+            opts.compute_path,
+            cutoff,
+            scratch,
+        ),
+    }
+}
+
+/// Computes the unconstrained (optimal-under-the-kernel) DTW distance.
+pub fn dtw_full(x: &TimeSeries, y: &TimeSeries, opts: &DtwOptions) -> DtwResult {
+    let band = Band::full(x.len(), y.len());
+    let mut scratch = DtwScratch::new();
+    dtw_run_options(x, y, &band, opts, None, &mut scratch)
+        .expect("a run without a cutoff never abandons")
+}
+
+/// Computes the DTW distance restricted to a band.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (programmer error).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dtw_run_options` (or the `SDtw::query` builder) — the one execution path"
+)]
+pub fn dtw_banded(x: &TimeSeries, y: &TimeSeries, band: &Band, opts: &DtwOptions) -> DtwResult {
+    let mut scratch = DtwScratch::new();
+    dtw_run_options(x, y, band, opts, None, &mut scratch)
+        .expect("a run without a cutoff never abandons")
+}
+
+/// Banded DTW with caller-provided scratch buffers.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (programmer error).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dtw_run_options` (or the `SDtw::query` builder) — the one execution path"
+)]
+pub fn dtw_banded_with_scratch(
+    x: &TimeSeries,
+    y: &TimeSeries,
+    band: &Band,
+    opts: &DtwOptions,
+    scratch: &mut DtwScratch,
+) -> DtwResult {
+    dtw_run_options(x, y, band, opts, None, scratch).expect("a run without a cutoff never abandons")
+}
+
+/// Early-abandoning banded DTW: returns `None` as soon as no path can
+/// come in at or under `threshold`. Never produces warp paths.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (programmer error).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dtw_run_options` with a cutoff (or the `SDtw::query` builder)"
+)]
+pub fn dtw_banded_early_abandon(
+    x: &TimeSeries,
+    y: &TimeSeries,
+    band: &Band,
+    opts: &DtwOptions,
+    threshold: f64,
+) -> Option<DtwResult> {
+    let mut scratch = DtwScratch::new();
+    let opts = DtwOptions {
+        compute_path: false,
+        ..*opts
+    };
+    dtw_run_options(x, y, band, &opts, Some(threshold), &mut scratch)
+}
+
+/// Early-abandoning banded DTW with caller-provided scratch buffers.
+/// Never produces warp paths.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (programmer error).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dtw_run_options` with a cutoff (or the `SDtw::query` builder)"
+)]
+pub fn dtw_banded_early_abandon_with_scratch(
+    x: &TimeSeries,
+    y: &TimeSeries,
+    band: &Band,
+    opts: &DtwOptions,
+    threshold: f64,
+    scratch: &mut DtwScratch,
+) -> Option<DtwResult> {
+    let opts = DtwOptions {
+        compute_path: false,
+        ..*opts
+    };
+    dtw_run_options(x, y, band, &opts, Some(threshold), scratch)
+}
+
 /// Walks the filled matrix from the top-right corner back to the origin,
 /// preferring the diagonal parent on ties (the conventional choice; it
-/// yields the shortest of the cost-equal paths). Parent selection accounts
-/// for the step pattern: under symmetric2 the diagonal parent's effective
-/// cost includes the doubled local term.
-fn traceback(d: &BandMatrix<'_>, x: &TimeSeries, y: &TimeSeries, opts: &DtwOptions) -> WarpPath {
+/// yields the shortest of the cost-equal paths). Parent selection asks
+/// the kernel for effective arrival costs, so step weighting and warp
+/// penalties are accounted for.
+fn traceback<K: DtwKernel>(
+    d: &BandMatrix<'_>,
+    x: &TimeSeries,
+    y: &TimeSeries,
+    metric: ElementMetric,
+    kernel: &K,
+) -> WarpPath {
     let n = x.len();
     let m = y.len();
-    let dw = opts.step_pattern.diagonal_weight();
     let mut steps = Vec::with_capacity(n + m);
     let (mut i, mut j) = (n - 1, m - 1);
     steps.push((i, j));
     while i > 0 || j > 0 {
-        let local = opts.metric.eval(x.at(i), y.at(j));
+        let local = metric.eval(x.at(i), y.at(j));
         // effective arrival costs through each parent
         let diag = if i > 0 && j > 0 {
-            d.get(i - 1, j - 1) + dw * local
+            kernel.diagonal(d.get(i - 1, j - 1), local)
         } else {
             f64::INFINITY
         };
         let up = if i > 0 {
-            d.get(i - 1, j) + local
+            kernel.up(d.get(i - 1, j), local)
         } else {
             f64::INFINITY
         };
         let left = if j > 0 {
-            d.get(i, j - 1) + local
+            kernel.left(d.get(i, j - 1), local)
         } else {
             f64::INFINITY
         };
@@ -444,6 +580,22 @@ mod tests {
 
     fn ts(v: &[f64]) -> TimeSeries {
         TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    /// The unified path with a fresh scratch (test shorthand).
+    fn run(x: &TimeSeries, y: &TimeSeries, band: &Band, opts: &DtwOptions) -> DtwResult {
+        dtw_run_options(x, y, band, opts, None, &mut DtwScratch::new()).unwrap()
+    }
+
+    /// The unified path with a cutoff and a fresh scratch (test shorthand).
+    fn run_cutoff(
+        x: &TimeSeries,
+        y: &TimeSeries,
+        band: &Band,
+        opts: &DtwOptions,
+        cutoff: f64,
+    ) -> Option<DtwResult> {
+        dtw_run_options(x, y, band, opts, Some(cutoff), &mut DtwScratch::new())
     }
 
     #[test]
@@ -510,7 +662,7 @@ mod tests {
             })
             .collect();
         let band = Band::from_ranges(8, 6, ranges).sanitize();
-        let banded = dtw_banded(&x, &y, &band, &DtwOptions::default());
+        let banded = run(&x, &y, &band, &DtwOptions::default());
         assert!(banded.distance >= full.distance - 1e-12);
         assert!(banded.cells_filled < full.cells_filled);
     }
@@ -521,7 +673,7 @@ mod tests {
         let y = ts(&[0.2, 0.9, 2.2, 1.4]);
         let full = dtw_full(&x, &y, &DtwOptions::default());
         let band = Band::full(5, 4);
-        let banded = dtw_banded(&x, &y, &band, &DtwOptions::default());
+        let banded = run(&x, &y, &band, &DtwOptions::default());
         assert_eq!(full.distance, banded.distance);
         assert_eq!(full.cells_filled, banded.cells_filled);
     }
@@ -542,7 +694,7 @@ mod tests {
             ],
         );
         assert!(!band.is_feasible());
-        let r = dtw_banded(&x, &y, &band, &DtwOptions::with_path());
+        let r = run(&x, &y, &band, &DtwOptions::with_path());
         assert!(r.distance.is_finite());
         r.path.unwrap().validate(4, 4).unwrap();
     }
@@ -661,8 +813,8 @@ mod tests {
         let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
         let band = Band::full(6, 5);
         let opts = DtwOptions::default();
-        let full = dtw_banded(&x, &y, &band, &opts);
-        let ea = dtw_banded_early_abandon(&x, &y, &band, &opts, f64::INFINITY)
+        let full = run(&x, &y, &band, &opts);
+        let ea = run_cutoff(&x, &y, &band, &opts, f64::INFINITY)
             .expect("infinite threshold never abandons");
         assert_eq!(ea.distance, full.distance);
     }
@@ -674,10 +826,10 @@ mod tests {
         let band = Band::full(20, 20);
         let opts = DtwOptions::default();
         // every cell costs 100; first row min is 100 > 1
-        assert!(dtw_banded_early_abandon(&x, &y, &band, &opts, 1.0).is_none());
+        assert!(run_cutoff(&x, &y, &band, &opts, 1.0).is_none());
         // threshold exactly at the distance keeps the result
-        let d = dtw_banded(&x, &y, &band, &opts).distance;
-        assert!(dtw_banded_early_abandon(&x, &y, &band, &opts, d).is_some());
+        let d = run(&x, &y, &band, &opts).distance;
+        assert!(run_cutoff(&x, &y, &band, &opts, d).is_some());
     }
 
     #[test]
@@ -689,9 +841,27 @@ mod tests {
             normalization: Normalization::LengthSum,
             ..DtwOptions::default()
         };
-        let d = dtw_banded(&x, &y, &band, &opts).distance;
-        assert!(dtw_banded_early_abandon(&x, &y, &band, &opts, d + 1e-9).is_some());
-        assert!(dtw_banded_early_abandon(&x, &y, &band, &opts, d * 0.5).is_none());
+        let d = run(&x, &y, &band, &opts).distance;
+        assert!(run_cutoff(&x, &y, &band, &opts, d + 1e-9).is_some());
+        assert!(run_cutoff(&x, &y, &band, &opts, d * 0.5).is_none());
+    }
+
+    #[test]
+    fn cutoff_and_path_compose() {
+        // the unified path may trace the warp path of a run that survived
+        // its cutoff — an ability no legacy entry point had
+        let x = ts(&[0.1, 0.9, 0.4, 1.7, 1.1, 0.2]);
+        let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
+        let band = Band::full(6, 5);
+        let opts = DtwOptions::with_path();
+        let r = dtw_run_options(&x, &y, &band, &opts, None, &mut DtwScratch::new());
+        let d = r.as_ref().unwrap().distance;
+        let kept = dtw_run_options(&x, &y, &band, &opts, Some(d), &mut DtwScratch::new())
+            .expect("threshold == distance must not abandon");
+        kept.path.expect("path requested").validate(6, 5).unwrap();
+        assert!(
+            dtw_run_options(&x, &y, &band, &opts, Some(d * 0.5), &mut DtwScratch::new()).is_none()
+        );
     }
 
     #[test]
@@ -700,7 +870,7 @@ mod tests {
         let x = ts(&[0.0, 1.0]);
         let y = ts(&[0.0]);
         let band = Band::full(3, 1);
-        let _ = dtw_banded(&x, &y, &band, &DtwOptions::default());
+        let _ = run(&x, &y, &band, &DtwOptions::default());
     }
 
     #[test]
@@ -714,7 +884,7 @@ mod tests {
             })
             .collect();
         let band = Band::from_ranges(40, 25, ranges).sanitize();
-        let r = dtw_banded(&x, &y, &band, &DtwOptions::with_path());
+        let r = run(&x, &y, &band, &DtwOptions::with_path());
         let p = r.path.unwrap();
         p.validate(40, 25).unwrap();
         // every path step must lie inside the band
@@ -726,7 +896,7 @@ mod tests {
     #[test]
     fn scratch_reuse_is_bit_identical_across_mixed_shapes() {
         // one scratch reused across pairs of different sizes and bands
-        // must reproduce the allocating path exactly
+        // must reproduce the fresh-scratch path exactly
         let mut scratch = DtwScratch::new();
         let series: Vec<TimeSeries> = (0..6)
             .map(|k| {
@@ -741,9 +911,14 @@ mod tests {
                     Band::full(a.len(), b.len()),
                     crate::sakoe::sakoe_chiba_band(a.len(), b.len(), 0.3),
                 ] {
-                    for opts in [DtwOptions::default(), DtwOptions::normalized_symmetric2()] {
-                        let fresh = dtw_banded(a, b, &band, &opts);
-                        let reused = dtw_banded_with_scratch(a, b, &band, &opts, &mut scratch);
+                    for opts in [
+                        DtwOptions::default(),
+                        DtwOptions::normalized_symmetric2(),
+                        DtwOptions::amerced(0.2),
+                    ] {
+                        let fresh = run(a, b, &band, &opts);
+                        let reused = dtw_run_options(a, b, &band, &opts, None, &mut scratch)
+                            .expect("no cutoff");
                         assert_eq!(fresh.distance.to_bits(), reused.distance.to_bits());
                         assert_eq!(fresh.cells_filled, reused.cells_filled);
                     }
@@ -755,7 +930,7 @@ mod tests {
     #[test]
     fn early_abandon_scratch_reuse_is_bit_identical() {
         // one scratch reused across candidates of mixed shapes must agree
-        // exactly with the allocating early-abandon path, both in outcome
+        // exactly with the fresh-scratch abandoning path, both in outcome
         // (abandon vs complete) and in the returned distance bits
         let mut scratch = DtwScratch::new();
         let series: Vec<TimeSeries> = (0..5)
@@ -769,16 +944,14 @@ mod tests {
             for b in &series {
                 let band = Band::full(a.len(), b.len());
                 for threshold in [0.05, 1.0, f64::INFINITY] {
-                    for opts in [DtwOptions::default(), DtwOptions::normalized_symmetric2()] {
-                        let fresh = dtw_banded_early_abandon(a, b, &band, &opts, threshold);
-                        let reused = dtw_banded_early_abandon_with_scratch(
-                            a,
-                            b,
-                            &band,
-                            &opts,
-                            threshold,
-                            &mut scratch,
-                        );
+                    for opts in [
+                        DtwOptions::default(),
+                        DtwOptions::normalized_symmetric2(),
+                        DtwOptions::amerced(0.1),
+                    ] {
+                        let fresh = run_cutoff(a, b, &band, &opts, threshold);
+                        let reused =
+                            dtw_run_options(a, b, &band, &opts, Some(threshold), &mut scratch);
                         match (fresh, reused) {
                             (None, None) => {}
                             (Some(f), Some(r)) => {
@@ -799,10 +972,260 @@ mod tests {
         let x = ts(&[0.1, 0.9, 0.4, 1.7, 1.1, 0.2]);
         let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
         let band = Band::full(6, 5);
-        let r = dtw_banded_with_scratch(&x, &y, &band, &DtwOptions::with_path(), &mut scratch);
+        let r = dtw_run_options(&x, &y, &band, &DtwOptions::with_path(), None, &mut scratch)
+            .expect("no cutoff");
         let p = r.path.unwrap();
         p.validate(6, 5).unwrap();
         // buffers were retained for reuse
         assert!(scratch.capacity() >= 30);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_are_bit_identical_to_the_unified_path() {
+        let series: Vec<TimeSeries> = (0..4)
+            .map(|k| {
+                ts(&(0..(24 + 11 * k))
+                    .map(|i| ((i + 5 * k) as f64 / (6 + k) as f64).sin())
+                    .collect::<Vec<_>>())
+            })
+            .collect();
+        let mut scratch = DtwScratch::new();
+        for a in &series {
+            for b in &series {
+                let band = crate::sakoe::sakoe_chiba_band(a.len(), b.len(), 0.4);
+                for opts in [DtwOptions::with_path(), DtwOptions::normalized_symmetric2()] {
+                    let new = run(a, b, &band, &opts);
+                    let old = dtw_banded(a, b, &band, &opts);
+                    assert_eq!(old.distance.to_bits(), new.distance.to_bits());
+                    assert_eq!(old.path, new.path);
+                    assert_eq!(old.cells_filled, new.cells_filled);
+                    let old_s = dtw_banded_with_scratch(a, b, &band, &opts, &mut scratch);
+                    assert_eq!(old_s.distance.to_bits(), new.distance.to_bits());
+                    for threshold in [0.2, f64::INFINITY] {
+                        // legacy abandoning variants never produce paths
+                        let plain = DtwOptions {
+                            compute_path: false,
+                            ..opts
+                        };
+                        let new_ea = run_cutoff(a, b, &band, &plain, threshold);
+                        let old_ea = dtw_banded_early_abandon(a, b, &band, &opts, threshold);
+                        let old_eas = dtw_banded_early_abandon_with_scratch(
+                            a,
+                            b,
+                            &band,
+                            &opts,
+                            threshold,
+                            &mut scratch,
+                        );
+                        assert_eq!(
+                            old_ea.as_ref().map(|r| r.distance.to_bits()),
+                            new_ea.as_ref().map(|r| r.distance.to_bits())
+                        );
+                        assert_eq!(
+                            old_eas.as_ref().map(|r| r.distance.to_bits()),
+                            new_ea.as_ref().map(|r| r.distance.to_bits())
+                        );
+                        assert!(old_ea.as_ref().is_none_or(|r| r.path.is_none()));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amerced_zero_penalty_is_bit_identical_to_symmetric1() {
+        let x = ts(&(0..50).map(|i| (i as f64 / 6.0).sin()).collect::<Vec<_>>());
+        let y = ts(&(0..40).map(|i| (i as f64 / 5.0).cos()).collect::<Vec<_>>());
+        for band in [
+            Band::full(50, 40),
+            crate::sakoe::sakoe_chiba_band(50, 40, 0.3),
+        ] {
+            let std = run(&x, &y, &band, &DtwOptions::default());
+            let am = run(&x, &y, &band, &DtwOptions::amerced(0.0));
+            assert_eq!(std.distance.to_bits(), am.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn amerced_distance_is_monotone_in_penalty() {
+        let x = ts(&(0..60).map(|i| (i as f64 / 7.0).sin()).collect::<Vec<_>>());
+        let y = ts(&(0..60)
+            .map(|i| ((i + 9) as f64 / 7.0).sin())
+            .collect::<Vec<_>>());
+        let mut prev = run(&x, &y, &Band::full(60, 60), &DtwOptions::amerced(0.0)).distance;
+        for penalty in [0.01, 0.1, 1.0, 10.0] {
+            let d = run(&x, &y, &Band::full(60, 60), &DtwOptions::amerced(penalty)).distance;
+            assert!(
+                d >= prev - 1e-12,
+                "penalty {penalty}: {d} < previous {prev}"
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn amerced_huge_penalty_equals_the_euclidean_diagonal() {
+        // with a penalty no warp step can amortise, the optimal amerced
+        // path is the plain diagonal, i.e. the pointwise distance
+        let xv: Vec<f64> = (0..32).map(|i| (i as f64 / 4.0).sin()).collect();
+        let yv: Vec<f64> = (0..32).map(|i| (i as f64 / 3.0).cos()).collect();
+        let x = ts(&xv);
+        let y = ts(&yv);
+        let euclid = xv
+            .iter()
+            .zip(&yv)
+            .fold(0.0, |acc, (a, b)| acc + ElementMetric::Squared.eval(*a, *b));
+        let d = run(&x, &y, &Band::full(32, 32), &DtwOptions::amerced(1e9));
+        assert_eq!(d.distance.to_bits(), euclid.to_bits());
+    }
+
+    #[test]
+    fn amerced_interpolates_between_dtw_and_euclidean() {
+        let x = ts(&[0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0]);
+        let y = ts(&[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let band = Band::full(8, 8);
+        let dtw = run(&x, &y, &band, &DtwOptions::default()).distance;
+        let mid = run(&x, &y, &band, &DtwOptions::amerced(0.05)).distance;
+        let stiff = run(&x, &y, &band, &DtwOptions::amerced(1e6)).distance;
+        assert_eq!(dtw, 0.0);
+        assert!(mid > dtw && mid < stiff, "dtw {dtw} < mid {mid} < {stiff}");
+    }
+
+    #[test]
+    fn amerced_path_is_valid_and_pays_the_reported_distance() {
+        let x = ts(&[0.1, 0.9, 0.4, 1.7, 1.1, 0.2]);
+        let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
+        let penalty = 0.3;
+        let opts = DtwOptions {
+            compute_path: true,
+            ..DtwOptions::amerced(penalty)
+        };
+        let r = dtw_full(&x, &y, &opts);
+        let p = r.path.unwrap();
+        p.validate(6, 5).unwrap();
+        // path cost = pointwise cost + penalty per off-diagonal step
+        let mut cost = 0.0;
+        for (k, &(i, j)) in p.steps().iter().enumerate() {
+            cost += ElementMetric::Squared.eval(x.at(i), y.at(j));
+            if k > 0 {
+                let (pi, pj) = p.steps()[k - 1];
+                if i == pi || j == pj {
+                    cost += penalty;
+                }
+            }
+        }
+        assert!(
+            (cost - r.distance).abs() < 1e-9,
+            "path pays {cost}, reported {}",
+            r.distance
+        );
+    }
+
+    #[test]
+    fn amerced_early_abandon_is_sound() {
+        let x = ts(&(0..40).map(|i| (i as f64 / 5.0).sin()).collect::<Vec<_>>());
+        let y = ts(&(0..40)
+            .map(|i| ((i + 7) as f64 / 5.0).sin())
+            .collect::<Vec<_>>());
+        let band = Band::full(40, 40);
+        let opts = DtwOptions::amerced(0.25);
+        let d = run(&x, &y, &band, &opts).distance;
+        let kept = run_cutoff(&x, &y, &band, &opts, d).expect("threshold == distance survives");
+        assert_eq!(kept.distance.to_bits(), d.to_bits());
+        assert!(run_cutoff(&x, &y, &band, &opts, d * 0.5).is_none());
+    }
+
+    #[test]
+    fn options_validate_rejects_bad_penalties() {
+        assert!(DtwOptions::default().validate().is_ok());
+        assert!(DtwOptions::amerced(0.0).validate().is_ok());
+        assert!(DtwOptions::amerced(-0.5).validate().is_err());
+        assert!(DtwOptions::amerced(f64::NAN).validate().is_err());
+        assert!(DtwOptions::amerced(f64::INFINITY).validate().is_err());
+    }
+
+    #[test]
+    fn options_json_without_kernel_field_defaults_to_standard() {
+        // index snapshots persisted before the kernel field existed must
+        // keep loading: strip the field from a current serialisation and
+        // deserialise the pre-redesign shape
+        let current = serde_json::to_string(&DtwOptions::default()).unwrap();
+        let legacy = current.replace(",\"kernel\":\"Standard\"", "");
+        assert_ne!(current, legacy, "the kernel field was present to strip");
+        let opts: DtwOptions = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(opts, DtwOptions::default());
+        // and the current shape (including amerced) round-trips
+        let amerced = DtwOptions::amerced(0.5);
+        let back: DtwOptions =
+            serde_json::from_str(&serde_json::to_string(&amerced).unwrap()).unwrap();
+        assert_eq!(back, amerced);
+    }
+
+    #[test]
+    fn cutoff_rejection_skips_the_traceback() {
+        // a run whose final distance exceeds the cutoff must return None
+        // even with paths requested (and not pay for the walk first)
+        let x = ts(&[0.0, 1.0, 2.0, 1.0]);
+        let y = ts(&[0.5, 1.5, 2.5, 1.5]);
+        let band = Band::full(4, 4);
+        let opts = DtwOptions::with_path();
+        let d = run(&x, &y, &band, &opts).distance;
+        assert!(d > 0.0);
+        let rejected = run_cutoff(&x, &y, &band, &opts, d * 0.99);
+        assert!(rejected.is_none());
+    }
+
+    #[test]
+    fn options_report_kernel_labels_and_admissibility() {
+        assert_eq!(DtwOptions::default().kernel_label(), "sym1");
+        assert_eq!(DtwOptions::normalized_symmetric2().kernel_label(), "sym2");
+        assert_eq!(DtwOptions::amerced(0.5).kernel_label(), "amerced(w=0.5)");
+        assert!(DtwOptions::default().lower_bounds_admissible());
+        assert!(DtwOptions::amerced(2.0).lower_bounds_admissible());
+    }
+
+    #[test]
+    fn custom_kernels_plug_into_the_generic_path() {
+        // a third-party kernel: absolute-difference costs with a squared
+        // warp deterrent — nothing in the engine knows about it
+        struct Stiff;
+        impl DtwKernel for Stiff {
+            fn up(&self, parent: f64, local: f64) -> f64 {
+                parent + 2.0 * local + 0.1
+            }
+            fn left(&self, parent: f64, local: f64) -> f64 {
+                parent + 2.0 * local + 0.1
+            }
+            fn diagonal(&self, parent: f64, local: f64) -> f64 {
+                parent + local
+            }
+            fn normalize(&self, raw: f64, _n: usize, _m: usize) -> f64 {
+                raw
+            }
+            fn lower_bounds_admissible(&self) -> bool {
+                false
+            }
+            fn label(&self) -> String {
+                "stiff".into()
+            }
+        }
+        let x = ts(&[0.0, 1.0, 2.0, 1.0]);
+        let y = ts(&[0.0, 2.0, 1.0]);
+        let band = Band::full(4, 3);
+        let mut scratch = DtwScratch::new();
+        let r = dtw_run(
+            &x,
+            &y,
+            &band,
+            ElementMetric::Squared,
+            &Stiff,
+            true,
+            None,
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(r.distance.is_finite() && r.distance >= 0.0);
+        r.path.unwrap().validate(4, 3).unwrap();
     }
 }

@@ -24,24 +24,33 @@
 //! * [`lower_bound`] — the LB_Kim constant-time bound (endpoint/extremum
 //!   summaries) and the LB_Keogh envelope bound (extensions; they power
 //!   the `sdtw-index` retrieval cascade and the pruning ablations);
+//! * [`kernel`] — the [`kernel::DtwKernel`] trait (cost accumulation,
+//!   step weighting, normalisation) with the standard and amerced (ADTW)
+//!   kernels, plus the serialisable [`kernel::KernelChoice`] selector;
 //! * [`multires`] — coarse-to-fine (FastDTW-style) corridor DTW, the
-//!   reduced-representation family the paper calls orthogonal to sDTW;
-//! * [`search`] — pruned 1-NN search (LB_Keogh prefilter + early-abandoned
-//!   banded DP). Deprecated in favour of the `sdtw-index` crate's cascade;
-//!   kept as the exactness oracle in tests.
+//!   reduced-representation family the paper calls orthogonal to sDTW.
+//!
+//! The execution surface is the unified [`engine::dtw_run`] /
+//! [`engine::dtw_run_options`] pair; the historical `dtw_banded*` entry
+//! points are `#[deprecated]` shims over it. (The former `search` module's
+//! pruned 1-NN scan was superseded by the `sdtw-index` cascade and has
+//! been removed; `sdtw_eval::compute_query_matrix` is the brute-force
+//! oracle the test suites compare against.)
 //!
 //! # Example
 //!
 //! ```
 //! use sdtw_tseries::TimeSeries;
-//! use sdtw_dtw::engine::{dtw_full, dtw_banded, DtwOptions};
+//! use sdtw_dtw::engine::{dtw_full, dtw_run_options, DtwOptions, DtwScratch};
 //! use sdtw_dtw::sakoe::sakoe_chiba_band;
 //!
 //! let x = TimeSeries::new(vec![0.0, 1.0, 2.0, 1.0, 0.0]).unwrap();
 //! let y = TimeSeries::new(vec![0.0, 0.0, 1.0, 2.0, 1.0, 0.0]).unwrap();
 //! let full = dtw_full(&x, &y, &DtwOptions::default());
 //! let band = sakoe_chiba_band(x.len(), y.len(), 0.5);
-//! let banded = dtw_banded(&x, &y, &band, &DtwOptions::default());
+//! let mut scratch = DtwScratch::new();
+//! let banded = dtw_run_options(&x, &y, &band, &DtwOptions::default(), None, &mut scratch)
+//!     .expect("no cutoff configured");
 //! assert!(banded.distance >= full.distance); // constrained search can only do worse
 //! ```
 
@@ -51,16 +60,22 @@
 pub mod band;
 pub mod engine;
 pub mod itakura;
+pub mod kernel;
 pub mod lower_bound;
 pub mod multires;
 pub mod path;
 pub mod sakoe;
-pub mod search;
 
 pub use band::Band;
+#[allow(deprecated)] // the legacy entry points stay reachable during migration
 pub use engine::{
     dtw_banded, dtw_banded_early_abandon, dtw_banded_early_abandon_with_scratch,
-    dtw_banded_with_scratch, dtw_full, DtwOptions, DtwResult, DtwScratch,
+    dtw_banded_with_scratch,
 };
+pub use engine::{
+    dtw_full, dtw_run, dtw_run_options, DtwOptions, DtwResult, DtwScratch, Normalization,
+    StepPattern,
+};
+pub use kernel::{AmercedKernel, DtwKernel, KernelChoice, StandardKernel};
 pub use lower_bound::{lb_keogh, lb_kim, Envelope, SeriesSummary};
 pub use path::WarpPath;

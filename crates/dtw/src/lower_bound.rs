@@ -196,7 +196,7 @@ pub fn lb_kim(x: &SeriesSummary, y: &SeriesSummary, metric: ElementMetric) -> f6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{dtw_banded, dtw_full, DtwOptions};
+    use crate::engine::{dtw_full, dtw_run_options, DtwOptions, DtwScratch};
     use crate::sakoe::sakoe_chiba_band;
 
     fn ts(v: &[f64]) -> TimeSeries {
@@ -271,7 +271,16 @@ mod tests {
             // The SC band with half-width = radius dominates the envelope
             // window, so its DTW distance is lower-bounded by LB_Keogh.
             let band = sakoe_chiba_band(n, n, 2.0 * radius as f64 / n as f64);
-            let d = dtw_banded(&x, &y, &band, &DtwOptions::default()).distance;
+            let d = dtw_run_options(
+                &x,
+                &y,
+                &band,
+                &DtwOptions::default(),
+                None,
+                &mut DtwScratch::new(),
+            )
+            .expect("no cutoff")
+            .distance;
             assert!(lb <= d + 1e-9, "LB_Keogh {lb} exceeded banded DTW {d}");
         }
     }
@@ -389,7 +398,16 @@ mod tests {
             let env = Envelope::build(&y, radius);
             let keogh = lb_keogh(&x, &env, ElementMetric::Squared);
             let band = sakoe_chiba_band(n, n, 2.0 * radius as f64 / n as f64);
-            let d = dtw_banded(&x, &y, &band, &DtwOptions::default()).distance;
+            let d = dtw_run_options(
+                &x,
+                &y,
+                &band,
+                &DtwOptions::default(),
+                None,
+                &mut DtwScratch::new(),
+            )
+            .expect("no cutoff")
+            .distance;
             assert!(
                 kim <= keogh + 1e-9,
                 "lb_kim {kim} exceeded lb_keogh {keogh}"

@@ -14,7 +14,7 @@
 //! combination is exercised by the ablation benchmarks.
 
 use crate::band::{Band, ColRange};
-use crate::engine::{dtw_banded, DtwOptions, DtwResult};
+use crate::engine::{dtw_run_options, DtwOptions, DtwResult, DtwScratch};
 use crate::path::WarpPath;
 use sdtw_tseries::TimeSeries;
 
@@ -29,7 +29,8 @@ const BASE_SIZE: usize = 16;
 /// optimal *within the corridor*.
 pub fn dtw_multires(x: &TimeSeries, y: &TimeSeries, radius: usize, opts: &DtwOptions) -> DtwResult {
     let band = multires_band(x, y, radius, opts);
-    dtw_banded(x, y, &band, opts)
+    dtw_run_options(x, y, &band, opts, None, &mut DtwScratch::new())
+        .expect("a run without a cutoff never abandons")
 }
 
 /// The coarse-to-fine corridor band for a pair (without the final DP run).
@@ -43,7 +44,7 @@ pub fn multires_band(x: &TimeSeries, y: &TimeSeries, radius: usize, opts: &DtwOp
     let xc = shrink_half(x);
     let yc = shrink_half(y);
     let coarse_band = multires_band(&xc, &yc, radius, opts);
-    let coarse = dtw_banded(
+    let coarse = dtw_run_options(
         &xc,
         &yc,
         &coarse_band,
@@ -52,7 +53,10 @@ pub fn multires_band(x: &TimeSeries, y: &TimeSeries, radius: usize, opts: &DtwOp
             compute_path: true,
             ..*opts
         },
-    );
+        None,
+        &mut DtwScratch::new(),
+    )
+    .expect("a run without a cutoff never abandons");
     let path = coarse.path.expect("path requested");
     project_path(&path, n, m, radius)
 }

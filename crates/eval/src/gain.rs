@@ -57,6 +57,7 @@ mod tests {
 
     fn stats(matching_ms: u64, dp_ms: u64, cells: u64, descs: u64) -> MatrixStats {
         MatrixStats {
+            extraction_time: Duration::ZERO,
             matching_time: Duration::from_millis(matching_ms),
             dp_time: Duration::from_millis(dp_ms),
             cells_filled: cells,

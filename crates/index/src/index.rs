@@ -197,11 +197,23 @@ impl SdtwIndex {
         let metric = self.config.sdtw.dtw.metric;
         let q_summary = SeriesSummary::of(&q);
         let q_radius = self.config.radius_for(q.len());
-        let q_env = Envelope::build(&q, q_radius);
+        // LB_Kim/LB_Keogh bound the *standard symmetric1* accumulation;
+        // the kernel declares whether its costs dominate that (true for
+        // the standard patterns and for amerced with ω ≥ 0). A kernel
+        // that discounts costs would make the bounds unsound, so its
+        // queries skip the LB stages entirely — logged via
+        // `CascadeStats::bounds_disabled`. Early abandoning needs only
+        // per-kernel monotonicity and stays on.
+        let bounds_ok = self.config.sdtw.dtw.lower_bounds_admissible();
+        // the query envelope only feeds the reversed LB_Keogh stage —
+        // skip the O(n·radius) build when the bounds are off
+        let q_env = bounds_ok.then(|| Envelope::build(&q, q_radius));
 
         // Stage 1 for everyone up front: O(1) per entry, and the visit
         // order it induces (ascending bound, stable by index) tightens the
-        // top-k threshold as early as possible.
+        // top-k threshold as early as possible. Without admissible bounds
+        // it is still a deterministic (and usually helpful) visit-order
+        // heuristic — it just never prunes.
         let mut order: Vec<(f64, usize)> = self
             .entries
             .iter()
@@ -220,6 +232,7 @@ impl SdtwIndex {
         let mut topk = TopK::new(k);
         let mut stats = CascadeStats {
             candidates: self.entries.len() as u64,
+            bounds_disabled: !bounds_ok,
             ..CascadeStats::default()
         };
 
@@ -229,7 +242,7 @@ impl SdtwIndex {
             // strict comparisons throughout: a candidate tying the
             // current k-th distance must still be examined — the index
             // tie-break decides whether it displaces the incumbent
-            if kim > threshold {
+            if bounds_ok && kim > threshold {
                 stats.pruned_kim += 1;
                 continue;
             }
@@ -245,27 +258,32 @@ impl SdtwIndex {
             } else {
                 band.sanitize()
             };
-            if Self::keogh_applicable(&band, n, m, q_radius.min(entry.envelope.radius)) {
+            if bounds_ok && Self::keogh_applicable(&band, n, m, q_radius.min(entry.envelope.radius))
+            {
                 let lb = self.normalize_bound(lb_keogh(&q, &entry.envelope, metric), n, m);
                 if lb > threshold {
                     stats.pruned_keogh += 1;
                     continue;
                 }
-                let lb_rev = self.normalize_bound(lb_keogh(&entry.series, &q_env, metric), n, m);
+                let q_env = q_env.as_ref().expect("bounds_ok implies the envelope");
+                let lb_rev = self.normalize_bound(lb_keogh(&entry.series, q_env, metric), n, m);
                 if lb_rev > threshold {
                     stats.pruned_keogh_rev += 1;
                     continue;
                 }
-            } else {
+            } else if bounds_ok {
                 stats.lb_inapplicable += 1;
             }
-            match self.engine.banded_distance_early_abandon_scratch(
-                &q,
-                &entry.series,
-                &band,
-                threshold,
-                scratch,
-            ) {
+            match self
+                .engine
+                .query(&q, &entry.series)
+                .band(&band)
+                .cutoff(threshold)
+                .path(false)
+                .scratch(scratch)
+                .run()
+                .expect("band override cannot fail extraction")
+            {
                 None => {
                     stats.abandoned += 1;
                     // the abandoning run still paid for part of the grid;

@@ -36,6 +36,15 @@ pub struct CascadeStats {
     /// DP cells filled across all runs (abandoned runs are charged their
     /// full band conservatively).
     pub cells_filled: u64,
+    /// True when the engine's cost kernel reported that the standard
+    /// lower bounds are **not** admissible for it
+    /// (`DtwOptions::lower_bounds_admissible`), so the LB_Kim/LB_Keogh
+    /// stages were disabled for the whole query — the logged reason why
+    /// `pruned_kim`/`pruned_keogh*` are zero. Both built-in kernels
+    /// (standard and amerced, penalty ≥ 0) keep the bounds admissible, so
+    /// this only fires for future discounting kernels. Early abandoning
+    /// stays on either way.
+    pub bounds_disabled: bool,
 }
 
 impl CascadeStats {
@@ -49,6 +58,7 @@ impl CascadeStats {
         self.abandoned += other.abandoned;
         self.dp_completed += other.dp_completed;
         self.cells_filled += other.cells_filled;
+        self.bounds_disabled |= other.bounds_disabled;
     }
 
     /// Candidates disposed of before the DP stage.
@@ -86,6 +96,7 @@ mod tests {
             abandoned: 1,
             dp_completed: 2,
             cells_filled: 100,
+            bounds_disabled: false,
         };
         assert!(a.is_consistent());
         let mut b = a;

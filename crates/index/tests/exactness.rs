@@ -4,7 +4,7 @@
 //! datasets, for k ∈ {1, 5}, in both exact-banded-DTW and sDTW-band
 //! modes.
 
-use sdtw::{FeatureStore, SDtw};
+use sdtw::{FeatureStore, KernelChoice, SDtw};
 use sdtw_datasets::{econ, UcrAnalog};
 use sdtw_eval::compute_query_matrix;
 use sdtw_index::{IndexConfig, SdtwIndex};
@@ -144,25 +144,86 @@ fn distance_ties_break_toward_the_lower_index_like_the_oracle() {
 }
 
 #[test]
-fn deprecated_nn_search_oracle_agrees_at_k1() {
-    #![allow(deprecated)]
-    use sdtw_dtw::engine::DtwOptions;
-    use sdtw_dtw::sakoe::sakoe_chiba_band;
-    use sdtw_dtw::search::NnSearch;
-
+fn one_nn_agrees_with_the_query_matrix_oracle() {
+    // the 1-NN role the deprecated `NnSearch` scan used to play: a
+    // corpus-member query must come back as its own exact nearest
+    // neighbour, bit-identical to the brute-force matrix ranking
     let corpus = UcrAnalog::Gun.generate(33).series[..16].to_vec();
     let query = corpus[7].clone();
     let config = IndexConfig::exact_banded(0.2);
-    let index = SdtwIndex::build(&corpus, config).unwrap();
+    let index = SdtwIndex::build(&corpus, config.clone()).unwrap();
     let got = index.query(&query, 1).unwrap();
-    let search = NnSearch {
-        band_for: |n, m| sakoe_chiba_band(n, m, 0.2),
-        opts: DtwOptions::default(),
-        lb_radius: 15,
+    let oracle = oracle_top_k(&[query], &corpus, &config, 1);
+    assert_eq!(got.neighbors[0].index, oracle[0][0].0);
+    assert_eq!(got.neighbors[0].distance.to_bits(), oracle[0][0].1);
+    assert_eq!(got.neighbors[0].index, 7, "self is its own nearest");
+    assert!(
+        !got.stats.bounds_disabled,
+        "standard kernel keeps bounds on"
+    );
+}
+
+#[test]
+fn amerced_kernel_index_matches_the_oracle_with_bounds_on() {
+    // ω ≥ 0 keeps LB_Kim/LB_Keogh admissible (the amerced cost of any
+    // path dominates its symmetric1 cost), so the cascade stays enabled
+    // and must still be exact against the amerced brute force
+    let mut exact = IndexConfig::exact_banded(0.2);
+    exact.sdtw.dtw.kernel = KernelChoice::Amerced { penalty: 0.05 };
+    assert_matches_oracle(exact.clone(), "amerced-exact");
+    let mut sdtw_mode = IndexConfig::sdtw_bands();
+    sdtw_mode.sdtw.dtw.kernel = KernelChoice::Amerced { penalty: 0.05 };
+    assert_matches_oracle(sdtw_mode, "amerced-sdtw");
+    // and the bounds were preserved, not disabled
+    let (_, corpus, queries) = seeded_datasets().remove(0);
+    let index = SdtwIndex::build(&corpus, exact).unwrap();
+    let got = index.query(&queries[0], 3).unwrap();
+    assert!(!got.stats.bounds_disabled);
+    assert!(got.stats.is_consistent());
+}
+
+#[test]
+fn amerced_kernel_changes_the_nearest_neighbour() {
+    // q: a centred bump; A: the same bump shifted (DTW-near, pointwise
+    // far); B: the bump plus small noise (pointwise-near). Plain DTW
+    // warps the shift away and picks A; amercing prices those warp steps
+    // and flips the nearest neighbour to B.
+    let n = 64usize;
+    let bump = |c: f64, i: usize| {
+        let d = (i as f64 - c) / 4.0;
+        (-d * d / 2.0).exp()
     };
-    let nn = search.nearest(&query, &corpus);
-    assert_eq!(got.neighbors[0].index, nn.index);
-    assert!((got.neighbors[0].distance - nn.distance).abs() < 1e-12);
+    let q: Vec<f64> = (0..n).map(|i| bump(32.0, i)).collect();
+    let a: Vec<f64> = (0..n).map(|i| bump(37.0, i)).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| bump(32.0, i) + 0.1 * ((i * 7) as f64).sin())
+        .collect();
+    let corpus = vec![
+        sdtw_tseries::TimeSeries::new(a).unwrap(),
+        sdtw_tseries::TimeSeries::new(b).unwrap(),
+    ];
+    let query = sdtw_tseries::TimeSeries::new(q).unwrap();
+
+    let standard = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.3)).unwrap();
+    let nn_std = standard.query(&query, 1).unwrap().neighbors[0];
+    assert_eq!(nn_std.index, 0, "plain DTW warps the shift away: A wins");
+
+    let mut amerced_cfg = IndexConfig::exact_banded(0.3);
+    amerced_cfg.sdtw.dtw.kernel = KernelChoice::Amerced { penalty: 1.0 };
+    let amerced = SdtwIndex::build(&corpus, amerced_cfg.clone()).unwrap();
+    let nn_am = amerced.query(&query, 1).unwrap().neighbors[0];
+    assert_eq!(nn_am.index, 1, "amercing prices the warp: B wins");
+
+    // both answers are exact against their own oracle
+    let oracle = oracle_top_k(
+        std::slice::from_ref(&query),
+        &corpus,
+        &IndexConfig::exact_banded(0.3),
+        1,
+    );
+    assert_eq!((nn_std.index, nn_std.distance.to_bits()), oracle[0][0]);
+    let oracle_am = oracle_top_k(&[query], &corpus, &amerced_cfg, 1);
+    assert_eq!((nn_am.index, nn_am.distance.to_bits()), oracle_am[0][0]);
 }
 
 #[test]

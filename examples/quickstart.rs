@@ -38,7 +38,11 @@ fn main() {
         ..SDtwConfig::default()
     })
     .expect("valid config");
-    let out = engine.distance(&x, &y).expect("extraction succeeds");
+    let out = engine
+        .query(&x, &y)
+        .run()
+        .expect("extraction succeeds")
+        .expect("no cutoff configured");
     println!(
         "sDTW (ac2,aw)   distance = {:10.4}   cells = {}   band coverage = {:.1}%",
         out.distance,
@@ -56,7 +60,11 @@ fn main() {
         ..SDtwConfig::default()
     })
     .expect("valid config");
-    let sc = sakoe.distance(&x, &y).expect("no extraction needed");
+    let sc = sakoe
+        .query(&x, &y)
+        .run()
+        .expect("no extraction needed")
+        .expect("no cutoff configured");
     println!(
         "Sakoe 10%       distance = {:10.4}   cells = {}",
         sc.distance, sc.cells_filled

@@ -34,18 +34,24 @@ pub use sdtw_tseries as tseries;
 pub use sdtw as core;
 
 /// Most-used types, one import away.
+///
+/// This is the blessed public surface: distance computation flows through
+/// the [`core::SDtw::query`] builder ([`core::query::Query`]); the
+/// deprecated `distance*` / `dtw_banded*` shims are reachable through
+/// their crates but deliberately kept out of the prelude.
+/// `tests/api_surface.rs` snapshots the item list below — extend it
+/// consciously.
 pub mod prelude {
     pub use sdtw::{
-        BandSymmetry, ConstraintPolicy, DtwScratch, FeatureStore, MatchConfig, SDtw, SDtwConfig,
-        SDtwOutcome, SalientConfig,
+        BandSymmetry, ConstraintPolicy, DtwScratch, FeatureStore, MatchConfig, PhaseTiming, Query,
+        SDtw, SDtwConfig, SDtwOutcome, SalientConfig,
     };
     pub use sdtw_datasets::{Dataset, UcrAnalog};
     pub use sdtw_dtw::engine::{
-        dtw_banded, dtw_banded_early_abandon, dtw_full, DtwOptions, Normalization, StepPattern,
+        dtw_full, dtw_run, dtw_run_options, DtwOptions, Normalization, StepPattern,
     };
+    pub use sdtw_dtw::kernel::{AmercedKernel, DtwKernel, KernelChoice, StandardKernel};
     pub use sdtw_dtw::lower_bound::{lb_keogh, lb_kim, Envelope, SeriesSummary};
-    #[allow(deprecated)] // the exactness oracle stays reachable for tests
-    pub use sdtw_dtw::search::{NnResult, NnSearch};
     pub use sdtw_dtw::{Band, WarpPath};
     pub use sdtw_eval::{
         compute_matrix, compute_query_matrix, evaluate_policies, DistanceMatrix, EvalOptions,

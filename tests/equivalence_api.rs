@@ -1,0 +1,276 @@
+//! The API-redesign equivalence suite: every `#[deprecated]` entry point
+//! and its `Query`-builder replacement must produce **bit-identical**
+//! distances, warp paths and retrieval statistics, on seeded data, across
+//! all three constraint-policy families and both band symmetries.
+//!
+//! This is the contract that makes the deprecations safe: the shims *are*
+//! the builder, so nothing can drift between the old and new surfaces.
+
+#![allow(deprecated)] // exercising the deprecated shims is the point
+
+use sdtw_suite::core::engine::{SDtw, SDtwConfig};
+use sdtw_suite::datasets::econ;
+use sdtw_suite::prelude::*;
+use sdtw_suite::salient::extract_features;
+
+/// Three seeded datasets (the suite's standard trio): a handful of series
+/// each is plenty — every pair runs through every entry point.
+fn seeded_series() -> Vec<(&'static str, Vec<TimeSeries>)> {
+    vec![
+        ("gun", UcrAnalog::Gun.generate(11).series[..4].to_vec()),
+        ("trace", UcrAnalog::Trace.generate(22).series[..4].to_vec()),
+        ("econ", econ::generate(7, 2, 2).series),
+    ]
+}
+
+/// The three constraint-policy families under test.
+fn policies() -> Vec<ConstraintPolicy> {
+    vec![
+        ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.1 },
+        ConstraintPolicy::adaptive_core_adaptive_width(),
+        ConstraintPolicy::adaptive_core_adaptive_width_averaged(),
+    ]
+}
+
+fn engines() -> Vec<(String, SDtw)> {
+    let mut out = Vec::new();
+    for policy in policies() {
+        for symmetry in [BandSymmetry::Asymmetric, BandSymmetry::Union] {
+            let config = SDtwConfig {
+                policy,
+                symmetry,
+                dtw: DtwOptions::with_path(),
+                ..SDtwConfig::default()
+            };
+            let label = format!("{}/{symmetry:?}", policy.label());
+            out.push((label, SDtw::new(config).unwrap()));
+        }
+    }
+    out
+}
+
+fn features(engine: &SDtw, ts: &TimeSeries) -> Vec<sdtw_suite::salient::SalientFeature> {
+    if engine.config().policy.needs_alignment() {
+        extract_features(ts, &engine.config().salient).unwrap()
+    } else {
+        Vec::new()
+    }
+}
+
+#[test]
+fn deprecated_sdtw_methods_match_the_builder_bitwise() {
+    for (name, series) in seeded_series() {
+        for (label, eng) in engines() {
+            for x in &series {
+                for y in &series {
+                    let fx = features(&eng, x);
+                    let fy = features(&eng, y);
+                    let ctx = format!("{name}/{label}");
+
+                    // the builder reference result (path requested via config)
+                    let new = eng
+                        .query(x, y)
+                        .features(&fx, &fy)
+                        .run()
+                        .unwrap()
+                        .expect("no cutoff");
+
+                    // distance(): extraction on the fly
+                    let old = eng.distance(x, y).unwrap();
+                    assert_eq!(old.distance.to_bits(), new.distance.to_bits(), "{ctx}");
+                    assert_eq!(old.path, new.path, "{ctx}: paths must be identical");
+                    assert_eq!(old.cells_filled, new.cells_filled, "{ctx}");
+                    assert_eq!(old.band_area, new.band_area, "{ctx}");
+                    assert_eq!(old.raw_pairs, new.raw_pairs, "{ctx}");
+                    assert_eq!(old.consistent_pairs, new.consistent_pairs, "{ctx}");
+
+                    // distance_with_features()
+                    let old = eng.distance_with_features(x, &fx, y, &fy);
+                    assert_eq!(old.distance.to_bits(), new.distance.to_bits(), "{ctx}");
+                    assert_eq!(old.path, new.path, "{ctx}");
+
+                    // distance_with_features_scratch()
+                    let mut scratch = DtwScratch::new();
+                    let old = eng.distance_with_features_scratch(x, &fx, y, &fy, &mut scratch);
+                    assert_eq!(old.distance.to_bits(), new.distance.to_bits(), "{ctx}");
+                    assert_eq!(old.path, new.path, "{ctx}");
+
+                    // distance_early_abandon_with_features_scratch(), both
+                    // surviving and abandoning thresholds
+                    let survive = eng
+                        .distance_early_abandon_with_features_scratch(
+                            x,
+                            &fx,
+                            y,
+                            &fy,
+                            new.distance,
+                            &mut scratch,
+                        )
+                        .expect("threshold == distance must survive");
+                    assert_eq!(survive.distance.to_bits(), new.distance.to_bits(), "{ctx}");
+                    assert!(survive.path.is_none(), "{ctx}: abandoning variant, no path");
+                    let via_builder = eng
+                        .query(x, y)
+                        .features(&fx, &fy)
+                        .cutoff(new.distance)
+                        .path(false)
+                        .scratch(&mut scratch)
+                        .run()
+                        .unwrap()
+                        .expect("threshold == distance must survive");
+                    assert_eq!(
+                        survive.distance.to_bits(),
+                        via_builder.distance.to_bits(),
+                        "{ctx}"
+                    );
+                    if new.distance > 0.0 {
+                        let abandoned = eng.distance_early_abandon_with_features_scratch(
+                            x,
+                            &fx,
+                            y,
+                            &fy,
+                            new.distance * 0.5,
+                            &mut scratch,
+                        );
+                        let builder_abandoned = eng
+                            .query(x, y)
+                            .features(&fx, &fy)
+                            .cutoff(new.distance * 0.5)
+                            .scratch(&mut scratch)
+                            .run()
+                            .unwrap();
+                        assert_eq!(
+                            abandoned.is_none(),
+                            builder_abandoned.is_none(),
+                            "{ctx}: abandon decisions must agree"
+                        );
+                    }
+
+                    // banded_distance_early_abandon_scratch() on the planned band
+                    let (band, _) = eng.plan_band(&fx, &fy, x.len(), y.len());
+                    let old_band = eng
+                        .banded_distance_early_abandon_scratch(
+                            x,
+                            y,
+                            &band,
+                            f64::INFINITY,
+                            &mut scratch,
+                        )
+                        .expect("infinite threshold never abandons");
+                    let new_band = eng
+                        .query(x, y)
+                        .band(&band)
+                        .cutoff(f64::INFINITY)
+                        .path(false)
+                        .scratch(&mut scratch)
+                        .run()
+                        .unwrap()
+                        .expect("infinite threshold never abandons");
+                    assert_eq!(
+                        old_band.distance.to_bits(),
+                        new_band.distance.to_bits(),
+                        "{ctx}"
+                    );
+                    assert_eq!(old_band.cells_filled, new_band.cells_filled, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deprecated_dtw_entry_points_match_the_unified_path_bitwise() {
+    use sdtw_suite::dtw::engine::{
+        dtw_banded, dtw_banded_early_abandon, dtw_banded_early_abandon_with_scratch,
+        dtw_banded_with_scratch,
+    };
+    use sdtw_suite::dtw::sakoe::sakoe_chiba_band;
+
+    for (name, series) in seeded_series() {
+        let mut scratch = DtwScratch::new();
+        for x in &series {
+            for y in &series {
+                let band = sakoe_chiba_band(x.len(), y.len(), 0.2);
+                for opts in [
+                    DtwOptions::with_path(),
+                    DtwOptions::normalized_symmetric2(),
+                    DtwOptions::amerced(0.1),
+                ] {
+                    let new = dtw_run_options(x, y, &band, &opts, None, &mut DtwScratch::new())
+                        .expect("no cutoff");
+                    let old = dtw_banded(x, y, &band, &opts);
+                    assert_eq!(old.distance.to_bits(), new.distance.to_bits(), "{name}");
+                    assert_eq!(old.path, new.path, "{name}: paths must be identical");
+                    assert_eq!(old.cells_filled, new.cells_filled, "{name}");
+                    let old_s = dtw_banded_with_scratch(x, y, &band, &opts, &mut scratch);
+                    assert_eq!(old_s.distance.to_bits(), new.distance.to_bits(), "{name}");
+
+                    for threshold in [new.distance * 0.5, new.distance, f64::INFINITY] {
+                        let plain = DtwOptions {
+                            compute_path: false,
+                            ..opts
+                        };
+                        let new_ea =
+                            dtw_run_options(x, y, &band, &plain, Some(threshold), &mut scratch);
+                        let old_ea = dtw_banded_early_abandon(x, y, &band, &opts, threshold);
+                        let old_eas = dtw_banded_early_abandon_with_scratch(
+                            x,
+                            y,
+                            &band,
+                            &opts,
+                            threshold,
+                            &mut scratch,
+                        );
+                        assert_eq!(
+                            old_ea.as_ref().map(|r| r.distance.to_bits()),
+                            new_ea.as_ref().map(|r| r.distance.to_bits()),
+                            "{name}: abandon outcomes must agree at threshold {threshold}"
+                        );
+                        assert_eq!(
+                            old_eas.as_ref().map(|r| r.distance.to_bits()),
+                            new_ea.as_ref().map(|r| r.distance.to_bits()),
+                            "{name}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cascade_stats_are_reproducible_across_execution_modes() {
+    // CascadeStats must be a pure function of (index, query, k): identical
+    // between fresh-scratch and reused-scratch queries and between serial
+    // and parallel batches, for every policy family and both symmetries.
+    for (name, series) in seeded_series() {
+        for policy in policies() {
+            for symmetry in [BandSymmetry::Asymmetric, BandSymmetry::Union] {
+                let config = IndexConfig {
+                    sdtw: SDtwConfig {
+                        policy,
+                        symmetry,
+                        ..SDtwConfig::default()
+                    },
+                    z_normalize: false,
+                    lb_radius_frac: 0.2,
+                };
+                let index = SdtwIndex::build(&series, config).unwrap();
+                let queries: Vec<TimeSeries> = series.iter().take(2).cloned().collect();
+                let ctx = format!("{name}/{}/{symmetry:?}", policy.label());
+
+                let mut scratch = DtwScratch::new();
+                for q in &queries {
+                    let fresh = index.query(q, 3).unwrap();
+                    let reused = index.query_with_scratch(q, 3, &mut scratch).unwrap();
+                    assert_eq!(fresh, reused, "{ctx}: scratch reuse changed the answer");
+                    assert!(fresh.stats.is_consistent(), "{ctx}: stats leak");
+                    assert!(!fresh.stats.bounds_disabled, "{ctx}: bounds stay on");
+                }
+                let serial = index.batch_query(&queries, 3, false).unwrap();
+                let parallel = index.batch_query(&queries, 3, true).unwrap();
+                assert_eq!(serial, parallel, "{ctx}: parallelism changed the answer");
+            }
+        }
+    }
+}

@@ -67,7 +67,15 @@ fn sdtw_band_intersected_with_corridor_is_cheaper_than_either() {
 
     // the combined band still completes and upper-bounds the optimum
     let exact = dtw_full(&x, &y, &opts).distance;
-    let combined_result = sdtw_suite::dtw::engine::dtw_banded(&x, &y, &combined, &opts);
+    let combined_result = sdtw_suite::dtw::engine::dtw_run_options(
+        &x,
+        &y,
+        &combined,
+        &opts,
+        None,
+        &mut sdtw_suite::dtw::DtwScratch::new(),
+    )
+    .expect("no cutoff configured");
     assert!(combined_result.distance.is_finite());
     assert!(combined_result.distance >= exact - 1e-9);
 }

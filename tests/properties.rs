@@ -10,6 +10,13 @@ use sdtw_suite::dtw::itakura::itakura_band;
 use sdtw_suite::dtw::sakoe::sakoe_chiba_band;
 use sdtw_suite::prelude::*;
 
+/// Unified-path shorthand: banded run to completion with a fresh scratch.
+fn dtw_banded_run(x: &TimeSeries, y: &TimeSeries, band: &Band, opts: &DtwOptions) -> f64 {
+    dtw_run_options(x, y, band, opts, None, &mut DtwScratch::new())
+        .expect("no cutoff configured")
+        .distance
+}
+
 /// A random (possibly infeasible) band over an `n × m` grid.
 fn random_band(rng: &mut TestRng, n: usize, m: usize) -> Band {
     let ranges = (0..n)
@@ -67,17 +74,25 @@ fn every_band_family_upper_bounds_exact_dtw() {
         let checks: [(&str, f64); 4] = [
             (
                 "sakoe",
-                dtw_banded(&x, &y, &sakoe_chiba_band(x.len(), y.len(), 0.2), &opts).distance,
+                dtw_banded_run(&x, &y, &sakoe_chiba_band(x.len(), y.len(), 0.2), &opts),
             ),
             (
                 "itakura",
-                dtw_banded(&x, &y, &itakura_band(x.len(), y.len(), 2.0), &opts).distance,
+                dtw_banded_run(&x, &y, &itakura_band(x.len(), y.len(), 2.0), &opts),
             ),
             (
                 "random-band",
-                dtw_banded(&x, &y, &random_band(&mut rng, x.len(), y.len()), &opts).distance,
+                dtw_banded_run(&x, &y, &random_band(&mut rng, x.len(), y.len()), &opts),
             ),
-            ("sdtw", sdtw_engine.distance(&x, &y).unwrap().distance),
+            (
+                "sdtw",
+                sdtw_engine
+                    .query(&x, &y)
+                    .run()
+                    .unwrap()
+                    .expect("no cutoff")
+                    .distance,
+            ),
         ];
         for (name, banded) in checks {
             assert!(
@@ -97,7 +112,7 @@ fn full_width_sakoe_equals_full_dtw() {
         let y = random_series(&mut rng);
         let full = dtw_full(&x, &y, &opts).distance;
         let band = sakoe_chiba_band(x.len(), y.len(), 1.0);
-        let banded = dtw_banded(&x, &y, &band, &opts).distance;
+        let banded = dtw_banded_run(&x, &y, &band, &opts);
         assert!(
             (full - banded).abs() < 1e-12,
             "case {case}: {banded} vs {full}"
@@ -260,7 +275,7 @@ fn every_policy_produces_finite_upper_bounds() {
             ..SDtwConfig::default()
         })
         .unwrap();
-        let out = engine.distance(&x, &y).unwrap();
+        let out = engine.query(&x, &y).run().unwrap().expect("no cutoff");
         let full = dtw_full(&x, &y, &DtwOptions::default()).distance;
         assert!(out.distance.is_finite(), "case {case} ({})", policy.label());
         assert!(
