@@ -1,0 +1,108 @@
+//! Subsequence-search benchmark: the pruned cascade matcher against the
+//! naive per-window DP (the `sdtw_eval` oracle), plus the streaming
+//! monitor. Tracked in `BENCH_stream.json`; the bench corpus's cascade
+//! prune rate is recorded in the `stream_prune_rate/...` id and asserted
+//! to clear 50% before the DP stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdtw::{DtwScratch, SDtw};
+use sdtw_eval::{select_matches, subsequence_profile};
+use sdtw_stream::{StreamConfig, StreamMonitor, SubseqMatcher};
+use sdtw_tseries::TimeSeries;
+use std::hint::black_box;
+
+const QUERY_LEN: usize = 64;
+const HAY_LEN: usize = 2048;
+
+/// A two-bump query pattern.
+fn query() -> TimeSeries {
+    TimeSeries::new(
+        (0..QUERY_LEN)
+            .map(|i| {
+                let a = (i as f64 - 20.0) / 5.0;
+                let b = (i as f64 - 45.0) / 8.0;
+                (-a * a / 2.0).exp() + 0.7 * (-b * b / 2.0).exp()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// A drifting haystack with the query planted at several gains/levels.
+fn haystack(q: &TimeSeries) -> TimeSeries {
+    let mut hay = vec![0.0; HAY_LEN];
+    for (start, gain, level) in [(250usize, 1.0, 0.0), (900, 2.0, 3.0), (1500, 0.7, -2.0)] {
+        for i in 0..QUERY_LEN {
+            hay[start + i] += gain * q.at(i) + level;
+        }
+    }
+    for (i, v) in hay.iter_mut().enumerate() {
+        *v += 0.4 * (i as f64 / 150.0).sin() + 0.05 * (i as f64 / 7.0).cos();
+    }
+    TimeSeries::new(hay).unwrap()
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let q = query();
+    let hay = haystack(&q);
+    let config = StreamConfig::exact_banded(0.2);
+    let matcher = SubseqMatcher::new(&q, config.clone()).unwrap();
+    let engine = SDtw::new(config.sdtw.clone()).unwrap();
+    let k = 3;
+
+    // sanity + prune-rate capture outside the timing loops
+    let reference = matcher.find(&hay, k).unwrap();
+    let profile = subsequence_profile(&engine, &q, &hay, true).unwrap();
+    let oracle = select_matches(&profile, k, matcher.exclusion(), f64::INFINITY);
+    assert_eq!(reference.matches.len(), oracle.len(), "cascade is exact");
+    for (m, (w, d)) in reference.matches.iter().zip(&oracle) {
+        assert_eq!(m.offset, *w);
+        assert_eq!(m.distance.to_bits(), d.to_bits());
+    }
+    let lb_rate = reference.stats.lb_prune_rate();
+    assert!(
+        lb_rate >= 0.5,
+        "bench corpus must see >= 50% of windows pruned before the DP stage, got {:.1}%",
+        lb_rate * 100.0
+    );
+
+    let mut group = c.benchmark_group("stream_find");
+    group.bench_function("cascade", |b| {
+        let mut scratch = DtwScratch::new();
+        b.iter(|| {
+            let r = matcher
+                .find_under_with_scratch(&hay, k, f64::INFINITY, &mut scratch)
+                .unwrap();
+            black_box(r.matches.len())
+        })
+    });
+    group.bench_function("naive_per_window_dp", |b| {
+        b.iter(|| {
+            let profile = subsequence_profile(&engine, &q, &hay, true).unwrap();
+            let picks = select_matches(&profile, k, matcher.exclusion(), f64::INFINITY);
+            black_box(picks.len())
+        })
+    });
+    group.bench_function("monitor_top1", |b| {
+        b.iter(|| {
+            let mut monitor = StreamMonitor::new(matcher.clone(), 1, f64::INFINITY).unwrap();
+            monitor.process(hay.values()).unwrap();
+            black_box(monitor.matches().len())
+        })
+    });
+    group.finish();
+
+    // record the measured prune rate in the results file via the id (the
+    // shim's record schema has no free-form fields)
+    c.bench_function(
+        &format!(
+            "stream_prune_rate/lb_{:.1}pct_total_{:.1}pct",
+            lb_rate * 100.0,
+            reference.stats.prune_rate() * 100.0
+        ),
+        |b| b.iter(|| black_box(lb_rate)),
+    );
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! sdtw distmat <corpus.txt> [--policy P] [--width W] [--serial] [--queries q.txt] [--out m.json]
 //! sdtw index build <corpus.txt> <out.json> [--policy P] [--width W] [--radius F] [--znorm]
 //! sdtw index query <index.json> <queries.txt> [--k K] [--serial] [--json]
+//! sdtw stream find <haystack.txt> <query.txt> [--k K] [--tau T] [--monitor] [--raw]
 //! sdtw generate <gun|trace|50words> <out.txt> [--seed S]
 //! ```
 //!
@@ -21,6 +22,7 @@ use sdtw::{ConstraintPolicy, FeatureStore, KernelChoice, SDtw, SDtwConfig, Salie
 use sdtw_datasets::UcrAnalog;
 use sdtw_index::{CascadeStats, IndexConfig, SdtwIndex};
 use sdtw_salient::feature::extract_feature_set;
+use sdtw_stream::{StreamConfig, StreamMonitor, SubseqMatcher, SubseqResult};
 use sdtw_tseries::io::{read_ucr_file, write_ucr_file};
 use sdtw_tseries::TimeSeries;
 use std::process::ExitCode;
@@ -59,6 +61,24 @@ commands:
                              options: --k <n> (default 5)
                                       --serial (disable parallelism)
                                       --json   (machine-readable output)
+  stream find <hay> <q>      subsequence search: the k best non-overlapping
+                             occurrences of a query pattern inside a long
+                             series, via the rolling LB_Kim -> LB_Keogh ->
+                             early-abandon cascade over sliding windows
+                             options: --policy, --width, --kernel, --penalty
+                                      --series <i>    (haystack row, default 0)
+                                      --query <i>     (query row, default 0)
+                                      --k <n>         (matches, default 3)
+                                      --tau <t>       (only matches <= t)
+                                      --radius <frac> (envelope window,
+                                                       default: --width)
+                                      --exclusion <frac> (min match spacing
+                                                       as query fraction, 0.5)
+                                      --raw           (skip z-normalisation)
+                                      --monitor       (drive the streaming
+                                                       ring-buffer monitor
+                                                       sample by sample)
+                                      --json          (machine-readable output)
   generate <kind> <out>      write a synthetic corpus (gun|trace|50words)
                              options: --seed <n> (default 20120827)
 ";
@@ -99,9 +119,13 @@ fn kernel_from(a: &Args) -> Result<KernelChoice, String> {
     }
 }
 
+/// Default `--width` fraction (shared between the engine configuration
+/// and `stream find`'s "radius defaults to the width" rule).
+const DEFAULT_WIDTH: f64 = 0.1;
+
 /// Base engine configuration from the shared CLI options.
 fn config_from(a: &Args) -> Result<SDtwConfig, String> {
-    let width = a.opt_parse("width", 0.1)?;
+    let width = a.opt_parse("width", DEFAULT_WIDTH)?;
     let policy = policy_from(
         a.options.get("policy").map_or("ac2aw", String::as_str),
         width,
@@ -248,9 +272,7 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
     let config = config_from(a)?;
     let policy = config.policy;
     let parallel = !a.flag("serial");
-    // validate value-carrying options up front (a bare flag parses as "")
     let queries = match a.options.get("queries") {
-        Some(q) if q.is_empty() => return Err("option --queries requires a file path".into()),
         Some(q) => {
             let queries = read_ucr_file(q).map_err(|e| e.to_string())?;
             if queries.is_empty() {
@@ -260,10 +282,7 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
         }
         None => None,
     };
-    let out_path = match a.options.get("out") {
-        Some(o) if o.is_empty() => return Err("option --out requires a file path".into()),
-        other => other,
-    };
+    let out_path = a.options.get("out");
     let engine = SDtw::new(config).map_err(|e| e.to_string())?;
     let store = FeatureStore::new(engine.config().salient.clone()).map_err(|e| e.to_string())?;
 
@@ -434,6 +453,98 @@ fn cmd_index_query(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_stream(a: &Args) -> Result<(), String> {
+    match a.positional.first().map(String::as_str) {
+        Some("find") => cmd_stream_find(a),
+        _ => Err("stream needs a subcommand: `stream find`".into()),
+    }
+}
+
+fn cmd_stream_find(a: &Args) -> Result<(), String> {
+    let [_, hay_path, query_path] = a.positional.as_slice() else {
+        return Err("stream find needs <haystack> <query>".into());
+    };
+    let haystack = read_ucr_file(hay_path).map_err(|e| e.to_string())?;
+    let queries = read_ucr_file(query_path).map_err(|e| e.to_string())?;
+    let series = load_series(&haystack, a.opt_parse("series", 0usize)?)?;
+    let query = load_series(&queries, a.opt_parse("query", 0usize)?)?;
+    let k = a.opt_parse("k", 3usize)?;
+    let tau = a.opt_parse("tau", f64::INFINITY)?;
+    let width = a.opt_parse("width", DEFAULT_WIDTH)?;
+    let config = StreamConfig {
+        sdtw: config_from(a)?,
+        z_normalize: !a.flag("raw"),
+        lb_radius_frac: a.opt_parse("radius", width)?,
+        exclusion_frac: a.opt_parse("exclusion", 0.5)?,
+    };
+    let matcher = SubseqMatcher::new(query, config).map_err(|e| e.to_string())?;
+    let policy = matcher.config().sdtw.policy;
+    let kernel = matcher.config().sdtw.dtw.kernel_label();
+    let znorm = matcher.config().z_normalize;
+    let mode = if a.flag("monitor") {
+        "monitor"
+    } else {
+        "batch"
+    };
+    let t0 = std::time::Instant::now();
+    let result: SubseqResult = if a.flag("monitor") {
+        let mut monitor = StreamMonitor::new(matcher, k, tau).map_err(|e| e.to_string())?;
+        monitor
+            .process(series.values())
+            .map_err(|e| e.to_string())?;
+        SubseqResult {
+            matches: monitor.matches(),
+            stats: *monitor.stats(),
+        }
+    } else {
+        matcher
+            .find_under(series, k, tau)
+            .map_err(|e| e.to_string())?
+    };
+    let wall = t0.elapsed();
+    if a.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "query len {}  windows {}  policy {}  kernel {kernel}  znorm {znorm}  mode {mode}",
+        query.len(),
+        result.stats.windows,
+        policy.label(),
+    );
+    if result.matches.is_empty() {
+        println!(
+            "no matches{}",
+            if tau.is_finite() { " under tau" } else { "" }
+        );
+    }
+    for (rank, m) in result.matches.iter().enumerate() {
+        println!(
+            "  #{:<2} offset {:>6}  distance {:.6}",
+            rank + 1,
+            m.offset,
+            m.distance
+        );
+    }
+    let c = &result.stats.cascade;
+    println!(
+        "cascade over {} window visits: kim {}  keogh {}  abandoned {}  dp {}  (lb n/a {})",
+        c.candidates, c.pruned_kim, c.pruned_keogh, c.abandoned, c.dp_completed, c.lb_inapplicable,
+    );
+    println!(
+        "prune rate {:.1}%  lb-only {:.1}%  passes {}  cache hits {}  cells {}  wall {wall:?}",
+        result.stats.prune_rate() * 100.0,
+        result.stats.lb_prune_rate() * 100.0,
+        result.stats.passes,
+        result.stats.cache_hits,
+        c.cells_filled,
+    );
+    Ok(())
+}
+
 fn cmd_generate(a: &Args) -> Result<(), String> {
     let [kind, out] = a.positional.as_slice() else {
         return Err("generate needs <kind> <out.txt>".into());
@@ -463,6 +574,7 @@ fn run() -> Result<(), String> {
         "retrieve" => cmd_retrieve(&args),
         "distmat" => cmd_distmat(&args),
         "index" => cmd_index(&args),
+        "stream" => cmd_stream(&args),
         "generate" => cmd_generate(&args),
         "help" | "-h" => {
             print!("{USAGE}");
@@ -657,6 +769,103 @@ mod tests {
 
         std::fs::remove_file(&corpus_path).ok();
         std::fs::remove_file(&index_path).ok();
+    }
+
+    #[test]
+    fn dist_parses_flag_before_positionals_identically() {
+        // the parser regression behind this PR: `--path` (a boolean flag)
+        // must not swallow the corpus path that follows it
+        let dir = std::env::temp_dir().join("sdtw_cli_flag_order_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.txt");
+        let ds = UcrAnalog::Gun.generate(11);
+        write_ucr_file(&path, &ds.series[..4]).unwrap();
+        let p = path.to_str().unwrap();
+
+        let flag_first = Args::parse(
+            [
+                "dist", "--path", p, "0", "1", "--policy", "sakoe", "--width", "0.2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let flag_last = Args::parse(
+            [
+                "dist", p, "0", "1", "--policy", "sakoe", "--width", "0.2", "--path",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(flag_first, flag_last, "orderings must parse identically");
+        cmd_dist(&flag_first).unwrap();
+        cmd_dist(&flag_last).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_find_round_trip_via_files() {
+        let dir = std::env::temp_dir().join("sdtw_cli_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hay_path = dir.join("hay.txt");
+        let query_path = dir.join("query.txt");
+        // haystack: a long series with the query's shape embedded — use a
+        // generated gun series as the query and a concatenation of others
+        // as the haystack
+        let ds = UcrAnalog::Gun.generate(13);
+        let query = ds.series[0].clone();
+        let mut hay: Vec<f64> = Vec::new();
+        for s in &ds.series[1..5] {
+            hay.extend_from_slice(s.values());
+        }
+        hay.extend_from_slice(query.values());
+        for s in &ds.series[5..7] {
+            hay.extend_from_slice(s.values());
+        }
+        let hay = TimeSeries::new(hay).unwrap();
+        write_ucr_file(&hay_path, std::slice::from_ref(&hay)).unwrap();
+        write_ucr_file(&query_path, std::slice::from_ref(&query)).unwrap();
+
+        let base = [
+            "stream",
+            "find",
+            hay_path.to_str().unwrap(),
+            query_path.to_str().unwrap(),
+            "--policy",
+            "sakoe",
+            "--width",
+            "0.2",
+            "--k",
+            "2",
+        ];
+        for extra in [&[][..], &["--monitor"][..], &["--json"][..], &["--raw"][..]] {
+            let mut argv: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            cmd_stream(&Args::parse(argv).unwrap()).unwrap();
+        }
+        // adaptive sDTW bands end to end
+        let sdtw_band = [
+            "stream",
+            "find",
+            hay_path.to_str().unwrap(),
+            query_path.to_str().unwrap(),
+            "--policy",
+            "ac2aw",
+            "--k",
+            "1",
+        ];
+        cmd_stream(&Args::parse(sdtw_band.iter().map(|s| s.to_string())).unwrap()).unwrap();
+
+        // bad invocations are reported, not panicked
+        assert!(cmd_stream(&Args::parse(["stream".to_string()]).unwrap()).is_err());
+        assert!(cmd_stream(
+            &Args::parse(["stream", "find", "only-one"].iter().map(|s| s.to_string())).unwrap()
+        )
+        .is_err());
+
+        std::fs::remove_file(&hay_path).ok();
+        std::fs::remove_file(&query_path).ok();
     }
 
     #[test]

@@ -726,6 +726,99 @@ mod tests {
     }
 
     #[test]
+    fn window_queries_match_series_queries_bitwise() {
+        // the zero-copy window path must agree with the owned-series path
+        // on every option combination the subsequence engine uses
+        let (x, y) = warped_pair(150, 150);
+        let eng = engine(ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 });
+        let (band, _) = eng.plan_band(&[], &[], x.len(), y.len());
+        let mut scratch = DtwScratch::new();
+        let owned = eng.query(&x, &y).band(&band).run().unwrap().unwrap();
+        let windowed = eng
+            .query_window(x.values(), y.values())
+            .band(&band)
+            .scratch(&mut scratch)
+            .run()
+            .unwrap()
+            .unwrap();
+        assert_eq!(owned.distance.to_bits(), windowed.distance.to_bits());
+        assert_eq!(owned.cells_filled, windowed.cells_filled);
+        // cutoff composes: at the distance it survives, below it abandons
+        let kept = eng
+            .query_window(x.values(), y.values())
+            .band(&band)
+            .cutoff(owned.distance)
+            .scratch(&mut scratch)
+            .run()
+            .unwrap();
+        assert!(kept.is_some());
+        let abandoned = eng
+            .query_window(x.values(), y.values())
+            .band(&band)
+            .cutoff(owned.distance * 0.5)
+            .scratch(&mut scratch)
+            .run()
+            .unwrap();
+        assert!(abandoned.is_none());
+        // true subslices (not whole series) run fine too
+        let sub = eng
+            .query_window(&x.values()[10..90], &y.values()[20..100])
+            .path(false)
+            .run()
+            .unwrap()
+            .unwrap();
+        assert!(sub.distance.is_finite());
+    }
+
+    #[test]
+    fn window_queries_with_adaptive_policies_extract_via_materialisation() {
+        let (x, y) = warped_pair(150, 170);
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let owned = dist(&eng, &x, &y);
+        let windowed = eng
+            .query_window(x.values(), y.values())
+            .run()
+            .unwrap()
+            .unwrap();
+        assert_eq!(owned.distance.to_bits(), windowed.distance.to_bits());
+        assert!(windowed.timing.extraction.is_some(), "extraction happened");
+    }
+
+    #[test]
+    fn window_queries_reject_stores_and_empty_windows() {
+        let (x, y) = warped_pair(120, 120);
+        // rejected whatever the policy — even when an alignment-free
+        // policy (or a band override) would never read the store
+        for policy in [
+            ConstraintPolicy::adaptive_core_adaptive_width(),
+            ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 },
+        ] {
+            let eng = engine(policy);
+            let store = crate::store::FeatureStore::new(eng.config().salient.clone()).unwrap();
+            let err = eng
+                .query_window(x.values(), y.values())
+                .store(&store)
+                .run()
+                .unwrap_err();
+            assert!(
+                format!("{err}").contains("series identity"),
+                "store on windows is rejected under {}: {err}",
+                eng.config().policy.label()
+            );
+            let (band, _) = eng.plan_band(&[], &[], x.len(), y.len());
+            assert!(eng
+                .query_window(x.values(), y.values())
+                .band(&band)
+                .store(&store)
+                .run()
+                .is_err());
+        }
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        assert!(eng.query_window(&[], y.values()).run().is_err());
+        assert!(eng.query_window(x.values(), &[]).run().is_err());
+    }
+
+    #[test]
     #[allow(deprecated)]
     fn deprecated_shims_match_the_builder_bitwise() {
         let (x, y) = warped_pair(150, 170);

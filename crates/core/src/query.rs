@@ -20,12 +20,42 @@
 
 use crate::engine::{PhaseTiming, SDtw, SDtwOutcome};
 use crate::store::FeatureStore;
-use sdtw_dtw::engine::{dtw_run_options, DtwScratch};
+use sdtw_dtw::engine::{dtw_run_options_values, DtwScratch};
 use sdtw_dtw::{Band, KernelChoice};
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::{TimeSeries, TsError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The pair under comparison: validated series, or borrowed sample
+/// windows of some larger buffer (the subsequence-search hot path, which
+/// must not copy per window).
+enum PairInput<'a> {
+    /// Two whole [`TimeSeries`].
+    Series {
+        x: &'a TimeSeries,
+        y: &'a TimeSeries,
+    },
+    /// Two raw windows. Finiteness is inherited from the buffers they
+    /// were sliced from (every `TimeSeries` is finite by construction).
+    Values { x: &'a [f64], y: &'a [f64] },
+}
+
+impl<'a> PairInput<'a> {
+    fn x_values(&self) -> &'a [f64] {
+        match self {
+            PairInput::Series { x, .. } => x.values(),
+            PairInput::Values { x, .. } => x,
+        }
+    }
+
+    fn y_values(&self) -> &'a [f64] {
+        match self {
+            PairInput::Series { y, .. } => y.values(),
+            PairInput::Values { y, .. } => y,
+        }
+    }
+}
 
 /// Where the salient features of the pair come from.
 enum FeatureSource<'a> {
@@ -60,8 +90,7 @@ enum FeatureSource<'a> {
 #[must_use = "a Query does nothing until `run()` is called"]
 pub struct Query<'a> {
     engine: &'a SDtw,
-    x: &'a TimeSeries,
-    y: &'a TimeSeries,
+    input: PairInput<'a>,
     features: FeatureSource<'a>,
     band_override: Option<&'a Band>,
     path: Option<bool>,
@@ -76,10 +105,34 @@ impl SDtw {
     /// `distance()` (extract features, plan the band, run the configured
     /// DP to completion).
     pub fn query<'a>(&'a self, x: &'a TimeSeries, y: &'a TimeSeries) -> Query<'a> {
+        self.query_input(PairInput::Series { x, y })
+    }
+
+    /// Starts a distance computation between two borrowed sample windows
+    /// — the zero-copy path for subsequence search and stream monitors,
+    /// which compare thousands of overlapping windows of one buffer and
+    /// must not materialise a [`TimeSeries`] per window.
+    ///
+    /// The windows must be non-empty (checked by `run()`) and finite
+    /// (inherited from whatever validated buffer they were sliced from).
+    /// All builder options compose as usual, with two caveats:
+    ///
+    /// * [`Query::store`] is rejected by `run()` — a [`FeatureStore`]
+    ///   caches by series identity, which a transient window does not
+    ///   have;
+    /// * letting an *adaptive* policy extract features on the fly
+    ///   (no [`Query::band`] / [`Query::features`]) materialises a
+    ///   temporary series for the extractor — correct, but it pays the
+    ///   copy the window path exists to avoid. Plan bands (or extract
+    ///   features) once per window explicitly in hot loops.
+    pub fn query_window<'a>(&'a self, x: &'a [f64], y: &'a [f64]) -> Query<'a> {
+        self.query_input(PairInput::Values { x, y })
+    }
+
+    fn query_input<'a>(&'a self, input: PairInput<'a>) -> Query<'a> {
         Query {
             engine: self,
-            x,
-            y,
+            input,
             features: FeatureSource::Extract,
             band_override: None,
             path: None,
@@ -162,8 +215,7 @@ impl<'a> Query<'a> {
     pub fn run(self) -> Result<Option<SDtwOutcome>, TsError> {
         let Query {
             engine,
-            x,
-            y,
+            input,
             features,
             band_override,
             path,
@@ -172,7 +224,22 @@ impl<'a> Query<'a> {
             kernel,
         } = self;
         let config = engine.config();
-        let (n, m) = (x.len(), y.len());
+        let (xv, yv) = (input.x_values(), input.y_values());
+        if xv.is_empty() || yv.is_empty() {
+            return Err(TsError::Empty);
+        }
+        let (n, m) = (xv.len(), yv.len());
+        // A store on borrowed windows is always a caller error — reject
+        // it up front (not only when the policy would read features, or
+        // the mistake would surface just on a policy change).
+        if let (FeatureSource::Store(_), PairInput::Values { .. }) = (&features, &input) {
+            return Err(TsError::InvalidParameter {
+                name: "store",
+                reason: "a FeatureStore caches by series identity; borrowed windows \
+                         have none — pass pre-extracted features or a planned band"
+                    .to_string(),
+            });
+        }
         let needs_features = band_override.is_none() && config.policy.needs_alignment();
 
         // Phase 1: resolve the feature source (timed only when extraction
@@ -184,9 +251,9 @@ impl<'a> Query<'a> {
         let (fx, fy): (&[SalientFeature], &[SalientFeature]) = if !needs_features {
             (empty, empty)
         } else {
-            match features {
-                FeatureSource::Supplied { fx, fy } => (fx, fy),
-                FeatureSource::Extract => {
+            match (features, &input) {
+                (FeatureSource::Supplied { fx, fy }, _) => (fx, fy),
+                (FeatureSource::Extract, PairInput::Series { x, y }) => {
                     let t0 = Instant::now();
                     extracted = (
                         extract_features(x, &config.salient)?,
@@ -195,7 +262,20 @@ impl<'a> Query<'a> {
                     extraction = Some(t0.elapsed());
                     (&extracted.0, &extracted.1)
                 }
-                FeatureSource::Store(store) => {
+                (FeatureSource::Extract, PairInput::Values { .. }) => {
+                    // the extractor needs whole series: materialise the
+                    // windows (the documented cold path of query_window)
+                    let t0 = Instant::now();
+                    let xs = TimeSeries::new(xv.to_vec())?;
+                    let ys = TimeSeries::new(yv.to_vec())?;
+                    extracted = (
+                        extract_features(&xs, &config.salient)?,
+                        extract_features(&ys, &config.salient)?,
+                    );
+                    extraction = Some(t0.elapsed());
+                    (&extracted.0, &extracted.1)
+                }
+                (FeatureSource::Store(store), PairInput::Series { x, y }) => {
                     let (fx, dx) = store.features_for_timed(x)?;
                     let (fy, dy) = store.features_for_timed(y)?;
                     if dx.is_some() || dy.is_some() {
@@ -203,6 +283,9 @@ impl<'a> Query<'a> {
                     }
                     cached = (fx, fy);
                     (&cached.0, &cached.1)
+                }
+                (FeatureSource::Store(_), PairInput::Values { .. }) => {
+                    unreachable!("store-on-windows is rejected before feature resolution")
                 }
             }
         };
@@ -238,7 +321,7 @@ impl<'a> Query<'a> {
             }
         };
         let t_dp = Instant::now();
-        let result = dtw_run_options(x, y, band, &opts, cutoff, scratch);
+        let result = dtw_run_options_values(xv, yv, band, &opts, cutoff, scratch);
         let dynamic_programming = t_dp.elapsed();
         let Some(result) = result else {
             return Ok(None);

@@ -201,6 +201,24 @@ impl Band {
         }
     }
 
+    /// Whether every band row stays inside the symmetric `±radius`
+    /// Sakoe-Chiba window (`j ∈ [i − radius, i + radius]` for every
+    /// in-band cell `(i, j)`).
+    ///
+    /// This is the containment condition under which an LB_Keogh envelope
+    /// of radius `radius` soundly lower-bounds the banded DTW distance:
+    /// the envelope tube dominates every alignment the band can make.
+    /// Retrieval cascades (`sdtw-index`, `sdtw-stream`) consult it before
+    /// enabling their LB_Keogh stages. Callers comparing equal-length
+    /// series should additionally require `n == m` (the classic LB_Keogh
+    /// formulation); this method checks only the window containment.
+    pub fn within_window(&self, radius: usize) -> bool {
+        self.rows
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.lo.saturating_add(radius) >= i && r.hi <= i.saturating_add(radius))
+    }
+
     /// Transposes the band: the result constrains the `M × N` grid of
     /// `(Y, X)` with exactly the cells `(j, i)` for in-band `(i, j)` —
     /// except that per-row storage forces each transposed row to the convex
@@ -528,5 +546,22 @@ mod tests {
         assert!(b.is_feasible());
         assert_eq!(b.area(), 1);
         assert_eq!(b.sanitize(), b);
+    }
+
+    #[test]
+    fn within_window_accepts_contained_bands_and_rejects_escapes() {
+        // diagonal ± 1 fits a radius-1 window, not radius 0
+        let b = band(4, 4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(b.within_window(1));
+        assert!(!b.within_window(0));
+        // the full band only fits once the radius covers the whole grid
+        let full = Band::full(5, 5);
+        assert!(full.within_window(4));
+        assert!(!full.within_window(3));
+        // the identity diagonal fits radius 0
+        let diag = band(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        assert!(diag.within_window(0));
+        // oversized radii saturate instead of overflowing
+        assert!(full.within_window(usize::MAX));
     }
 }

@@ -251,16 +251,14 @@ impl<'a> BandMatrix<'a> {
 // the matrix, the band rows and both sample buffers simultaneously.
 #[allow(clippy::needless_range_loop)]
 fn fill<'a, K: DtwKernel, const ABANDON: bool>(
-    x: &TimeSeries,
-    y: &TimeSeries,
+    xv: &[f64],
+    yv: &[f64],
     band: &'a Band,
     metric: ElementMetric,
     kernel: &K,
     cutoff: f64,
     scratch: &'a mut DtwScratch,
 ) -> Option<BandMatrix<'a>> {
-    let xv = x.values();
-    let yv = y.values();
     let n = band.n();
     let mut d = BandMatrix::new(band, scratch);
 
@@ -282,7 +280,7 @@ fn fill<'a, K: DtwKernel, const ABANDON: bool>(
                 row_min = row_min.min(acc);
             }
         }
-        if ABANDON && kernel.normalize(row_min, x.len(), y.len()) > cutoff {
+        if ABANDON && kernel.normalize(row_min, xv.len(), yv.len()) > cutoff {
             return None;
         }
     }
@@ -308,7 +306,7 @@ fn fill<'a, K: DtwKernel, const ABANDON: bool>(
                 row_min = row_min.min(best);
             }
         }
-        if ABANDON && kernel.normalize(row_min, x.len(), y.len()) > cutoff {
+        if ABANDON && kernel.normalize(row_min, xv.len(), yv.len()) > cutoff {
             return None;
         }
     }
@@ -350,8 +348,42 @@ pub fn dtw_run<K: DtwKernel>(
     cutoff: Option<f64>,
     scratch: &mut DtwScratch,
 ) -> Option<DtwResult> {
-    assert_eq!(band.n(), x.len(), "band rows must match |X|");
-    assert_eq!(band.m(), y.len(), "band cols must match |Y|");
+    dtw_run_values(
+        x.values(),
+        y.values(),
+        band,
+        metric,
+        kernel,
+        compute_path,
+        cutoff,
+        scratch,
+    )
+}
+
+/// [`dtw_run`] over raw sample slices — the zero-copy entry point for
+/// callers whose inputs are windows of a larger buffer (subsequence
+/// search, streaming monitors). Semantics are identical to [`dtw_run`];
+/// the slices must be non-empty and finite (a [`TimeSeries`] guarantees
+/// this by construction — window-slicing callers inherit the guarantee
+/// from the series they slice).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or an empty slice (programmer errors).
+#[allow(clippy::too_many_arguments)] // mirror of dtw_run, see there
+pub fn dtw_run_values<K: DtwKernel>(
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    metric: ElementMetric,
+    kernel: &K,
+    compute_path: bool,
+    cutoff: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<DtwResult> {
+    assert!(!xv.is_empty() && !yv.is_empty(), "series must be non-empty");
+    assert_eq!(band.n(), xv.len(), "band rows must match |X|");
+    assert_eq!(band.m(), yv.len(), "band cols must match |Y|");
     let sanitized;
     let band = if band.is_feasible() {
         band
@@ -361,14 +393,14 @@ pub fn dtw_run<K: DtwKernel>(
     };
 
     let d = match cutoff {
-        Some(t) => fill::<K, true>(x, y, band, metric, kernel, t, scratch)?,
-        None => fill::<K, false>(x, y, band, metric, kernel, f64::INFINITY, scratch)
+        Some(t) => fill::<K, true>(xv, yv, band, metric, kernel, t, scratch)?,
+        None => fill::<K, false>(xv, yv, band, metric, kernel, f64::INFINITY, scratch)
             .expect("a fill without a cutoff never abandons"),
     };
 
     let raw = d.get(band.n() - 1, band.m() - 1);
     debug_assert!(raw.is_finite(), "sanitised band must reach the corner cell");
-    let distance = kernel.normalize(raw, x.len(), y.len());
+    let distance = kernel.normalize(raw, xv.len(), yv.len());
     // reject against the cutoff before paying for the traceback walk
     if let Some(t) = cutoff {
         if distance > t {
@@ -376,7 +408,7 @@ pub fn dtw_run<K: DtwKernel>(
         }
     }
     let path = if compute_path {
-        Some(traceback(&d, x, y, metric, kernel))
+        Some(traceback(&d, xv, yv, metric, kernel))
     } else {
         None
     };
@@ -408,10 +440,28 @@ pub fn dtw_run_options(
     cutoff: Option<f64>,
     scratch: &mut DtwScratch,
 ) -> Option<DtwResult> {
+    dtw_run_options_values(x.values(), y.values(), band, opts, cutoff, scratch)
+}
+
+/// [`dtw_run_options`] over raw sample slices (see [`dtw_run_values`] for
+/// the slice-input contract).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, an empty slice, or an invalid amerced
+/// penalty (programmer errors).
+pub fn dtw_run_options_values(
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    opts: &DtwOptions,
+    cutoff: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<DtwResult> {
     match opts.kernel {
-        KernelChoice::Standard => dtw_run(
-            x,
-            y,
+        KernelChoice::Standard => dtw_run_values(
+            xv,
+            yv,
             band,
             opts.metric,
             &StandardKernel::new(opts.step_pattern, opts.normalization),
@@ -419,9 +469,9 @@ pub fn dtw_run_options(
             cutoff,
             scratch,
         ),
-        KernelChoice::Amerced { penalty } => dtw_run(
-            x,
-            y,
+        KernelChoice::Amerced { penalty } => dtw_run_values(
+            xv,
+            yv,
             band,
             opts.metric,
             &AmercedKernel::new(penalty, opts.normalization),
@@ -531,8 +581,8 @@ pub fn dtw_banded_early_abandon_with_scratch(
 /// penalties are accounted for.
 fn traceback<K: DtwKernel>(
     d: &BandMatrix<'_>,
-    x: &TimeSeries,
-    y: &TimeSeries,
+    x: &[f64],
+    y: &[f64],
     metric: ElementMetric,
     kernel: &K,
 ) -> WarpPath {
@@ -542,7 +592,7 @@ fn traceback<K: DtwKernel>(
     let (mut i, mut j) = (n - 1, m - 1);
     steps.push((i, j));
     while i > 0 || j > 0 {
-        let local = metric.eval(x.at(i), y.at(j));
+        let local = metric.eval(x[i], y[j]);
         // effective arrival costs through each parent
         let diag = if i > 0 && j > 0 {
             kernel.diagonal(d.get(i - 1, j - 1), local)

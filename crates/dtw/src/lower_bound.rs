@@ -36,7 +36,18 @@ pub struct Envelope {
 impl Envelope {
     /// Builds the envelope with a monotonic-deque sliding min/max, `O(n)`.
     pub fn build(y: &TimeSeries, radius: usize) -> Self {
-        let v = y.values();
+        Self::build_from_values(y.values(), radius)
+    }
+
+    /// [`Envelope::build`] over a raw sample slice — for callers whose
+    /// series is a window of a larger buffer (subsequence search builds
+    /// the envelope of a z-normalised query held in a plain `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice (programmer error).
+    pub fn build_from_values(v: &[f64], radius: usize) -> Self {
+        assert!(!v.is_empty(), "envelope needs a non-empty series");
         let n = v.len();
         let mut upper = Vec::with_capacity(n);
         let mut lower = Vec::with_capacity(n);
@@ -44,9 +55,11 @@ impl Envelope {
         let mut maxq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         let mut minq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         // window for output i is [i-radius, i+radius]; sweep right edge
+        // (saturating: a radius of usize::MAX order must mean "the whole
+        // series", not wrap around)
         let mut right = 0usize;
         for i in 0..n {
-            let hi = (i + radius).min(n - 1);
+            let hi = i.saturating_add(radius).min(n - 1);
             while right <= hi {
                 while let Some(&b) = maxq.back() {
                     if v[b] <= v[right] {
@@ -101,13 +114,23 @@ impl Envelope {
 ///
 /// Panics on length mismatch.
 pub fn lb_keogh(x: &TimeSeries, env: &Envelope, metric: ElementMetric) -> f64 {
+    lb_keogh_values(x.values(), env, metric)
+}
+
+/// [`lb_keogh`] over a raw sample slice (subsequence windows, normalised
+/// scratch buffers).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn lb_keogh_values(x: &[f64], env: &Envelope, metric: ElementMetric) -> f64 {
     assert_eq!(
         x.len(),
         env.upper.len(),
         "LB_Keogh requires equal lengths (resample first)"
     );
     let mut acc = 0.0;
-    for (i, &xi) in x.values().iter().enumerate() {
+    for (i, &xi) in x.iter().enumerate() {
         if xi > env.upper[i] {
             acc += metric.eval(xi, env.upper[i]);
         } else if xi < env.lower[i] {
@@ -137,7 +160,16 @@ pub struct SeriesSummary {
 impl SeriesSummary {
     /// Summarises a series in one pass.
     pub fn of(ts: &TimeSeries) -> Self {
-        let v = ts.values();
+        Self::of_values(ts.values())
+    }
+
+    /// [`SeriesSummary::of`] over a raw sample slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice (programmer error).
+    pub fn of_values(v: &[f64]) -> Self {
+        assert!(!v.is_empty(), "summary needs a non-empty series");
         let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
         for &s in v {
             min = min.min(s);
@@ -241,6 +273,18 @@ mod tests {
             let mn = y.values()[lo..=hi].iter().cloned().fold(f64::MAX, f64::min);
             assert_eq!(e.upper[i], mx, "upper at {i}");
             assert_eq!(e.lower[i], mn, "lower at {i}");
+        }
+    }
+
+    #[test]
+    fn envelope_with_oversized_radius_is_the_global_range() {
+        // radii at or beyond the series length (up to usize::MAX) must
+        // saturate to the whole-series envelope, not overflow
+        let y = ts(&[0.0, 3.0, -1.0, 2.0]);
+        for r in [4usize, 1000, usize::MAX] {
+            let e = Envelope::build(&y, r);
+            assert!(e.upper.iter().all(|&v| v == 3.0), "radius {r}");
+            assert!(e.lower.iter().all(|&v| v == -1.0), "radius {r}");
         }
     }
 

@@ -17,7 +17,11 @@
 //!   deterministic work-proxy analogue on DP cell counts;
 //! * [`experiment`] — the end-to-end policy evaluation used by every
 //!   figure regenerator: one reference (full DTW) matrix + one matrix per
-//!   policy → all metrics.
+//!   policy → all metrics;
+//! * [`subsequence`] — the brute-force every-window subsequence oracle
+//!   (distance profile + greedy non-overlapping selection) that defines
+//!   the semantics `sdtw-stream`'s pruned matcher must reproduce
+//!   bit-for-bit.
 //!
 //! # Example
 //!
@@ -51,6 +55,8 @@ pub mod error;
 pub mod experiment;
 pub mod gain;
 pub mod retrieval;
+pub mod subsequence;
 
 pub use distmat::{compute_matrix, compute_query_matrix, DistanceMatrix, MatrixStats, QueryMatrix};
 pub use experiment::{evaluate_policies, EvalOptions, PolicyEval};
+pub use subsequence::{select_matches, subsequence_profile};

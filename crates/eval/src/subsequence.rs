@@ -1,0 +1,145 @@
+//! Brute-force subsequence oracle: the ground truth `sdtw-stream`'s
+//! pruned matcher is asserted bit-identical against.
+//!
+//! Deliberately written with none of the matcher's machinery — every
+//! window is materialised as a [`TimeSeries`], z-normalised through the
+//! public [`z_normalize`] transform, and scored by a plain builder run
+//! with no band reuse, no lower bounds and no early abandoning. Slow by
+//! design; it exists to define semantics, not to be fast.
+
+use sdtw::SDtw;
+use sdtw_tseries::transform::z_normalize;
+use sdtw_tseries::{TimeSeries, TsError};
+
+/// One window of the profile: `(offset, distance)`.
+pub type ProfilePoint = (usize, f64);
+
+/// The full distance profile of `query` against every window of
+/// `series`: entry `w` is the engine distance between the (optionally
+/// z-normalised) query and the (optionally z-normalised) window starting
+/// at `w`. Empty when the series is shorter than the query.
+///
+/// # Errors
+///
+/// Propagates engine errors (feature extraction under adaptive
+/// policies).
+pub fn subsequence_profile(
+    engine: &SDtw,
+    query: &TimeSeries,
+    series: &TimeSeries,
+    z_norm: bool,
+) -> Result<Vec<ProfilePoint>, TsError> {
+    let q = if z_norm {
+        z_normalize(query)
+    } else {
+        query.clone()
+    };
+    let m = q.len();
+    let xv = series.values();
+    if xv.len() < m {
+        return Ok(Vec::new());
+    }
+    let mut profile = Vec::with_capacity(xv.len() - m + 1);
+    for w in 0..=(xv.len() - m) {
+        let window = TimeSeries::new(xv[w..w + m].to_vec())?;
+        let window = if z_norm { z_normalize(&window) } else { window };
+        let out = engine
+            .query(&q, &window)
+            .path(false)
+            .run()?
+            .expect("no cutoff configured");
+        profile.push((w, out.distance));
+    }
+    Ok(profile)
+}
+
+/// Greedy non-overlapping top-k selection over a distance profile:
+/// repeatedly pick the minimal `(distance, offset)` entry at or under
+/// `tau`, then drop every entry within `exclusion` offsets of the pick.
+/// This is the matrix-profile convention and the definition of the
+/// matcher's result order (ties break toward the lower offset).
+pub fn select_matches(
+    profile: &[ProfilePoint],
+    k: usize,
+    exclusion: usize,
+    tau: f64,
+) -> Vec<ProfilePoint> {
+    let mut picked: Vec<ProfilePoint> = Vec::new();
+    while picked.len() < k {
+        let mut best: Option<ProfilePoint> = None;
+        for &(w, d) in profile {
+            if d > tau || picked.iter().any(|&(p, _)| w.abs_diff(p) < exclusion) {
+                continue;
+            }
+            best = match best {
+                None => Some((w, d)),
+                Some((bw, bd)) if d < bd || (d == bd && w < bw) => Some((w, d)),
+                keep => keep,
+            };
+        }
+        match best {
+            None => break,
+            Some(pick) => picked.push(pick),
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdtw::{ConstraintPolicy, SDtwConfig};
+
+    fn engine() -> SDtw {
+        SDtw::new(SDtwConfig {
+            policy: ConstraintPolicy::FixedCoreFixedWidth { width_frac: 0.2 },
+            ..SDtwConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_covers_every_window_and_finds_the_plant() {
+        let query = TimeSeries::new((0..20).map(|i| (i as f64 / 3.0).sin()).collect()).unwrap();
+        let mut hay = vec![0.25; 90];
+        for (i, q) in query.values().iter().enumerate() {
+            hay[30 + i] = *q;
+        }
+        // slight slope so no window is constant
+        for (i, v) in hay.iter_mut().enumerate() {
+            *v += 1e-3 * i as f64;
+        }
+        let hay = TimeSeries::new(hay).unwrap();
+        let profile = subsequence_profile(&engine(), &query, &hay, true).unwrap();
+        assert_eq!(profile.len(), 90 - 20 + 1);
+        let best = profile
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!((best.0 as i64 - 30).abs() <= 2, "best at {}", best.0);
+    }
+
+    #[test]
+    fn short_series_yield_an_empty_profile() {
+        let query = TimeSeries::new(vec![0.0; 30]).unwrap();
+        let hay = TimeSeries::new(vec![1.0; 10]).unwrap();
+        assert!(subsequence_profile(&engine(), &query, &hay, true)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn greedy_selection_excludes_and_breaks_ties_by_offset() {
+        let profile = vec![(0, 5.0), (3, 1.0), (4, 1.0), (10, 2.0), (20, 3.0)];
+        // exclusion 5: 3 beats 4 by offset, excludes 0 and 4; 10 is clear
+        let picks = select_matches(&profile, 3, 5, f64::INFINITY);
+        assert_eq!(picks, vec![(3, 1.0), (10, 2.0), (20, 3.0)]);
+        // tau cuts the tail (inclusive)
+        let picks = select_matches(&profile, 3, 5, 2.0);
+        assert_eq!(picks, vec![(3, 1.0), (10, 2.0)]);
+        // k limits before tau does
+        let picks = select_matches(&profile, 1, 5, f64::INFINITY);
+        assert_eq!(picks, vec![(3, 1.0)]);
+    }
+}

@@ -81,9 +81,11 @@ impl IndexConfig {
         Ok(())
     }
 
-    /// Envelope radius for a series of the given length.
+    /// Envelope radius for a series of the given length, clamped to
+    /// `len` (a radius covering the whole series is already the loosest
+    /// envelope; larger values would only risk index overflow).
     pub fn radius_for(&self, len: usize) -> usize {
-        (self.lb_radius_frac * len as f64).ceil() as usize
+        ((self.lb_radius_frac * len as f64).ceil() as usize).min(len)
     }
 }
 
@@ -98,6 +100,13 @@ mod tests {
         assert_eq!(c.radius_for(100), 10);
         assert_eq!(c.radius_for(0), 0);
         assert_eq!(c.radius_for(101), 11, "ceil, not floor");
+        // absurd fractions clamp to the series length, never overflow
+        let wide = IndexConfig {
+            lb_radius_frac: 1e18,
+            ..IndexConfig::default()
+        };
+        wide.validate().unwrap();
+        assert_eq!(wide.radius_for(32), 32);
     }
 
     #[test]

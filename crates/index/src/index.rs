@@ -158,13 +158,11 @@ impl SdtwIndex {
     /// Whether LB_Keogh (both directions) soundly lower-bounds the banded
     /// distance of this pair: equal lengths and every band row inside the
     /// `±radius` window (`radius` = the smaller of the two envelope
-    /// radii, so the check covers the reversed direction too).
+    /// radii, so the check covers the reversed direction too). The window
+    /// containment itself is [`Band::within_window`], shared with the
+    /// `sdtw-stream` cascade.
     fn keogh_applicable(band: &Band, n: usize, m: usize, radius: usize) -> bool {
-        n == m
-            && (0..band.n()).all(|i| {
-                let r = band.row(i);
-                r.lo + radius >= i && r.hi <= i + radius
-            })
+        n == m && band.within_window(radius)
     }
 
     /// kNN query with a caller-provided DP scratch (the batch hot path).

@@ -1,0 +1,73 @@
+//! # sdtw-stream — subsequence search over long series and live streams
+//!
+//! The highest-traffic DTW workload in practice is not whole-series kNN
+//! but *subsequence* matching: finding where a short query pattern occurs
+//! inside a long recording or a continuously arriving stream. This crate
+//! is the UCR-suite-style engine for that workload, built from the
+//! ingredients the rest of the workspace already provides — envelopes and
+//! LB_Kim summaries (`sdtw_dtw::lower_bound`), the cascade accounting
+//! (`sdtw_index::CascadeStats`), the zero-copy `SDtw::query_window`
+//! builder path, and the new O(1) incremental window statistics
+//! (`sdtw_tseries::stats::WindowedStats`).
+//!
+//! A [`SubseqMatcher`] prepares a query once (z-normalisation, envelope,
+//! LB_Kim summary, cached salient descriptors, shared band) and then
+//! searches either way:
+//!
+//! * **batch** — [`SubseqMatcher::find`] slides over a whole series,
+//!   running up to `k` pruned greedy sweeps with a completed-distance
+//!   cache (exact top-k non-overlapping matches, ties included, against
+//!   the brute-force every-window oracle in `sdtw_eval`);
+//! * **streaming** — a [`StreamMonitor`] accepts samples pushed one at a
+//!   time into a query-sized ring buffer, maintaining windowed
+//!   mean/variance and extrema incrementally in O(1) per step and running
+//!   the same cascade on each completed window.
+//!
+//! The per-window cascade is: rolling **LB_Kim** (O(1), conservatively
+//! guarded under per-window z-normalisation) → **LB_Keogh** against the
+//! query envelope (on exactly-normalised samples) → **early-abandoned
+//! banded DP** through the query builder. See `DESIGN.md` §9 for the
+//! admissibility argument of the rolling bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use sdtw_stream::{StreamConfig, SubseqMatcher};
+//! use sdtw_tseries::TimeSeries;
+//!
+//! // a bump-shaped query, planted twice in a longer series
+//! let query = TimeSeries::new(
+//!     (0..32).map(|i| (-((i as f64 / 31.0 - 0.5) / 0.15).powi(2)).exp()).collect(),
+//! )
+//! .unwrap();
+//! let mut hay = vec![0.0; 240];
+//! for start in [40usize, 150] {
+//!     for i in 0..32 {
+//!         hay[start + i] += 2.0 * query.at(i) + 1.0; // scaled and offset
+//!     }
+//! }
+//! for (i, v) in hay.iter_mut().enumerate() {
+//!     *v += 0.01 * (i as f64 / 5.0).sin();
+//! }
+//! let hay = TimeSeries::new(hay).unwrap();
+//!
+//! let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+//! let found = matcher.find(&hay, 2).unwrap();
+//! assert_eq!(found.matches.len(), 2); // z-normalisation cancels gain/offset
+//! assert!(found.stats.is_consistent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod matcher;
+pub mod monitor;
+pub mod rolling;
+pub mod stats;
+
+pub use config::StreamConfig;
+pub use matcher::{SubseqMatch, SubseqMatcher, SubseqResult};
+pub use monitor::StreamMonitor;
+pub use rolling::RollingExtrema;
+pub use stats::StreamStats;

@@ -1,0 +1,751 @@
+//! The batch subsequence matcher and the shared per-window cascade.
+
+use crate::config::StreamConfig;
+use crate::rolling::RollingExtrema;
+use crate::stats::StreamStats;
+use sdtw::{DtwScratch, SDtw};
+use sdtw_dtw::engine::Normalization;
+use sdtw_dtw::lower_bound::{lb_keogh_values, lb_kim, Envelope, SeriesSummary};
+use sdtw_dtw::Band;
+use sdtw_index::CascadeStats;
+use sdtw_salient::{extract_features, SalientFeature};
+use sdtw_tseries::stats::WindowedStats;
+use sdtw_tseries::transform::{z_normalize, z_normalize_values};
+use sdtw_tseries::{TimeSeries, TsError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Relative slack applied to the rolling LB_Kim before it may prune.
+///
+/// The rolling window moments ([`WindowedStats`]) track the exact batch
+/// statistics to within ~`100·m·ε` relative (≲ 1e-9 for any realistic
+/// window) *whenever they report themselves well-conditioned* — the
+/// only regime [`SubseqMatcher::kim_bound`] uses them in — so a bound
+/// computed from them can sit at most that far above its exact value;
+/// pruning only when the bound clears the threshold by this much keeps
+/// the stage admissible while letting borderline windows fall through
+/// to the *exact* LB_Keogh and DP stages (which re-derive the window
+/// statistics batch-style). See DESIGN.md §9 for the admissibility
+/// argument.
+const KIM_GUARD: f64 = 1e-7;
+
+/// Below this (scale-relative) deviation the rolling σ cannot be
+/// distinguished from the exact σ = 0 of a constant window, where
+/// z-normalisation switches to the all-zeros convention — the rolling
+/// LB_Kim abstains rather than normalise by a garbage σ.
+const SIGMA_FLOOR: f64 = 1e-9;
+
+/// One reported occurrence of the query inside the searched series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubseqMatch {
+    /// Window start: the match spans `offset .. offset + query_len`.
+    pub offset: usize,
+    /// Its (possibly normalised) constrained DTW distance to the query.
+    pub distance: f64,
+}
+
+/// Answer to one batch search: matches ascending by `(distance, offset)`,
+/// plus the accounting of what the cascade disposed of.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubseqResult {
+    /// Up to `k` non-overlapping matches, greedily selected ascending by
+    /// `(distance, offset)` (fewer when the series has fewer eligible
+    /// windows).
+    pub matches: Vec<SubseqMatch>,
+    /// Per-stage pruning/DP accounting.
+    pub stats: StreamStats,
+}
+
+/// How the cascade disposed of one window visit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum WindowVerdict {
+    /// Dropped by the rolling LB_Kim.
+    PrunedKim,
+    /// Dropped by LB_Keogh against the query envelope.
+    PrunedKeogh,
+    /// The DP abandoned early against the threshold.
+    Abandoned,
+    /// The DP completed with this distance.
+    Completed(f64),
+}
+
+/// A prepared subsequence query: the UCR-style search engine.
+///
+/// Construction pays the per-query costs exactly once — z-normalising
+/// the query, extracting its salient descriptors (adaptive policies),
+/// building its LB_Keogh [`Envelope`] and LB_Kim [`SeriesSummary`], and
+/// planning the band (alignment-free policies, where every `m × m`
+/// window shares it). [`SubseqMatcher::find`] then slides over a long
+/// series running the cascade per window:
+///
+/// 1. **rolling LB_Kim** — O(1) from the incremental window statistics
+///    ([`WindowedStats`] + [`RollingExtrema`]), conservatively guarded
+///    under z-normalisation (see `KIM_GUARD` in the source);
+/// 2. **LB_Keogh** — the exactly-normalised window against the query
+///    envelope (when the band sits inside the envelope window);
+/// 3. **early-abandoned banded DP** — the zero-copy
+///    [`SDtw::query_window`] builder path, cut off at the best-so-far.
+///
+/// Results are **exact**: offsets and bit-identical distances to
+/// brute-forcing the same engine over every window and greedily picking
+/// the `k` best non-overlapping ones ascending by `(distance, offset)`
+/// (the `sdtw_eval` subsequence oracle; ties break toward the lower
+/// offset). Top-k selection runs as up to `k` sweeps with a completed-
+/// distance cache, so each sweep prunes against a sound best-so-far.
+#[derive(Debug, Clone)]
+pub struct SubseqMatcher {
+    config: StreamConfig,
+    engine: SDtw,
+    /// The (possibly z-normalised) query samples.
+    query: Vec<f64>,
+    /// Cached salient descriptors (empty for alignment-free policies).
+    query_features: Vec<SalientFeature>,
+    query_envelope: Envelope,
+    query_summary: SeriesSummary,
+    /// The shared band of every window under alignment-free policies
+    /// (`None` means adaptive: plan per window against the cached query
+    /// descriptors).
+    fixed_band: Option<Band>,
+    m: usize,
+    radius: usize,
+    exclusion: usize,
+    bounds_ok: bool,
+}
+
+impl SubseqMatcher {
+    /// Prepares a query for subsequence search.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation and feature-extraction errors.
+    pub fn new(query: &TimeSeries, config: StreamConfig) -> Result<Self, TsError> {
+        config.validate()?;
+        let engine = SDtw::new(config.sdtw.clone())?;
+        let prepared = if config.z_normalize {
+            z_normalize(query)
+        } else {
+            query.clone()
+        };
+        let needs_features = config.sdtw.policy.needs_alignment();
+        let query_features = if needs_features {
+            extract_features(&prepared, &config.sdtw.salient)?
+        } else {
+            Vec::new()
+        };
+        let m = prepared.len();
+        let radius = config.radius_for(m);
+        let exclusion = config.exclusion_for(m);
+        let query = prepared.into_values();
+        let query_envelope = Envelope::build_from_values(&query, radius);
+        let query_summary = SeriesSummary::of_values(&query);
+        let fixed_band = if needs_features {
+            None
+        } else {
+            let (band, _) = engine.plan_band(&[], &[], m, m);
+            Some(if band.is_feasible() {
+                band
+            } else {
+                band.sanitize()
+            })
+        };
+        let bounds_ok = config.sdtw.dtw.lower_bounds_admissible();
+        Ok(Self {
+            config,
+            engine,
+            query,
+            query_features,
+            query_envelope,
+            query_summary,
+            fixed_band,
+            m,
+            radius,
+            exclusion,
+            bounds_ok,
+        })
+    }
+
+    /// The matcher configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Length of the (prepared) query — the window size.
+    pub fn query_len(&self) -> usize {
+        self.m
+    }
+
+    /// The prepared (possibly z-normalised) query samples.
+    pub fn query_values(&self) -> &[f64] {
+        &self.query
+    }
+
+    /// Minimum offset distance between two reported matches.
+    pub fn exclusion(&self) -> usize {
+        self.exclusion
+    }
+
+    /// The envelope radius the LB_Keogh stage was built with.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Finds the `k` best non-overlapping matches in `series`.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, or feature-extraction failures (adaptive policies).
+    pub fn find(&self, series: &TimeSeries, k: usize) -> Result<SubseqResult, TsError> {
+        self.find_under_with_scratch(series, k, f64::INFINITY, &mut DtwScratch::new())
+    }
+
+    /// [`SubseqMatcher::find`] restricted to matches with distance `<=
+    /// tau` — the monitoring workload ("report occurrences under a
+    /// threshold"), and the form whose streaming counterpart
+    /// ([`crate::StreamMonitor`]) is exact for every `k`.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, a negative/NaN `tau`, or feature-extraction failures.
+    pub fn find_under(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+        tau: f64,
+    ) -> Result<SubseqResult, TsError> {
+        self.find_under_with_scratch(series, k, tau, &mut DtwScratch::new())
+    }
+
+    /// [`SubseqMatcher::find_under`] with caller-owned DP buffers (the
+    /// batch hot path: keep one [`DtwScratch`] per worker).
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, a negative/NaN `tau`, or feature-extraction failures.
+    pub fn find_under_with_scratch(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+        tau: f64,
+        scratch: &mut DtwScratch,
+    ) -> Result<SubseqResult, TsError> {
+        if k == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "k",
+                reason: "subsequence search needs k >= 1".to_string(),
+            });
+        }
+        if tau.is_nan() || tau < 0.0 {
+            return Err(TsError::InvalidParameter {
+                name: "tau",
+                reason: format!("distance threshold must be >= 0, got {tau}"),
+            });
+        }
+        let xv = series.values();
+        let mut stats = StreamStats::default();
+        if xv.len() < self.m {
+            return Ok(SubseqResult {
+                matches: Vec::new(),
+                stats,
+            });
+        }
+        let w_count = xv.len() - self.m + 1;
+        stats.windows = w_count as u64;
+
+        // One incremental sweep precomputes every window's rolling LB_Kim
+        // in O(1) amortised per sample — the same accumulators the
+        // streaming monitor feeds push by push.
+        let kims: Vec<Option<f64>> = if self.bounds_ok {
+            let mut moments = WindowedStats::new(self.m);
+            let mut extrema = RollingExtrema::new(self.m);
+            let mut out = Vec::with_capacity(w_count);
+            for (t, &v) in xv.iter().enumerate() {
+                moments.push(v);
+                extrema.push(v);
+                if t + 1 >= self.m {
+                    let w = t + 1 - self.m;
+                    out.push(self.kim_bound(xv[w], v, extrema.min(), extrema.max(), &moments));
+                }
+            }
+            out
+        } else {
+            vec![None; w_count]
+        };
+
+        // Up to k sweeps of greedy best-match search: each pass finds the
+        // minimal (distance, offset) among non-excluded windows, pruning
+        // against the pass's running best; completed distances are cached
+        // so later passes never redo DP work.
+        let mut computed: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut selected: Vec<SubseqMatch> = Vec::new();
+        let mut window_buf: Vec<f64> = Vec::new();
+        let excluded = |w: usize, selected: &[SubseqMatch]| {
+            selected
+                .iter()
+                .any(|s| w.abs_diff(s.offset) < self.exclusion)
+        };
+        for _ in 0..k {
+            stats.passes += 1;
+            let mut best: Option<(f64, usize)> = None;
+            for (&w, &d) in &computed {
+                if d <= tau && !excluded(w, &selected) && Self::better(d, w, &best) {
+                    best = Some((d, w));
+                }
+            }
+            for w in 0..w_count {
+                if excluded(w, &selected) {
+                    stats.skipped_excluded += 1;
+                    continue;
+                }
+                if computed.contains_key(&w) {
+                    stats.cache_hits += 1;
+                    continue;
+                }
+                let threshold = best.map_or(tau, |(d, _)| d.min(tau));
+                let verdict = self.evaluate_window(
+                    &xv[w..w + self.m],
+                    kims[w],
+                    threshold,
+                    &mut window_buf,
+                    scratch,
+                    &mut stats.cascade,
+                )?;
+                if let WindowVerdict::Completed(d) = verdict {
+                    computed.insert(w, d);
+                    if d <= tau && Self::better(d, w, &best) {
+                        best = Some((d, w));
+                    }
+                }
+            }
+            match best {
+                None => break,
+                Some((distance, offset)) => selected.push(SubseqMatch { offset, distance }),
+            }
+        }
+        debug_assert!(stats.is_consistent(), "every cascade entry accounted once");
+        Ok(SubseqResult {
+            matches: selected,
+            stats,
+        })
+    }
+
+    /// Greedy order: ascending distance, ties toward the lower offset.
+    fn better(d: f64, w: usize, best: &Option<(f64, usize)>) -> bool {
+        match best {
+            None => true,
+            Some((bd, bw)) => d < *bd || (d == *bd && w < *bw),
+        }
+    }
+
+    /// Runs the cascade on one raw window against `threshold`, updating
+    /// the shared per-stage accounting. `kim` is the precomputed rolling
+    /// bound (`None` = stage abstained). Shared by the batch sweeps and
+    /// the streaming monitor.
+    pub(crate) fn evaluate_window(
+        &self,
+        raw: &[f64],
+        kim: Option<f64>,
+        threshold: f64,
+        window_buf: &mut Vec<f64>,
+        scratch: &mut DtwScratch,
+        cascade: &mut CascadeStats,
+    ) -> Result<WindowVerdict, TsError> {
+        debug_assert_eq!(raw.len(), self.m, "window must match the query length");
+        cascade.candidates += 1;
+        cascade.bounds_disabled = !self.bounds_ok;
+        if self.bounds_ok {
+            if let Some(kim) = kim {
+                if self.kim_prunes(kim, threshold) {
+                    cascade.pruned_kim += 1;
+                    return Ok(WindowVerdict::PrunedKim);
+                }
+            }
+        }
+        // From here on the window statistics are exact: the batch-style
+        // normalisation reproduces `z_normalize` bit for bit, so LB_Keogh
+        // and the DP decide on the very values the oracle sees.
+        let wv = self.normalize_window(raw, window_buf);
+        let planned;
+        let band = match &self.fixed_band {
+            Some(b) => b,
+            None => {
+                // adaptive policy: extract the window's descriptors and
+                // plan against the cached query descriptors
+                let wts = TimeSeries::new(wv.to_vec())?;
+                let wf = extract_features(&wts, &self.config.sdtw.salient)?;
+                let (b, _) = self
+                    .engine
+                    .plan_band(&self.query_features, &wf, self.m, self.m);
+                planned = if b.is_feasible() { b } else { b.sanitize() };
+                &planned
+            }
+        };
+        if self.bounds_ok && band.within_window(self.radius) {
+            let metric = self.config.sdtw.dtw.metric;
+            let lb = self.normalize_bound(lb_keogh_values(wv, &self.query_envelope, metric));
+            if lb > threshold {
+                cascade.pruned_keogh += 1;
+                return Ok(WindowVerdict::PrunedKeogh);
+            }
+        } else if self.bounds_ok {
+            cascade.lb_inapplicable += 1;
+        }
+        match self
+            .engine
+            .query_window(&self.query, wv)
+            .band(band)
+            .cutoff(threshold)
+            .path(false)
+            .scratch(scratch)
+            .run()?
+        {
+            None => {
+                cascade.abandoned += 1;
+                // the abandoning run still paid for part of the grid;
+                // charge the full band conservatively (as the index does)
+                cascade.cells_filled += band.area() as u64;
+                Ok(WindowVerdict::Abandoned)
+            }
+            Some(r) => {
+                cascade.dp_completed += 1;
+                cascade.cells_filled += r.cells_filled as u64;
+                Ok(WindowVerdict::Completed(r.distance))
+            }
+        }
+    }
+
+    /// The rolling LB_Kim bound of a window, in reported-distance units,
+    /// from the O(1) accumulators. `None` when the stage abstains: σ too
+    /// close to the constant-window convention switch, or the sliding
+    /// moments numerically ill-conditioned (stale centring offset after
+    /// a level shift in the stream — see
+    /// [`WindowedStats::moments_well_conditioned`]); abstaining windows
+    /// fall through to the exact LB_Keogh/DP stages, so results never
+    /// depend on an untrustworthy σ.
+    pub(crate) fn kim_bound(
+        &self,
+        first: f64,
+        last: f64,
+        min: f64,
+        max: f64,
+        moments: &WindowedStats,
+    ) -> Option<f64> {
+        let metric = self.config.sdtw.dtw.metric;
+        let summary = if self.config.z_normalize {
+            if !moments.moments_well_conditioned() {
+                return None;
+            }
+            let sd = moments.std_dev();
+            let mean = moments.mean();
+            if sd <= SIGMA_FLOOR * (1.0 + mean.abs()) {
+                return None;
+            }
+            SeriesSummary {
+                first: (first - mean) / sd,
+                last: (last - mean) / sd,
+                min: (min - mean) / sd,
+                max: (max - mean) / sd,
+                len: self.m,
+            }
+        } else {
+            SeriesSummary {
+                first,
+                last,
+                min,
+                max,
+                len: self.m,
+            }
+        };
+        Some(self.normalize_bound(lb_kim(&self.query_summary, &summary, metric)))
+    }
+
+    /// Whether a rolling LB_Kim value prunes against `threshold`. Under
+    /// z-normalisation the bound carries the rolling-moment error, so it
+    /// must clear the threshold by [`KIM_GUARD`]; raw windows use the
+    /// exact strict comparison (ties must survive either way).
+    pub(crate) fn kim_prunes(&self, kim: f64, threshold: f64) -> bool {
+        if self.config.z_normalize {
+            kim > threshold + KIM_GUARD * (1.0 + threshold.abs() + kim)
+        } else {
+            kim > threshold
+        }
+    }
+
+    /// Z-normalises a raw window into `buf` via the one shared
+    /// implementation ([`z_normalize_values`] — bit-identical to the
+    /// [`z_normalize`] series path by construction), or passes it
+    /// through untouched in raw mode.
+    pub(crate) fn normalize_window<'a>(&self, raw: &'a [f64], buf: &'a mut Vec<f64>) -> &'a [f64] {
+        if !self.config.z_normalize {
+            return raw;
+        }
+        z_normalize_values(raw, buf);
+        buf
+    }
+
+    /// Converts a raw accumulated-cost bound into the units of the
+    /// configured normalisation, so it compares against final distances.
+    fn normalize_bound(&self, raw: f64) -> f64 {
+        match self.config.sdtw.dtw.normalization {
+            Normalization::None => raw,
+            Normalization::LengthSum => raw / (2 * self.m) as f64,
+        }
+    }
+
+    /// Greedy non-overlapping selection over scored candidates: ascending
+    /// `(distance, offset)`, each pick excluding offsets closer than the
+    /// matcher's exclusion distance. Used by the streaming monitor.
+    pub(crate) fn select_greedy(&self, candidates: &[SubseqMatch], k: usize) -> Vec<SubseqMatch> {
+        let mut order: Vec<&SubseqMatch> = candidates.iter().collect();
+        order.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("distances are finite")
+                .then(a.offset.cmp(&b.offset))
+        });
+        let mut picked: Vec<SubseqMatch> = Vec::new();
+        for c in order {
+            if picked.len() == k {
+                break;
+            }
+            if picked
+                .iter()
+                .all(|p| c.offset.abs_diff(p.offset) >= self.exclusion)
+            {
+                picked.push(*c);
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::StreamMonitor;
+
+    fn ts(v: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(v).unwrap()
+    }
+
+    /// A haystack with the query planted (shifted/scaled) at known spots.
+    fn planted() -> (TimeSeries, TimeSeries) {
+        let query = ts((0..48)
+            .map(|i| {
+                let t = i as f64 / 47.0;
+                (-((t - 0.5) / 0.12).powi(2)).exp()
+            })
+            .collect());
+        let mut hay = vec![0.0; 400];
+        for (start, gain, offset) in [(60usize, 1.0, 0.0), (220, 3.0, 5.0)] {
+            for i in 0..48 {
+                hay[start + i] += gain * query.at(i) + offset;
+            }
+        }
+        // mild deterministic ripple so windows are never exactly constant
+        for (i, v) in hay.iter_mut().enumerate() {
+            *v += 0.01 * (i as f64 / 9.0).sin();
+        }
+        (query, ts(hay))
+    }
+
+    #[test]
+    fn finds_planted_occurrences_under_z_normalization() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let result = matcher.find(&hay, 2).unwrap();
+        assert_eq!(result.matches.len(), 2);
+        // both planted sites found (z-normalisation cancels gain/offset),
+        // within a couple of samples of the planting position
+        let mut offsets: Vec<usize> = result.matches.iter().map(|m| m.offset).collect();
+        offsets.sort_unstable();
+        assert!((offsets[0] as i64 - 60).abs() <= 6, "got {offsets:?}");
+        assert!((offsets[1] as i64 - 220).abs() <= 6, "got {offsets:?}");
+        assert!(result.stats.is_consistent());
+        assert_eq!(result.stats.windows, 400 - 48 + 1);
+    }
+
+    #[test]
+    fn raw_mode_is_offset_sensitive() {
+        let (query, hay) = planted();
+        let config = StreamConfig {
+            z_normalize: false,
+            ..StreamConfig::exact_banded(0.2)
+        };
+        let matcher = SubseqMatcher::new(&query, config).unwrap();
+        let best = matcher.find(&hay, 1).unwrap().matches[0];
+        // raw comparison must prefer the unscaled planting
+        assert!((best.offset as i64 - 60).abs() <= 6, "got {}", best.offset);
+    }
+
+    #[test]
+    fn matches_respect_the_exclusion_zone() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let result = matcher.find(&hay, 5).unwrap();
+        let excl = matcher.exclusion();
+        for (i, a) in result.matches.iter().enumerate() {
+            for b in &result.matches[i + 1..] {
+                assert!(
+                    a.offset.abs_diff(b.offset) >= excl,
+                    "matches {a:?} and {b:?} overlap (exclusion {excl})"
+                );
+            }
+        }
+        // matches come out ascending by (distance, offset)
+        for pair in result.matches.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+    }
+
+    #[test]
+    fn tau_restricts_and_short_series_yield_nothing() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let all = matcher.find(&hay, 3).unwrap();
+        let tau = all.matches[0].distance; // only the best qualifies
+        let under = matcher.find_under(&hay, 3, tau).unwrap();
+        assert_eq!(under.matches.len(), 1);
+        assert_eq!(under.matches[0], all.matches[0]);
+        // inclusive: tau exactly at the distance keeps the match
+        let short = ts(vec![0.0; 10]);
+        assert!(matcher.find(&short, 1).unwrap().matches.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let fresh = matcher.find(&hay, 3).unwrap();
+        let mut scratch = DtwScratch::new();
+        let reused = matcher
+            .find_under_with_scratch(&hay, 3, f64::INFINITY, &mut scratch)
+            .unwrap();
+        assert_eq!(fresh.matches.len(), reused.matches.len());
+        for (a, b) in fresh.matches.iter().zip(&reused.matches) {
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        assert_eq!(fresh.stats, reused.stats);
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        assert!(matcher.find(&hay, 0).is_err());
+        assert!(matcher.find_under(&hay, 1, -1.0).is_err());
+        assert!(matcher.find_under(&hay, 1, f64::NAN).is_err());
+        let bad = StreamConfig {
+            exclusion_frac: -1.0,
+            ..StreamConfig::default()
+        };
+        assert!(SubseqMatcher::new(&query, bad).is_err());
+    }
+
+    #[test]
+    fn constant_windows_are_handled_by_the_sigma_convention() {
+        // a flat haystack: every window z-normalises to all-zeros; the
+        // search must complete without pruning anything unsoundly
+        let query = ts((0..32).map(|i| (i as f64 / 5.0).sin()).collect());
+        let hay = ts(vec![3.25; 200]);
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let result = matcher.find(&hay, 1).unwrap();
+        assert_eq!(result.matches.len(), 1);
+        // distance to the zero window = sum of squared query samples
+        // under the banded DP; just sanity-check finiteness + stats
+        assert!(result.matches[0].distance.is_finite());
+        assert!(result.stats.is_consistent());
+    }
+
+    #[test]
+    fn level_shift_streams_stay_exact() {
+        // the ill-conditioning regression: a huge DC level shift makes
+        // the rolling sigma garbage for the stale-offset windows; the
+        // Kim stage must abstain there rather than unsoundly prune the
+        // planting hidden inside the new level
+        let query = ts((0..32)
+            .map(|i| (-((i as f64 / 31.0 - 0.5) / 0.15).powi(2)).exp())
+            .collect());
+        let mut hay = vec![0.0; 400];
+        for (i, v) in hay.iter_mut().enumerate() {
+            *v = 0.01 * (i as f64 / 3.0).sin();
+            if i >= 200 {
+                *v += 1e6; // the level shift
+            }
+        }
+        // plant the query once before the shift and once inside the
+        // stale-offset regime right after it (window fully at the new
+        // level, before the next scheduled re-centring refresh): a
+        // garbage rolling sigma there would corrupt the rolling LB_Kim
+        // and silently drop this second match
+        for (start, gain) in [(80usize, 1.0), (210, 1.0)] {
+            for i in 0..32 {
+                hay[start + i] += gain * query.at(i);
+            }
+        }
+        let hay = ts(hay);
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        // brute-force oracle inline: every window, batch-normalised
+        let engine = SDtw::new(matcher.config().sdtw.clone()).unwrap();
+        let qts = ts(matcher.query_values().to_vec());
+        let mut profile: Vec<(usize, f64)> = Vec::new();
+        for w in 0..=(hay.len() - 32) {
+            let window = z_normalize(&ts(hay.values()[w..w + 32].to_vec()));
+            let d = engine.query(&qts, &window).run().unwrap().unwrap().distance;
+            profile.push((w, d));
+        }
+        for k in [1usize, 3] {
+            // greedy reference selection
+            let mut picked: Vec<(usize, f64)> = Vec::new();
+            while picked.len() < k {
+                let mut best: Option<(usize, f64)> = None;
+                for &(w, d) in &profile {
+                    if picked
+                        .iter()
+                        .any(|&(p, _)| w.abs_diff(p) < matcher.exclusion())
+                    {
+                        continue;
+                    }
+                    best = match best {
+                        None => Some((w, d)),
+                        Some((bw, bd)) if d < bd || (d == bd && w < bw) => Some((w, d)),
+                        keep => keep,
+                    };
+                }
+                match best {
+                    None => break,
+                    Some(p) => picked.push(p),
+                }
+            }
+            let got = matcher.find(&hay, k).unwrap();
+            assert_eq!(got.matches.len(), picked.len(), "k={k}");
+            for (m, (w, d)) in got.matches.iter().zip(&picked) {
+                assert_eq!(m.offset, *w, "k={k}: the level shift broke exactness");
+                assert_eq!(m.distance.to_bits(), d.to_bits(), "k={k}");
+            }
+        }
+        // streaming mode sees the same shift sample by sample
+        let batch = matcher.find(&hay, 1).unwrap();
+        let mut monitor = StreamMonitor::new(matcher, 1, f64::INFINITY).unwrap();
+        monitor.process(hay.values()).unwrap();
+        let live = monitor.matches();
+        assert_eq!(live[0].offset, batch.matches[0].offset);
+        assert_eq!(
+            live[0].distance.to_bits(),
+            batch.matches[0].distance.to_bits()
+        );
+    }
+
+    #[test]
+    fn cascade_actually_prunes_on_an_easy_stream() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let result = matcher.find(&hay, 1).unwrap();
+        assert!(
+            result.stats.cascade.pruned_before_dp() > 0,
+            "lower bounds never fired: {:?}",
+            result.stats
+        );
+        assert!(result.stats.prune_rate() > 0.2, "{:?}", result.stats);
+    }
+}

@@ -1,0 +1,354 @@
+//! Streaming mode: samples pushed one at a time into a ring buffer.
+
+use crate::matcher::{SubseqMatch, SubseqMatcher, WindowVerdict};
+use crate::rolling::RollingExtrema;
+use crate::stats::StreamStats;
+use sdtw::DtwScratch;
+use sdtw_tseries::stats::WindowedStats;
+use sdtw_tseries::TsError;
+
+/// Online subsequence monitor: push samples as they arrive, read the
+/// best non-overlapping matches seen so far at any point.
+///
+/// Memory is O(query length + retained candidates): the ring buffer
+/// ([`WindowedStats`]) holds exactly one window of history, the rolling
+/// extrema hold at most one window of deque entries, and only windows
+/// whose DP completed under the acceptance threshold are retained as
+/// candidates — for `k == 1` that is just the single running best, for
+/// `k > 1` every window at or under `tau` (choose a `tau` tight enough
+/// that qualifying windows are genuinely interesting; each is one
+/// `(offset, distance)` pair). Every push costs O(1) amortised for the
+/// statistics plus the cascade work of at most one window.
+///
+/// ## Exactness contract
+///
+/// The monitor reports exactly what [`SubseqMatcher::find_under`] would
+/// report on the concatenation of everything pushed, in two regimes:
+///
+/// * **`k == 1`** (any `tau`, including ∞): classic UCR best-match
+///   tracking — the cascade prunes against the best distance so far,
+///   which is sound for a single match;
+/// * **`k > 1` with a finite `tau`**: the cascade prunes against `tau`
+///   alone, every window at or under `tau` is scored exactly, and
+///   [`StreamMonitor::matches`] greedily selects among them — identical
+///   to the batch greedy selection restricted to `tau`.
+///
+/// For `k > 1` with `tau = ∞` no sound streaming threshold exists (a
+/// later window may displace *two* provisional matches at once, reviving
+/// windows a tighter threshold would have pruned — see DESIGN.md §9), so
+/// the monitor simply never prunes in that regime: still exact, just
+/// paying the DP for most windows. Give monitors a finite `tau`.
+#[derive(Debug, Clone)]
+pub struct StreamMonitor {
+    matcher: SubseqMatcher,
+    k: usize,
+    tau: f64,
+    moments: WindowedStats,
+    extrema: RollingExtrema,
+    raw_buf: Vec<f64>,
+    window_buf: Vec<f64>,
+    scratch: DtwScratch,
+    /// Completed windows with distance ≤ the acceptance threshold.
+    candidates: Vec<SubseqMatch>,
+    stats: StreamStats,
+}
+
+impl StreamMonitor {
+    /// Starts monitoring for the matcher's query.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0` or a negative/NaN `tau`.
+    pub fn new(matcher: SubseqMatcher, k: usize, tau: f64) -> Result<Self, TsError> {
+        if k == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "k",
+                reason: "stream monitoring needs k >= 1".to_string(),
+            });
+        }
+        if tau.is_nan() || tau < 0.0 {
+            return Err(TsError::InvalidParameter {
+                name: "tau",
+                reason: format!("distance threshold must be >= 0, got {tau}"),
+            });
+        }
+        let m = matcher.query_len();
+        Ok(Self {
+            matcher,
+            k,
+            tau,
+            moments: WindowedStats::new(m),
+            extrema: RollingExtrema::new(m),
+            raw_buf: Vec::with_capacity(m),
+            window_buf: Vec::with_capacity(m),
+            scratch: DtwScratch::new(),
+            candidates: Vec::new(),
+            stats: StreamStats {
+                passes: 1,
+                ..StreamStats::default()
+            },
+        })
+    }
+
+    /// The wrapped matcher.
+    pub fn matcher(&self) -> &SubseqMatcher {
+        &self.matcher
+    }
+
+    /// Samples pushed so far (the stream position; the window completed
+    /// by the latest push starts at `position() - query_len`).
+    pub fn position(&self) -> u64 {
+        self.moments.pushed()
+    }
+
+    /// Pushes one sample; once at least one full window is buffered the
+    /// cascade runs on the window this sample completes. Returns the
+    /// window's match when its DP completed at or under the acceptance
+    /// threshold (a *candidate* — it may later be displaced by a better
+    /// overlapping one; read [`StreamMonitor::matches`] for the current
+    /// selection).
+    ///
+    /// # Errors
+    ///
+    /// A non-finite sample (rejected before touching any stream state —
+    /// the batch path inherits finiteness from
+    /// [`TimeSeries`](sdtw_tseries::TimeSeries) validation, and a NaN
+    /// admitted here would silently poison the rolling statistics and
+    /// every window containing it), or feature-extraction failures
+    /// (adaptive policies only).
+    pub fn push(&mut self, v: f64) -> Result<Option<SubseqMatch>, TsError> {
+        if !v.is_finite() {
+            return Err(TsError::NonFinite {
+                index: self.moments.pushed() as usize,
+                value: v,
+            });
+        }
+        self.moments.push(v);
+        self.extrema.push(v);
+        if !self.moments.is_full() {
+            return Ok(None);
+        }
+        let offset = (self.moments.pushed() - self.moments.capacity() as u64) as usize;
+        self.stats.windows += 1;
+        // Sound pruning threshold: best-so-far for k = 1, tau otherwise.
+        let threshold = if self.k == 1 {
+            self.candidates.first().map_or(self.tau, |b| b.distance)
+        } else {
+            self.tau
+        };
+        let kim = self.matcher.kim_bound(
+            self.moments.front(),
+            self.moments.back(),
+            self.extrema.min(),
+            self.extrema.max(),
+            &self.moments,
+        );
+        self.moments.copy_window_into(&mut self.raw_buf);
+        let verdict = self.matcher.evaluate_window(
+            &self.raw_buf,
+            kim,
+            threshold,
+            &mut self.window_buf,
+            &mut self.scratch,
+            &mut self.stats.cascade,
+        )?;
+        if let WindowVerdict::Completed(distance) = verdict {
+            if distance <= threshold {
+                let m = SubseqMatch { offset, distance };
+                if self.k == 1 {
+                    // only the running best is ever needed; windows
+                    // arrive in offset order, so a strict improvement is
+                    // exactly the greedy (distance, offset) order
+                    if self
+                        .candidates
+                        .first()
+                        .is_none_or(|b| distance < b.distance)
+                    {
+                        self.candidates.clear();
+                        self.candidates.push(m);
+                        return Ok(Some(m));
+                    }
+                    return Ok(None);
+                }
+                self.candidates.push(m);
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Pushes a batch of samples (convenience wrapper over
+    /// [`StreamMonitor::push`]), returning the candidates it produced.
+    ///
+    /// # Errors
+    ///
+    /// The first per-push error.
+    pub fn process(&mut self, samples: &[f64]) -> Result<Vec<SubseqMatch>, TsError> {
+        let mut out = Vec::new();
+        for &v in samples {
+            if let Some(m) = self.push(v)? {
+                out.push(m);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The current best non-overlapping matches, ascending by
+    /// `(distance, offset)` — the greedy selection over every candidate
+    /// scored so far.
+    pub fn matches(&self) -> Vec<SubseqMatch> {
+        self.matcher.select_greedy(&self.candidates, self.k)
+    }
+
+    /// Candidates retained so far (diagnostics; superset of
+    /// [`StreamMonitor::matches`]).
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Forgets all stream state (query preparation is retained).
+    pub fn reset(&mut self) {
+        self.moments.clear();
+        self.extrema.clear();
+        self.candidates.clear();
+        self.stats = StreamStats {
+            passes: 1,
+            ..StreamStats::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamConfig;
+    use sdtw_tseries::TimeSeries;
+
+    fn ts(v: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(v).unwrap()
+    }
+
+    fn planted() -> (TimeSeries, TimeSeries) {
+        let query = ts((0..40)
+            .map(|i| {
+                let t = i as f64 / 39.0;
+                (-((t - 0.5) / 0.15).powi(2)).exp()
+            })
+            .collect());
+        let mut hay = vec![0.0; 320];
+        for (start, gain) in [(50usize, 1.0), (180, 2.0)] {
+            for i in 0..40 {
+                hay[start + i] += gain * query.at(i);
+            }
+        }
+        for (i, v) in hay.iter_mut().enumerate() {
+            *v += 0.02 * (i as f64 / 7.0).cos();
+        }
+        (query, ts(hay))
+    }
+
+    #[test]
+    fn monitor_top1_equals_batch_top1() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let batch = matcher.find(&hay, 1).unwrap();
+        let mut monitor = StreamMonitor::new(matcher, 1, f64::INFINITY).unwrap();
+        monitor.process(hay.values()).unwrap();
+        let live = monitor.matches();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].offset, batch.matches[0].offset);
+        assert_eq!(
+            live[0].distance.to_bits(),
+            batch.matches[0].distance.to_bits()
+        );
+        assert_eq!(
+            monitor.stats().windows,
+            batch.stats.windows,
+            "both saw every window"
+        );
+    }
+
+    #[test]
+    fn monitor_topk_under_tau_equals_batch() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        // a tau loose enough to admit both plantings
+        let probe = matcher.find(&hay, 2).unwrap();
+        let tau = probe.matches.last().unwrap().distance * 1.5;
+        let batch = matcher.find_under(&hay, 3, tau).unwrap();
+        let mut monitor = StreamMonitor::new(matcher, 3, tau).unwrap();
+        monitor.process(hay.values()).unwrap();
+        let live = monitor.matches();
+        assert_eq!(live.len(), batch.matches.len());
+        for (a, b) in live.iter().zip(&batch.matches) {
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn push_reports_candidates_and_reset_forgets_them() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let mut monitor = StreamMonitor::new(matcher, 1, f64::INFINITY).unwrap();
+        let events = monitor.process(hay.values()).unwrap();
+        assert!(!events.is_empty(), "at least the first window is reported");
+        assert!(monitor.candidate_count() >= monitor.matches().len());
+        assert!(monitor.stats().is_consistent());
+        let pos = monitor.position();
+        assert_eq!(pos, hay.len() as u64);
+        monitor.reset();
+        assert_eq!(monitor.position(), 0);
+        assert!(monitor.matches().is_empty());
+    }
+
+    #[test]
+    fn no_window_no_match() {
+        let (query, _) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let mut monitor = StreamMonitor::new(matcher, 1, f64::INFINITY).unwrap();
+        for i in 0..10 {
+            assert_eq!(monitor.push(i as f64).unwrap(), None);
+        }
+        assert!(monitor.matches().is_empty());
+        assert_eq!(monitor.stats().windows, 0);
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let (query, _) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        assert!(StreamMonitor::new(matcher.clone(), 0, 1.0).is_err());
+        assert!(StreamMonitor::new(matcher.clone(), 1, -2.0).is_err());
+        assert!(StreamMonitor::new(matcher, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_without_corrupting_state() {
+        let (query, hay) = planted();
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let batch = matcher.find(&hay, 1).unwrap();
+        let mut monitor = StreamMonitor::new(matcher, 1, f64::INFINITY).unwrap();
+        let mid = hay.len() / 2;
+        monitor.process(&hay.values()[..mid]).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = monitor.push(bad).unwrap_err();
+            assert!(matches!(err, sdtw_tseries::TsError::NonFinite { .. }));
+        }
+        // the rejected samples left no trace: finishing the clean stream
+        // still reproduces the batch result exactly
+        assert_eq!(monitor.position(), mid as u64);
+        monitor.process(&hay.values()[mid..]).unwrap();
+        let live = monitor.matches();
+        assert_eq!(live[0].offset, batch.matches[0].offset);
+        assert_eq!(
+            live[0].distance.to_bits(),
+            batch.matches[0].distance.to_bits()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Sliding-window extrema in O(1) amortised time per push.
+//!
+//! The companion of [`sdtw_tseries::stats::WindowedStats`]: where that
+//! accumulator maintains the window's mean/variance, this one maintains
+//! its minimum and maximum with the classic monotonic-deque technique —
+//! together they provide every ingredient of a rolling LB_Kim
+//! [`sdtw_dtw::SeriesSummary`] without touching the window contents.
+//! Unlike the moments, the extrema are *exact*: the deques store sample
+//! values verbatim and only ever compare them.
+
+use std::collections::VecDeque;
+
+/// Sliding minimum and maximum over the last `capacity` pushed samples.
+#[derive(Debug, Clone)]
+pub struct RollingExtrema {
+    capacity: usize,
+    /// `(stream index, value)`, values decreasing from the front.
+    maxq: VecDeque<(u64, f64)>,
+    /// `(stream index, value)`, values increasing from the front.
+    minq: VecDeque<(u64, f64)>,
+    pushed: u64,
+}
+
+impl RollingExtrema {
+    /// Creates a tracker over a window of `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0` (programmer error).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            capacity,
+            maxq: VecDeque::new(),
+            minq: VecDeque::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Pushes a sample, retiring entries that left the window.
+    pub fn push(&mut self, v: f64) {
+        let idx = self.pushed;
+        self.pushed += 1;
+        while matches!(self.maxq.back(), Some(&(_, back)) if back <= v) {
+            self.maxq.pop_back();
+        }
+        self.maxq.push_back((idx, v));
+        while matches!(self.minq.back(), Some(&(_, back)) if back >= v) {
+            self.minq.pop_back();
+        }
+        self.minq.push_back((idx, v));
+        // retire fronts older than the window start
+        let start = self.pushed.saturating_sub(self.capacity as u64);
+        while matches!(self.maxq.front(), Some(&(i, _)) if i < start) {
+            self.maxq.pop_front();
+        }
+        while matches!(self.minq.front(), Some(&(i, _)) if i < start) {
+            self.minq.pop_front();
+        }
+    }
+
+    /// Maximum of the current window.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first push.
+    pub fn max(&self) -> f64 {
+        self.maxq.front().expect("no samples pushed yet").1
+    }
+
+    /// Minimum of the current window.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first push.
+    pub fn min(&self) -> f64 {
+        self.minq.front().expect("no samples pushed yet").1
+    }
+
+    /// Total samples ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Empties the tracker (capacity is retained).
+    pub fn clear(&mut self) {
+        self.maxq.clear();
+        self.minq.clear();
+        self.pushed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_extrema_over_a_seeded_stream() {
+        let mut seed = 0x777u64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let stream: Vec<f64> = (0..800).map(|_| 5.0 * rng()).collect();
+        let m = 23;
+        let mut r = RollingExtrema::new(m);
+        for (t, &v) in stream.iter().enumerate() {
+            r.push(v);
+            let lo = (t + 1).saturating_sub(m);
+            let window = &stream[lo..=t];
+            let mx = window.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = window.iter().cloned().fold(f64::MAX, f64::min);
+            assert_eq!(r.max(), mx, "max at {t}");
+            assert_eq!(r.min(), mn, "min at {t}");
+        }
+    }
+
+    #[test]
+    fn duplicates_survive_eviction() {
+        // two equal maxima: evicting the first must keep the second
+        let mut r = RollingExtrema::new(2);
+        r.push(5.0);
+        r.push(5.0);
+        r.push(1.0);
+        assert_eq!(r.max(), 5.0, "the newer duplicate is still in-window");
+        r.push(0.0);
+        assert_eq!(r.max(), 1.0);
+        assert_eq!(r.min(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = RollingExtrema::new(3);
+        r.push(1.0);
+        r.clear();
+        assert_eq!(r.pushed(), 0);
+        r.push(-2.0);
+        assert_eq!(r.max(), -2.0);
+        assert_eq!(r.min(), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RollingExtrema::new(0);
+    }
+}

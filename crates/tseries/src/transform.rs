@@ -24,14 +24,39 @@ fn rebuild(src: &TimeSeries, values: Vec<f64>) -> TimeSeries {
 /// standard deviation. A constant series (σ = 0) maps to all-zeros rather
 /// than dividing by zero — the convention used by the UCR suite.
 pub fn z_normalize(ts: &TimeSeries) -> TimeSeries {
-    let mean = ts.mean();
-    let sd = ts.std_dev();
-    let values = if sd == 0.0 {
-        vec![0.0; ts.len()]
-    } else {
-        ts.values().iter().map(|v| (v - mean) / sd).collect()
-    };
+    let mut values = Vec::new();
+    z_normalize_values(ts.values(), &mut values);
     rebuild(ts, values)
+}
+
+/// [`z_normalize`] over a raw sample slice, writing into a reusable
+/// buffer (cleared first). This is the **one** implementation of the
+/// normalisation — [`z_normalize`] delegates here, so callers that
+/// normalise windows of a larger buffer (subsequence search) are
+/// bit-identical to the series path by construction: same left-to-right
+/// summation order for the mean, same population-σ formula, same σ = 0
+/// all-zeros convention.
+pub fn z_normalize_values(src: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    if src.is_empty() {
+        return;
+    }
+    let n = src.len() as f64;
+    let mean = src.iter().sum::<f64>() / n;
+    let var = src
+        .iter()
+        .map(|v| {
+            let d = v - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        out.resize(src.len(), 0.0);
+    } else {
+        out.extend(src.iter().map(|v| (v - mean) / sd));
+    }
 }
 
 /// Min-max scales a series into `[0, 1]`. A constant series maps to all

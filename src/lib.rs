@@ -12,7 +12,9 @@
 //! * [`datasets`] — synthetic UCR-analogue corpora;
 //! * [`eval`] — evaluation harness and metrics;
 //! * [`index`] — prebuilt corpus kNN index with the cascading
-//!   lower-bound pruning pipeline ([`index::SdtwIndex`]).
+//!   lower-bound pruning pipeline ([`index::SdtwIndex`]);
+//! * [`stream`] — z-normalised subsequence search over long series and
+//!   live streams ([`stream::SubseqMatcher`], [`stream::StreamMonitor`]).
 //!
 //! See the repository `README.md` for the quickstart and `DESIGN.md` for
 //! the system inventory and experiment index.
@@ -27,6 +29,7 @@ pub use sdtw_eval as eval;
 pub use sdtw_index as index;
 pub use sdtw_salient as salient;
 pub use sdtw_scalespace as scalespace;
+pub use sdtw_stream as stream;
 pub use sdtw_tseries as tseries;
 
 /// The core sDTW crate (named `core` here to mirror the workspace layout;
@@ -58,5 +61,9 @@ pub mod prelude {
         PolicyEval, QueryMatrix,
     };
     pub use sdtw_index::{CascadeStats, IndexConfig, Neighbor, SdtwIndex};
+    pub use sdtw_stream::{
+        StreamConfig, StreamMonitor, StreamStats, SubseqMatch, SubseqMatcher, SubseqResult,
+    };
+    pub use sdtw_tseries::stats::WindowedStats;
     pub use sdtw_tseries::{ElementMetric, TimeSeries, TsError, WarpMap};
 }

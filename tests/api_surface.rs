@@ -42,11 +42,18 @@ const EXPECTED: &[&str] = &[
     "SeriesSummary",
     "StandardKernel",
     "StepPattern",
+    "StreamConfig",
+    "StreamMonitor",
+    "StreamStats",
+    "SubseqMatch",
+    "SubseqMatcher",
+    "SubseqResult",
     "TimeSeries",
     "TsError",
     "UcrAnalog",
     "WarpMap",
     "WarpPath",
+    "WindowedStats",
     "compute_matrix",
     "compute_query_matrix",
     "dtw_full",
@@ -130,6 +137,10 @@ fn snapshot_items_actually_resolve() {
     assert_type::<prelude::CascadeStats>();
     assert_type::<prelude::DistanceMatrix>();
     assert_type::<prelude::SdtwIndex>();
+    assert_type::<prelude::SubseqMatcher>();
+    assert_type::<prelude::StreamMonitor>();
+    assert_type::<prelude::StreamConfig>();
+    assert_type::<prelude::WindowedStats>();
     let _: fn(
         &prelude::TimeSeries,
         &prelude::TimeSeries,

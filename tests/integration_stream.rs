@@ -1,0 +1,178 @@
+//! Subsequence-search exactness: the pruned `sdtw-stream` matcher versus
+//! the brute-force every-window oracle (`sdtw_eval::subsequence`), and
+//! the streaming monitor versus the batch matcher.
+//!
+//! The acceptance bar is *bit-identical*: same offsets, same distance
+//! bits, ties included, on three seeded datasets, for k ∈ {1, 5}, with
+//! and without per-window z-normalisation.
+
+use sdtw_suite::eval::{select_matches, subsequence_profile};
+use sdtw_suite::prelude::*;
+
+/// Concatenates corpus rows into one long haystack series.
+fn haystack(series: &[TimeSeries]) -> TimeSeries {
+    let mut v = Vec::new();
+    for s in series {
+        v.extend_from_slice(s.values());
+    }
+    TimeSeries::new(v).expect("concatenation of valid series is valid")
+}
+
+/// Asserts matcher == oracle on one seeded dataset, both normalisation
+/// modes, k ∈ {1, 5}.
+fn assert_exact(analog: UcrAnalog, seed: u64, hay_rows: usize) {
+    let ds = analog.generate(seed);
+    let query = ds.series[0].clone();
+    let hay = haystack(&ds.series[1..1 + hay_rows]);
+    for z_norm in [true, false] {
+        let config = StreamConfig {
+            z_normalize: z_norm,
+            ..StreamConfig::exact_banded(0.2)
+        };
+        let matcher = SubseqMatcher::new(&query, config).unwrap();
+        let engine = SDtw::new(matcher.config().sdtw.clone()).unwrap();
+        let profile = subsequence_profile(&engine, &query, &hay, z_norm).unwrap();
+        assert_eq!(profile.len(), hay.len() - query.len() + 1);
+        for k in [1usize, 5] {
+            let expected = select_matches(&profile, k, matcher.exclusion(), f64::INFINITY);
+            let got = matcher.find(&hay, k).unwrap();
+            assert_eq!(
+                got.matches.len(),
+                expected.len(),
+                "{analog:?} znorm={z_norm} k={k}: match count"
+            );
+            for (m, (w, d)) in got.matches.iter().zip(&expected) {
+                assert_eq!(
+                    m.offset, *w,
+                    "{analog:?} znorm={z_norm} k={k}: offsets diverge"
+                );
+                assert_eq!(
+                    m.distance.to_bits(),
+                    d.to_bits(),
+                    "{analog:?} znorm={z_norm} k={k}: distance bits diverge at {w}"
+                );
+            }
+            assert!(got.stats.is_consistent());
+            assert_eq!(got.stats.windows as usize, profile.len());
+        }
+    }
+}
+
+#[test]
+fn matcher_is_exact_versus_the_oracle_on_gun() {
+    assert_exact(UcrAnalog::Gun, 20120827, 6);
+}
+
+#[test]
+fn matcher_is_exact_versus_the_oracle_on_trace() {
+    assert_exact(UcrAnalog::Trace, 42, 3);
+}
+
+#[test]
+fn matcher_is_exact_versus_the_oracle_on_50words() {
+    assert_exact(UcrAnalog::Words50, 7, 3);
+}
+
+#[test]
+fn matcher_is_exact_with_sdtw_bands() {
+    // adaptive per-window bands planned from the query's cached salient
+    // descriptors — the oracle extracts everything from scratch, so this
+    // also pins the descriptor-cache path
+    let ds = UcrAnalog::Gun.generate(5);
+    let query = ds.series[0].clone();
+    let hay = haystack(&ds.series[1..4]);
+    let config = StreamConfig {
+        lb_radius_frac: 0.2,
+        ..StreamConfig::sdtw_bands()
+    };
+    let matcher = SubseqMatcher::new(&query, config).unwrap();
+    let engine = SDtw::new(matcher.config().sdtw.clone()).unwrap();
+    let profile = subsequence_profile(&engine, &query, &hay, true).unwrap();
+    for k in [1usize, 5] {
+        let expected = select_matches(&profile, k, matcher.exclusion(), f64::INFINITY);
+        let got = matcher.find(&hay, k).unwrap();
+        assert_eq!(got.matches.len(), expected.len());
+        for (m, (w, d)) in got.matches.iter().zip(&expected) {
+            assert_eq!(m.offset, *w, "sdtw-band offsets diverge (k={k})");
+            assert_eq!(m.distance.to_bits(), d.to_bits());
+        }
+    }
+}
+
+#[test]
+fn tau_restricted_search_matches_the_oracle_inclusively() {
+    let ds = UcrAnalog::Gun.generate(99);
+    let query = ds.series[0].clone();
+    let hay = haystack(&ds.series[1..6]);
+    let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+    let engine = SDtw::new(matcher.config().sdtw.clone()).unwrap();
+    let profile = subsequence_profile(&engine, &query, &hay, true).unwrap();
+    // tau exactly at the 2nd-best selected distance: the tie must survive
+    let all = select_matches(&profile, 5, matcher.exclusion(), f64::INFINITY);
+    assert!(all.len() >= 2, "dataset provides at least two matches");
+    let tau = all[1].1;
+    let expected = select_matches(&profile, 5, matcher.exclusion(), tau);
+    let got = matcher.find_under(&hay, 5, tau).unwrap();
+    assert_eq!(got.matches.len(), expected.len());
+    for (m, (w, d)) in got.matches.iter().zip(&expected) {
+        assert_eq!(m.offset, *w);
+        assert_eq!(m.distance.to_bits(), d.to_bits());
+    }
+    assert!(
+        got.matches.iter().any(|m| m.distance == tau),
+        "the boundary tie survived"
+    );
+}
+
+#[test]
+fn monitor_streaming_equals_batch_on_seeded_data() {
+    let ds = UcrAnalog::Gun.generate(3);
+    let query = ds.series[0].clone();
+    let hay = haystack(&ds.series[1..7]);
+    let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+
+    // k = 1, unbounded tau: UCR best-match tracking
+    let batch1 = matcher.find(&hay, 1).unwrap();
+    let mut monitor = StreamMonitor::new(matcher.clone(), 1, f64::INFINITY).unwrap();
+    monitor.process(hay.values()).unwrap();
+    let live = monitor.matches();
+    assert_eq!(live.len(), 1);
+    assert_eq!(live[0].offset, batch1.matches[0].offset);
+    assert_eq!(
+        live[0].distance.to_bits(),
+        batch1.matches[0].distance.to_bits()
+    );
+
+    // k = 5 under a finite tau: threshold monitoring
+    let probe = matcher.find(&hay, 5).unwrap();
+    let tau = probe.matches.last().unwrap().distance;
+    let batchk = matcher.find_under(&hay, 5, tau).unwrap();
+    let mut monitor = StreamMonitor::new(matcher, 5, tau).unwrap();
+    monitor.process(hay.values()).unwrap();
+    let live = monitor.matches();
+    assert_eq!(live.len(), batchk.matches.len());
+    for (a, b) in live.iter().zip(&batchk.matches) {
+        assert_eq!(a.offset, b.offset);
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+    }
+    assert!(monitor.stats().is_consistent());
+}
+
+#[test]
+fn cascade_prunes_most_windows_on_seeded_data() {
+    // the pruning claim behind BENCH_stream.json, pinned as a test: on a
+    // long haystack the lower bounds dispose of most window visits
+    // before any DP runs
+    let ds = UcrAnalog::Gun.generate(17);
+    let query = ds.series[0].clone();
+    let hay = haystack(&ds.series[1..13]);
+    let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+    let got = matcher.find(&hay, 1).unwrap();
+    assert!(
+        got.stats.prune_rate() >= 0.5,
+        "cascade pruned only {:.1}% of {} window visits: {:?}",
+        got.stats.prune_rate() * 100.0,
+        got.stats.cascade.candidates,
+        got.stats
+    );
+}

@@ -215,6 +215,43 @@ fn z_normalization_is_idempotent_up_to_eps() {
 }
 
 #[test]
+fn incremental_window_moments_match_batch_statistics() {
+    // the streaming accumulator behind the rolling LB_Kim: across random
+    // pushes (mixed scales and offsets, crossing many refresh cycles) the
+    // O(1) windowed mean/std must stay within 1e-9 of the batch
+    // stats::mean / stats::std_dev of the same window
+    use sdtw_suite::tseries::stats::{mean, std_dev};
+    let mut rng = TestRng::new(31);
+    for case in 0..16 {
+        let capacity = rng.usize_in(2, 64);
+        let offset = rng.f64_in(-500.0, 500.0);
+        let scale = rng.f64_in(0.01, 20.0);
+        let len = rng.usize_in(capacity, 1200);
+        let stream: Vec<f64> = (0..len)
+            .map(|_| offset + scale * rng.f64_in(-1.0, 1.0))
+            .collect();
+        let mut w = WindowedStats::new(capacity);
+        for (t, &v) in stream.iter().enumerate() {
+            let evicted = w.push(v);
+            assert_eq!(evicted.is_some(), t >= capacity, "case {case} eviction");
+            let lo = (t + 1).saturating_sub(capacity);
+            let window = &stream[lo..=t];
+            assert_eq!(w.len(), window.len());
+            assert!(
+                (w.mean() - mean(window)).abs() <= 1e-9 * (1.0 + mean(window).abs()),
+                "case {case}: mean drifted at {t}"
+            );
+            assert!(
+                (w.std_dev() - std_dev(window)).abs() <= 1e-9 * (1.0 + std_dev(window)),
+                "case {case}: std drifted at {t} ({} vs {})",
+                w.std_dev(),
+                std_dev(window)
+            );
+        }
+    }
+}
+
+#[test]
 fn pruned_matches_are_always_rank_consistent() {
     use sdtw_suite::align::matcher::MatchedPair;
     use sdtw_suite::align::prune::{committed_boundaries, prune_inconsistent};
