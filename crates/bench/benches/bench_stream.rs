@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sdtw::{DtwScratch, SDtw};
-use sdtw_eval::{select_matches, subsequence_profile};
-use sdtw_stream::{StreamConfig, StreamMonitor, SubseqMatcher};
+use sdtw_eval::{brute_force_matches, select_matches, subsequence_profile};
+use sdtw_stream::{MonitorBank, StreamConfig, StreamMonitor, SubseqMatcher};
 use sdtw_tseries::TimeSeries;
 use std::hint::black_box;
 
@@ -52,8 +52,16 @@ fn bench_stream(c: &mut Criterion) {
 
     // sanity + prune-rate capture outside the timing loops
     let reference = matcher.find(&hay, k).unwrap();
-    let profile = subsequence_profile(&engine, &q, &hay, true).unwrap();
-    let oracle = select_matches(&profile, k, matcher.exclusion(), f64::INFINITY);
+    let oracle = brute_force_matches(
+        &engine,
+        &q,
+        &hay,
+        true,
+        k,
+        matcher.exclusion(),
+        f64::INFINITY,
+    )
+    .unwrap();
     assert_eq!(reference.matches.len(), oracle.len(), "cascade is exact");
     for (m, (w, d)) in reference.matches.iter().zip(&oracle) {
         assert_eq!(m.offset, *w);
@@ -65,6 +73,21 @@ fn bench_stream(c: &mut Criterion) {
         "bench corpus must see >= 50% of windows pruned before the DP stage, got {:.1}%",
         lb_rate * 100.0
     );
+    // the coarse PAA pre-filter must itself dispose of windows on the
+    // bench corpus (it sits between the rolling LB_Kim and LB_Keogh)
+    assert!(
+        reference.stats.cascade.pruned_paa > 0,
+        "PAA pre-filter pruned nothing on the bench corpus: {:?}",
+        reference.stats
+    );
+    // the sharded parallel scan is bit-identical to the serial one
+    let cores = rayon::current_num_threads();
+    let sharded = matcher.find_k_parallel(&hay, k, f64::INFINITY, 0).unwrap();
+    assert_eq!(sharded.matches.len(), reference.matches.len());
+    for (p, s) in sharded.matches.iter().zip(&reference.matches) {
+        assert_eq!(p.offset, s.offset);
+        assert_eq!(p.distance.to_bits(), s.distance.to_bits());
+    }
 
     let mut group = c.benchmark_group("stream_find");
     group.bench_function("cascade", |b| {
@@ -73,6 +96,12 @@ fn bench_stream(c: &mut Criterion) {
             let r = matcher
                 .find_under_with_scratch(&hay, k, f64::INFINITY, &mut scratch)
                 .unwrap();
+            black_box(r.matches.len())
+        })
+    });
+    group.bench_function(&format!("cascade_parallel_cores_{cores}"), |b| {
+        b.iter(|| {
+            let r = matcher.find_k_parallel(&hay, k, f64::INFINITY, 0).unwrap();
             black_box(r.matches.len())
         })
     });
@@ -90,14 +119,36 @@ fn bench_stream(c: &mut Criterion) {
             black_box(monitor.matches().len())
         })
     });
+    group.bench_function("monitor_bank_top1_x4", |b| {
+        // four phase-shifted variants of the query sharing one ingest
+        let variants: Vec<SubseqMatcher> = (0..4)
+            .map(|p| {
+                let shifted = TimeSeries::new(
+                    q.values()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| v + 0.1 * ((i + 7 * p) as f64 / 9.0).sin())
+                        .collect(),
+                )
+                .unwrap();
+                SubseqMatcher::new(&shifted, StreamConfig::exact_banded(0.2)).unwrap()
+            })
+            .collect();
+        b.iter(|| {
+            let mut bank = MonitorBank::uniform(variants.clone(), 1, f64::INFINITY).unwrap();
+            bank.process(hay.values()).unwrap();
+            black_box(bank.merged_stats().cascade.candidates)
+        })
+    });
     group.finish();
 
-    // record the measured prune rate in the results file via the id (the
-    // shim's record schema has no free-form fields)
+    // record the measured rates and the core count in the results file
+    // via the id (the shim's record schema has no free-form fields)
     c.bench_function(
         &format!(
-            "stream_prune_rate/lb_{:.1}pct_total_{:.1}pct",
+            "stream_prune_rate/lb_{:.1}pct_paa_{}windows_total_{:.1}pct_cores_{cores}",
             lb_rate * 100.0,
+            reference.stats.cascade.pruned_paa,
             reference.stats.prune_rate() * 100.0
         ),
         |b| b.iter(|| black_box(lb_rate)),

@@ -79,8 +79,18 @@ pub fn spec_for(key: &str) -> Option<OptionSpec> {
         },
         "stream find" => OptionSpec {
             engine: true,
-            value: &["radius", "exclusion", "k", "tau", "series", "query"],
-            flag: &["raw", "monitor", "json"],
+            value: &[
+                "radius",
+                "exclusion",
+                "k",
+                "tau",
+                "series",
+                "query",
+                "queries",
+                "shards",
+                "paa",
+            ],
+            flag: &["raw", "monitor", "json", "parallel"],
         },
         "generate" => OptionSpec {
             engine: false,

@@ -18,11 +18,12 @@
 mod args;
 
 use args::Args;
+use rayon::prelude::*;
 use sdtw::{ConstraintPolicy, FeatureStore, KernelChoice, SDtw, SDtwConfig, SalientConfig};
 use sdtw_datasets::UcrAnalog;
 use sdtw_index::{CascadeStats, IndexConfig, SdtwIndex};
 use sdtw_salient::feature::extract_feature_set;
-use sdtw_stream::{StreamConfig, StreamMonitor, SubseqMatcher, SubseqResult};
+use sdtw_stream::{MonitorBank, StreamConfig, SubseqMatcher, SubseqResult};
 use sdtw_tseries::io::{read_ucr_file, write_ucr_file};
 use sdtw_tseries::TimeSeries;
 use std::process::ExitCode;
@@ -63,21 +64,36 @@ commands:
                                       --json   (machine-readable output)
   stream find <hay> <q>      subsequence search: the k best non-overlapping
                              occurrences of a query pattern inside a long
-                             series, via the rolling LB_Kim -> LB_Keogh ->
-                             early-abandon cascade over sliding windows
+                             series, via the rolling LB_Kim -> PAA ->
+                             LB_Keogh -> early-abandon cascade over sliding
+                             windows
                              options: --policy, --width, --kernel, --penalty
                                       --series <i>    (haystack row, default 0)
                                       --query <i>     (query row, default 0)
+                                      --queries <f>   (search every row of f
+                                                       instead of one query;
+                                                       replaces <q>)
                                       --k <n>         (matches, default 3)
                                       --tau <t>       (only matches <= t)
                                       --radius <frac> (envelope window,
                                                        default: --width)
                                       --exclusion <frac> (min match spacing
                                                        as query fraction, 0.5)
+                                      --paa <w>       (coarse pre-filter
+                                                       segment width, default
+                                                       8; < 2 disables)
+                                      --parallel      (shard one haystack
+                                                       across the rayon pool,
+                                                       or fan --queries over
+                                                       it)
+                                      --shards <n>    (shard count for
+                                                       --parallel, default:
+                                                       one per worker)
                                       --raw           (skip z-normalisation)
                                       --monitor       (drive the streaming
-                                                       ring-buffer monitor
-                                                       sample by sample)
+                                                       ring-buffer monitor —
+                                                       a shared-ingest bank
+                                                       under --queries)
                                       --json          (machine-readable output)
   generate <kind> <out>      write a synthetic corpus (gun|trace|50words)
                              options: --seed <n> (default 20120827)
@@ -460,88 +476,207 @@ fn cmd_stream(a: &Args) -> Result<(), String> {
     }
 }
 
-fn cmd_stream_find(a: &Args) -> Result<(), String> {
-    let [_, hay_path, query_path] = a.positional.as_slice() else {
-        return Err("stream find needs <haystack> <query>".into());
-    };
-    let haystack = read_ucr_file(hay_path).map_err(|e| e.to_string())?;
-    let queries = read_ucr_file(query_path).map_err(|e| e.to_string())?;
-    let series = load_series(&haystack, a.opt_parse("series", 0usize)?)?;
-    let query = load_series(&queries, a.opt_parse("query", 0usize)?)?;
-    let k = a.opt_parse("k", 3usize)?;
-    let tau = a.opt_parse("tau", f64::INFINITY)?;
+/// Builds the stream configuration from the shared and stream-specific
+/// CLI options.
+fn stream_config_from(a: &Args) -> Result<StreamConfig, String> {
     let width = a.opt_parse("width", DEFAULT_WIDTH)?;
-    let config = StreamConfig {
+    let defaults = StreamConfig::default();
+    Ok(StreamConfig {
         sdtw: config_from(a)?,
         z_normalize: !a.flag("raw"),
         lb_radius_frac: a.opt_parse("radius", width)?,
         exclusion_frac: a.opt_parse("exclusion", 0.5)?,
-    };
-    let matcher = SubseqMatcher::new(query, config).map_err(|e| e.to_string())?;
-    let policy = matcher.config().sdtw.policy;
-    let kernel = matcher.config().sdtw.dtw.kernel_label();
-    let znorm = matcher.config().z_normalize;
-    let mode = if a.flag("monitor") {
-        "monitor"
-    } else {
-        "batch"
-    };
-    let t0 = std::time::Instant::now();
-    let result: SubseqResult = if a.flag("monitor") {
-        let mut monitor = StreamMonitor::new(matcher, k, tau).map_err(|e| e.to_string())?;
-        monitor
-            .process(series.values())
-            .map_err(|e| e.to_string())?;
-        SubseqResult {
-            matches: monitor.matches(),
-            stats: *monitor.stats(),
-        }
-    } else {
-        matcher
-            .find_under(series, k, tau)
-            .map_err(|e| e.to_string())?
-    };
-    let wall = t0.elapsed();
-    if a.flag("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
-        );
-        return Ok(());
-    }
-    println!(
-        "query len {}  windows {}  policy {}  kernel {kernel}  znorm {znorm}  mode {mode}",
-        query.len(),
-        result.stats.windows,
-        policy.label(),
-    );
+        paa_width: a.opt_parse("paa", defaults.paa_width)?,
+    })
+}
+
+/// Prints one query's matches plus a cascade summary line.
+fn print_stream_result(label: &str, result: &SubseqResult, tau: f64) {
     if result.matches.is_empty() {
         println!(
-            "no matches{}",
+            "{label}no matches{}",
             if tau.is_finite() { " under tau" } else { "" }
         );
     }
     for (rank, m) in result.matches.iter().enumerate() {
         println!(
-            "  #{:<2} offset {:>6}  distance {:.6}",
+            "{label}  #{:<2} offset {:>6}  distance {:.6}",
             rank + 1,
             m.offset,
             m.distance
         );
     }
-    let c = &result.stats.cascade;
+}
+
+/// Prints the aggregated cascade accounting of one or more searches.
+fn print_stream_stats(stats: &sdtw_stream::StreamStats, wall: std::time::Duration) {
+    let c = &stats.cascade;
     println!(
-        "cascade over {} window visits: kim {}  keogh {}  abandoned {}  dp {}  (lb n/a {})",
-        c.candidates, c.pruned_kim, c.pruned_keogh, c.abandoned, c.dp_completed, c.lb_inapplicable,
+        "cascade over {} window visits: kim {}  paa {}  keogh {}  abandoned {}  dp {}  (lb n/a {})",
+        c.candidates,
+        c.pruned_kim,
+        c.pruned_paa,
+        c.pruned_keogh,
+        c.abandoned,
+        c.dp_completed,
+        c.lb_inapplicable,
     );
     println!(
         "prune rate {:.1}%  lb-only {:.1}%  passes {}  cache hits {}  cells {}  wall {wall:?}",
-        result.stats.prune_rate() * 100.0,
-        result.stats.lb_prune_rate() * 100.0,
-        result.stats.passes,
-        result.stats.cache_hits,
+        stats.prune_rate() * 100.0,
+        stats.lb_prune_rate() * 100.0,
+        stats.passes,
+        stats.cache_hits,
         c.cells_filled,
     );
+    if c.bounds_disabled {
+        println!(
+            "note: lower-bound pruning disabled — the configured kernel \
+             reports the bounds inadmissible; windows ran on early \
+             abandoning alone"
+        );
+    }
+}
+
+fn cmd_stream_find(a: &Args) -> Result<(), String> {
+    let multi_path = a.options.get("queries");
+    let hay_path = match (a.positional.as_slice(), multi_path) {
+        ([_, hay], Some(_)) | ([_, hay, _], None) => hay,
+        ([_, _, _], Some(_)) => {
+            return Err("--queries replaces the positional query file; pass only <haystack>".into())
+        }
+        _ => {
+            return Err(
+                "stream find needs <haystack> <query-file> (or <haystack> --queries <file>)".into(),
+            )
+        }
+    };
+    if a.flag("monitor") && a.flag("parallel") {
+        return Err("--parallel applies to batch scans; the monitor ingests serially".into());
+    }
+    // --shards parameterises the sharded single-query scan only; on
+    // every other path it would be silently ignored
+    if a.options.contains_key("shards")
+        && (multi_path.is_some() || a.flag("monitor") || !a.flag("parallel"))
+    {
+        return Err(
+            "--shards applies to the single-query sharded scan (--parallel without \
+             --queries/--monitor)"
+                .into(),
+        );
+    }
+    let haystack = read_ucr_file(hay_path).map_err(|e| e.to_string())?;
+    let series = load_series(&haystack, a.opt_parse("series", 0usize)?)?;
+    let k = a.opt_parse("k", 3usize)?;
+    let tau = a.opt_parse("tau", f64::INFINITY)?;
+    let shards = a.opt_parse("shards", 0usize)?;
+    let config = stream_config_from(a)?;
+
+    // resolve the query set: every row of --queries, or one row of the
+    // positional query file
+    let query_list: Vec<TimeSeries> = match multi_path {
+        Some(path) => {
+            let all = read_ucr_file(path).map_err(|e| e.to_string())?;
+            if all.is_empty() {
+                return Err("query file is empty".into());
+            }
+            all
+        }
+        None => {
+            let queries = read_ucr_file(&a.positional[2]).map_err(|e| e.to_string())?;
+            vec![load_series(&queries, a.opt_parse("query", 0usize)?)?.clone()]
+        }
+    };
+    let matchers: Vec<SubseqMatcher> = query_list
+        .iter()
+        .map(|q| SubseqMatcher::new(q, config.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+
+    let policy = config.sdtw.policy;
+    let kernel = config.sdtw.dtw.kernel_label();
+    let mode = match (a.flag("monitor"), a.flag("parallel"), matchers.len()) {
+        (true, _, 1) => "monitor",
+        (true, _, _) => "monitor-bank",
+        (false, true, 1) => "batch-sharded",
+        (false, true, _) => "batch-parallel",
+        (false, false, _) => "batch",
+    };
+
+    let t0 = std::time::Instant::now();
+    let results: Vec<SubseqResult> = if a.flag("monitor") {
+        let mut bank = MonitorBank::uniform(matchers.clone(), k, tau).map_err(|e| e.to_string())?;
+        bank.process(series.values()).map_err(|e| e.to_string())?;
+        (0..bank.query_count())
+            .map(|q| SubseqResult {
+                matches: bank.matches(q),
+                stats: *bank.stats(q),
+            })
+            .collect()
+    } else if a.flag("parallel") && matchers.len() == 1 {
+        // one long haystack: shard it across the rayon pool
+        vec![matchers[0]
+            .find_k_parallel(series, k, tau, shards)
+            .map_err(|e| e.to_string())?]
+    } else if a.flag("parallel") {
+        // many queries: fan them across the pool, one serial scan each
+        let results: Vec<Result<SubseqResult, String>> = (0..matchers.len())
+            .into_par_iter()
+            .map(|i| {
+                matchers[i]
+                    .find_under(series, k, tau)
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        results.into_iter().collect::<Result<_, _>>()?
+    } else {
+        matchers
+            .iter()
+            .map(|m| m.find_under(series, k, tau).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?
+    };
+    let wall = t0.elapsed();
+
+    if a.flag("json") {
+        // single-query invocations keep their historical contract (one
+        // bare SubseqResult object); only --queries emits an array
+        let json = if multi_path.is_none() {
+            serde_json::to_string_pretty(&results[0])
+        } else {
+            serde_json::to_string_pretty(&results)
+        }
+        .map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!(
+        "queries {}  haystack len {}  policy {}  kernel {kernel}  znorm {}  mode {mode}",
+        matchers.len(),
+        series.len(),
+        policy.label(),
+        config.z_normalize,
+    );
+    let mut merged = sdtw_stream::StreamStats::default();
+    for (qi, result) in results.iter().enumerate() {
+        merged.merge(&result.stats);
+        let label = if results.len() > 1 {
+            println!(
+                "query {qi:>3} (len {}, windows {}):",
+                matchers[qi].query_len(),
+                result.stats.windows
+            );
+            "  "
+        } else {
+            println!(
+                "query len {}  windows {}",
+                matchers[qi].query_len(),
+                result.stats.windows
+            );
+            ""
+        };
+        print_stream_result(label, result, tau);
+    }
+    print_stream_stats(&merged, wall);
     Ok(())
 }
 
@@ -839,7 +974,16 @@ mod tests {
             "--k",
             "2",
         ];
-        for extra in [&[][..], &["--monitor"][..], &["--json"][..], &["--raw"][..]] {
+        for extra in [
+            &[][..],
+            &["--monitor"][..],
+            &["--json"][..],
+            &["--raw"][..],
+            &["--parallel"][..],
+            &["--parallel", "--shards", "3"][..],
+            &["--paa", "4"][..],
+            &["--paa", "0"][..],
+        ] {
             let mut argv: Vec<String> = base.iter().map(|s| s.to_string()).collect();
             argv.extend(extra.iter().map(|s| s.to_string()));
             cmd_stream(&Args::parse(argv).unwrap()).unwrap();
@@ -863,9 +1007,82 @@ mod tests {
             &Args::parse(["stream", "find", "only-one"].iter().map(|s| s.to_string())).unwrap()
         )
         .is_err());
+        // --shards without --parallel would be silently ignored — error
+        let mut shards_serial: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        shards_serial.push("--shards".into());
+        shards_serial.push("2".into());
+        let err = cmd_stream(&Args::parse(shards_serial).unwrap()).unwrap_err();
+        assert!(err.contains("--shards applies"), "{err}");
 
         std::fs::remove_file(&hay_path).ok();
         std::fs::remove_file(&query_path).ok();
+    }
+
+    #[test]
+    fn stream_find_multi_query_modes_round_trip() {
+        let dir = std::env::temp_dir().join("sdtw_cli_stream_multi_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hay_path = dir.join("hay.txt");
+        let queries_path = dir.join("queries.txt");
+        let ds = UcrAnalog::Gun.generate(21);
+        let mut hay: Vec<f64> = Vec::new();
+        for s in &ds.series[2..6] {
+            hay.extend_from_slice(s.values());
+        }
+        let hay = TimeSeries::new(hay).unwrap();
+        write_ucr_file(&hay_path, std::slice::from_ref(&hay)).unwrap();
+        write_ucr_file(&queries_path, &ds.series[..2]).unwrap();
+
+        let base = [
+            "stream",
+            "find",
+            hay_path.to_str().unwrap(),
+            "--queries",
+            queries_path.to_str().unwrap(),
+            "--policy",
+            "sakoe",
+            "--width",
+            "0.2",
+            "--k",
+            "1",
+        ];
+        // multi-query batch (serial + parallel fan-out), the shared-ingest
+        // monitor bank, and JSON output
+        for extra in [
+            &[][..],
+            &["--parallel"][..],
+            &["--monitor"][..],
+            &["--json"][..],
+        ] {
+            let mut argv: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            cmd_stream(&Args::parse(argv).unwrap()).unwrap();
+        }
+
+        // --queries together with a positional query file is ambiguous
+        let mut ambiguous: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        ambiguous.insert(3, queries_path.to_str().unwrap().to_string());
+        let err = cmd_stream(&Args::parse(ambiguous).unwrap()).unwrap_err();
+        assert!(err.contains("replaces the positional"), "{err}");
+
+        // --monitor and --parallel are mutually exclusive
+        let mut both: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        both.push("--monitor".into());
+        both.push("--parallel".into());
+        let err = cmd_stream(&Args::parse(both).unwrap()).unwrap_err();
+        assert!(err.contains("--parallel applies to batch"), "{err}");
+
+        // --shards outside the single-query sharded scan is an error,
+        // not a silently ignored option
+        let mut shards_multi: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        shards_multi.push("--parallel".into());
+        shards_multi.push("--shards".into());
+        shards_multi.push("2".into());
+        let err = cmd_stream(&Args::parse(shards_multi).unwrap()).unwrap_err();
+        assert!(err.contains("--shards applies"), "{err}");
+
+        std::fs::remove_file(&hay_path).ok();
+        std::fs::remove_file(&queries_path).ok();
     }
 
     #[test]

@@ -1,0 +1,803 @@
+//! The composable lower-bound pruning pipeline shared by every cascade
+//! consumer in the workspace.
+//!
+//! Historically the retrieval cascade existed twice: `sdtw_index` ran a
+//! per-candidate copy (LB_Kim → LB_Keogh → reversed LB_Keogh → DP) and
+//! `sdtw_stream` a per-window copy (rolling LB_Kim → LB_Keogh → DP), each
+//! with its own threshold comparisons, applicability checks and stats
+//! bookkeeping. This module is the single implementation both build on:
+//!
+//! * [`PruneStage`] — one admissible lower-bound stage. Evaluating a
+//!   stage against a candidate yields *keep* or *prune* (attributed to
+//!   the stage's [`StageKind`]); a stage whose admissibility
+//!   precondition fails for the pair is *inapplicable* and skipped
+//!   (counted once per candidate), and a stage whose inputs are
+//!   untrustworthy may *abstain* (rolling statistics; not counted).
+//! * [`Cascade`] — the configured stage list plus the shared bound
+//!   normalisation/metric, run in two phases per candidate:
+//!   [`Cascade::screen_summary`] (O(1) stages that need no band — the
+//!   precomputed LB_Kim) and [`Cascade::screen_samples`] (the
+//!   sample-level stages, once the pair's band is known). The split
+//!   exists because band planning is itself costly and is skipped for
+//!   summary-pruned candidates.
+//! * [`CascadeStats`] — the per-stage accounting, with
+//!   [`CascadeStats::merge`] so parallel shards and monitor banks
+//!   aggregate counts instead of dropping them.
+//! * [`CoarseEnvelope`] — the coarse (PAA) pre-filter artefact: a
+//!   fixed-width piecewise-aggregate compression of an LB_Keogh
+//!   [`Envelope`], giving a bound that costs `O(len / width)` metric
+//!   evaluations after one `O(len)` segment-mean pass.
+//!
+//! # Admissibility of the PAA pre-filter
+//!
+//! [`CoarseEnvelope::lower_bound`] never exceeds the fine
+//! [`lb_keogh_values`] bound of the same pair, so it inherits LB_Keogh's
+//! admissibility (band inside the `±radius` window, equal lengths).
+//! Per segment `S` with integer weight `w = |S|`, writing `Û = max_{i∈S}
+//! U_i`, `x̄ = mean_{i∈S} x_i` and `d_i = max(x_i − U_i, 0)` for the
+//! upper side:
+//!
+//! * each fine LB_Keogh term is ≥ `metric(d_i)` (it uses `U_i ≤ Û`);
+//! * **absolute** metric: `Σ d_i ≥ Σ (x_i − Û) = w·(x̄ − Û)`;
+//! * **squared** metric: `Σ d_i² ≥ (Σ d_i)²/w ≥ w·(x̄ − Û)²` by
+//!   Cauchy-Schwarz, whenever `x̄ > Û`.
+//!
+//! So charging `w · metric(x̄, Û)` for segments whose PAA mean escapes
+//! the coarse tube (symmetrically `L̂ = min L_i` below) lower-bounds the
+//! fine bound. The integer segmentation of
+//! [`sdtw_tseries::transform::paa_fixed_values`] — the same repeated
+//! halving idea the multi-resolution pyramid (`crate::multires`) shrinks
+//! by, with the tail kept whole — is what keeps the weights exact.
+
+use crate::band::Band;
+use crate::engine::Normalization;
+use crate::lower_bound::{lb_keogh_values, Envelope};
+use sdtw_tseries::transform::paa_fixed_values;
+use sdtw_tseries::ElementMetric;
+use serde::{Deserialize, Serialize};
+
+/// Identifies the cascade stage that disposed of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// O(1) endpoint/extremum bound (LB_Kim).
+    Kim,
+    /// Coarse piecewise-aggregate (PAA) pre-filter.
+    Paa,
+    /// LB_Keogh: left samples against the right side's envelope.
+    Keogh,
+    /// Reversed LB_Keogh: right samples against the left side's envelope.
+    KeoghRev,
+}
+
+/// One admissible lower-bound stage of a [`Cascade`].
+///
+/// Stages are configuration, not state: the same stage list is shared by
+/// every candidate of a query (and by every clone of a prepared matcher).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneStage {
+    /// The O(1) LB_Kim stage. It consumes a bound the caller precomputed
+    /// (indexes compute it for every entry up front to order visits;
+    /// streams maintain it from O(1) rolling statistics), passed to
+    /// [`Cascade::screen_summary`]; `None` means the producer abstained.
+    ///
+    /// `guard` is the relative slack the bound must clear the threshold
+    /// by before it may prune — 0 for exactly-computed bounds (strict
+    /// comparison, ties survive), a small positive value for bounds
+    /// carrying rolling-statistics error (see `sdtw-stream`'s
+    /// admissibility argument in DESIGN.md §9).
+    Kim {
+        /// Relative pruning slack; 0 = exact strict comparison.
+        guard: f64,
+    },
+    /// The coarse PAA pre-filter: PAA of the left samples against the
+    /// right side's [`CoarseEnvelope`]. Inapplicable whenever LB_Keogh
+    /// is (and when no coarse envelope was supplied).
+    Paa,
+    /// LB_Keogh of the left samples against the right side's
+    /// [`Envelope`]. Inapplicable on unequal lengths or when the band
+    /// escapes the envelope's `±radius` window.
+    Keogh,
+    /// LB_Keogh in the reversed direction (right samples against the
+    /// left side's envelope) — the classic second chance when the first
+    /// direction is too loose.
+    KeoghRev,
+}
+
+/// Per-candidate inputs of the sample-phase stages
+/// ([`Cascade::screen_samples`]). Envelopes that a consumer does not
+/// precompute are simply `None`; the stages needing them then report
+/// themselves inapplicable.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleInput<'a> {
+    /// Left-side samples, normalised exactly as the DP will see them.
+    pub x: &'a [f64],
+    /// Right-side samples.
+    pub y: &'a [f64],
+    /// Envelope of `y` (drives [`PruneStage::Keogh`]).
+    pub y_envelope: Option<&'a Envelope>,
+    /// Envelope of `x` (drives [`PruneStage::KeoghRev`]).
+    pub x_envelope: Option<&'a Envelope>,
+    /// Coarse envelope of `y` (drives [`PruneStage::Paa`]).
+    pub y_coarse: Option<&'a CoarseEnvelope>,
+}
+
+/// Reusable buffers for per-candidate stage work (currently the PAA
+/// segment means). Keep one per worker/monitor, like a DP scratch.
+#[derive(Debug, Clone, Default)]
+pub struct CascadeScratch {
+    paa: Vec<f64>,
+}
+
+impl CascadeScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Fixed-width PAA compression of an LB_Keogh [`Envelope`]: per segment,
+/// the maximum of the upper envelope and the minimum of the lower one —
+/// the loosest tube any sample of the segment lives in, which is what
+/// makes [`CoarseEnvelope::lower_bound`] a lower bound of the fine
+/// LB_Keogh (see the module docs for the argument).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarseEnvelope {
+    /// `upper[j] = max(env.upper[j·width .. (j+1)·width])`.
+    upper: Vec<f64>,
+    /// `lower[j] = min(env.lower[j·width .. (j+1)·width])`.
+    lower: Vec<f64>,
+    /// Segment width (≥ 2; the tail segment may be shorter).
+    width: usize,
+    /// Length of the series the source envelope was built over.
+    source_len: usize,
+    /// The source envelope's window radius (the stage's admissibility
+    /// condition is inherited from it).
+    radius: usize,
+}
+
+impl CoarseEnvelope {
+    /// Compresses an envelope into segments of `width` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width < 2` (a width of 1 is the fine envelope —
+    /// use [`PruneStage::Keogh`] directly) or the envelope is empty.
+    pub fn build(env: &Envelope, width: usize) -> Self {
+        assert!(width >= 2, "coarse envelope needs a width of at least 2");
+        let n = env.upper.len();
+        assert!(n > 0, "coarse envelope needs a non-empty envelope");
+        let mut upper = Vec::with_capacity(n.div_ceil(width));
+        let mut lower = Vec::with_capacity(n.div_ceil(width));
+        let mut j = 0;
+        while j < n {
+            let hi = (j + width).min(n);
+            upper.push(env.upper[j..hi].iter().cloned().fold(f64::MIN, f64::max));
+            lower.push(env.lower[j..hi].iter().cloned().fold(f64::MAX, f64::min));
+            j = hi;
+        }
+        Self {
+            upper,
+            lower,
+            width,
+            source_len: n,
+            radius: env.radius,
+        }
+    }
+
+    /// Segment width the envelope was compressed with.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Length of the series the source envelope covered.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// The source envelope's window radius.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// The coarse (PAA) lower bound of `x` against this tube, in raw
+    /// accumulated-cost units. `x` must have the source length (the
+    /// cascade checks this before calling); `paa_buf` receives the
+    /// segment means.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch (programmer error — the cascade's
+    /// applicability check guards it).
+    pub fn lower_bound(&self, x: &[f64], metric: ElementMetric, paa_buf: &mut Vec<f64>) -> f64 {
+        assert_eq!(x.len(), self.source_len, "PAA bound needs equal lengths");
+        paa_fixed_values(x, self.width, paa_buf);
+        debug_assert_eq!(paa_buf.len(), self.upper.len());
+        let mut acc = 0.0;
+        for (j, &mean) in paa_buf.iter().enumerate() {
+            // the tail segment's weight is whatever is left of the series
+            let weight = self.width.min(self.source_len - j * self.width) as f64;
+            if mean > self.upper[j] {
+                acc += weight * metric.eval(mean, self.upper[j]);
+            } else if mean < self.lower[j] {
+                acc += weight * metric.eval(mean, self.lower[j]);
+            }
+        }
+        acc
+    }
+}
+
+/// A configured pruning cascade: the ordered stage list plus everything
+/// the threshold comparisons need (metric, bound normalisation, and the
+/// kernel's admissibility switch).
+///
+/// The cascade is stateless per candidate — accounting lands in a
+/// caller-owned [`CascadeStats`], scratch buffers in a caller-owned
+/// [`CascadeScratch`] — so one instance serves a whole query, a cloned
+/// matcher, or a rayon worker without synchronisation.
+///
+/// Per candidate the driving loop is:
+///
+/// 1. [`Cascade::screen_summary`] with the precomputed O(1) bound —
+///    prunes without planning a band;
+/// 2. plan (or adopt) the pair's band;
+/// 3. [`Cascade::screen_samples`] with the sample-phase inputs;
+/// 4. run the early-abandoned DP, recording the outcome via
+///    [`CascadeStats::record_abandoned`] /
+///    [`CascadeStats::record_completed`].
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    stages: Vec<PruneStage>,
+    metric: ElementMetric,
+    normalization: Normalization,
+    bounds_enabled: bool,
+}
+
+impl Cascade {
+    /// Builds a cascade over the given stage list. `bounds_enabled`
+    /// carries the kernel's `lower_bounds_admissible()` verdict: when
+    /// false every stage is disabled (the candidate goes straight to the
+    /// early-abandoned DP) and [`CascadeStats::bounds_disabled`] records
+    /// why the prune counters stay at zero.
+    pub fn new(
+        stages: Vec<PruneStage>,
+        metric: ElementMetric,
+        normalization: Normalization,
+        bounds_enabled: bool,
+    ) -> Self {
+        Self {
+            stages,
+            metric,
+            normalization,
+            bounds_enabled,
+        }
+    }
+
+    /// Whether the lower-bound stages are live for this cascade.
+    pub fn bounds_enabled(&self) -> bool {
+        self.bounds_enabled
+    }
+
+    /// The configured stage list.
+    pub fn stages(&self) -> &[PruneStage] {
+        &self.stages
+    }
+
+    /// Converts a raw accumulated-cost bound into the units of the
+    /// configured normalisation, so it compares against final distances.
+    fn normalize_bound(&self, raw: f64, n: usize, m: usize) -> f64 {
+        match self.normalization {
+            Normalization::None => raw,
+            Normalization::LengthSum => raw / (n + m) as f64,
+        }
+    }
+
+    /// Whether a Kim bound prunes against `threshold` under `guard`
+    /// relative slack (0 = exact strict comparison; ties must survive
+    /// either way).
+    fn kim_prunes(kim: f64, threshold: f64, guard: f64) -> bool {
+        if guard == 0.0 {
+            kim > threshold
+        } else {
+            kim > threshold + guard * (1.0 + threshold.abs() + kim)
+        }
+    }
+
+    /// Phase 1 of a candidate: opens its accounting (`candidates`,
+    /// `bounds_disabled`) and runs the summary stages against the
+    /// caller-precomputed LB_Kim bound (`None` = the producer abstained
+    /// — rolling statistics in an untrustworthy regime). The bound must
+    /// already be in reported-distance units.
+    ///
+    /// Returns the pruning stage, or `None` when the candidate survives
+    /// (proceed to band planning and [`Cascade::screen_samples`]).
+    pub fn screen_summary(
+        &self,
+        stats: &mut CascadeStats,
+        kim: Option<f64>,
+        threshold: f64,
+    ) -> Option<StageKind> {
+        stats.candidates += 1;
+        stats.bounds_disabled = !self.bounds_enabled;
+        if !self.bounds_enabled {
+            return None;
+        }
+        for stage in &self.stages {
+            if let PruneStage::Kim { guard } = stage {
+                if let Some(kim) = kim {
+                    if Self::kim_prunes(kim, threshold, *guard) {
+                        stats.pruned_kim += 1;
+                        return Some(StageKind::Kim);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Phase 2 of a candidate: the sample-level stages, in configured
+    /// order, against the pair's (sanitised) band. A stage whose
+    /// admissibility precondition fails is skipped; if any stage was
+    /// skipped that way the candidate is charged one `lb_inapplicable`
+    /// (informational — it still proceeds to the DP).
+    ///
+    /// Returns the pruning stage, or `None` when the DP must decide.
+    pub fn screen_samples(
+        &self,
+        stats: &mut CascadeStats,
+        input: &SampleInput,
+        band: &Band,
+        threshold: f64,
+        scratch: &mut CascadeScratch,
+    ) -> Option<StageKind> {
+        if !self.bounds_enabled {
+            return None;
+        }
+        let (n, m) = (input.x.len(), input.y.len());
+        let mut inapplicable = false;
+        for stage in &self.stages {
+            let evaluated: Option<(StageKind, f64)> = match stage {
+                PruneStage::Kim { .. } => continue,
+                PruneStage::Paa => match input.y_coarse {
+                    Some(c) if n == m && c.source_len() == m && band.within_window(c.radius()) => {
+                        let raw = c.lower_bound(input.x, self.metric, &mut scratch.paa);
+                        Some((StageKind::Paa, self.normalize_bound(raw, n, m)))
+                    }
+                    _ => None,
+                },
+                PruneStage::Keogh => match input.y_envelope {
+                    Some(env) if n == m && band.within_window(env.radius) => {
+                        let raw = lb_keogh_values(input.x, env, self.metric);
+                        Some((StageKind::Keogh, self.normalize_bound(raw, n, m)))
+                    }
+                    _ => None,
+                },
+                PruneStage::KeoghRev => match input.x_envelope {
+                    Some(env) if n == m && band.within_window(env.radius) => {
+                        let raw = lb_keogh_values(input.y, env, self.metric);
+                        Some((StageKind::KeoghRev, self.normalize_bound(raw, n, m)))
+                    }
+                    _ => None,
+                },
+            };
+            match evaluated {
+                None => inapplicable = true,
+                // strict comparisons throughout: a candidate tying the
+                // threshold must still be examined — tie-breaks decide it
+                Some((kind, bound)) if bound > threshold => {
+                    match kind {
+                        StageKind::Kim => unreachable!("Kim is a summary stage"),
+                        StageKind::Paa => stats.pruned_paa += 1,
+                        StageKind::Keogh => stats.pruned_keogh += 1,
+                        StageKind::KeoghRev => stats.pruned_keogh_rev += 1,
+                    }
+                    return Some(kind);
+                }
+                Some(_) => {}
+            }
+        }
+        if inapplicable {
+            stats.lb_inapplicable += 1;
+        }
+        None
+    }
+}
+
+/// How many candidates each cascade stage disposed of, plus the DP work
+/// actually paid. One `CascadeStats` is produced per query (or per
+/// shard/monitor); batch drivers aggregate them with
+/// [`CascadeStats::merge`].
+///
+/// Invariant (asserted by tests): every candidate is accounted for exactly
+/// once —
+/// `candidates == pruned_kim + pruned_paa + pruned_keogh + pruned_keogh_rev
+/// + abandoned + dp_completed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CascadeStats {
+    /// Cascade entries considered (corpus entries per query, or window
+    /// visits per search).
+    pub candidates: u64,
+    /// Dropped by the O(1) LB_Kim endpoint/extremum bound.
+    pub pruned_kim: u64,
+    /// Dropped by the coarse PAA pre-filter (segment means against the
+    /// coarse envelope tube).
+    pub pruned_paa: u64,
+    /// Dropped by LB_Keogh (samples vs the other side's precomputed
+    /// envelope).
+    pub pruned_keogh: u64,
+    /// Dropped by the reversed LB_Keogh (the other side's samples vs
+    /// this side's envelope) — the classic second chance when the first
+    /// direction is too loose.
+    pub pruned_keogh_rev: u64,
+    /// Candidates for which at least one configured sample-phase stage
+    /// didn't satisfy its admissibility conditions (unequal lengths, or
+    /// a band escaping the envelope window); they skip the inapplicable
+    /// stages on their way to the DP. Not a disposal — informational
+    /// only.
+    pub lb_inapplicable: u64,
+    /// DP runs cut short by early abandoning against the best-so-far.
+    pub abandoned: u64,
+    /// DP runs carried to completion (the only candidates that could enter
+    /// the top-k).
+    pub dp_completed: u64,
+    /// DP cells filled across all runs (abandoned runs are charged their
+    /// full band conservatively).
+    pub cells_filled: u64,
+    /// True when the engine's cost kernel reported that the standard
+    /// lower bounds are **not** admissible for it
+    /// (`DtwOptions::lower_bounds_admissible`), so every bound stage was
+    /// disabled for the whole query — the logged reason why the prune
+    /// counters are zero. Both built-in kernels (standard and amerced,
+    /// penalty ≥ 0) keep the bounds admissible, so this only fires for
+    /// future discounting kernels. Early abandoning stays on either way.
+    pub bounds_disabled: bool,
+}
+
+impl CascadeStats {
+    /// Folds another stats record into this one. This is how parallel
+    /// shards, monitor banks, and batch drivers aggregate per-worker
+    /// counts: every counter sums; `bounds_disabled` ORs (one disabled
+    /// participant taints the aggregate's interpretation).
+    pub fn merge(&mut self, other: &CascadeStats) {
+        self.candidates += other.candidates;
+        self.pruned_kim += other.pruned_kim;
+        self.pruned_paa += other.pruned_paa;
+        self.pruned_keogh += other.pruned_keogh;
+        self.pruned_keogh_rev += other.pruned_keogh_rev;
+        self.lb_inapplicable += other.lb_inapplicable;
+        self.abandoned += other.abandoned;
+        self.dp_completed += other.dp_completed;
+        self.cells_filled += other.cells_filled;
+        self.bounds_disabled |= other.bounds_disabled;
+    }
+
+    /// Historical name of [`CascadeStats::merge`], kept for callers that
+    /// grew up with it.
+    pub fn absorb(&mut self, other: &CascadeStats) {
+        self.merge(other);
+    }
+
+    /// Records a DP run cut short by early abandoning; the abandoning run
+    /// still paid for part of the grid, so the full band is charged
+    /// conservatively.
+    pub fn record_abandoned(&mut self, band_area: usize) {
+        self.abandoned += 1;
+        self.cells_filled += band_area as u64;
+    }
+
+    /// Records a DP run carried to completion.
+    pub fn record_completed(&mut self, cells_filled: usize) {
+        self.dp_completed += 1;
+        self.cells_filled += cells_filled as u64;
+    }
+
+    /// Candidates disposed of before the DP stage.
+    pub fn pruned_before_dp(&self) -> u64 {
+        self.pruned_kim + self.pruned_paa + self.pruned_keogh + self.pruned_keogh_rev
+    }
+
+    /// Fraction of candidates that never ran the DP to completion
+    /// (lower-bound prunes + abandoned runs), in `[0, 1]`.
+    pub fn prune_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        (self.pruned_before_dp() + self.abandoned) as f64 / self.candidates as f64
+    }
+
+    /// Whether every candidate is accounted for by exactly one disposal.
+    pub fn is_consistent(&self) -> bool {
+        self.candidates == self.pruned_before_dp() + self.abandoned + self.dp_completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_bound::Envelope;
+    use crate::sakoe::sakoe_chiba_band;
+
+    fn seeded(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed;
+        move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    fn merge_sums_fields_and_rates_follow() {
+        let a = CascadeStats {
+            candidates: 11,
+            pruned_kim: 4,
+            pruned_paa: 1,
+            pruned_keogh: 2,
+            pruned_keogh_rev: 1,
+            lb_inapplicable: 1,
+            abandoned: 1,
+            dp_completed: 2,
+            cells_filled: 100,
+            bounds_disabled: false,
+        };
+        assert!(a.is_consistent());
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.candidates, 22);
+        assert_eq!(b.pruned_before_dp(), 16);
+        assert_eq!(b.cells_filled, 200);
+        assert!(b.is_consistent());
+        assert!((a.prune_rate() - 9.0 / 11.0).abs() < 1e-12);
+        // absorb is the historical alias of merge
+        let mut c = CascadeStats::default();
+        c.absorb(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn merge_ors_bounds_disabled() {
+        let mut a = CascadeStats::default();
+        let b = CascadeStats {
+            bounds_disabled: true,
+            ..CascadeStats::default()
+        };
+        a.merge(&b);
+        assert!(a.bounds_disabled);
+        a.merge(&CascadeStats::default());
+        assert!(a.bounds_disabled, "one disabled participant taints the sum");
+    }
+
+    #[test]
+    fn empty_stats_are_consistent_with_zero_rate() {
+        let s = CascadeStats::default();
+        assert!(s.is_consistent());
+        assert_eq!(s.prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_roundtrip_through_serde() {
+        let s = CascadeStats {
+            candidates: 4,
+            pruned_paa: 1,
+            dp_completed: 3,
+            cells_filled: 42,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CascadeStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn record_helpers_account_dp_work() {
+        let mut s = CascadeStats {
+            candidates: 2,
+            ..CascadeStats::default()
+        };
+        s.record_abandoned(50);
+        s.record_completed(30);
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.dp_completed, 1);
+        assert_eq!(s.cells_filled, 80);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn coarse_envelope_compresses_to_the_loosest_tube() {
+        let env = Envelope {
+            upper: vec![1.0, 3.0, 2.0, 5.0, 4.0],
+            lower: vec![-1.0, 0.0, -2.0, 1.0, 0.5],
+            radius: 2,
+        };
+        let coarse = CoarseEnvelope::build(&env, 2);
+        assert_eq!(coarse.width(), 2);
+        assert_eq!(coarse.source_len(), 5);
+        assert_eq!(coarse.radius(), 2);
+        assert_eq!(coarse.upper, vec![3.0, 5.0, 4.0]);
+        assert_eq!(coarse.lower, vec![-1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn paa_bound_never_exceeds_lb_keogh_on_seeded_pairs() {
+        // the admissibility chain the pre-filter stage rests on:
+        // coarse PAA bound <= fine LB_Keogh, for both metrics, across
+        // segment widths that do and don't divide the length
+        let mut rng = seeded(0xc0a3);
+        for metric in [ElementMetric::Squared, ElementMetric::Absolute] {
+            for width in [2usize, 3, 4, 8] {
+                for _ in 0..10 {
+                    let n = 45;
+                    let x: Vec<f64> = (0..n).map(|_| 2.0 * rng()).collect();
+                    let y: Vec<f64> = (0..n).map(|_| 2.0 * rng()).collect();
+                    let env = Envelope::build_from_values(&y, 4);
+                    let coarse = CoarseEnvelope::build(&env, width);
+                    let fine = lb_keogh_values(&x, &env, metric);
+                    let paa = coarse.lower_bound(&x, metric, &mut Vec::new());
+                    assert!(
+                        paa <= fine + 1e-9,
+                        "PAA bound {paa} exceeded LB_Keogh {fine} (w={width}, {metric:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paa_bound_is_zero_when_the_means_stay_inside_the_tube() {
+        let y = vec![0.0, 1.0, 2.0, 1.0, 0.0, -1.0];
+        let env = Envelope::build_from_values(&y, 3);
+        let coarse = CoarseEnvelope::build(&env, 2);
+        let bound = coarse.lower_bound(&y, ElementMetric::Squared, &mut Vec::new());
+        assert_eq!(bound, 0.0, "a series is inside its own tube");
+    }
+
+    #[test]
+    fn cascade_prunes_and_accounts_each_stage() {
+        let metric = ElementMetric::Squared;
+        let n = 16;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = vec![100.0; n];
+        let env = Envelope::build_from_values(&y, 2);
+        let x_env = Envelope::build_from_values(&x, 2);
+        let coarse = CoarseEnvelope::build(&env, 4);
+        let band = sakoe_chiba_band(n, n, 0.25);
+        let cascade = Cascade::new(
+            vec![
+                PruneStage::Kim { guard: 0.0 },
+                PruneStage::Paa,
+                PruneStage::Keogh,
+                PruneStage::KeoghRev,
+            ],
+            metric,
+            Normalization::None,
+            true,
+        );
+        let input = SampleInput {
+            x: &x,
+            y: &y,
+            y_envelope: Some(&env),
+            x_envelope: Some(&x_env),
+            y_coarse: Some(&coarse),
+        };
+        let mut scratch = CascadeScratch::new();
+
+        // a tiny threshold: the Kim bound disposes of the candidate
+        let mut stats = CascadeStats::default();
+        let verdict = cascade.screen_summary(&mut stats, Some(5.0), 1.0);
+        assert_eq!(verdict, Some(StageKind::Kim));
+        assert_eq!(stats.pruned_kim, 1);
+        assert!(stats.is_consistent());
+
+        // Kim abstains; the PAA stage catches it at the sample phase
+        let mut stats = CascadeStats::default();
+        assert_eq!(cascade.screen_summary(&mut stats, None, 1.0), None);
+        let verdict = cascade.screen_samples(&mut stats, &input, &band, 1.0, &mut scratch);
+        assert_eq!(verdict, Some(StageKind::Paa));
+        assert_eq!(stats.pruned_paa, 1);
+        assert!(stats.is_consistent());
+
+        // a huge threshold: nothing prunes, the DP must decide
+        let mut stats = CascadeStats::default();
+        assert_eq!(cascade.screen_summary(&mut stats, Some(5.0), 1e12), None);
+        let verdict = cascade.screen_samples(&mut stats, &input, &band, 1e12, &mut scratch);
+        assert_eq!(verdict, None);
+        assert_eq!(stats.lb_inapplicable, 0);
+        stats.record_completed(64);
+        assert!(stats.is_consistent());
+    }
+
+    #[test]
+    fn inapplicable_stages_are_counted_once_per_candidate() {
+        let n = 12;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y = x.clone();
+        // a radius-0 envelope with a wide band: every envelope stage is
+        // inapplicable, but the candidate is charged only once
+        let env = Envelope::build_from_values(&y, 0);
+        let coarse = CoarseEnvelope::build(&env, 3);
+        let band = sakoe_chiba_band(n, n, 0.5);
+        assert!(!band.within_window(0));
+        let cascade = Cascade::new(
+            vec![PruneStage::Paa, PruneStage::Keogh, PruneStage::KeoghRev],
+            ElementMetric::Squared,
+            Normalization::None,
+            true,
+        );
+        let input = SampleInput {
+            x: &x,
+            y: &y,
+            y_envelope: Some(&env),
+            x_envelope: Some(&env),
+            y_coarse: Some(&coarse),
+        };
+        let mut stats = CascadeStats {
+            candidates: 1,
+            ..CascadeStats::default()
+        };
+        let verdict =
+            cascade.screen_samples(&mut stats, &input, &band, 0.0, &mut CascadeScratch::new());
+        assert_eq!(verdict, None);
+        assert_eq!(stats.lb_inapplicable, 1);
+    }
+
+    #[test]
+    fn disabled_bounds_skip_every_stage_and_log_it() {
+        let cascade = Cascade::new(
+            vec![PruneStage::Kim { guard: 0.0 }, PruneStage::Keogh],
+            ElementMetric::Squared,
+            Normalization::None,
+            false,
+        );
+        let mut stats = CascadeStats::default();
+        assert_eq!(cascade.screen_summary(&mut stats, Some(1e9), 0.0), None);
+        let x = vec![0.0; 4];
+        let env = Envelope::build_from_values(&x, 4);
+        let input = SampleInput {
+            x: &x,
+            y: &x,
+            y_envelope: Some(&env),
+            x_envelope: None,
+            y_coarse: None,
+        };
+        let band = sakoe_chiba_band(4, 4, 1.0);
+        let verdict =
+            cascade.screen_samples(&mut stats, &input, &band, 0.0, &mut CascadeScratch::new());
+        assert_eq!(verdict, None);
+        assert!(stats.bounds_disabled);
+        assert_eq!(stats.pruned_kim + stats.pruned_keogh, 0);
+        assert_eq!(stats.lb_inapplicable, 0);
+    }
+
+    #[test]
+    fn guarded_kim_comparison_is_conservative() {
+        // with a guard the bound must clear the threshold by the slack;
+        // without one the comparison is exactly strict
+        assert!(Cascade::kim_prunes(1.0 + 1e-6, 1.0, 0.0));
+        assert!(!Cascade::kim_prunes(1.0, 1.0, 0.0), "ties survive");
+        assert!(!Cascade::kim_prunes(1.0 + 1e-9, 1.0, 1e-7));
+        assert!(Cascade::kim_prunes(1.1, 1.0, 1e-7));
+        // infinite thresholds never prune, guarded or not
+        assert!(!Cascade::kim_prunes(1e300, f64::INFINITY, 0.0));
+        assert!(!Cascade::kim_prunes(1e300, f64::INFINITY, 1e-7));
+    }
+
+    #[test]
+    fn bound_normalization_matches_the_engine_units() {
+        let c = Cascade::new(
+            vec![],
+            ElementMetric::Squared,
+            Normalization::LengthSum,
+            true,
+        );
+        assert_eq!(c.normalize_bound(10.0, 3, 7), 1.0);
+        let c = Cascade::new(vec![], ElementMetric::Squared, Normalization::None, true);
+        assert_eq!(c.normalize_bound(10.0, 3, 7), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width of at least 2")]
+    fn coarse_envelope_rejects_fine_widths() {
+        let env = Envelope::build_from_values(&[0.0, 1.0], 1);
+        let _ = CoarseEnvelope::build(&env, 1);
+    }
+}

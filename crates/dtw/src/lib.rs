@@ -24,6 +24,12 @@
 //! * [`lower_bound`] — the LB_Kim constant-time bound (endpoint/extremum
 //!   summaries) and the LB_Keogh envelope bound (extensions; they power
 //!   the `sdtw-index` retrieval cascade and the pruning ablations);
+//! * [`cascade`] — the composable pruning pipeline built from those
+//!   bounds: the [`cascade::PruneStage`] abstraction, the
+//!   [`cascade::Cascade`] runner, the coarse PAA pre-filter
+//!   ([`cascade::CoarseEnvelope`]) and the shared per-stage
+//!   [`cascade::CascadeStats`] accounting that `sdtw-index` (per corpus
+//!   candidate) and `sdtw-stream` (per window) both execute;
 //! * [`kernel`] — the [`kernel::DtwKernel`] trait (cost accumulation,
 //!   step weighting, normalisation) with the standard and amerced (ADTW)
 //!   kernels, plus the serialisable [`kernel::KernelChoice`] selector;
@@ -58,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod band;
+pub mod cascade;
 pub mod engine;
 pub mod itakura;
 pub mod kernel;
@@ -67,6 +74,9 @@ pub mod path;
 pub mod sakoe;
 
 pub use band::Band;
+pub use cascade::{
+    Cascade, CascadeScratch, CascadeStats, CoarseEnvelope, PruneStage, SampleInput, StageKind,
+};
 #[allow(deprecated)] // the legacy entry points stay reachable during migration
 pub use engine::{
     dtw_banded, dtw_banded_early_abandon, dtw_banded_early_abandon_with_scratch,

@@ -59,4 +59,4 @@ pub mod subsequence;
 
 pub use distmat::{compute_matrix, compute_query_matrix, DistanceMatrix, MatrixStats, QueryMatrix};
 pub use experiment::{evaluate_policies, EvalOptions, PolicyEval};
-pub use subsequence::{select_matches, subsequence_profile};
+pub use subsequence::{brute_force_matches, select_matches, subsequence_profile};

@@ -53,6 +53,29 @@ pub fn subsequence_profile(
     Ok(profile)
 }
 
+/// The complete brute-force answer in one call: score every window
+/// ([`subsequence_profile`]) and greedily select the `k` best
+/// non-overlapping matches at or under `tau` ([`select_matches`]). This
+/// is the ground truth the pruned matcher, the sharded parallel scan,
+/// and the streaming monitors are all asserted bit-identical against.
+///
+/// # Errors
+///
+/// Propagates engine errors (feature extraction under adaptive
+/// policies).
+pub fn brute_force_matches(
+    engine: &SDtw,
+    query: &TimeSeries,
+    series: &TimeSeries,
+    z_norm: bool,
+    k: usize,
+    exclusion: usize,
+    tau: f64,
+) -> Result<Vec<ProfilePoint>, TsError> {
+    let profile = subsequence_profile(engine, query, series, z_norm)?;
+    Ok(select_matches(&profile, k, exclusion, tau))
+}
+
 /// Greedy non-overlapping top-k selection over a distance profile:
 /// repeatedly pick the minimal `(distance, offset)` entry at or under
 /// `tau`, then drop every entry within `exclusion` offsets of the pick.

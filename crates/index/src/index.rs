@@ -5,9 +5,9 @@ use crate::knn::{Neighbor, TopK};
 use crate::stats::CascadeStats;
 use rayon::prelude::*;
 use sdtw::{DtwScratch, SDtw};
+use sdtw_dtw::cascade::{Cascade, CascadeScratch, PruneStage, SampleInput};
 use sdtw_dtw::engine::Normalization;
-use sdtw_dtw::lower_bound::{lb_keogh, lb_kim, Envelope, SeriesSummary};
-use sdtw_dtw::Band;
+use sdtw_dtw::lower_bound::{lb_kim, Envelope, SeriesSummary};
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::transform::z_normalize;
 use sdtw_tseries::{TimeSeries, TsError};
@@ -155,14 +155,20 @@ impl SdtwIndex {
         }
     }
 
-    /// Whether LB_Keogh (both directions) soundly lower-bounds the banded
-    /// distance of this pair: equal lengths and every band row inside the
-    /// `±radius` window (`radius` = the smaller of the two envelope
-    /// radii, so the check covers the reversed direction too). The window
-    /// containment itself is [`Band::within_window`], shared with the
-    /// `sdtw-stream` cascade.
-    fn keogh_applicable(band: &Band, n: usize, m: usize, radius: usize) -> bool {
-        n == m && band.within_window(radius)
+    /// The shared pruning pipeline a query of this index runs: LB_Kim →
+    /// LB_Keogh → reversed LB_Keogh, with the bound stages disabled
+    /// entirely when the configured kernel reports them inadmissible.
+    fn cascade(&self, bounds_enabled: bool) -> Cascade {
+        Cascade::new(
+            vec![
+                PruneStage::Kim { guard: 0.0 },
+                PruneStage::Keogh,
+                PruneStage::KeoghRev,
+            ],
+            self.config.sdtw.dtw.metric,
+            self.config.sdtw.dtw.normalization,
+            bounds_enabled,
+        )
     }
 
     /// kNN query with a caller-provided DP scratch (the batch hot path).
@@ -206,6 +212,8 @@ impl SdtwIndex {
         // the query envelope only feeds the reversed LB_Keogh stage —
         // skip the O(n·radius) build when the bounds are off
         let q_env = bounds_ok.then(|| Envelope::build(&q, q_radius));
+        let cascade = self.cascade(bounds_ok);
+        let mut cascade_scratch = CascadeScratch::new();
 
         // Stage 1 for everyone up front: O(1) per entry, and the visit
         // order it induces (ascending bound, stable by index) tightens the
@@ -228,20 +236,19 @@ impl SdtwIndex {
         });
 
         let mut topk = TopK::new(k);
-        let mut stats = CascadeStats {
-            candidates: self.entries.len() as u64,
-            bounds_disabled: !bounds_ok,
-            ..CascadeStats::default()
-        };
+        let mut stats = CascadeStats::default();
 
         for &(kim, idx) in &order {
             let entry = &self.entries[idx];
+            // strict comparisons throughout (inside the cascade): a
+            // candidate tying the current k-th distance must still be
+            // examined — the index tie-break decides whether it
+            // displaces the incumbent
             let threshold = topk.threshold();
-            // strict comparisons throughout: a candidate tying the
-            // current k-th distance must still be examined — the index
-            // tie-break decides whether it displaces the incumbent
-            if bounds_ok && kim > threshold {
-                stats.pruned_kim += 1;
+            if cascade
+                .screen_summary(&mut stats, Some(kim), threshold)
+                .is_some()
+            {
                 continue;
             }
             let (n, m) = (q.len(), entry.series.len());
@@ -256,21 +263,18 @@ impl SdtwIndex {
             } else {
                 band.sanitize()
             };
-            if bounds_ok && Self::keogh_applicable(&band, n, m, q_radius.min(entry.envelope.radius))
+            let input = SampleInput {
+                x: q.values(),
+                y: entry.series.values(),
+                y_envelope: Some(&entry.envelope),
+                x_envelope: q_env.as_ref(),
+                y_coarse: None,
+            };
+            if cascade
+                .screen_samples(&mut stats, &input, &band, threshold, &mut cascade_scratch)
+                .is_some()
             {
-                let lb = self.normalize_bound(lb_keogh(&q, &entry.envelope, metric), n, m);
-                if lb > threshold {
-                    stats.pruned_keogh += 1;
-                    continue;
-                }
-                let q_env = q_env.as_ref().expect("bounds_ok implies the envelope");
-                let lb_rev = self.normalize_bound(lb_keogh(&entry.series, q_env, metric), n, m);
-                if lb_rev > threshold {
-                    stats.pruned_keogh_rev += 1;
-                    continue;
-                }
-            } else if bounds_ok {
-                stats.lb_inapplicable += 1;
+                continue;
             }
             match self
                 .engine
@@ -282,15 +286,9 @@ impl SdtwIndex {
                 .run()
                 .expect("band override cannot fail extraction")
             {
-                None => {
-                    stats.abandoned += 1;
-                    // the abandoning run still paid for part of the grid;
-                    // charge the full band conservatively
-                    stats.cells_filled += band.area() as u64;
-                }
+                None => stats.record_abandoned(band.area()),
                 Some(r) => {
-                    stats.dp_completed += 1;
-                    stats.cells_filled += r.cells_filled as u64;
+                    stats.record_completed(r.cells_filled);
                     topk.offer(idx, r.distance);
                 }
             }

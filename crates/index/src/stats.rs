@@ -1,130 +1,6 @@
-//! Per-stage pruning accounting for the cascade.
+//! Per-stage pruning accounting — now the workspace-shared
+//! [`sdtw_dtw::cascade::CascadeStats`], re-exported here because this is
+//! where it historically lived (the index was the first cascade
+//! consumer; `sdtw-stream` and the sharded scanners share it now).
 
-use serde::{Deserialize, Serialize};
-
-/// How many candidates each cascade stage disposed of, plus the DP work
-/// actually paid. One `CascadeStats` is produced per query; batch drivers
-/// aggregate them with [`CascadeStats::absorb`].
-///
-/// Invariant (asserted by tests): every candidate is accounted for exactly
-/// once —
-/// `candidates == pruned_kim + pruned_keogh + pruned_keogh_rev + abandoned
-/// + dp_completed`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CascadeStats {
-    /// Corpus entries considered (index size, per query).
-    pub candidates: u64,
-    /// Dropped by the O(1) LB_Kim endpoint/extremum bound.
-    pub pruned_kim: u64,
-    /// Dropped by LB_Keogh (query samples vs the entry's precomputed
-    /// envelope).
-    pub pruned_keogh: u64,
-    /// Dropped by the reversed LB_Keogh (entry samples vs the query's
-    /// envelope) — the classic second chance when the first direction is
-    /// too loose.
-    pub pruned_keogh_rev: u64,
-    /// Candidates whose pair didn't satisfy the LB_Keogh admissibility
-    /// conditions (unequal lengths, or a band escaping the envelope
-    /// window); they skip straight from LB_Kim to the DP stage. Not a
-    /// disposal — informational only.
-    pub lb_inapplicable: u64,
-    /// DP runs cut short by early abandoning against the best-so-far.
-    pub abandoned: u64,
-    /// DP runs carried to completion (the only candidates that could enter
-    /// the top-k).
-    pub dp_completed: u64,
-    /// DP cells filled across all runs (abandoned runs are charged their
-    /// full band conservatively).
-    pub cells_filled: u64,
-    /// True when the engine's cost kernel reported that the standard
-    /// lower bounds are **not** admissible for it
-    /// (`DtwOptions::lower_bounds_admissible`), so the LB_Kim/LB_Keogh
-    /// stages were disabled for the whole query — the logged reason why
-    /// `pruned_kim`/`pruned_keogh*` are zero. Both built-in kernels
-    /// (standard and amerced, penalty ≥ 0) keep the bounds admissible, so
-    /// this only fires for future discounting kernels. Early abandoning
-    /// stays on either way.
-    pub bounds_disabled: bool,
-}
-
-impl CascadeStats {
-    /// Folds another stats record into this one (batch aggregation).
-    pub fn absorb(&mut self, other: &CascadeStats) {
-        self.candidates += other.candidates;
-        self.pruned_kim += other.pruned_kim;
-        self.pruned_keogh += other.pruned_keogh;
-        self.pruned_keogh_rev += other.pruned_keogh_rev;
-        self.lb_inapplicable += other.lb_inapplicable;
-        self.abandoned += other.abandoned;
-        self.dp_completed += other.dp_completed;
-        self.cells_filled += other.cells_filled;
-        self.bounds_disabled |= other.bounds_disabled;
-    }
-
-    /// Candidates disposed of before the DP stage.
-    pub fn pruned_before_dp(&self) -> u64 {
-        self.pruned_kim + self.pruned_keogh + self.pruned_keogh_rev
-    }
-
-    /// Fraction of candidates that never ran the DP to completion
-    /// (lower-bound prunes + abandoned runs), in `[0, 1]`.
-    pub fn prune_rate(&self) -> f64 {
-        if self.candidates == 0 {
-            return 0.0;
-        }
-        (self.pruned_before_dp() + self.abandoned) as f64 / self.candidates as f64
-    }
-
-    /// Whether every candidate is accounted for by exactly one disposal.
-    pub fn is_consistent(&self) -> bool {
-        self.candidates == self.pruned_before_dp() + self.abandoned + self.dp_completed
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn absorb_sums_fields_and_rates_follow() {
-        let a = CascadeStats {
-            candidates: 10,
-            pruned_kim: 4,
-            pruned_keogh: 2,
-            pruned_keogh_rev: 1,
-            lb_inapplicable: 1,
-            abandoned: 1,
-            dp_completed: 2,
-            cells_filled: 100,
-            bounds_disabled: false,
-        };
-        assert!(a.is_consistent());
-        let mut b = a;
-        b.absorb(&a);
-        assert_eq!(b.candidates, 20);
-        assert_eq!(b.pruned_before_dp(), 14);
-        assert_eq!(b.cells_filled, 200);
-        assert!(b.is_consistent());
-        assert!((a.prune_rate() - 0.8).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_stats_are_consistent_with_zero_rate() {
-        let s = CascadeStats::default();
-        assert!(s.is_consistent());
-        assert_eq!(s.prune_rate(), 0.0);
-    }
-
-    #[test]
-    fn stats_roundtrip_through_serde() {
-        let s = CascadeStats {
-            candidates: 3,
-            dp_completed: 3,
-            cells_filled: 42,
-            ..Default::default()
-        };
-        let json = serde_json::to_string(&s).unwrap();
-        let back: CascadeStats = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
-    }
-}
+pub use sdtw_dtw::cascade::CascadeStats;

@@ -33,6 +33,13 @@ pub struct StreamConfig {
     /// occurrence and only the best survives. The matrix-profile
     /// convention is 0.5.
     pub exclusion_frac: f64,
+    /// Segment width of the coarse PAA pre-filter stage (the
+    /// `sdtw_dtw::cascade` `Paa` stage: window segment means against the
+    /// PAA-compressed query envelope, admissible under the same
+    /// conditions as LB_Keogh but `width`× fewer metric evaluations).
+    /// Values below 2 disable the stage — width 1 *is* the fine
+    /// LB_Keogh.
+    pub paa_width: usize,
 }
 
 impl Default for StreamConfig {
@@ -42,9 +49,13 @@ impl Default for StreamConfig {
             z_normalize: true,
             lb_radius_frac: 0.1,
             exclusion_frac: 0.5,
+            paa_width: DEFAULT_PAA_WIDTH,
         }
     }
 }
+
+/// Default segment width of the coarse PAA pre-filter.
+const DEFAULT_PAA_WIDTH: usize = 8;
 
 impl StreamConfig {
     /// Classic UCR-style search: a Sakoe-Chiba band of the given total
@@ -61,6 +72,7 @@ impl StreamConfig {
             // (+1 for the sanitiser's corner bridging); leave headroom
             lb_radius_frac: width_frac,
             exclusion_frac: 0.5,
+            paa_width: DEFAULT_PAA_WIDTH,
         }
     }
 

@@ -5,10 +5,10 @@
 //! inside a long recording or a continuously arriving stream. This crate
 //! is the UCR-suite-style engine for that workload, built from the
 //! ingredients the rest of the workspace already provides — envelopes and
-//! LB_Kim summaries (`sdtw_dtw::lower_bound`), the cascade accounting
-//! (`sdtw_index::CascadeStats`), the zero-copy `SDtw::query_window`
-//! builder path, and the new O(1) incremental window statistics
-//! (`sdtw_tseries::stats::WindowedStats`).
+//! LB_Kim summaries (`sdtw_dtw::lower_bound`), the shared pruning
+//! pipeline and its accounting (`sdtw_dtw::cascade`), the zero-copy
+//! `SDtw::query_window` builder path, and the O(1) incremental window
+//! statistics (`sdtw_tseries::stats::WindowedStats`).
 //!
 //! A [`SubseqMatcher`] prepares a query once (z-normalisation, envelope,
 //! LB_Kim summary, cached salient descriptors, shared band) and then
@@ -18,16 +18,29 @@
 //!   running up to `k` pruned greedy sweeps with a completed-distance
 //!   cache (exact top-k non-overlapping matches, ties included, against
 //!   the brute-force every-window oracle in `sdtw_eval`);
+//! * **batch, sharded** — [`SubseqMatcher::find_k_parallel`] splits one
+//!   long haystack into per-worker window shards (each reading its
+//!   sample range plus an `m − 1` halo) and merges per-pass winners and
+//!   [`StreamStats`] across the rayon pool, bit-identical to the serial
+//!   scan for every shard count;
 //! * **streaming** — a [`StreamMonitor`] accepts samples pushed one at a
 //!   time into a query-sized ring buffer, maintaining windowed
 //!   mean/variance and extrema incrementally in O(1) per step and running
-//!   the same cascade on each completed window.
+//!   the same cascade on each completed window;
+//! * **streaming, multi-query** — a [`MonitorBank`] pays that ring
+//!   buffer and those rolling statistics once per stream and fans every
+//!   completed window across N per-query runtimes, each bit-identical
+//!   to a standalone monitor.
 //!
-//! The per-window cascade is: rolling **LB_Kim** (O(1), conservatively
-//! guarded under per-window z-normalisation) → **LB_Keogh** against the
-//! query envelope (on exactly-normalised samples) → **early-abandoned
-//! banded DP** through the query builder. See `DESIGN.md` §9 for the
-//! admissibility argument of the rolling bounds.
+//! The per-window cascade (the shared `sdtw_dtw::cascade` pipeline) is:
+//! rolling **LB_Kim** (O(1), conservatively guarded under per-window
+//! z-normalisation) → **coarse PAA pre-filter** (segment means against
+//! the PAA-compressed query envelope) → **LB_Keogh** against the query
+//! envelope (on exactly-normalised samples) → **early-abandoned banded
+//! DP** through the query builder. See `DESIGN.md` §9 for the
+//! admissibility argument of the rolling bounds and §10 for the PAA
+//! stage, the halo-window sharding proof, and the bank's exactness
+//! regimes.
 //!
 //! # Example
 //!
@@ -60,12 +73,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod config;
 pub mod matcher;
 pub mod monitor;
 pub mod rolling;
 pub mod stats;
 
+pub use bank::{BankEvent, BankQuery, MonitorBank};
 pub use config::StreamConfig;
 pub use matcher::{SubseqMatch, SubseqMatcher, SubseqResult};
 pub use monitor::StreamMonitor;

@@ -3,11 +3,14 @@
 use crate::config::StreamConfig;
 use crate::rolling::RollingExtrema;
 use crate::stats::StreamStats;
+use rayon::prelude::*;
 use sdtw::{DtwScratch, SDtw};
+use sdtw_dtw::cascade::{
+    Cascade, CascadeScratch, CascadeStats, CoarseEnvelope, PruneStage, SampleInput, StageKind,
+};
 use sdtw_dtw::engine::Normalization;
-use sdtw_dtw::lower_bound::{lb_keogh_values, lb_kim, Envelope, SeriesSummary};
+use sdtw_dtw::lower_bound::{lb_kim, Envelope, SeriesSummary};
 use sdtw_dtw::Band;
-use sdtw_index::CascadeStats;
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::stats::WindowedStats;
 use sdtw_tseries::transform::{z_normalize, z_normalize_values};
@@ -56,13 +59,27 @@ pub struct SubseqResult {
     pub stats: StreamStats,
 }
 
+/// The per-worker buffers one window evaluation needs: the window
+/// normalisation target, the DP scratch, and the cascade's stage
+/// scratch. Keep one per worker/monitor, like a [`DtwScratch`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EvalScratch {
+    /// Normalised-window buffer.
+    pub(crate) window: Vec<f64>,
+    /// DP buffers.
+    pub(crate) dtw: DtwScratch,
+    /// Cascade stage buffers (PAA segment means).
+    pub(crate) cascade: CascadeScratch,
+}
+
+/// What one shard's sweep produced: its pass winner, or the first error.
+type SweepOutcome = Result<Option<(f64, usize)>, TsError>;
+
 /// How the cascade disposed of one window visit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum WindowVerdict {
-    /// Dropped by the rolling LB_Kim.
-    PrunedKim,
-    /// Dropped by LB_Keogh against the query envelope.
-    PrunedKeogh,
+    /// Dropped by the named lower-bound stage.
+    Pruned(StageKind),
     /// The DP abandoned early against the threshold.
     Abandoned,
     /// The DP completed with this distance.
@@ -81,10 +98,18 @@ pub(crate) enum WindowVerdict {
 /// 1. **rolling LB_Kim** — O(1) from the incremental window statistics
 ///    ([`WindowedStats`] + [`RollingExtrema`]), conservatively guarded
 ///    under z-normalisation (see `KIM_GUARD` in the source);
-/// 2. **LB_Keogh** — the exactly-normalised window against the query
+/// 2. **coarse PAA pre-filter** — the exactly-normalised window's
+///    segment means against the PAA-compressed query envelope
+///    ([`CoarseEnvelope`]; `O(m/w)` metric evaluations, admissible under
+///    the same conditions as LB_Keogh — see DESIGN.md §10);
+/// 3. **LB_Keogh** — the exactly-normalised window against the query
 ///    envelope (when the band sits inside the envelope window);
-/// 3. **early-abandoned banded DP** — the zero-copy
+/// 4. **early-abandoned banded DP** — the zero-copy
 ///    [`SDtw::query_window`] builder path, cut off at the best-so-far.
+///
+/// All stages execute through the workspace-shared
+/// [`sdtw_dtw::cascade::Cascade`] pipeline — the same runner
+/// `sdtw_index` queries use.
 ///
 /// Results are **exact**: offsets and bit-identical distances to
 /// brute-forcing the same engine over every window and greedily picking
@@ -102,10 +127,16 @@ pub struct SubseqMatcher {
     query_features: Vec<SalientFeature>,
     query_envelope: Envelope,
     query_summary: SeriesSummary,
+    /// Coarse (PAA) compression of the query envelope, feeding the
+    /// pre-filter stage (`None` when `paa_width < 2` disabled it).
+    query_coarse: Option<CoarseEnvelope>,
     /// The shared band of every window under alignment-free policies
     /// (`None` means adaptive: plan per window against the cached query
     /// descriptors).
     fixed_band: Option<Band>,
+    /// The configured pruning pipeline every window runs (shared with
+    /// `sdtw_index` via `sdtw_dtw::cascade`).
+    cascade: Cascade,
     m: usize,
     radius: usize,
     exclusion: usize,
@@ -149,6 +180,24 @@ impl SubseqMatcher {
             })
         };
         let bounds_ok = config.sdtw.dtw.lower_bounds_admissible();
+        let query_coarse = (config.paa_width >= 2)
+            .then(|| CoarseEnvelope::build(&query_envelope, config.paa_width));
+        let mut stages = vec![PruneStage::Kim {
+            // rolling moments carry bounded numerical error under
+            // per-window z-normalisation; the guard keeps the stage
+            // admissible (raw windows have exact inputs — strict compare)
+            guard: if config.z_normalize { KIM_GUARD } else { 0.0 },
+        }];
+        if query_coarse.is_some() {
+            stages.push(PruneStage::Paa);
+        }
+        stages.push(PruneStage::Keogh);
+        let cascade = Cascade::new(
+            stages,
+            config.sdtw.dtw.metric,
+            config.sdtw.dtw.normalization,
+            bounds_ok,
+        );
         Ok(Self {
             config,
             engine,
@@ -156,7 +205,9 @@ impl SubseqMatcher {
             query_features,
             query_envelope,
             query_summary,
+            query_coarse,
             fixed_band,
+            cascade,
             m,
             radius,
             exclusion,
@@ -241,77 +292,125 @@ impl SubseqMatcher {
             });
         }
         let xv = series.values();
-        let mut stats = StreamStats::default();
         if xv.len() < self.m {
             return Ok(SubseqResult {
                 matches: Vec::new(),
-                stats,
+                stats: StreamStats::default(),
             });
         }
         let w_count = xv.len() - self.m + 1;
-        stats.windows = w_count as u64;
 
-        // One incremental sweep precomputes every window's rolling LB_Kim
-        // in O(1) amortised per sample — the same accumulators the
-        // streaming monitor feeds push by push.
-        let kims: Vec<Option<f64>> = if self.bounds_ok {
-            let mut moments = WindowedStats::new(self.m);
-            let mut extrema = RollingExtrema::new(self.m);
-            let mut out = Vec::with_capacity(w_count);
-            for (t, &v) in xv.iter().enumerate() {
-                moments.push(v);
-                extrema.push(v);
-                if t + 1 >= self.m {
-                    let w = t + 1 - self.m;
-                    out.push(self.kim_bound(xv[w], v, extrema.min(), extrema.max(), &moments));
-                }
-            }
-            out
-        } else {
-            vec![None; w_count]
-        };
-
-        // Up to k sweeps of greedy best-match search: each pass finds the
-        // minimal (distance, offset) among non-excluded windows, pruning
-        // against the pass's running best; completed distances are cached
-        // so later passes never redo DP work.
-        let mut computed: BTreeMap<usize, f64> = BTreeMap::new();
+        // The serial scan is the one-shard degenerate of the sharded
+        // machinery: same sweep order, same thresholds, same stats.
+        let mut shard = ShardScan::new(self, xv, 0, w_count);
+        shard.eval.dtw = std::mem::take(scratch);
         let mut selected: Vec<SubseqMatch> = Vec::new();
-        let mut window_buf: Vec<f64> = Vec::new();
-        let excluded = |w: usize, selected: &[SubseqMatch]| {
-            selected
-                .iter()
-                .any(|s| w.abs_diff(s.offset) < self.exclusion)
-        };
+        let mut passes = 0u32;
         for _ in 0..k {
-            stats.passes += 1;
-            let mut best: Option<(f64, usize)> = None;
-            for (&w, &d) in &computed {
-                if d <= tau && !excluded(w, &selected) && Self::better(d, w, &best) {
-                    best = Some((d, w));
-                }
+            passes += 1;
+            match shard.sweep(self, xv, tau, &selected)? {
+                None => break,
+                Some((distance, offset)) => selected.push(SubseqMatch { offset, distance }),
             }
-            for w in 0..w_count {
-                if excluded(w, &selected) {
-                    stats.skipped_excluded += 1;
-                    continue;
-                }
-                if computed.contains_key(&w) {
-                    stats.cache_hits += 1;
-                    continue;
-                }
-                let threshold = best.map_or(tau, |(d, _)| d.min(tau));
-                let verdict = self.evaluate_window(
-                    &xv[w..w + self.m],
-                    kims[w],
-                    threshold,
-                    &mut window_buf,
-                    scratch,
-                    &mut stats.cascade,
-                )?;
-                if let WindowVerdict::Completed(d) = verdict {
-                    computed.insert(w, d);
-                    if d <= tau && Self::better(d, w, &best) {
+        }
+        *scratch = std::mem::take(&mut shard.eval.dtw);
+        let mut stats = shard.stats;
+        stats.passes = passes;
+        debug_assert!(stats.is_consistent(), "every cascade entry accounted once");
+        Ok(SubseqResult {
+            matches: selected,
+            stats,
+        })
+    }
+
+    /// [`SubseqMatcher::find_under`] executed across the rayon pool: the
+    /// haystack is split into `shards` contiguous window ranges (each
+    /// worker reading its sample range plus an `m − 1` halo, so every
+    /// window is evaluated whole by exactly one shard), each pass sweeps
+    /// all shards concurrently, and the per-pass shard winners merge
+    /// through the same greedy non-overlap selection the serial scan
+    /// uses. `shards == 0` picks one shard per rayon worker.
+    ///
+    /// **Results are bit-identical to the serial scan** — offsets,
+    /// distance bits, and tie order — for every shard count: a shard
+    /// prunes only against thresholds at or above its own running pass
+    /// best, which is itself at or above the global pass winner, so no
+    /// window that could win (or tie) a pass is ever disposed of early.
+    /// With one shard the execution *is* the serial scan, stats
+    /// included. With several, per-stage disposal counts may shift
+    /// between categories (each shard's threshold tightens from its
+    /// local best rather than the whole series' history — a window the
+    /// serial sweep pruned may complete its DP in a shard, and vice
+    /// versa), but the merged [`StreamStats`] still accounts for every
+    /// window visit exactly once and `windows`/`skipped_excluded` totals
+    /// match the serial scan.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, a negative/NaN `tau`, or feature-extraction failures
+    /// (adaptive policies).
+    pub fn find_k_parallel(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+        tau: f64,
+        shards: usize,
+    ) -> Result<SubseqResult, TsError> {
+        if k == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "k",
+                reason: "subsequence search needs k >= 1".to_string(),
+            });
+        }
+        if tau.is_nan() || tau < 0.0 {
+            return Err(TsError::InvalidParameter {
+                name: "tau",
+                reason: format!("distance threshold must be >= 0, got {tau}"),
+            });
+        }
+        let xv = series.values();
+        if xv.len() < self.m {
+            return Ok(SubseqResult {
+                matches: Vec::new(),
+                stats: StreamStats::default(),
+            });
+        }
+        let w_count = xv.len() - self.m + 1;
+        let shard_count = if shards == 0 {
+            rayon::current_num_threads()
+        } else {
+            shards
+        }
+        .clamp(1, w_count);
+
+        // Shard construction (the rolling LB_Kim precompute is O(samples)
+        // per shard) runs on the pool too.
+        let mut scans: Vec<ShardScan> = (0..shard_count)
+            .into_par_iter()
+            .map(|s| {
+                let ws = s * w_count / shard_count;
+                let we = (s + 1) * w_count / shard_count;
+                ShardScan::new(self, xv, ws, we)
+            })
+            .collect();
+
+        let mut selected: Vec<SubseqMatch> = Vec::new();
+        let mut passes = 0u32;
+        for _ in 0..k {
+            passes += 1;
+            let outcomes: Vec<(ShardScan, SweepOutcome)> = scans
+                .into_par_iter()
+                .map(|mut scan| {
+                    let won = scan.sweep(self, xv, tau, &selected);
+                    (scan, won)
+                })
+                .collect();
+            scans = Vec::with_capacity(shard_count);
+            let mut best: Option<(f64, usize)> = None;
+            for (scan, won) in outcomes {
+                scans.push(scan);
+                if let Some((d, w)) = won? {
+                    if Self::better(d, w, &best) {
                         best = Some((d, w));
                     }
                 }
@@ -321,6 +420,12 @@ impl SubseqMatcher {
                 Some((distance, offset)) => selected.push(SubseqMatch { offset, distance }),
             }
         }
+
+        let mut stats = StreamStats::default();
+        for scan in &scans {
+            stats.merge(&scan.stats);
+        }
+        stats.passes = passes;
         debug_assert!(stats.is_consistent(), "every cascade entry accounted once");
         Ok(SubseqResult {
             matches: selected,
@@ -336,34 +441,28 @@ impl SubseqMatcher {
         }
     }
 
-    /// Runs the cascade on one raw window against `threshold`, updating
-    /// the shared per-stage accounting. `kim` is the precomputed rolling
-    /// bound (`None` = stage abstained). Shared by the batch sweeps and
-    /// the streaming monitor.
+    /// Runs the shared cascade on one raw window against `threshold`,
+    /// updating the caller's per-stage accounting. `kim` is the
+    /// precomputed rolling bound (`None` = stage abstained). Shared by
+    /// the batch sweeps, the sharded parallel scan, and the streaming
+    /// monitors.
     pub(crate) fn evaluate_window(
         &self,
         raw: &[f64],
         kim: Option<f64>,
         threshold: f64,
-        window_buf: &mut Vec<f64>,
-        scratch: &mut DtwScratch,
-        cascade: &mut CascadeStats,
+        eval: &mut EvalScratch,
+        stats: &mut CascadeStats,
     ) -> Result<WindowVerdict, TsError> {
         debug_assert_eq!(raw.len(), self.m, "window must match the query length");
-        cascade.candidates += 1;
-        cascade.bounds_disabled = !self.bounds_ok;
-        if self.bounds_ok {
-            if let Some(kim) = kim {
-                if self.kim_prunes(kim, threshold) {
-                    cascade.pruned_kim += 1;
-                    return Ok(WindowVerdict::PrunedKim);
-                }
-            }
+        if let Some(kind) = self.cascade.screen_summary(stats, kim, threshold) {
+            return Ok(WindowVerdict::Pruned(kind));
         }
         // From here on the window statistics are exact: the batch-style
-        // normalisation reproduces `z_normalize` bit for bit, so LB_Keogh
-        // and the DP decide on the very values the oracle sees.
-        let wv = self.normalize_window(raw, window_buf);
+        // normalisation reproduces `z_normalize` bit for bit, so the
+        // sample-phase bounds and the DP decide on the very values the
+        // oracle sees.
+        let wv = self.normalize_window(raw, &mut eval.window);
         let planned;
         let band = match &self.fixed_band {
             Some(b) => b,
@@ -379,15 +478,18 @@ impl SubseqMatcher {
                 &planned
             }
         };
-        if self.bounds_ok && band.within_window(self.radius) {
-            let metric = self.config.sdtw.dtw.metric;
-            let lb = self.normalize_bound(lb_keogh_values(wv, &self.query_envelope, metric));
-            if lb > threshold {
-                cascade.pruned_keogh += 1;
-                return Ok(WindowVerdict::PrunedKeogh);
-            }
-        } else if self.bounds_ok {
-            cascade.lb_inapplicable += 1;
+        let input = SampleInput {
+            x: wv,
+            y: &self.query,
+            y_envelope: Some(&self.query_envelope),
+            x_envelope: None,
+            y_coarse: self.query_coarse.as_ref(),
+        };
+        if let Some(kind) =
+            self.cascade
+                .screen_samples(stats, &input, band, threshold, &mut eval.cascade)
+        {
+            return Ok(WindowVerdict::Pruned(kind));
         }
         match self
             .engine
@@ -395,19 +497,17 @@ impl SubseqMatcher {
             .band(band)
             .cutoff(threshold)
             .path(false)
-            .scratch(scratch)
+            .scratch(&mut eval.dtw)
             .run()?
         {
             None => {
-                cascade.abandoned += 1;
                 // the abandoning run still paid for part of the grid;
                 // charge the full band conservatively (as the index does)
-                cascade.cells_filled += band.area() as u64;
+                stats.record_abandoned(band.area());
                 Ok(WindowVerdict::Abandoned)
             }
             Some(r) => {
-                cascade.dp_completed += 1;
-                cascade.cells_filled += r.cells_filled as u64;
+                stats.record_completed(r.cells_filled);
                 Ok(WindowVerdict::Completed(r.distance))
             }
         }
@@ -458,18 +558,6 @@ impl SubseqMatcher {
         Some(self.normalize_bound(lb_kim(&self.query_summary, &summary, metric)))
     }
 
-    /// Whether a rolling LB_Kim value prunes against `threshold`. Under
-    /// z-normalisation the bound carries the rolling-moment error, so it
-    /// must clear the threshold by [`KIM_GUARD`]; raw windows use the
-    /// exact strict comparison (ties must survive either way).
-    pub(crate) fn kim_prunes(&self, kim: f64, threshold: f64) -> bool {
-        if self.config.z_normalize {
-            kim > threshold + KIM_GUARD * (1.0 + threshold.abs() + kim)
-        } else {
-            kim > threshold
-        }
-    }
-
     /// Z-normalises a raw window into `buf` via the one shared
     /// implementation ([`z_normalize_values`] — bit-identical to the
     /// [`z_normalize`] series path by construction), or passes it
@@ -489,6 +577,33 @@ impl SubseqMatcher {
             Normalization::None => raw,
             Normalization::LengthSum => raw / (2 * self.m) as f64,
         }
+    }
+
+    /// Precomputes the rolling LB_Kim bound of every window in
+    /// `[ws, we)` from one incremental sweep over the sample range the
+    /// shard owns (`[ws, we − 1 + m)` — its windows plus the `m − 1`
+    /// halo). The accumulators are the very ones the streaming monitor
+    /// feeds push by push; a shard starting at `ws == 0` reproduces the
+    /// serial sweep bit for bit. Later shards seed their moments at
+    /// their own first sample, which can flip borderline guarded prunes
+    /// — admissible either way, so matches never change.
+    fn rolling_kims(&self, xv: &[f64], ws: usize, we: usize) -> Vec<Option<f64>> {
+        let mut out = Vec::with_capacity(we - ws);
+        if !self.bounds_ok {
+            out.resize(we - ws, None);
+            return out;
+        }
+        let mut moments = WindowedStats::new(self.m);
+        let mut extrema = RollingExtrema::new(self.m);
+        for (t, &v) in xv[ws..we - 1 + self.m].iter().enumerate() {
+            moments.push(v);
+            extrema.push(v);
+            if t + 1 >= self.m {
+                let w = ws + t + 1 - self.m;
+                out.push(self.kim_bound(xv[w], v, extrema.min(), extrema.max(), &moments));
+            }
+        }
+        out
     }
 
     /// Greedy non-overlapping selection over scored candidates: ascending
@@ -515,6 +630,96 @@ impl SubseqMatcher {
             }
         }
         picked
+    }
+}
+
+/// One worker's share of a (possibly sharded) scan: the window range
+/// `[ws, we)`, its precomputed rolling bounds, and every piece of
+/// per-worker state the sweep mutates — the completed-distance cache,
+/// the DP/cascade scratch buffers, and the shard's own [`StreamStats`].
+///
+/// The serial scan runs exactly one of these over the whole window
+/// range; [`SubseqMatcher::find_k_parallel`] runs one per shard and
+/// merges.
+#[derive(Debug)]
+struct ShardScan {
+    /// First window this shard owns.
+    ws: usize,
+    /// One past the last window this shard owns.
+    we: usize,
+    /// Rolling LB_Kim per owned window (`kims[w - ws]`).
+    kims: Vec<Option<f64>>,
+    /// Completed DP distances, keyed by global window offset.
+    computed: BTreeMap<usize, f64>,
+    eval: EvalScratch,
+    stats: StreamStats,
+}
+
+impl ShardScan {
+    /// Prepares a shard over windows `[ws, we)` of `xv` (`ws < we`).
+    fn new(matcher: &SubseqMatcher, xv: &[f64], ws: usize, we: usize) -> Self {
+        debug_assert!(ws < we && we <= xv.len() - matcher.m + 1);
+        Self {
+            ws,
+            we,
+            kims: matcher.rolling_kims(xv, ws, we),
+            computed: BTreeMap::new(),
+            eval: EvalScratch::default(),
+            stats: StreamStats {
+                windows: (we - ws) as u64,
+                ..StreamStats::default()
+            },
+        }
+    }
+
+    /// One greedy best-match pass over the shard's windows: finds the
+    /// minimal `(distance, offset)` among non-excluded windows at or
+    /// under `tau`, pruning against the pass's running best (seeded from
+    /// the completed-distance cache) — the serial sweep restricted to
+    /// `[ws, we)`.
+    fn sweep(
+        &mut self,
+        matcher: &SubseqMatcher,
+        xv: &[f64],
+        tau: f64,
+        selected: &[SubseqMatch],
+    ) -> SweepOutcome {
+        let excluded = |w: usize| {
+            selected
+                .iter()
+                .any(|s| w.abs_diff(s.offset) < matcher.exclusion)
+        };
+        let mut best: Option<(f64, usize)> = None;
+        for (&w, &d) in &self.computed {
+            if d <= tau && !excluded(w) && SubseqMatcher::better(d, w, &best) {
+                best = Some((d, w));
+            }
+        }
+        for w in self.ws..self.we {
+            if excluded(w) {
+                self.stats.skipped_excluded += 1;
+                continue;
+            }
+            if self.computed.contains_key(&w) {
+                self.stats.cache_hits += 1;
+                continue;
+            }
+            let threshold = best.map_or(tau, |(d, _)| d.min(tau));
+            let verdict = matcher.evaluate_window(
+                &xv[w..w + matcher.m],
+                self.kims[w - self.ws],
+                threshold,
+                &mut self.eval,
+                &mut self.stats.cascade,
+            )?;
+            if let WindowVerdict::Completed(d) = verdict {
+                self.computed.insert(w, d);
+                if d <= tau && SubseqMatcher::better(d, w, &best) {
+                    best = Some((d, w));
+                }
+            }
+        }
+        Ok(best)
     }
 }
 

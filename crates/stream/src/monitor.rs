@@ -1,11 +1,224 @@
 //! Streaming mode: samples pushed one at a time into a ring buffer.
+//!
+//! The per-stream machinery is split so multi-query monitoring pays it
+//! once: a `StreamIngest` owns everything that depends only on the
+//! *stream* (the ring buffer, the incremental [`WindowedStats`] moments
+//! and the [`RollingExtrema`] deques), a `QueryRuntime` owns everything
+//! per *query* (the prepared matcher, the DP/cascade scratch, retained
+//! candidates, stats). A [`StreamMonitor`] is one ingest feeding one
+//! runtime; a [`crate::MonitorBank`] is one ingest fanning every
+//! completed window across N runtimes.
 
-use crate::matcher::{SubseqMatch, SubseqMatcher, WindowVerdict};
+use crate::matcher::{EvalScratch, SubseqMatch, SubseqMatcher, WindowVerdict};
 use crate::rolling::RollingExtrema;
 use crate::stats::StreamStats;
-use sdtw::DtwScratch;
 use sdtw_tseries::stats::WindowedStats;
 use sdtw_tseries::TsError;
+
+/// The per-stream half of a monitor: the query-length ring buffer and
+/// the O(1) incremental window statistics, paid once per stream no
+/// matter how many queries watch it.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamIngest {
+    moments: WindowedStats,
+    extrema: RollingExtrema,
+    raw_buf: Vec<f64>,
+}
+
+impl StreamIngest {
+    /// Creates an ingest over windows of `m` samples.
+    pub(crate) fn new(m: usize) -> Self {
+        Self {
+            moments: WindowedStats::new(m),
+            extrema: RollingExtrema::new(m),
+            raw_buf: Vec::with_capacity(m),
+        }
+    }
+
+    /// Pushes one sample. Returns the completed window's offset once at
+    /// least one full window is buffered (the window itself is readable
+    /// via [`StreamIngest::raw_window`]).
+    ///
+    /// # Errors
+    ///
+    /// A non-finite sample, rejected before touching any stream state —
+    /// a NaN admitted here would silently poison the rolling statistics
+    /// and every window containing it.
+    pub(crate) fn push(&mut self, v: f64) -> Result<Option<usize>, TsError> {
+        if !v.is_finite() {
+            return Err(TsError::NonFinite {
+                index: self.moments.pushed() as usize,
+                value: v,
+            });
+        }
+        self.moments.push(v);
+        self.extrema.push(v);
+        if !self.moments.is_full() {
+            return Ok(None);
+        }
+        let offset = (self.moments.pushed() - self.moments.capacity() as u64) as usize;
+        self.moments.copy_window_into(&mut self.raw_buf);
+        Ok(Some(offset))
+    }
+
+    /// Samples pushed so far (the stream position).
+    pub(crate) fn position(&self) -> u64 {
+        self.moments.pushed()
+    }
+
+    /// The latest completed window, oldest sample first. Valid only
+    /// after [`StreamIngest::push`] returned an offset.
+    pub(crate) fn raw_window(&self) -> &[f64] {
+        &self.raw_buf
+    }
+
+    /// The sliding moments (for the rolling LB_Kim).
+    pub(crate) fn moments(&self) -> &WindowedStats {
+        &self.moments
+    }
+
+    /// The sliding extrema (for the rolling LB_Kim).
+    pub(crate) fn extrema(&self) -> &RollingExtrema {
+        &self.extrema
+    }
+
+    /// Forgets all stream state (capacity retained).
+    pub(crate) fn clear(&mut self) {
+        self.moments.clear();
+        self.extrema.clear();
+        self.raw_buf.clear();
+    }
+}
+
+/// The per-query half of a monitor: the prepared matcher plus every
+/// buffer and counter one query mutates as windows arrive. Fed completed
+/// windows by a [`StreamIngest`] (its own in a [`StreamMonitor`], a
+/// shared one in a [`crate::MonitorBank`]).
+#[derive(Debug, Clone)]
+pub(crate) struct QueryRuntime {
+    matcher: SubseqMatcher,
+    k: usize,
+    tau: f64,
+    eval: EvalScratch,
+    /// Completed windows with distance ≤ the acceptance threshold.
+    candidates: Vec<SubseqMatch>,
+    stats: StreamStats,
+}
+
+impl QueryRuntime {
+    /// Validates and wraps one query's monitoring state.
+    pub(crate) fn new(matcher: SubseqMatcher, k: usize, tau: f64) -> Result<Self, TsError> {
+        if k == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "k",
+                reason: "stream monitoring needs k >= 1".to_string(),
+            });
+        }
+        if tau.is_nan() || tau < 0.0 {
+            return Err(TsError::InvalidParameter {
+                name: "tau",
+                reason: format!("distance threshold must be >= 0, got {tau}"),
+            });
+        }
+        Ok(Self {
+            matcher,
+            k,
+            tau,
+            eval: EvalScratch::default(),
+            candidates: Vec::new(),
+            stats: StreamStats {
+                passes: 1,
+                ..StreamStats::default()
+            },
+        })
+    }
+
+    /// The wrapped matcher.
+    pub(crate) fn matcher(&self) -> &SubseqMatcher {
+        &self.matcher
+    }
+
+    /// Runs this query's cascade on the window the ingest just
+    /// completed. Returns the window's match when its DP completed at or
+    /// under the acceptance threshold (a *candidate* — it may later be
+    /// displaced by a better overlapping one).
+    pub(crate) fn on_window(
+        &mut self,
+        ingest: &StreamIngest,
+        offset: usize,
+    ) -> Result<Option<SubseqMatch>, TsError> {
+        self.stats.windows += 1;
+        // Sound pruning threshold: best-so-far for k = 1, tau otherwise.
+        let threshold = if self.k == 1 {
+            self.candidates.first().map_or(self.tau, |b| b.distance)
+        } else {
+            self.tau
+        };
+        let moments = ingest.moments();
+        let kim = self.matcher.kim_bound(
+            moments.front(),
+            moments.back(),
+            ingest.extrema().min(),
+            ingest.extrema().max(),
+            moments,
+        );
+        let verdict = self.matcher.evaluate_window(
+            ingest.raw_window(),
+            kim,
+            threshold,
+            &mut self.eval,
+            &mut self.stats.cascade,
+        )?;
+        if let WindowVerdict::Completed(distance) = verdict {
+            if distance <= threshold {
+                let m = SubseqMatch { offset, distance };
+                if self.k == 1 {
+                    // only the running best is ever needed; windows
+                    // arrive in offset order, so a strict improvement is
+                    // exactly the greedy (distance, offset) order
+                    if self
+                        .candidates
+                        .first()
+                        .is_none_or(|b| distance < b.distance)
+                    {
+                        self.candidates.clear();
+                        self.candidates.push(m);
+                        return Ok(Some(m));
+                    }
+                    return Ok(None);
+                }
+                self.candidates.push(m);
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The current best non-overlapping matches, ascending by
+    /// `(distance, offset)`.
+    pub(crate) fn matches(&self) -> Vec<SubseqMatch> {
+        self.matcher.select_greedy(&self.candidates, self.k)
+    }
+
+    /// Candidates retained so far.
+    pub(crate) fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Accounting so far.
+    pub(crate) fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Forgets everything seen (query preparation retained).
+    pub(crate) fn reset(&mut self) {
+        self.candidates.clear();
+        self.stats = StreamStats {
+            passes: 1,
+            ..StreamStats::default()
+        };
+    }
+}
 
 /// Online subsequence monitor: push samples as they arrive, read the
 /// best non-overlapping matches seen so far at any point.
@@ -40,17 +253,8 @@ use sdtw_tseries::TsError;
 /// paying the DP for most windows. Give monitors a finite `tau`.
 #[derive(Debug, Clone)]
 pub struct StreamMonitor {
-    matcher: SubseqMatcher,
-    k: usize,
-    tau: f64,
-    moments: WindowedStats,
-    extrema: RollingExtrema,
-    raw_buf: Vec<f64>,
-    window_buf: Vec<f64>,
-    scratch: DtwScratch,
-    /// Completed windows with distance ≤ the acceptance threshold.
-    candidates: Vec<SubseqMatch>,
-    stats: StreamStats,
+    ingest: StreamIngest,
+    runtime: QueryRuntime,
 }
 
 impl StreamMonitor {
@@ -60,45 +264,22 @@ impl StreamMonitor {
     ///
     /// `k == 0` or a negative/NaN `tau`.
     pub fn new(matcher: SubseqMatcher, k: usize, tau: f64) -> Result<Self, TsError> {
-        if k == 0 {
-            return Err(TsError::InvalidParameter {
-                name: "k",
-                reason: "stream monitoring needs k >= 1".to_string(),
-            });
-        }
-        if tau.is_nan() || tau < 0.0 {
-            return Err(TsError::InvalidParameter {
-                name: "tau",
-                reason: format!("distance threshold must be >= 0, got {tau}"),
-            });
-        }
         let m = matcher.query_len();
         Ok(Self {
-            matcher,
-            k,
-            tau,
-            moments: WindowedStats::new(m),
-            extrema: RollingExtrema::new(m),
-            raw_buf: Vec::with_capacity(m),
-            window_buf: Vec::with_capacity(m),
-            scratch: DtwScratch::new(),
-            candidates: Vec::new(),
-            stats: StreamStats {
-                passes: 1,
-                ..StreamStats::default()
-            },
+            ingest: StreamIngest::new(m),
+            runtime: QueryRuntime::new(matcher, k, tau)?,
         })
     }
 
     /// The wrapped matcher.
     pub fn matcher(&self) -> &SubseqMatcher {
-        &self.matcher
+        self.runtime.matcher()
     }
 
     /// Samples pushed so far (the stream position; the window completed
     /// by the latest push starts at `position() - query_len`).
     pub fn position(&self) -> u64 {
-        self.moments.pushed()
+        self.ingest.position()
     }
 
     /// Pushes one sample; once at least one full window is buffered the
@@ -117,64 +298,10 @@ impl StreamMonitor {
     /// every window containing it), or feature-extraction failures
     /// (adaptive policies only).
     pub fn push(&mut self, v: f64) -> Result<Option<SubseqMatch>, TsError> {
-        if !v.is_finite() {
-            return Err(TsError::NonFinite {
-                index: self.moments.pushed() as usize,
-                value: v,
-            });
+        match self.ingest.push(v)? {
+            None => Ok(None),
+            Some(offset) => self.runtime.on_window(&self.ingest, offset),
         }
-        self.moments.push(v);
-        self.extrema.push(v);
-        if !self.moments.is_full() {
-            return Ok(None);
-        }
-        let offset = (self.moments.pushed() - self.moments.capacity() as u64) as usize;
-        self.stats.windows += 1;
-        // Sound pruning threshold: best-so-far for k = 1, tau otherwise.
-        let threshold = if self.k == 1 {
-            self.candidates.first().map_or(self.tau, |b| b.distance)
-        } else {
-            self.tau
-        };
-        let kim = self.matcher.kim_bound(
-            self.moments.front(),
-            self.moments.back(),
-            self.extrema.min(),
-            self.extrema.max(),
-            &self.moments,
-        );
-        self.moments.copy_window_into(&mut self.raw_buf);
-        let verdict = self.matcher.evaluate_window(
-            &self.raw_buf,
-            kim,
-            threshold,
-            &mut self.window_buf,
-            &mut self.scratch,
-            &mut self.stats.cascade,
-        )?;
-        if let WindowVerdict::Completed(distance) = verdict {
-            if distance <= threshold {
-                let m = SubseqMatch { offset, distance };
-                if self.k == 1 {
-                    // only the running best is ever needed; windows
-                    // arrive in offset order, so a strict improvement is
-                    // exactly the greedy (distance, offset) order
-                    if self
-                        .candidates
-                        .first()
-                        .is_none_or(|b| distance < b.distance)
-                    {
-                        self.candidates.clear();
-                        self.candidates.push(m);
-                        return Ok(Some(m));
-                    }
-                    return Ok(None);
-                }
-                self.candidates.push(m);
-                return Ok(Some(m));
-            }
-        }
-        Ok(None)
     }
 
     /// Pushes a batch of samples (convenience wrapper over
@@ -197,29 +324,24 @@ impl StreamMonitor {
     /// `(distance, offset)` — the greedy selection over every candidate
     /// scored so far.
     pub fn matches(&self) -> Vec<SubseqMatch> {
-        self.matcher.select_greedy(&self.candidates, self.k)
+        self.runtime.matches()
     }
 
     /// Candidates retained so far (diagnostics; superset of
     /// [`StreamMonitor::matches`]).
     pub fn candidate_count(&self) -> usize {
-        self.candidates.len()
+        self.runtime.candidate_count()
     }
 
     /// Accounting so far.
     pub fn stats(&self) -> &StreamStats {
-        &self.stats
+        self.runtime.stats()
     }
 
     /// Forgets all stream state (query preparation is retained).
     pub fn reset(&mut self) {
-        self.moments.clear();
-        self.extrema.clear();
-        self.candidates.clear();
-        self.stats = StreamStats {
-            passes: 1,
-            ..StreamStats::default()
-        };
+        self.ingest.clear();
+        self.runtime.reset();
     }
 }
 

@@ -1,6 +1,6 @@
 //! Per-search accounting, wrapping the shared cascade stats.
 
-use sdtw_index::CascadeStats;
+use sdtw_dtw::cascade::CascadeStats;
 use serde::{Deserialize, Serialize};
 
 /// What one subsequence search (or one monitor session) did: the shared
@@ -33,6 +33,21 @@ pub struct StreamStats {
 }
 
 impl StreamStats {
+    /// Folds another search's accounting into this one — how parallel
+    /// shards and monitor banks aggregate instead of dropping counts.
+    /// Window-level counters and the nested [`CascadeStats`] sum;
+    /// `passes` takes the maximum, because merged participants sweep
+    /// *concurrently* (every shard of one parallel scan runs the same
+    /// pass, and every monitor of a bank is its own single endless
+    /// pass), so summing would overstate the pass count.
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.windows += other.windows;
+        self.passes = self.passes.max(other.passes);
+        self.skipped_excluded += other.skipped_excluded;
+        self.cache_hits += other.cache_hits;
+        self.cascade.merge(&other.cascade);
+    }
+
     /// Fraction of cascade entries disposed of before the DP completed
     /// (lower-bound prunes + early abandons), in `[0, 1]`.
     pub fn prune_rate(&self) -> f64 {
@@ -78,6 +93,47 @@ mod tests {
         assert!(s.is_consistent());
         assert!((s.prune_rate() - 0.7).abs() < 1e-12);
         assert!((s.lb_prune_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_passes() {
+        let a = StreamStats {
+            windows: 10,
+            passes: 3,
+            skipped_excluded: 2,
+            cache_hits: 1,
+            cascade: CascadeStats {
+                candidates: 7,
+                pruned_kim: 3,
+                pruned_paa: 1,
+                abandoned: 1,
+                dp_completed: 2,
+                cells_filled: 40,
+                ..CascadeStats::default()
+            },
+        };
+        let b = StreamStats {
+            windows: 5,
+            passes: 2,
+            skipped_excluded: 4,
+            cache_hits: 0,
+            cascade: CascadeStats {
+                candidates: 5,
+                pruned_keogh: 2,
+                dp_completed: 3,
+                cells_filled: 60,
+                ..CascadeStats::default()
+            },
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.windows, 15);
+        assert_eq!(m.passes, 3, "concurrent sweeps take the max");
+        assert_eq!(m.skipped_excluded, 6);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cascade.candidates, 12);
+        assert_eq!(m.cascade.cells_filled, 100);
+        assert!(m.is_consistent());
     }
 
     #[test]

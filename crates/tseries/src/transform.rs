@@ -196,6 +196,30 @@ pub fn paa(ts: &TimeSeries, segments: usize) -> Result<TimeSeries, TsError> {
     Ok(rebuild(ts, out))
 }
 
+/// Fixed-width PAA over a raw sample slice, writing segment means into a
+/// reusable buffer (cleared first): segment `j` covers samples
+/// `[j·width, min((j+1)·width, len))`, so every segment has exactly
+/// `width` samples except a possibly shorter tail. Unlike [`paa`]'s
+/// fractional chunking, the integer segmentation keeps per-segment
+/// weights whole — the property the cascade's coarse (PAA) lower bound
+/// needs for its admissibility argument (each segment's bound term is
+/// multiplied by its exact sample count; see `sdtw_dtw::cascade`).
+///
+/// # Panics
+///
+/// Panics when `width == 0` (programmer error).
+pub fn paa_fixed_values(src: &[f64], width: usize, out: &mut Vec<f64>) {
+    assert!(width > 0, "PAA segment width must be positive");
+    out.clear();
+    let mut j = 0;
+    while j < src.len() {
+        let hi = (j + width).min(src.len());
+        let seg = &src[j..hi];
+        out.push(seg.iter().sum::<f64>() / seg.len() as f64);
+        j = hi;
+    }
+}
+
 /// Adds a constant offset to every sample.
 pub fn offset(ts: &TimeSeries, delta: f64) -> TimeSeries {
     rebuild(ts, ts.values().iter().map(|v| v + delta).collect())
@@ -328,6 +352,23 @@ mod tests {
         let a = ts(&[1.0, 2.0]);
         assert!(paa(&a, 0).is_err());
         assert!(paa(&a, 3).is_err());
+    }
+
+    #[test]
+    fn paa_fixed_values_takes_integer_segment_means() {
+        let mut out = Vec::new();
+        paa_fixed_values(&[1.0, 3.0, 5.0, 7.0, 10.0], 2, &mut out);
+        assert_eq!(out, vec![2.0, 6.0, 10.0], "tail keeps its own mean");
+        paa_fixed_values(&[4.0, 8.0], 8, &mut out);
+        assert_eq!(out, vec![6.0], "oversized width is one segment");
+        paa_fixed_values(&[], 3, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn paa_fixed_values_rejects_zero_width() {
+        paa_fixed_values(&[1.0], 0, &mut Vec::new());
     }
 
     #[test]

@@ -16,8 +16,19 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads a parallel call will use.
+/// Number of worker threads a parallel call will use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer (the knob real rayon honours, used by CI to exercise the
+/// parallel paths both degenerate and fanned out), otherwise the
+/// machine's available parallelism.
 pub fn current_num_threads() -> usize {
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

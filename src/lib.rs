@@ -62,7 +62,8 @@ pub mod prelude {
     };
     pub use sdtw_index::{CascadeStats, IndexConfig, Neighbor, SdtwIndex};
     pub use sdtw_stream::{
-        StreamConfig, StreamMonitor, StreamStats, SubseqMatch, SubseqMatcher, SubseqResult,
+        BankQuery, MonitorBank, StreamConfig, StreamMonitor, StreamStats, SubseqMatch,
+        SubseqMatcher, SubseqResult,
     };
     pub use sdtw_tseries::stats::WindowedStats;
     pub use sdtw_tseries::{ElementMetric, TimeSeries, TsError, WarpMap};

@@ -14,6 +14,7 @@ const EXPECTED: &[&str] = &[
     "AmercedKernel",
     "Band",
     "BandSymmetry",
+    "BankQuery",
     "CascadeStats",
     "ConstraintPolicy",
     "Dataset",
@@ -28,6 +29,7 @@ const EXPECTED: &[&str] = &[
     "IndexConfig",
     "KernelChoice",
     "MatchConfig",
+    "MonitorBank",
     "Neighbor",
     "Normalization",
     "PhaseTiming",
@@ -139,6 +141,8 @@ fn snapshot_items_actually_resolve() {
     assert_type::<prelude::SdtwIndex>();
     assert_type::<prelude::SubseqMatcher>();
     assert_type::<prelude::StreamMonitor>();
+    assert_type::<prelude::MonitorBank>();
+    assert_type::<prelude::BankQuery>();
     assert_type::<prelude::StreamConfig>();
     assert_type::<prelude::WindowedStats>();
     let _: fn(

@@ -175,4 +175,182 @@ fn cascade_prunes_most_windows_on_seeded_data() {
         got.stats.cascade.candidates,
         got.stats
     );
+    // the coarse PAA pre-filter stage must itself dispose of windows
+    // (it sits between the rolling LB_Kim and the fine LB_Keogh)
+    assert!(
+        got.stats.cascade.pruned_paa > 0,
+        "PAA pre-filter never fired: {:?}",
+        got.stats
+    );
+}
+
+/// Asserts `find_k_parallel` ≡ the serial scan on one (matcher, hay, k,
+/// tau) combination across shard counts {1, 2, 3, 7}: bit-identical
+/// matches for every count, full stats equality for one shard, and
+/// shard-invariant visit accounting for the rest.
+fn assert_sharded_equals_serial(matcher: &SubseqMatcher, hay: &TimeSeries, k: usize, tau: f64) {
+    let serial = matcher.find_under(hay, k, tau).unwrap();
+    for shards in [1usize, 2, 3, 7] {
+        let parallel = matcher.find_k_parallel(hay, k, tau, shards).unwrap();
+        assert_eq!(
+            parallel.matches.len(),
+            serial.matches.len(),
+            "shards={shards} k={k}: match count"
+        );
+        for (p, s) in parallel.matches.iter().zip(&serial.matches) {
+            assert_eq!(p.offset, s.offset, "shards={shards} k={k}: offsets");
+            assert_eq!(
+                p.distance.to_bits(),
+                s.distance.to_bits(),
+                "shards={shards} k={k}: distance bits"
+            );
+        }
+        assert!(parallel.stats.is_consistent(), "shards={shards}");
+        if shards == 1 {
+            // one shard IS the serial scan — every counter agrees
+            assert_eq!(parallel.stats, serial.stats, "one shard must equal serial");
+        } else {
+            // across shard counts the *visit* accounting is invariant:
+            // same windows, same passes, same exclusion skips, and the
+            // same number of window visits overall (a visit is either a
+            // cascade entry or a cache hit — shard-local thresholds may
+            // shift windows between those, never drop them)
+            assert_eq!(parallel.stats.windows, serial.stats.windows);
+            assert_eq!(parallel.stats.passes, serial.stats.passes);
+            assert_eq!(
+                parallel.stats.skipped_excluded,
+                serial.stats.skipped_excluded
+            );
+            assert_eq!(
+                parallel.stats.cascade.candidates + parallel.stats.cache_hits,
+                serial.stats.cascade.candidates + serial.stats.cache_hits,
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_parallel_scan_is_bit_identical_to_serial() {
+    for (analog, seed, rows) in [
+        (UcrAnalog::Gun, 20120827u64, 6usize),
+        (UcrAnalog::Trace, 42, 3),
+        (UcrAnalog::Words50, 7, 3),
+    ] {
+        let ds = analog.generate(seed);
+        let query = ds.series[0].clone();
+        let hay = haystack(&ds.series[1..1 + rows]);
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        for k in [1usize, 5] {
+            assert_sharded_equals_serial(&matcher, &hay, k, f64::INFINITY);
+        }
+        // a finite tau exactly at a selected distance: the boundary tie
+        // must survive sharding too
+        let probe = matcher.find(&hay, 2).unwrap();
+        if let Some(last) = probe.matches.last() {
+            assert_sharded_equals_serial(&matcher, &hay, 3, last.distance);
+        }
+    }
+}
+
+#[test]
+fn sharded_scan_is_exact_with_sdtw_bands_and_raw_mode() {
+    let ds = UcrAnalog::Gun.generate(5);
+    let query = ds.series[0].clone();
+    let hay = haystack(&ds.series[1..4]);
+    // adaptive per-window sDTW bands planned inside each shard worker
+    let adaptive = StreamConfig {
+        lb_radius_frac: 0.2,
+        ..StreamConfig::sdtw_bands()
+    };
+    let matcher = SubseqMatcher::new(&query, adaptive).unwrap();
+    assert_sharded_equals_serial(&matcher, &hay, 3, f64::INFINITY);
+    // raw mode: exact (unguarded) rolling bounds
+    let raw = StreamConfig {
+        z_normalize: false,
+        ..StreamConfig::exact_banded(0.2)
+    };
+    let matcher = SubseqMatcher::new(&query, raw).unwrap();
+    assert_sharded_equals_serial(&matcher, &hay, 2, f64::INFINITY);
+}
+
+#[test]
+fn sharded_scan_handles_degenerate_inputs() {
+    let ds = UcrAnalog::Gun.generate(9);
+    let query = ds.series[0].clone();
+    let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+    // series shorter than the query: empty result, no panic
+    let short = TimeSeries::new(vec![0.0; 10]).unwrap();
+    assert!(matcher
+        .find_k_parallel(&short, 1, f64::INFINITY, 4)
+        .unwrap()
+        .matches
+        .is_empty());
+    // more shards than windows: clamped, still exact
+    let tight = haystack(&ds.series[1..2]);
+    let serial = matcher.find(&tight, 1).unwrap();
+    let sharded = matcher
+        .find_k_parallel(&tight, 1, f64::INFINITY, 10_000)
+        .unwrap();
+    assert_eq!(sharded.matches.len(), serial.matches.len());
+    for (p, s) in sharded.matches.iter().zip(&serial.matches) {
+        assert_eq!(p.offset, s.offset);
+        assert_eq!(p.distance.to_bits(), s.distance.to_bits());
+    }
+    // bad parameters are rejected like the serial path
+    assert!(matcher
+        .find_k_parallel(&tight, 0, f64::INFINITY, 2)
+        .is_err());
+    assert!(matcher.find_k_parallel(&tight, 1, -1.0, 2).is_err());
+}
+
+#[test]
+fn monitor_bank_equals_independent_monitors_on_seeded_data() {
+    // the shared-ingest bank must be indistinguishable, query by query
+    // and bit by bit, from N standalone monitors fed the same stream
+    let ds = UcrAnalog::Gun.generate(31);
+    let hay = haystack(&ds.series[4..10]);
+    let queries: Vec<TimeSeries> = ds.series[..3].to_vec();
+    let matchers: Vec<SubseqMatcher> = queries
+        .iter()
+        .map(|q| SubseqMatcher::new(q, StreamConfig::exact_banded(0.2)).unwrap())
+        .collect();
+    // mixed per-query regimes: UCR best-match, and threshold monitoring
+    let probe = matchers[1].find(&hay, 2).unwrap();
+    let tau1 = probe.matches.last().unwrap().distance * 1.2;
+    let specs: Vec<(usize, f64)> = vec![(1, f64::INFINITY), (3, tau1), (1, tau1)];
+
+    let mut bank = MonitorBank::new(
+        matchers
+            .iter()
+            .zip(&specs)
+            .map(|(m, &(k, tau))| BankQuery::new(m.clone(), k, tau)),
+    )
+    .unwrap();
+    bank.process(hay.values()).unwrap();
+
+    let mut merged_expected = StreamStats::default();
+    for (qi, (m, &(k, tau))) in matchers.iter().zip(&specs).enumerate() {
+        let mut solo = StreamMonitor::new(m.clone(), k, tau).unwrap();
+        solo.process(hay.values()).unwrap();
+        let bank_matches = bank.matches(qi);
+        let solo_matches = solo.matches();
+        assert_eq!(bank_matches.len(), solo_matches.len(), "query {qi}");
+        for (a, b) in bank_matches.iter().zip(&solo_matches) {
+            assert_eq!(a.offset, b.offset, "query {qi}: offsets");
+            assert_eq!(
+                a.distance.to_bits(),
+                b.distance.to_bits(),
+                "query {qi}: distance bits"
+            );
+        }
+        assert_eq!(bank.stats(qi), solo.stats(), "query {qi}: stats");
+        assert_eq!(
+            bank.candidate_count(qi),
+            solo.candidate_count(),
+            "query {qi}: candidates"
+        );
+        merged_expected.merge(solo.stats());
+    }
+    assert_eq!(bank.merged_stats(), merged_expected);
+    assert_eq!(bank.position(), hay.len() as u64);
 }
