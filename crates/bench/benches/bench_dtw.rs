@@ -11,12 +11,21 @@
 //!   machinery as the standard kernel;
 //! * `api_knn` — index kNN batches under the standard and amerced
 //!   kernels (same cascade, kernel swapped via configuration).
+//!
+//! Plus the engine-parity records: `engine_parity_<N>core` pins the
+//! wavefront fill against the row fill on identical inputs (the core
+//! count in the group name qualifies the ratio — see DESIGN §11), and
+//! `lb_batch` pins the 8-lane LB_Keogh pass against eight scalar calls.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdtw::{ConstraintPolicy, FeatureStore, KernelChoice, SDtw, SDtwConfig};
-use sdtw_dtw::engine::{dtw_full, dtw_run_options, DtwOptions, DtwScratch};
+use sdtw_dtw::engine::{
+    dtw_full, dtw_run_options, dtw_run_options_values_with, DtwEngine, DtwOptions, DtwScratch,
+};
 use sdtw_dtw::itakura::itakura_band;
+use sdtw_dtw::lower_bound::{lb_keogh_batch, lb_keogh_values, Envelope, LB_LANES};
 use sdtw_dtw::sakoe::sakoe_chiba_band;
+use sdtw_dtw::Band;
 use sdtw_eval::compute_matrix;
 use sdtw_index::{IndexConfig, SdtwIndex};
 use sdtw_salient::extract_features;
@@ -184,6 +193,87 @@ fn bench_api_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wavefront vs row fill on the same pair and band — the parity record
+/// the tracked baseline carries. The group name notes the core count the
+/// run saw: the anti-diagonal layout exists for lane-parallel hardware,
+/// so a 1-core runner is expected to show parity (ratio ≈ 1) rather than
+/// a speedup, and the record documents that ratio either way.
+fn bench_engine_parity(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let group_name = format!("engine_parity_{cores}core");
+    let mut group = c.benchmark_group(&group_name);
+    let opts = DtwOptions::default();
+    let mut scratch = DtwScratch::new();
+    for &n in &[256usize, 512] {
+        let x = series(n, 0.0);
+        let y = series(n, 1.3);
+        for (bname, band) in [
+            ("full", Band::full(n, n)),
+            ("sakoe10", sakoe_chiba_band(n, n, 0.10)),
+        ] {
+            for (ename, engine) in [
+                ("wavefront", DtwEngine::Wavefront),
+                ("rows", DtwEngine::Rows),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{ename}_{bname}"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| {
+                            black_box(
+                                dtw_run_options_values_with(
+                                    engine,
+                                    x.values(),
+                                    y.values(),
+                                    &band,
+                                    &opts,
+                                    None,
+                                    &mut scratch,
+                                )
+                                .expect("no cutoff")
+                                .distance,
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// One 8-lane batched LB_Keogh pass vs eight scalar calls over the same
+/// envelopes — the cascade's candidate-batch shape. Bit-identity is the
+/// test suite's business; this tracks what the chunked layout buys.
+fn bench_lb_batch(c: &mut Criterion) {
+    let n = 256;
+    let x = series(n, 0.0);
+    let envelopes: Vec<Envelope> = (0..LB_LANES)
+        .map(|k| Envelope::build(&series(n, 0.7 + 0.1 * k as f64), n / 20))
+        .collect();
+    let env_refs: Vec<&Envelope> = envelopes.iter().collect();
+    let metric = DtwOptions::default().metric;
+    let mut group = c.benchmark_group("lb_batch");
+    group.bench_function("scalar_x8", |b| {
+        b.iter(|| {
+            black_box(
+                envelopes
+                    .iter()
+                    .map(|env| lb_keogh_values(x.values(), env, metric))
+                    .sum::<f64>(),
+            )
+        })
+    });
+    let mut out = Vec::with_capacity(LB_LANES);
+    group.bench_function("lanes_x8", |b| {
+        b.iter(|| {
+            lb_keogh_batch(x.values(), &env_refs, metric, &mut out);
+            black_box(out.iter().sum::<f64>())
+        })
+    });
+    group.finish();
+}
+
 /// 200 synthetic series (length 48) — big enough that the 200×200 matrix
 /// dominates over setup, small enough for a tracked baseline.
 fn distmat_corpus() -> Vec<TimeSeries> {
@@ -270,6 +360,8 @@ criterion_group!(
     bench_kernels,
     bench_traceback,
     bench_scratch_reuse,
+    bench_engine_parity,
+    bench_lb_batch,
     bench_api_pairwise,
     bench_api_kernel,
     bench_distmat,

@@ -12,6 +12,7 @@
 //! | early-abandon cutoff | [`Query::cutoff`] | none |
 //! | scratch reuse | [`Query::scratch`] | allocate internally |
 //! | cost kernel | [`Query::kernel`] | the engine's `dtw.kernel` |
+//! | DP engine | [`Query::dp_engine`] | `SDTW_ENGINE` / wavefront |
 //!
 //! All combinations resolve through one internal `run()`; the deprecated
 //! `SDtw::distance*` methods are thin shims over it and bit-identical to
@@ -20,7 +21,7 @@
 
 use crate::engine::{PhaseTiming, SDtw, SDtwOutcome};
 use crate::store::FeatureStore;
-use sdtw_dtw::engine::{dtw_run_options_values, DtwScratch};
+use sdtw_dtw::engine::{dtw_run_options_values_with, DtwEngine, DtwScratch};
 use sdtw_dtw::{Band, KernelChoice};
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::{TimeSeries, TsError};
@@ -97,6 +98,7 @@ pub struct Query<'a> {
     cutoff: Option<f64>,
     scratch: Option<&'a mut DtwScratch>,
     kernel: Option<KernelChoice>,
+    dp_engine: Option<DtwEngine>,
 }
 
 impl SDtw {
@@ -139,6 +141,7 @@ impl SDtw {
             cutoff: None,
             scratch: None,
             kernel: None,
+            dp_engine: None,
         }
     }
 }
@@ -201,6 +204,17 @@ impl<'a> Query<'a> {
         self
     }
 
+    /// Pins the DP fill order for this call — [`DtwEngine::Wavefront`]
+    /// or [`DtwEngine::Rows`] — instead of the process-wide
+    /// [`DtwEngine::selected`] default (the `SDTW_ENGINE` environment
+    /// variable, wavefront when unset). The two engines are
+    /// bit-identical in distances, paths, and abandon decisions; this
+    /// override exists for differential tests and benchmarks.
+    pub fn dp_engine(mut self, engine: DtwEngine) -> Self {
+        self.dp_engine = Some(engine);
+        self
+    }
+
     /// Executes the query: resolve features, plan (or adopt) the band,
     /// run the banded DP under the configured kernel.
     ///
@@ -222,6 +236,7 @@ impl<'a> Query<'a> {
             cutoff,
             scratch,
             kernel,
+            dp_engine,
         } = self;
         let config = engine.config();
         let (xv, yv) = (input.x_values(), input.y_values());
@@ -321,7 +336,15 @@ impl<'a> Query<'a> {
             }
         };
         let t_dp = Instant::now();
-        let result = dtw_run_options_values(xv, yv, band, &opts, cutoff, scratch);
+        let result = dtw_run_options_values_with(
+            dp_engine.unwrap_or_else(DtwEngine::selected),
+            xv,
+            yv,
+            band,
+            &opts,
+            cutoff,
+            scratch,
+        );
         let dynamic_programming = t_dp.elapsed();
         let Some(result) = result else {
             return Ok(None);

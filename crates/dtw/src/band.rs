@@ -113,6 +113,18 @@ impl Band {
         i < self.n && self.rows[i].contains(j)
     }
 
+    /// Whether both band edges are non-decreasing row over row (a
+    /// "staircase" band). Every classic constraint family — full grid,
+    /// Sakoe-Chiba, Itakura — and most sanitised sDTW bands have this
+    /// shape; the wavefront engine exploits it to enumerate each
+    /// anti-diagonal's cells as one tight, hole-free row interval without
+    /// per-cell membership tests.
+    pub fn is_staircase(&self) -> bool {
+        self.rows
+            .windows(2)
+            .all(|w| w[0].lo <= w[1].lo && w[0].hi <= w[1].hi)
+    }
+
     /// Number of grid cells inside the band — the work the DP kernel will
     /// do. This is the deterministic cost proxy reported throughout the
     /// experiments.
@@ -372,6 +384,16 @@ mod tests {
                 .map(|&(lo, hi)| ColRange::new(lo, hi))
                 .collect(),
         )
+    }
+
+    #[test]
+    fn staircase_detection() {
+        assert!(Band::full(4, 6).is_staircase());
+        assert!(band(3, 8, &[(0, 2), (1, 4), (3, 7)]).is_staircase());
+        // lo dips back down between rows: feasible, but not a staircase
+        assert!(!band(3, 8, &[(0, 7), (3, 7), (1, 7)]).is_staircase());
+        // hi regresses
+        assert!(!band(3, 8, &[(0, 6), (0, 4), (0, 7)]).is_staircase());
     }
 
     #[test]

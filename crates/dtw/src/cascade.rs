@@ -115,6 +115,15 @@ pub struct SampleInput<'a> {
     pub y: &'a [f64],
     /// Envelope of `y` (drives [`PruneStage::Keogh`]).
     pub y_envelope: Option<&'a Envelope>,
+    /// Precomputed raw forward LB_Keogh bound of `x` against
+    /// `y_envelope`, produced by one of the batched lane loops
+    /// ([`crate::lower_bound::lb_keogh_batch`] /
+    /// [`crate::lower_bound::lb_keogh_batch_windows`], bit-identical to
+    /// the scalar bound by construction). When present and the Keogh
+    /// stage is applicable, the stage consumes it instead of recomputing;
+    /// the stage's own applicability check stays authoritative, so a
+    /// stray value on an inapplicable candidate is ignored.
+    pub y_keogh_raw: Option<f64>,
     /// Envelope of `x` (drives [`PruneStage::KeoghRev`]).
     pub x_envelope: Option<&'a Envelope>,
     /// Coarse envelope of `y` (drives [`PruneStage::Paa`]).
@@ -366,7 +375,9 @@ impl Cascade {
                 },
                 PruneStage::Keogh => match input.y_envelope {
                     Some(env) if n == m && band.within_window(env.radius) => {
-                        let raw = lb_keogh_values(input.x, env, self.metric);
+                        let raw = input
+                            .y_keogh_raw
+                            .unwrap_or_else(|| lb_keogh_values(input.x, env, self.metric));
                         Some((StageKind::Keogh, self.normalize_bound(raw, n, m)))
                     }
                     _ => None,
@@ -676,6 +687,7 @@ mod tests {
             x: &x,
             y: &y,
             y_envelope: Some(&env),
+            y_keogh_raw: None,
             x_envelope: Some(&x_env),
             y_coarse: Some(&coarse),
         };
@@ -727,6 +739,7 @@ mod tests {
             x: &x,
             y: &y,
             y_envelope: Some(&env),
+            y_keogh_raw: None,
             x_envelope: Some(&env),
             y_coarse: Some(&coarse),
         };
@@ -756,6 +769,7 @@ mod tests {
             x: &x,
             y: &x,
             y_envelope: Some(&env),
+            y_keogh_raw: None,
             x_envelope: None,
             y_coarse: None,
         };

@@ -1,11 +1,23 @@
 //! Banded dynamic-programming engine and warp-path traceback.
 //!
-//! One kernel-generic fill executes every pruning policy **and** every
-//! cost model: the accumulation matrix `D` is stored band-sparse
-//! (CSR-style row offsets into a flat buffer), so both time and memory
-//! are `O(band area)` rather than `O(NM)` — the whole point of
-//! constraining the grid. Out-of-band parents are treated as `+∞`; the
-//! band sanitiser guarantees the corner cell stays reachable.
+//! One kernel-generic recurrence executes every pruning policy **and**
+//! every cost model, under either of two interchangeable fill orders:
+//!
+//! * the **wavefront engine** (default) sweeps anti-diagonals `d = i + j`
+//!   of the banded lattice: every cell on a diagonal depends only on the
+//!   two previous diagonals, so the inner loop carries no serial
+//!   dependency and only three flat diagonal buffers stay alive;
+//! * the **row engine** fills row-by-row into the band-sparse
+//!   accumulation matrix `D` (CSR-style row offsets into a flat buffer)
+//!   and is the executor for path mode, whose backward traceback walk
+//!   needs the whole matrix.
+//!
+//! Both engines evaluate the identical per-cell kernel expression in
+//! `O(band area)`, so their distances and abandon decisions are
+//! bit-identical (`tests/differential_engine.rs` is the harness that
+//! keeps this checkable); [`DtwEngine::selected`] picks the process-wide
+//! engine from `SDTW_ENGINE`. Out-of-band parents are treated as `+∞`;
+//! the band sanitiser guarantees the corner cell stays reachable.
 //!
 //! The execution surface is **one** function pair:
 //!
@@ -23,6 +35,56 @@ use crate::kernel::{AmercedKernel, DtwKernel, KernelChoice, StandardKernel};
 use crate::path::WarpPath;
 use sdtw_tseries::{ElementMetric, TimeSeries, TsError};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Which fill order executes the banded DP recurrence.
+///
+/// Both engines compute the same per-cell expression over the same band,
+/// so results are bit-identical; the choice is purely an execution-shape
+/// decision (the wavefront layout is the one that admits data-parallel
+/// sweeps). Path mode always executes on the row engine regardless of the
+/// selection — the traceback walk needs the full accumulation matrix,
+/// which the wavefront never materialises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DtwEngine {
+    /// Anti-diagonal sweep over three rotating diagonal buffers (the
+    /// default).
+    #[default]
+    Wavefront,
+    /// Row-sequential fill of the band-sparse matrix; also the executor
+    /// behind path reconstruction.
+    Rows,
+}
+
+impl DtwEngine {
+    /// Parses an engine name (`"wavefront"` / `"rows"`, case-insensitive;
+    /// the empty string selects the default). Returns `None` for anything
+    /// else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "wavefront" => Some(Self::Wavefront),
+            "rows" | "row" => Some(Self::Rows),
+            _ => None,
+        }
+    }
+
+    /// The process-wide engine selection: the `SDTW_ENGINE` environment
+    /// variable, read once and cached (the CI matrix forces each value in
+    /// turn); unset defaults to [`DtwEngine::Wavefront`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised `SDTW_ENGINE` value — a misspelt forced
+    /// engine must fail loudly, not silently benchmark the default.
+    pub fn selected() -> Self {
+        static SELECTED: OnceLock<DtwEngine> = OnceLock::new();
+        *SELECTED.get_or_init(|| match std::env::var("SDTW_ENGINE") {
+            Err(_) => Self::default(),
+            Ok(v) => Self::parse(&v)
+                .unwrap_or_else(|| panic!("SDTW_ENGINE must be 'wavefront' or 'rows', got '{v}'")),
+        })
+    }
+}
 
 /// Local-transition weighting of the DTW recurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -174,7 +236,8 @@ pub struct DtwResult {
 }
 
 /// Reusable DP buffers: the band-sparse accumulation matrix's row offsets
-/// and cell storage.
+/// and cell storage (row engine), plus the three rotating anti-diagonal
+/// buffers of the wavefront engine.
 ///
 /// A [`dtw_run`] call without caller scratch allocates one internally;
 /// batch workloads (distance matrices, nearest-neighbour loops) instead
@@ -186,6 +249,14 @@ pub struct DtwResult {
 pub struct DtwScratch {
     offsets: Vec<usize>,
     data: Vec<f64>,
+    // wavefront engine: diagonals d-2, d-1 and d of the sweep, rotated by
+    // pointer swap; each holds at most min(n, m) cells
+    diag_a: Vec<f64>,
+    diag_b: Vec<f64>,
+    diag_c: Vec<f64>,
+    // wavefront engine, non-staircase bands: suffix minimum of the row
+    // start diagonals `i + lo_i`, rebuilt per call
+    start_min: Vec<usize>,
 }
 
 impl DtwScratch {
@@ -313,6 +384,163 @@ fn fill<'a, K: DtwKernel, const ABANDON: bool>(
     Some(d)
 }
 
+/// Wavefront fill: sweeps anti-diagonals `d = i + j` of the banded
+/// lattice and returns the raw corner cost. Cell `(i, j)` reads its `up`
+/// and `left` parents from diagonal `d - 1` and its `diagonal` parent
+/// from `d - 2`, so only three flat buffers stay alive and the inner loop
+/// over a diagonal carries no serial dependency (the shape a SIMD/GPU
+/// backend maps onto directly). The per-cell expression is the row
+/// engine's verbatim, hence bit-identical values by induction over `d`.
+///
+/// With `ABANDON`, abandons when neither of the two live diagonals holds
+/// a cell at or under `cutoff`: a warp path advances `i + j` by 1 or 2
+/// per step, so every path from origin to corner visits diagonal `d - 1`
+/// or `d`, and kernels never decrease cost along a path.
+///
+/// Band cells are enumerated per diagonal as one contiguous row interval.
+/// For staircase bands (both edges non-decreasing — every classic policy)
+/// the interval is exact; otherwise a conservative interval is scanned
+/// with per-cell membership tests and out-of-band slots pinned to `+∞`.
+// Index loops again address the band rows and both sample buffers at once.
+#[allow(clippy::needless_range_loop)]
+fn fill_wavefront<K: DtwKernel, const ABANDON: bool>(
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    metric: ElementMetric,
+    kernel: &K,
+    cutoff: f64,
+    scratch: &mut DtwScratch,
+) -> Option<f64> {
+    let n = band.n();
+    let m = band.m();
+    let staircase = band.is_staircase();
+    // a diagonal holds at most min(n, m) cells
+    let cap = n.min(m);
+    let mut prev2 = std::mem::take(&mut scratch.diag_a);
+    let mut prev = std::mem::take(&mut scratch.diag_b);
+    let mut cur = std::mem::take(&mut scratch.diag_c);
+    let mut start_min = std::mem::take(&mut scratch.start_min);
+    prev2.clear();
+    prev2.resize(cap, f64::INFINITY);
+    prev.clear();
+    prev.resize(cap, f64::INFINITY);
+    cur.clear();
+    cur.resize(cap, f64::INFINITY);
+    if !staircase {
+        // suffix minimum of the row start diagonals: rows beyond the last
+        // `i` with `start_min[i] <= d` cannot own a cell on diagonal `d`
+        start_min.clear();
+        start_min.resize(n, 0);
+        let mut run = usize::MAX;
+        for i in (0..n).rev() {
+            run = run.min(i + band.row(i).lo);
+            start_min[i] = run;
+        }
+    }
+
+    // a parent read outside the recorded span of its diagonal is out of
+    // band, hence +inf
+    let read = |buf: &[f64], span: (usize, usize), i: usize| -> f64 {
+        if span.0 <= i && i <= span.1 {
+            buf[i - span.0]
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    let raw = 'sweep: {
+        let total = n + m - 1;
+        // two-pointer row-span state, advanced monotonically with d
+        let mut first_row = 0usize; // staircase: first i with i + hi_i >= d
+        let mut last_row = 0usize; // last i whose (suffix-min) start <= d
+        let mut end_max = band.row(0).hi; // general: prefix max of i + hi_i
+        let mut prev_span = (1usize, 0usize); // empty
+        let mut prev2_span = (1usize, 0usize);
+        let mut frontier_min = f64::INFINITY; // min of diagonal d - 1
+        for d in 0..total {
+            let (a, b) = if staircase {
+                while first_row < n && first_row + band.row(first_row).hi < d {
+                    first_row += 1;
+                }
+                while last_row + 1 < n && last_row + 1 + band.row(last_row + 1).lo <= d {
+                    last_row += 1;
+                }
+                (first_row, last_row)
+            } else {
+                while first_row + 1 < n && end_max < d {
+                    first_row += 1;
+                    end_max = end_max.max(first_row + band.row(first_row).hi);
+                }
+                while last_row + 1 < n && start_min[last_row + 1] <= d {
+                    last_row += 1;
+                }
+                (first_row, last_row)
+            };
+            // clamp to the geometric diagonal so j = d - i is a column
+            let a = a.max(d.saturating_sub(m - 1));
+            let b = b.min(d);
+            let mut diag_min = f64::INFINITY;
+            if a <= b {
+                for i in a..=b {
+                    let j = d - i;
+                    if !staircase && !band.row(i).contains(j) {
+                        cur[i - a] = f64::INFINITY;
+                        continue;
+                    }
+                    let local = metric.eval(xv[i], yv[j]);
+                    // the same three-way kernel expression as the row
+                    // engine; arms whose parent cannot exist (i == 0 or
+                    // j == 0) drop out exactly as min(x, +inf) would
+                    let v = if i == 0 {
+                        if j == band.row(0).lo {
+                            kernel.start(local)
+                        } else {
+                            kernel.left(read(&prev, prev_span, 0), local)
+                        }
+                    } else if j == 0 {
+                        kernel.up(read(&prev, prev_span, i - 1), local)
+                    } else {
+                        let up = read(&prev, prev_span, i - 1);
+                        let left = read(&prev, prev_span, i);
+                        let diag = read(&prev2, prev2_span, i - 1);
+                        kernel
+                            .up(up, local)
+                            .min(kernel.left(left, local))
+                            .min(kernel.diagonal(diag, local))
+                    };
+                    cur[i - a] = v;
+                    if ABANDON {
+                        diag_min = diag_min.min(v);
+                    }
+                }
+            }
+            if ABANDON && kernel.normalize(frontier_min.min(diag_min), xv.len(), yv.len()) > cutoff
+            {
+                break 'sweep None;
+            }
+            if d + 1 == total {
+                // the last diagonal is exactly the corner cell
+                break 'sweep Some(cur[n - 1 - a]);
+            }
+            if ABANDON {
+                frontier_min = diag_min;
+            }
+            std::mem::swap(&mut prev2, &mut prev);
+            std::mem::swap(&mut prev, &mut cur);
+            prev2_span = prev_span;
+            prev_span = (a, b);
+        }
+        unreachable!("the corner diagonal terminates the sweep");
+    };
+
+    scratch.diag_a = prev2;
+    scratch.diag_b = prev;
+    scratch.diag_c = cur;
+    scratch.start_min = start_min;
+    raw
+}
+
 /// The unified banded DTW execution path, generic over the cost kernel.
 ///
 /// Orthogonal options, all in one call:
@@ -381,6 +609,44 @@ pub fn dtw_run_values<K: DtwKernel>(
     cutoff: Option<f64>,
     scratch: &mut DtwScratch,
 ) -> Option<DtwResult> {
+    dtw_run_values_with(
+        DtwEngine::selected(),
+        xv,
+        yv,
+        band,
+        metric,
+        kernel,
+        compute_path,
+        cutoff,
+        scratch,
+    )
+}
+
+/// [`dtw_run_values`] with the fill engine forced explicitly instead of
+/// resolved from [`DtwEngine::selected`]. This is the dispatch point the
+/// cross-engine differential harness drives; production callers go
+/// through [`dtw_run_values`].
+///
+/// Requesting [`DtwEngine::Wavefront`] with `compute_path` set falls back
+/// to the row engine — the traceback walk needs the full accumulation
+/// matrix, which the wavefront sweep never materialises. The fallback is
+/// part of the contract (and covered by tests), not an accident.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or an empty slice (programmer errors).
+#[allow(clippy::too_many_arguments)] // mirror of dtw_run, see there
+pub fn dtw_run_values_with<K: DtwKernel>(
+    engine: DtwEngine,
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    metric: ElementMetric,
+    kernel: &K,
+    compute_path: bool,
+    cutoff: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<DtwResult> {
     assert!(!xv.is_empty() && !yv.is_empty(), "series must be non-empty");
     assert_eq!(band.n(), xv.len(), "band rows must match |X|");
     assert_eq!(band.m(), yv.len(), "band cols must match |Y|");
@@ -391,6 +657,29 @@ pub fn dtw_run_values<K: DtwKernel>(
         sanitized = band.sanitize();
         &sanitized
     };
+
+    if engine == DtwEngine::Wavefront && !compute_path {
+        let raw = match cutoff {
+            Some(t) => fill_wavefront::<K, true>(xv, yv, band, metric, kernel, t, scratch)?,
+            None => {
+                fill_wavefront::<K, false>(xv, yv, band, metric, kernel, f64::INFINITY, scratch)
+                    .expect("a sweep without a cutoff never abandons")
+            }
+        };
+        debug_assert!(raw.is_finite(), "sanitised band must reach the corner cell");
+        let distance = kernel.normalize(raw, xv.len(), yv.len());
+        // a completed sweep can still land over the cutoff
+        if let Some(t) = cutoff {
+            if distance > t {
+                return None;
+            }
+        }
+        return Some(DtwResult {
+            distance,
+            path: None,
+            cells_filled: band.area(),
+        });
+    }
 
     let d = match cutoff {
         Some(t) => fill::<K, true>(xv, yv, band, metric, kernel, t, scratch)?,
@@ -458,8 +747,29 @@ pub fn dtw_run_options_values(
     cutoff: Option<f64>,
     scratch: &mut DtwScratch,
 ) -> Option<DtwResult> {
+    dtw_run_options_values_with(DtwEngine::selected(), xv, yv, band, opts, cutoff, scratch)
+}
+
+/// [`dtw_run_options_values`] with the fill engine forced explicitly (see
+/// [`dtw_run_values_with`] for the engine contract and the path-mode
+/// fallback).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, an empty slice, or an invalid amerced
+/// penalty (programmer errors).
+pub fn dtw_run_options_values_with(
+    engine: DtwEngine,
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    opts: &DtwOptions,
+    cutoff: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<DtwResult> {
     match opts.kernel {
-        KernelChoice::Standard => dtw_run_values(
+        KernelChoice::Standard => dtw_run_values_with(
+            engine,
             xv,
             yv,
             band,
@@ -469,7 +779,8 @@ pub fn dtw_run_options_values(
             cutoff,
             scratch,
         ),
-        KernelChoice::Amerced { penalty } => dtw_run_values(
+        KernelChoice::Amerced { penalty } => dtw_run_values_with(
+            engine,
             xv,
             yv,
             band,
@@ -1277,5 +1588,171 @@ mod tests {
         .unwrap();
         assert!(r.distance.is_finite() && r.distance >= 0.0);
         r.path.unwrap().validate(4, 3).unwrap();
+    }
+
+    /// Engine-forced run with a fresh scratch (test shorthand).
+    fn run_with(
+        engine: DtwEngine,
+        x: &TimeSeries,
+        y: &TimeSeries,
+        band: &Band,
+        opts: &DtwOptions,
+        cutoff: Option<f64>,
+    ) -> Option<DtwResult> {
+        dtw_run_options_values_with(
+            engine,
+            x.values(),
+            y.values(),
+            band,
+            opts,
+            cutoff,
+            &mut DtwScratch::new(),
+        )
+    }
+
+    #[test]
+    fn engine_names_parse_and_default_to_wavefront() {
+        assert_eq!(DtwEngine::parse("wavefront"), Some(DtwEngine::Wavefront));
+        assert_eq!(DtwEngine::parse(" Rows "), Some(DtwEngine::Rows));
+        assert_eq!(DtwEngine::parse(""), Some(DtwEngine::Wavefront));
+        assert_eq!(DtwEngine::parse("simd"), None);
+        assert_eq!(DtwEngine::default(), DtwEngine::Wavefront);
+    }
+
+    #[test]
+    fn wavefront_is_bit_identical_to_rows_across_mixed_shapes() {
+        let series: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                ts(&(0..(15 + 8 * k))
+                    .map(|i| ((i + 2 * k) as f64 / (3 + k) as f64).sin())
+                    .collect::<Vec<_>>())
+            })
+            .collect();
+        let mut wave_scratch = DtwScratch::new();
+        let mut rows_scratch = DtwScratch::new();
+        for a in &series {
+            for b in &series {
+                for band in [
+                    Band::full(a.len(), b.len()),
+                    crate::sakoe::sakoe_chiba_band(a.len(), b.len(), 0.25),
+                    crate::itakura::itakura_band(a.len(), b.len(), 2.0),
+                ] {
+                    for opts in [
+                        DtwOptions::default(),
+                        DtwOptions::normalized_symmetric2(),
+                        DtwOptions::amerced(0.15),
+                    ] {
+                        for cutoff in [None, Some(0.5), Some(f64::INFINITY)] {
+                            let w = dtw_run_options_values_with(
+                                DtwEngine::Wavefront,
+                                a.values(),
+                                b.values(),
+                                &band,
+                                &opts,
+                                cutoff,
+                                &mut wave_scratch,
+                            );
+                            let r = dtw_run_options_values_with(
+                                DtwEngine::Rows,
+                                a.values(),
+                                b.values(),
+                                &band,
+                                &opts,
+                                cutoff,
+                                &mut rows_scratch,
+                            );
+                            match (w, r) {
+                                (None, None) => {}
+                                (Some(w), Some(r)) => {
+                                    assert_eq!(w.distance.to_bits(), r.distance.to_bits());
+                                    assert_eq!(w.cells_filled, r.cells_filled);
+                                }
+                                (w, r) => panic!("engines disagree on abandon: {w:?} vs {r:?}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_handles_non_staircase_bands() {
+        // lo dips back down between rows: feasible yet not a staircase, so
+        // the wavefront takes its membership-checked general path
+        let band = Band::from_ranges(
+            4,
+            5,
+            vec![
+                ColRange::new(0, 4),
+                ColRange::new(3, 4),
+                ColRange::new(1, 4),
+                ColRange::new(2, 4),
+            ],
+        );
+        assert!(band.is_feasible() && !band.is_staircase());
+        let x = ts(&[0.1, 0.9, 0.4, 1.7]);
+        let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
+        let opts = DtwOptions::default();
+        let w = run_with(DtwEngine::Wavefront, &x, &y, &band, &opts, None).unwrap();
+        let r = run_with(DtwEngine::Rows, &x, &y, &band, &opts, None).unwrap();
+        assert_eq!(w.distance.to_bits(), r.distance.to_bits());
+    }
+
+    #[test]
+    fn wavefront_path_mode_falls_back_to_the_row_engine() {
+        // the fallback is part of the engine contract: a path request on
+        // the wavefront engine must produce the row engine's exact result
+        let x = ts(&[0.1, 0.9, 0.4, 1.7, 1.1, 0.2]);
+        let y = ts(&[0.0, 1.0, 0.5, 1.5, 0.0]);
+        let band = crate::sakoe::sakoe_chiba_band(6, 5, 0.5);
+        let opts = DtwOptions::with_path();
+        let w = run_with(DtwEngine::Wavefront, &x, &y, &band, &opts, None).unwrap();
+        let r = run_with(DtwEngine::Rows, &x, &y, &band, &opts, None).unwrap();
+        assert_eq!(w.distance.to_bits(), r.distance.to_bits());
+        assert_eq!(w.path, r.path);
+        w.path.unwrap().validate(6, 5).unwrap();
+    }
+
+    #[test]
+    fn wavefront_scratch_reuse_is_bit_identical() {
+        // the rotating diagonal buffers are re-initialised per call, so
+        // one scratch reused across mixed shapes changes nothing
+        let mut scratch = DtwScratch::new();
+        let series: Vec<TimeSeries> = (0..5)
+            .map(|k| {
+                ts(&(0..(12 + 9 * k))
+                    .map(|i| ((i + 4 * k) as f64 / (5 + k) as f64).cos())
+                    .collect::<Vec<_>>())
+            })
+            .collect();
+        for a in &series {
+            for b in &series {
+                let band = crate::sakoe::sakoe_chiba_band(a.len(), b.len(), 0.3);
+                for cutoff in [None, Some(0.8)] {
+                    let fresh = run_with(
+                        DtwEngine::Wavefront,
+                        a,
+                        b,
+                        &band,
+                        &DtwOptions::default(),
+                        cutoff,
+                    );
+                    let reused = dtw_run_options_values_with(
+                        DtwEngine::Wavefront,
+                        a.values(),
+                        b.values(),
+                        &band,
+                        &DtwOptions::default(),
+                        cutoff,
+                        &mut scratch,
+                    );
+                    assert_eq!(
+                        fresh.as_ref().map(|r| r.distance.to_bits()),
+                        reused.as_ref().map(|r| r.distance.to_bits())
+                    );
+                }
+            }
+        }
     }
 }

@@ -44,6 +44,13 @@ use serde::{Deserialize, Serialize};
 ///   the plain symmetric1 accumulation on the same band, which is what
 ///   `LB_Kim`/`LB_Keogh` actually bound. Retrieval cascades consult this
 ///   before enabling lower-bound pruning.
+/// * **Infinity propagation** — every transition must map a `+∞` parent
+///   to `+∞` (any finite additive cost does this for free). Both fill
+///   orders represent unreachable/out-of-band parents as `+∞`, and the
+///   wavefront engine additionally drops transition arms whose parent
+///   cell cannot exist (first row/column) on the strength of
+///   `min(x, +∞) == x`; a kernel that collapsed infinities would break
+///   the row/wavefront bit-identity the differential harness asserts.
 pub trait DtwKernel {
     /// Cost of the origin cell of a warp path (no parent).
     #[inline]

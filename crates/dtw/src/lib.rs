@@ -83,10 +83,14 @@ pub use engine::{
     dtw_banded_with_scratch,
 };
 pub use engine::{
-    dtw_full, dtw_run, dtw_run_options, dtw_run_options_values, dtw_run_values, DtwOptions,
-    DtwResult, DtwScratch, Normalization, StepPattern,
+    dtw_full, dtw_run, dtw_run_options, dtw_run_options_values, dtw_run_options_values_with,
+    dtw_run_values, dtw_run_values_with, DtwEngine, DtwOptions, DtwResult, DtwScratch,
+    Normalization, StepPattern,
 };
 pub use kernel::{AmercedKernel, DtwKernel, KernelChoice, StandardKernel};
-pub use lower_bound::{lb_keogh, lb_keogh_values, lb_kim, Envelope, SeriesSummary};
+pub use lower_bound::{
+    lb_keogh, lb_keogh_batch, lb_keogh_batch_windows, lb_keogh_values, lb_kim, lb_kim_batch,
+    Envelope, SeriesSummary, LB_LANES,
+};
 pub use multires::{dtw_multires, dtw_multires_with_scratch, MultiresScratch};
 pub use path::WarpPath;

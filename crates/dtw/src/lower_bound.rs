@@ -225,6 +225,157 @@ pub fn lb_kim(x: &SeriesSummary, y: &SeriesSummary, metric: ElementMetric) -> f6
     ends.max(top).max(bottom)
 }
 
+/// Lane width of the batched bound loops: one chunk carries this many
+/// candidates (index cascade) or windows (stream matcher) per pass.
+///
+/// The batched variants below restructure the `O(n)` bound loops from
+/// one-candidate-at-a-time into chunk loops with one accumulator per lane
+/// — the autovectorisable shape — while accumulating each lane in the
+/// exact sequential order of the scalar reference, so every lane is
+/// **bit-identical** to its scalar counterpart (in-tube samples add a
+/// literal `+0.0`, which is a bitwise no-op on the non-negative
+/// accumulator). Ragged tails shorter than a chunk fall back to the
+/// scalar functions.
+pub const LB_LANES: usize = 8;
+
+/// Batched [`lb_keogh_values`], index shape: one probe `x` scored against
+/// many candidate envelopes (the per-query cascade batches corpus
+/// entries). Appends one bound per envelope to `out`, in order; each is
+/// bit-identical to `lb_keogh_values(x, env, metric)`.
+///
+/// # Panics
+///
+/// Panics on any length mismatch.
+pub fn lb_keogh_batch(x: &[f64], envs: &[&Envelope], metric: ElementMetric, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(envs.len());
+    let mut chunks = envs.chunks_exact(LB_LANES);
+    for chunk in &mut chunks {
+        for env in chunk {
+            assert_eq!(
+                x.len(),
+                env.upper.len(),
+                "LB_Keogh requires equal lengths (resample first)"
+            );
+        }
+        let mut acc = [0.0f64; LB_LANES];
+        for (i, &xi) in x.iter().enumerate() {
+            for (l, env) in chunk.iter().enumerate() {
+                let dev = if xi > env.upper[i] {
+                    metric.eval(xi, env.upper[i])
+                } else if xi < env.lower[i] {
+                    metric.eval(xi, env.lower[i])
+                } else {
+                    0.0
+                };
+                acc[l] += dev;
+            }
+        }
+        out.extend_from_slice(&acc);
+    }
+    for env in chunks.remainder() {
+        out.push(lb_keogh_values(x, env, metric));
+    }
+}
+
+/// Batched [`lb_keogh_values`], stream shape: many (z-normalised) windows
+/// of one stream scored against the shared query envelope. Appends one
+/// bound per window to `out`, in order; each is bit-identical to
+/// `lb_keogh_values(w, env, metric)`.
+///
+/// # Panics
+///
+/// Panics on any length mismatch.
+pub fn lb_keogh_batch_windows(
+    windows: &[&[f64]],
+    env: &Envelope,
+    metric: ElementMetric,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.reserve(windows.len());
+    let mut chunks = windows.chunks_exact(LB_LANES);
+    for chunk in &mut chunks {
+        for w in chunk {
+            assert_eq!(
+                w.len(),
+                env.upper.len(),
+                "LB_Keogh requires equal lengths (resample first)"
+            );
+        }
+        let mut acc = [0.0f64; LB_LANES];
+        for i in 0..env.upper.len() {
+            let (upper, lower) = (env.upper[i], env.lower[i]);
+            for (l, w) in chunk.iter().enumerate() {
+                let xi = w[i];
+                let dev = if xi > upper {
+                    metric.eval(xi, upper)
+                } else if xi < lower {
+                    metric.eval(xi, lower)
+                } else {
+                    0.0
+                };
+                acc[l] += dev;
+            }
+        }
+        out.extend_from_slice(&acc);
+    }
+    for w in chunks.remainder() {
+        out.push(lb_keogh_values(w, env, metric));
+    }
+}
+
+/// Batched [`lb_kim`]: one probe summary against many candidate
+/// summaries, evaluated as three lane passes (endpoints, maxima, minima)
+/// over each chunk. Appends one bound per candidate to `out`, in order;
+/// each is bit-identical to `lb_kim(x, y, metric)`.
+pub fn lb_kim_batch(
+    x: &SeriesSummary,
+    ys: &[SeriesSummary],
+    metric: ElementMetric,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.reserve(ys.len());
+    let mut chunks = ys.chunks_exact(LB_LANES);
+    for chunk in &mut chunks {
+        let mut ends = [0.0f64; LB_LANES];
+        let mut top = [0.0f64; LB_LANES];
+        let mut bottom = [0.0f64; LB_LANES];
+        for (l, y) in chunk.iter().enumerate() {
+            ends[l] = if x.len == 1 && y.len == 1 {
+                metric.eval(x.first, y.first)
+            } else {
+                metric.eval(x.first, y.first) + metric.eval(x.last, y.last)
+            };
+        }
+        for (l, y) in chunk.iter().enumerate() {
+            top[l] = if x.max > y.max {
+                metric.eval(x.max, y.max)
+            } else if y.max > x.max {
+                metric.eval(y.max, x.max)
+            } else {
+                0.0
+            };
+        }
+        for (l, y) in chunk.iter().enumerate() {
+            bottom[l] = if x.min < y.min {
+                metric.eval(x.min, y.min)
+            } else if y.min < x.min {
+                metric.eval(y.min, x.min)
+            } else {
+                0.0
+            };
+        }
+        for l in 0..LB_LANES {
+            out.push(ends[l].max(top[l]).max(bottom[l]));
+        }
+    }
+    for y in chunks.remainder() {
+        out.push(lb_kim(x, y, metric));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +618,76 @@ mod tests {
         // the tighter bound must actually be tighter somewhere, or the
         // cascade ordering is pointless
         assert!(keogh_strictly_above_kim > 0);
+    }
+
+    fn seeded(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                4.0 * (((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_keogh_lanes_match_scalar_bitwise() {
+        let x = seeded(0xabc, 32);
+        for count in [0usize, 1, 7, 8, 9, 20, 64] {
+            let series: Vec<Vec<f64>> = (0..count).map(|k| seeded(k as u64 + 1, 32)).collect();
+            let envs: Vec<Envelope> = series
+                .iter()
+                .map(|v| Envelope::build_from_values(v, 3))
+                .collect();
+            let env_refs: Vec<&Envelope> = envs.iter().collect();
+            for metric in [ElementMetric::Squared, ElementMetric::Absolute] {
+                let mut out = Vec::new();
+                lb_keogh_batch(&x, &env_refs, metric, &mut out);
+                assert_eq!(out.len(), count);
+                for (env, got) in envs.iter().zip(&out) {
+                    let want = lb_keogh_values(&x, env, metric);
+                    assert_eq!(want.to_bits(), got.to_bits(), "count {count}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_keogh_windows_match_scalar_bitwise() {
+        let y = seeded(0xdef, 24);
+        let env = Envelope::build_from_values(&y, 2);
+        for count in [0usize, 1, 7, 8, 9, 64] {
+            let windows: Vec<Vec<f64>> = (0..count).map(|k| seeded(k as u64 + 31, 24)).collect();
+            let refs: Vec<&[f64]> = windows.iter().map(|w| w.as_slice()).collect();
+            let mut out = Vec::new();
+            lb_keogh_batch_windows(&refs, &env, ElementMetric::Squared, &mut out);
+            assert_eq!(out.len(), count);
+            for (w, got) in windows.iter().zip(&out) {
+                let want = lb_keogh_values(w, &env, ElementMetric::Squared);
+                assert_eq!(want.to_bits(), got.to_bits(), "count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kim_lanes_match_scalar_bitwise() {
+        let x = SeriesSummary::of_values(&seeded(0x777, 19));
+        for count in [0usize, 1, 7, 8, 9, 64] {
+            let ys: Vec<SeriesSummary> = (0..count)
+                .map(|k| SeriesSummary::of_values(&seeded(k as u64 + 5, 11 + k % 7)))
+                .collect();
+            for metric in [ElementMetric::Squared, ElementMetric::Absolute] {
+                let mut out = Vec::new();
+                lb_kim_batch(&x, &ys, metric, &mut out);
+                assert_eq!(out.len(), count);
+                for (y, got) in ys.iter().zip(&out) {
+                    let want = lb_kim(&x, y, metric);
+                    assert_eq!(want.to_bits(), got.to_bits(), "count {count}");
+                }
+            }
+        }
     }
 
     #[test]

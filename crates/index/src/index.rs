@@ -5,9 +5,10 @@ use crate::knn::{Neighbor, TopK};
 use crate::stats::CascadeStats;
 use rayon::prelude::*;
 use sdtw::{DtwScratch, SDtw};
+use sdtw_dtw::band::Band;
 use sdtw_dtw::cascade::{Cascade, CascadeScratch, PruneStage, SampleInput};
 use sdtw_dtw::engine::Normalization;
-use sdtw_dtw::lower_bound::{lb_kim, Envelope, SeriesSummary};
+use sdtw_dtw::lower_bound::{lb_keogh_batch, lb_kim_batch, Envelope, SeriesSummary, LB_LANES};
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::transform::z_normalize;
 use sdtw_tseries::{TimeSeries, TsError};
@@ -47,6 +48,17 @@ struct IndexSnapshot {
     entries: Vec<IndexEntry>,
 }
 
+/// A Kim-surviving candidate parked in the deferred queue until enough
+/// accumulate to batch their forward LB_Keogh bounds ([`LB_LANES`] at a
+/// time). The band is planned at enqueue time — in serial visit order —
+/// so deferral changes *when* the per-sample stages run, never what they
+/// see.
+#[derive(Debug)]
+struct PendingCandidate {
+    idx: usize,
+    band: Band,
+}
+
 /// A prebuilt kNN index over a `TimeSeries` corpus.
 ///
 /// Build time precomputes, per entry: the z-normalised series (optional),
@@ -65,6 +77,13 @@ struct IndexSnapshot {
 /// 4. **early-abandoned banded DP** — seeded with the current k-th best
 ///    distance, reusing one [`DtwScratch`] per query (or per worker in
 ///    batch mode).
+///
+/// The LB_Kim ordering pass runs through the batched [`lb_kim_batch`]
+/// lanes, and Kim survivors are parked in a deferred queue of up to
+/// [`LB_LANES`] candidates so their forward LB_Keogh bounds compute as
+/// one [`lb_keogh_batch`] lane pass; every pruning *decision* still
+/// happens sequentially in visit order against a fresh top-k threshold,
+/// which keeps results bit-identical to the fully serial sweep.
 ///
 /// Results are exact: identical ids *and* distances (bit-for-bit) to
 /// brute-forcing the same [`SDtw`] engine over the corpus, including
@@ -215,18 +234,23 @@ impl SdtwIndex {
         let cascade = self.cascade(bounds_ok);
         let mut cascade_scratch = CascadeScratch::new();
 
-        // Stage 1 for everyone up front: O(1) per entry, and the visit
-        // order it induces (ascending bound, stable by index) tightens the
-        // top-k threshold as early as possible. Without admissible bounds
-        // it is still a deterministic (and usually helpful) visit-order
-        // heuristic — it just never prunes.
-        let mut order: Vec<(f64, usize)> = self
-            .entries
+        // Stage 1 for everyone up front — batched eight summaries per
+        // lane pass (bit-identical to the scalar `lb_kim`): O(1) per
+        // entry, and the visit order it induces (ascending bound, stable
+        // by index) tightens the top-k threshold as early as possible.
+        // Without admissible bounds it is still a deterministic (and
+        // usually helpful) visit-order heuristic — it just never prunes.
+        let summaries: Vec<SeriesSummary> = self.entries.iter().map(|e| e.summary).collect();
+        let mut kim_raw = Vec::with_capacity(summaries.len());
+        lb_kim_batch(&q_summary, &summaries, metric, &mut kim_raw);
+        let mut order: Vec<(f64, usize)> = kim_raw
             .iter()
             .enumerate()
-            .map(|(i, e)| {
-                let raw = lb_kim(&q_summary, &e.summary, metric);
-                (self.normalize_bound(raw, q.len(), e.series.len()), i)
+            .map(|(i, &raw)| {
+                (
+                    self.normalize_bound(raw, q.len(), self.entries[i].series.len()),
+                    i,
+                )
             })
             .collect();
         order.sort_by(|a, b| {
@@ -237,13 +261,26 @@ impl SdtwIndex {
 
         let mut topk = TopK::new(k);
         let mut stats = CascadeStats::default();
+        let mut pending: Vec<PendingCandidate> = Vec::with_capacity(LB_LANES);
 
         for &(kim, idx) in &order {
             let entry = &self.entries[idx];
             // strict comparisons throughout (inside the cascade): a
             // candidate tying the current k-th distance must still be
             // examined — the index tie-break decides whether it
-            // displaces the incumbent
+            // displaces the incumbent.
+            //
+            // The threshold this Kim screen reads can be stale by the (at
+            // most LB_LANES - 1) queued survivors ahead of this candidate;
+            // staleness only ever *loosens* it, so deferral may admit an
+            // extra candidate into the queue but never drops one the
+            // serial order would keep. The flush re-reads a fresh
+            // threshold before every decision that can touch the top-k,
+            // so results stay bit-identical to the serial sweep — an
+            // admitted-by-staleness candidate necessarily exceeds its
+            // fresh flush threshold and falls to a later stage (shifting
+            // pruning *credit* between stages, never counts in or out of
+            // the top-k).
             let threshold = topk.threshold();
             if cascade
                 .screen_summary(&mut stats, Some(kim), threshold)
@@ -263,41 +300,113 @@ impl SdtwIndex {
             } else {
                 band.sanitize()
             };
+            pending.push(PendingCandidate { idx, band });
+            if pending.len() == LB_LANES {
+                self.flush_pending(
+                    &mut pending,
+                    &q,
+                    q_env.as_ref(),
+                    &cascade,
+                    &mut cascade_scratch,
+                    &mut topk,
+                    &mut stats,
+                    scratch,
+                );
+            }
+        }
+        self.flush_pending(
+            &mut pending,
+            &q,
+            q_env.as_ref(),
+            &cascade,
+            &mut cascade_scratch,
+            &mut topk,
+            &mut stats,
+            scratch,
+        );
+        debug_assert!(stats.is_consistent(), "every candidate accounted once");
+        Ok(QueryResult {
+            neighbors: topk.into_sorted(),
+            stats,
+        })
+    }
+
+    /// Drains the deferred candidate queue: one batched forward LB_Keogh
+    /// pass over the lanes whose stage applies (same predicate the
+    /// cascade uses — equal lengths and the band inside the envelope
+    /// window), then each candidate is decided strictly in FIFO (= serial
+    /// visit) order against a *fresh* top-k threshold. The cascade
+    /// re-derives applicability itself and falls back to the scalar
+    /// bound when no precomputed value is present, so the predicate here
+    /// is a performance filter, not a correctness gate.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_pending(
+        &self,
+        pending: &mut Vec<PendingCandidate>,
+        q: &TimeSeries,
+        q_env: Option<&Envelope>,
+        cascade: &Cascade,
+        cascade_scratch: &mut CascadeScratch,
+        topk: &mut TopK,
+        stats: &mut CascadeStats,
+        scratch: &mut DtwScratch,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        debug_assert!(pending.len() <= LB_LANES, "queue flushes at the lane width");
+        let metric = self.config.sdtw.dtw.metric;
+        let mut pre: [Option<f64>; LB_LANES] = [None; LB_LANES];
+        if cascade.bounds_enabled() {
+            let mut lanes: Vec<usize> = Vec::with_capacity(pending.len());
+            let mut envs: Vec<&Envelope> = Vec::with_capacity(pending.len());
+            for (p, cand) in pending.iter().enumerate() {
+                let entry = &self.entries[cand.idx];
+                if q.len() == entry.series.len() && cand.band.within_window(entry.envelope.radius) {
+                    lanes.push(p);
+                    envs.push(&entry.envelope);
+                }
+            }
+            let mut bounds = Vec::with_capacity(lanes.len());
+            lb_keogh_batch(q.values(), &envs, metric, &mut bounds);
+            for (&p, &raw) in lanes.iter().zip(&bounds) {
+                pre[p] = Some(raw);
+            }
+        }
+        for (p, cand) in pending.drain(..).enumerate() {
+            let entry = &self.entries[cand.idx];
+            let threshold = topk.threshold();
             let input = SampleInput {
                 x: q.values(),
                 y: entry.series.values(),
                 y_envelope: Some(&entry.envelope),
-                x_envelope: q_env.as_ref(),
+                y_keogh_raw: pre[p],
+                x_envelope: q_env,
                 y_coarse: None,
             };
             if cascade
-                .screen_samples(&mut stats, &input, &band, threshold, &mut cascade_scratch)
+                .screen_samples(stats, &input, &cand.band, threshold, cascade_scratch)
                 .is_some()
             {
                 continue;
             }
             match self
                 .engine
-                .query(&q, &entry.series)
-                .band(&band)
+                .query(q, &entry.series)
+                .band(&cand.band)
                 .cutoff(threshold)
                 .path(false)
                 .scratch(scratch)
                 .run()
                 .expect("band override cannot fail extraction")
             {
-                None => stats.record_abandoned(band.area()),
+                None => stats.record_abandoned(cand.band.area()),
                 Some(r) => {
                     stats.record_completed(r.cells_filled);
-                    topk.offer(idx, r.distance);
+                    topk.offer(cand.idx, r.distance);
                 }
             }
         }
-        debug_assert!(stats.is_consistent(), "every candidate accounted once");
-        Ok(QueryResult {
-            neighbors: topk.into_sorted(),
-            stats,
-        })
     }
 
     /// kNN query (allocates a fresh DP scratch; see

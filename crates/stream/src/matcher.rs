@@ -9,7 +9,7 @@ use sdtw_dtw::cascade::{
     Cascade, CascadeScratch, CascadeStats, CoarseEnvelope, PruneStage, SampleInput, StageKind,
 };
 use sdtw_dtw::engine::Normalization;
-use sdtw_dtw::lower_bound::{lb_kim, Envelope, SeriesSummary};
+use sdtw_dtw::lower_bound::{lb_keogh_batch_windows, lb_kim, Envelope, SeriesSummary, LB_LANES};
 use sdtw_dtw::Band;
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::stats::WindowedStats;
@@ -70,6 +70,9 @@ pub(crate) struct EvalScratch {
     pub(crate) dtw: DtwScratch,
     /// Cascade stage buffers (PAA segment means).
     pub(crate) cascade: CascadeScratch,
+    /// Deferred-queue window buffers: one normalised window per LB lane.
+    /// Only the batch sweeps fill these — the monitor path never defers.
+    pub(crate) lanes: Vec<Vec<f64>>,
 }
 
 /// What one shard's sweep produced: its pass winner, or the first error.
@@ -109,7 +112,13 @@ pub(crate) enum WindowVerdict {
 ///
 /// All stages execute through the workspace-shared
 /// [`sdtw_dtw::cascade::Cascade`] pipeline — the same runner
-/// `sdtw_index` queries use.
+/// `sdtw_index` queries use. The batch sweeps additionally park Kim
+/// survivors in a deferred queue of up to [`LB_LANES`] windows so their
+/// forward LB_Keogh bounds compute as one [`lb_keogh_batch_windows`]
+/// lane pass; every pruning *decision* still happens sequentially in
+/// sweep order against a fresh best-so-far threshold, which keeps
+/// matches bit-identical to the fully serial sweep (the streaming
+/// monitor path never defers).
 ///
 /// Results are **exact**: offsets and bit-identical distances to
 /// brute-forcing the same engine over every window and greedily picking
@@ -462,32 +471,65 @@ impl SubseqMatcher {
         // normalisation reproduces `z_normalize` bit for bit, so the
         // sample-phase bounds and the DP decide on the very values the
         // oracle sees.
-        let wv = self.normalize_window(raw, &mut eval.window);
-        let planned;
-        let band = match &self.fixed_band {
-            Some(b) => b,
-            None => {
-                // adaptive policy: extract the window's descriptors and
-                // plan against the cached query descriptors
-                let wts = TimeSeries::new(wv.to_vec())?;
-                let wf = extract_features(&wts, &self.config.sdtw.salient)?;
-                let (b, _) = self
-                    .engine
-                    .plan_band(&self.query_features, &wf, self.m, self.m);
-                planned = if b.is_feasible() { b } else { b.sanitize() };
-                &planned
-            }
-        };
+        let EvalScratch {
+            window,
+            dtw,
+            cascade,
+            ..
+        } = eval;
+        let wv = self.normalize_window(raw, window);
+        let planned = self.plan_window_band(wv)?;
+        let band = planned
+            .as_ref()
+            .or(self.fixed_band.as_ref())
+            .expect("alignment-free policies carry a fixed band");
+        self.finish_window(wv, band, None, threshold, dtw, cascade, stats)
+    }
+
+    /// Plans the adaptive band for one prepared (normalised) window —
+    /// extract its descriptors, plan against the cached query
+    /// descriptors, sanitise. `None` under an alignment-free policy,
+    /// where every window shares the matcher's `fixed_band`.
+    fn plan_window_band(&self, wv: &[f64]) -> Result<Option<Band>, TsError> {
+        if self.fixed_band.is_some() {
+            return Ok(None);
+        }
+        let wts = TimeSeries::new(wv.to_vec())?;
+        let wf = extract_features(&wts, &self.config.sdtw.salient)?;
+        let (b, _) = self
+            .engine
+            .plan_band(&self.query_features, &wf, self.m, self.m);
+        Ok(Some(if b.is_feasible() { b } else { b.sanitize() }))
+    }
+
+    /// The sample-phase stages and the early-abandoned DP for one
+    /// prepared (normalised, band-planned) window. `y_keogh_raw`
+    /// optionally carries the batched forward LB_Keogh bound — by
+    /// construction bit-identical to the scalar value the cascade would
+    /// otherwise compute itself, so passing it changes cost, never
+    /// decisions.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_window(
+        &self,
+        wv: &[f64],
+        band: &Band,
+        y_keogh_raw: Option<f64>,
+        threshold: f64,
+        dtw: &mut DtwScratch,
+        cascade_scratch: &mut CascadeScratch,
+        stats: &mut CascadeStats,
+    ) -> Result<WindowVerdict, TsError> {
         let input = SampleInput {
             x: wv,
             y: &self.query,
             y_envelope: Some(&self.query_envelope),
+            y_keogh_raw,
             x_envelope: None,
             y_coarse: self.query_coarse.as_ref(),
         };
         if let Some(kind) =
             self.cascade
-                .screen_samples(stats, &input, band, threshold, &mut eval.cascade)
+                .screen_samples(stats, &input, band, threshold, cascade_scratch)
         {
             return Ok(WindowVerdict::Pruned(kind));
         }
@@ -497,7 +539,7 @@ impl SubseqMatcher {
             .band(band)
             .cutoff(threshold)
             .path(false)
-            .scratch(&mut eval.dtw)
+            .scratch(dtw)
             .run()?
         {
             None => {
@@ -633,6 +675,24 @@ impl SubseqMatcher {
     }
 }
 
+/// A Kim-surviving window parked in the deferred queue until enough
+/// accumulate to batch their forward LB_Keogh bounds (one
+/// [`lb_keogh_batch_windows`] lane pass over up to [`LB_LANES`] windows).
+/// Normalisation and band planning happen at enqueue time — in serial
+/// sweep order — so deferral changes *when* the sample-phase stages run,
+/// never what they see.
+#[derive(Debug)]
+struct PendingWindow {
+    /// Global window offset.
+    w: usize,
+    /// Lane buffer holding the z-normalised samples (`None` in raw mode,
+    /// where the haystack is re-sliced at flush time).
+    lane: Option<usize>,
+    /// The planned adaptive band (`None` under alignment-free policies —
+    /// every window shares the matcher's `fixed_band`).
+    band: Option<Band>,
+}
+
 /// One worker's share of a (possibly sharded) scan: the window range
 /// `[ws, we)`, its precomputed rolling bounds, and every piece of
 /// per-worker state the sweep mutates — the completed-distance cache,
@@ -689,37 +749,171 @@ impl ShardScan {
                 .iter()
                 .any(|s| w.abs_diff(s.offset) < matcher.exclusion)
         };
+        let (ws, we) = (self.ws, self.we);
+        self.eval.lanes.resize(LB_LANES, Vec::new());
+        let Self {
+            kims,
+            computed,
+            eval,
+            stats,
+            ..
+        } = self;
+        let EvalScratch {
+            dtw,
+            cascade: cascade_scratch,
+            lanes,
+            ..
+        } = eval;
         let mut best: Option<(f64, usize)> = None;
-        for (&w, &d) in &self.computed {
+        for (&w, &d) in computed.iter() {
             if d <= tau && !excluded(w) && SubseqMatcher::better(d, w, &best) {
                 best = Some((d, w));
             }
         }
-        for w in self.ws..self.we {
+        let mut pending: Vec<PendingWindow> = Vec::with_capacity(LB_LANES);
+        for w in ws..we {
             if excluded(w) {
-                self.stats.skipped_excluded += 1;
+                stats.skipped_excluded += 1;
                 continue;
             }
-            if self.computed.contains_key(&w) {
-                self.stats.cache_hits += 1;
+            if computed.contains_key(&w) {
+                stats.cache_hits += 1;
                 continue;
             }
+            // The threshold this Kim screen reads can be stale by the (at
+            // most LB_LANES - 1) queued survivors ahead of this window;
+            // staleness only ever *loosens* it, so deferral may admit an
+            // extra window into the queue but never drops one the serial
+            // sweep would keep. The flush re-reads a fresh threshold
+            // before every decision that can complete, so the pass winner
+            // and the completed-distance cache stay bit-identical to the
+            // serial sweep — an admitted-by-staleness window necessarily
+            // exceeds its fresh flush threshold and falls to a later
+            // stage (shifting pruning *credit* between stages only).
             let threshold = best.map_or(tau, |(d, _)| d.min(tau));
-            let verdict = matcher.evaluate_window(
-                &xv[w..w + matcher.m],
-                self.kims[w - self.ws],
-                threshold,
-                &mut self.eval,
-                &mut self.stats.cascade,
-            )?;
+            if matcher
+                .cascade
+                .screen_summary(&mut stats.cascade, kims[w - ws], threshold)
+                .is_some()
+            {
+                continue;
+            }
+            let raw = &xv[w..w + matcher.m];
+            let lane = matcher.config.z_normalize.then(|| {
+                let l = pending.len();
+                z_normalize_values(raw, &mut lanes[l]);
+                l
+            });
+            let wv: &[f64] = match lane {
+                Some(l) => &lanes[l],
+                None => raw,
+            };
+            let band = matcher.plan_window_band(wv)?;
+            pending.push(PendingWindow { w, lane, band });
+            if pending.len() == LB_LANES {
+                Self::flush_pending(
+                    matcher,
+                    xv,
+                    &mut pending,
+                    lanes,
+                    dtw,
+                    cascade_scratch,
+                    &mut stats.cascade,
+                    computed,
+                    tau,
+                    &mut best,
+                )?;
+            }
+        }
+        Self::flush_pending(
+            matcher,
+            xv,
+            &mut pending,
+            lanes,
+            dtw,
+            cascade_scratch,
+            &mut stats.cascade,
+            computed,
+            tau,
+            &mut best,
+        )?;
+        Ok(best)
+    }
+
+    /// Drains the deferred window queue: one batched forward LB_Keogh
+    /// pass over the lanes whose stage applies (same predicate the
+    /// cascade uses — the band inside the query-envelope window), then
+    /// each window is decided strictly in FIFO (= serial sweep) order
+    /// against a fresh pass-best threshold. The cascade re-derives
+    /// applicability itself and falls back to the scalar bound when no
+    /// precomputed value is present, so the predicate here is a
+    /// performance filter, not a correctness gate.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_pending(
+        matcher: &SubseqMatcher,
+        xv: &[f64],
+        pending: &mut Vec<PendingWindow>,
+        lanes: &[Vec<f64>],
+        dtw: &mut DtwScratch,
+        cascade_scratch: &mut CascadeScratch,
+        stats: &mut CascadeStats,
+        computed: &mut BTreeMap<usize, f64>,
+        tau: f64,
+        best: &mut Option<(f64, usize)>,
+    ) -> Result<(), TsError> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(pending.len() <= LB_LANES, "queue flushes at the lane width");
+        let window_of = |cand: &PendingWindow| -> &[f64] {
+            match cand.lane {
+                Some(l) => &lanes[l],
+                None => &xv[cand.w..cand.w + matcher.m],
+            }
+        };
+        let mut pre: [Option<f64>; LB_LANES] = [None; LB_LANES];
+        if matcher.bounds_ok {
+            let mut slots: Vec<usize> = Vec::with_capacity(pending.len());
+            let mut views: Vec<&[f64]> = Vec::with_capacity(pending.len());
+            for (p, cand) in pending.iter().enumerate() {
+                let band = cand.band.as_ref().or(matcher.fixed_band.as_ref());
+                if band.is_some_and(|b| b.within_window(matcher.radius)) {
+                    slots.push(p);
+                    views.push(window_of(cand));
+                }
+            }
+            let mut bounds = Vec::with_capacity(slots.len());
+            lb_keogh_batch_windows(
+                &views,
+                &matcher.query_envelope,
+                matcher.config.sdtw.dtw.metric,
+                &mut bounds,
+            );
+            for (&p, &raw) in slots.iter().zip(&bounds) {
+                pre[p] = Some(raw);
+            }
+        }
+        for (p, cand) in pending.drain(..).enumerate() {
+            let wv: &[f64] = match cand.lane {
+                Some(l) => &lanes[l],
+                None => &xv[cand.w..cand.w + matcher.m],
+            };
+            let band = cand
+                .band
+                .as_ref()
+                .or(matcher.fixed_band.as_ref())
+                .expect("adaptive windows carry a planned band");
+            let threshold = best.map_or(tau, |(d, _)| d.min(tau));
+            let verdict =
+                matcher.finish_window(wv, band, pre[p], threshold, dtw, cascade_scratch, stats)?;
             if let WindowVerdict::Completed(d) = verdict {
-                self.computed.insert(w, d);
-                if d <= tau && SubseqMatcher::better(d, w, &best) {
-                    best = Some((d, w));
+                computed.insert(cand.w, d);
+                if d <= tau && SubseqMatcher::better(d, cand.w, best) {
+                    *best = Some((d, cand.w));
                 }
             }
         }
-        Ok(best)
+        Ok(())
     }
 }
 

@@ -51,10 +51,13 @@ pub mod prelude {
     };
     pub use sdtw_datasets::{Dataset, UcrAnalog};
     pub use sdtw_dtw::engine::{
-        dtw_full, dtw_run, dtw_run_options, DtwOptions, Normalization, StepPattern,
+        dtw_full, dtw_run, dtw_run_options, DtwEngine, DtwOptions, Normalization, StepPattern,
     };
     pub use sdtw_dtw::kernel::{AmercedKernel, DtwKernel, KernelChoice, StandardKernel};
-    pub use sdtw_dtw::lower_bound::{lb_keogh, lb_kim, Envelope, SeriesSummary};
+    pub use sdtw_dtw::lower_bound::{
+        lb_keogh, lb_keogh_batch, lb_keogh_batch_windows, lb_kim, lb_kim_batch, Envelope,
+        SeriesSummary, LB_LANES,
+    };
     pub use sdtw_dtw::{Band, WarpPath};
     pub use sdtw_eval::{
         compute_matrix, compute_query_matrix, evaluate_policies, DistanceMatrix, EvalOptions,

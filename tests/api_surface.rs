@@ -19,6 +19,7 @@ const EXPECTED: &[&str] = &[
     "ConstraintPolicy",
     "Dataset",
     "DistanceMatrix",
+    "DtwEngine",
     "DtwKernel",
     "DtwOptions",
     "DtwScratch",
@@ -28,6 +29,7 @@ const EXPECTED: &[&str] = &[
     "FeatureStore",
     "IndexConfig",
     "KernelChoice",
+    "LB_LANES",
     "MatchConfig",
     "MonitorBank",
     "Neighbor",
@@ -63,7 +65,10 @@ const EXPECTED: &[&str] = &[
     "dtw_run_options",
     "evaluate_policies",
     "lb_keogh",
+    "lb_keogh_batch",
+    "lb_keogh_batch_windows",
     "lb_kim",
+    "lb_kim_batch",
 ];
 
 /// Extracts the leaf item names re-exported by the `prelude` module in
@@ -152,6 +157,10 @@ fn snapshot_items_actually_resolve() {
     ) -> sdtw_suite::dtw::DtwResult = prelude::dtw_full;
     let _ = prelude::dtw_run_options;
     let _ = prelude::compute_query_matrix;
+    assert_type::<prelude::DtwEngine>();
+    let _ = prelude::lb_keogh_batch;
+    let _ = prelude::lb_kim_batch;
+    let _: usize = prelude::LB_LANES;
     // the DtwKernel trait is usable through the prelude
     fn _takes_kernel<K: prelude::DtwKernel>(_k: &K) {}
 }

@@ -1,0 +1,314 @@
+//! Differential harness: the wavefront (anti-diagonal) DP engine against
+//! the row-sequential reference, over a seeded grid of kernels × band
+//! families × path/cutoff modes. The two engines must agree **bit for
+//! bit** — distances, cells filled, warp paths, and early-abandon
+//! decisions — because every per-cell expression is shared; any drift
+//! here is an indexing bug in the diagonal sweep, never a tolerance
+//! question.
+//!
+//! The same harness drives the edge cases: degenerate lengths, bands
+//! wider than the grid, all-equal series (maximal tie-path ambiguity),
+//! non-staircase bands, and non-finite-input rejection.
+
+mod common;
+
+use common::{structured_series, TestRng};
+use sdtw_suite::core::{ConstraintPolicy, SDtw, SDtwConfig};
+use sdtw_suite::dtw::band::ColRange;
+use sdtw_suite::dtw::engine::{
+    dtw_run_options_values_with, DtwEngine, DtwOptions, DtwResult, DtwScratch, Normalization,
+    StepPattern,
+};
+use sdtw_suite::dtw::itakura::itakura_band;
+use sdtw_suite::dtw::sakoe::sakoe_chiba_band;
+use sdtw_suite::dtw::{Band, KernelChoice};
+use sdtw_suite::salient::extract_features;
+use sdtw_suite::tseries::{TimeSeries, TsError};
+
+/// Runs one configuration under both engines and asserts bit-identity of
+/// every observable: abandon decision, distance bits, cells filled, and
+/// the warp path (when traced). Returns the wavefront outcome.
+fn assert_engines_agree(
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    opts: &DtwOptions,
+    cutoff: Option<f64>,
+    label: &str,
+) -> Option<DtwResult> {
+    let mut scratch = DtwScratch::new();
+    let wave = dtw_run_options_values_with(
+        DtwEngine::Wavefront,
+        xv,
+        yv,
+        band,
+        opts,
+        cutoff,
+        &mut scratch,
+    );
+    let rows =
+        dtw_run_options_values_with(DtwEngine::Rows, xv, yv, band, opts, cutoff, &mut scratch);
+    match (&wave, &rows) {
+        (None, None) => {}
+        (Some(w), Some(r)) => {
+            assert_eq!(
+                w.distance.to_bits(),
+                r.distance.to_bits(),
+                "distance diverged [{label}]: wavefront {} vs rows {}",
+                w.distance,
+                r.distance
+            );
+            assert_eq!(
+                w.cells_filled, r.cells_filled,
+                "cell accounting diverged [{label}]"
+            );
+            assert_eq!(w.path, r.path, "warp path diverged [{label}]");
+        }
+        _ => panic!(
+            "abandon decisions diverged [{label}]: wavefront {:?} vs rows {:?}",
+            wave.as_ref().map(|r| r.distance),
+            rows.as_ref().map(|r| r.distance)
+        ),
+    }
+    wave
+}
+
+/// The three kernels the grid sweeps: standard symmetric1 (the paper's
+/// recurrence), standard symmetric2 with the conventional normalisation,
+/// and the amerced (ADTW) kernel.
+fn kernel_grid() -> Vec<(&'static str, DtwOptions)> {
+    let sym1 = DtwOptions::default();
+    let sym2 = DtwOptions {
+        step_pattern: StepPattern::Symmetric2,
+        normalization: Normalization::LengthSum,
+        ..DtwOptions::default()
+    };
+    let amerced = DtwOptions {
+        kernel: KernelChoice::Amerced { penalty: 0.25 },
+        ..DtwOptions::default()
+    };
+    vec![("sym1", sym1), ("sym2", sym2), ("amerced", amerced)]
+}
+
+/// The salient (sDTW) band of a pair, planned by the `fc,aw` policy from
+/// freshly extracted descriptors — the band family the paper is about.
+fn salient_band(x: &TimeSeries, y: &TimeSeries) -> Band {
+    let config = SDtwConfig {
+        policy: ConstraintPolicy::fixed_core_adaptive_width(),
+        ..SDtwConfig::default()
+    };
+    let engine = SDtw::new(config.clone()).expect("valid config");
+    let fx = extract_features(x, &config.salient).expect("finite series");
+    let fy = extract_features(y, &config.salient).expect("finite series");
+    let (band, _) = engine.plan_band(&fx, &fy, x.len(), y.len());
+    if band.is_feasible() {
+        band
+    } else {
+        band.sanitize()
+    }
+}
+
+#[test]
+fn wavefront_matches_rows_across_the_seeded_grid() {
+    let mut rng = TestRng::new(0xD1FF_EE01);
+    for pair in 0..4 {
+        let x = structured_series(&mut rng);
+        let y = structured_series(&mut rng);
+        let (xv, yv) = (x.values(), y.values());
+        let bands: Vec<(&str, Band)> = vec![
+            ("sakoe", sakoe_chiba_band(x.len(), y.len(), 0.2)),
+            ("itakura", itakura_band(x.len(), y.len(), 2.0)),
+            ("salient", salient_band(&x, &y)),
+        ];
+        for (bname, band) in &bands {
+            for (kname, opts) in kernel_grid() {
+                for compute_path in [false, true] {
+                    let opts = DtwOptions {
+                        compute_path,
+                        ..opts
+                    };
+                    let label =
+                        format!("pair {pair} band {bname} kernel {kname} path {compute_path}");
+                    // no cutoff first — its distance seeds the cutoff cases
+                    let full = assert_engines_agree(xv, yv, band, &opts, None, &label)
+                        .expect("no cutoff cannot abandon");
+                    // a generous cutoff (survives, including the tie) and a
+                    // tight one (must abandon): both decisions must agree
+                    for (cname, cutoff) in [
+                        ("loose", full.distance * 1.5 + 1.0),
+                        ("tie", full.distance),
+                        ("tight", full.distance * 0.5 - 1e-9),
+                    ] {
+                        let outcome = assert_engines_agree(
+                            xv,
+                            yv,
+                            band,
+                            &opts,
+                            Some(cutoff),
+                            &format!("{label} cutoff {cname}"),
+                        );
+                        match cname {
+                            "tight" => assert!(outcome.is_none(), "tight cutoff must abandon"),
+                            _ => {
+                                assert!(outcome.is_some(), "cutoff at/above the distance survives")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_lengths_agree_and_empty_inputs_are_rejected() {
+    // length-1 × length-1 and length-1 × length-n: the wavefront's first
+    // row/column special cases in their purest form
+    for (xv, yv) in [
+        (vec![2.5], vec![-1.0]),
+        (vec![2.5], (0..40).map(|i| (i as f64 / 5.0).sin()).collect()),
+        (
+            (0..40).map(|i| (i as f64 / 7.0).cos()).collect(),
+            vec![0.25],
+        ),
+    ] {
+        let band = Band::full(xv.len(), yv.len());
+        for (kname, opts) in kernel_grid() {
+            assert_engines_agree(&xv, &yv, &band, &opts, None, &format!("degenerate {kname}"));
+        }
+    }
+    // empty input never reaches either engine: the series type rejects it
+    assert!(matches!(TimeSeries::new(vec![]), Err(TsError::Empty)));
+    let engine = SDtw::new(SDtwConfig::default()).unwrap();
+    for dp in [DtwEngine::Wavefront, DtwEngine::Rows] {
+        let err = engine.query_window(&[], &[1.0]).dp_engine(dp).run();
+        assert!(
+            matches!(err, Err(TsError::Empty)),
+            "{dp:?} must reject empty windows"
+        );
+    }
+}
+
+#[test]
+fn bands_wider_than_the_grid_clamp_identically() {
+    let x: Vec<f64> = (0..24).map(|i| (i as f64 / 3.0).sin()).collect();
+    let y: Vec<f64> = (0..17).map(|i| (i as f64 / 4.0).cos()).collect();
+    // a Sakoe radius beyond every row clamps to the full grid
+    let band = sakoe_chiba_band(x.len(), y.len(), 5.0);
+    assert_eq!(band.area(), Band::full(x.len(), y.len()).area());
+    for (kname, opts) in kernel_grid() {
+        for compute_path in [false, true] {
+            let opts = DtwOptions {
+                compute_path,
+                ..opts
+            };
+            assert_engines_agree(&x, &y, &band, &opts, None, &format!("overwide {kname}"));
+        }
+    }
+}
+
+#[test]
+fn all_equal_series_resolve_ties_identically() {
+    // every cell costs 0 (squared metric): the DP is one giant tie and
+    // the traceback's deterministic preference order is all that picks
+    // the path — both engines must report the same one (path mode
+    // dispatches to the row engine by design, so this pins the fallback)
+    let x = vec![3.0; 20];
+    let y = vec![3.0; 25];
+    let band = Band::full(x.len(), y.len());
+    for (kname, opts) in kernel_grid() {
+        let opts = DtwOptions {
+            compute_path: true,
+            ..opts
+        };
+        let r = assert_engines_agree(&x, &y, &band, &opts, None, &format!("ties {kname}"))
+            .expect("no cutoff");
+        let path = r.path.expect("path requested");
+        // amerced pays a penalty per off-diagonal step, so only the
+        // standard kernels yield exactly 0 here; ties still resolve the
+        // same way in both engines either way
+        if !matches!(opts.kernel, KernelChoice::Amerced { .. }) {
+            assert_eq!(r.distance.to_bits(), 0f64.to_bits(), "{kname}");
+        }
+        path.validate(x.len(), y.len())
+            .unwrap_or_else(|e| panic!("{kname}: invalid tie path: {e}"));
+    }
+}
+
+#[test]
+fn non_staircase_bands_agree() {
+    // a feasible band whose per-row spans regress (row 1 starts after
+    // row 2) — the wavefront cannot use tight two-pointer spans and must
+    // fall back to its conservative diagonal cover with per-cell
+    // membership checks; results still match the row engine exactly
+    let x: Vec<f64> = (0..4).map(|i| i as f64).collect();
+    let y: Vec<f64> = (0..5).map(|i| (i as f64) * 0.5).collect();
+    let band = Band::from_ranges(
+        4,
+        5,
+        vec![
+            ColRange::new(0, 4),
+            ColRange::new(3, 4),
+            ColRange::new(1, 4),
+            ColRange::new(2, 4),
+        ],
+    );
+    assert!(band.is_feasible(), "the test band must be DP-feasible");
+    for (kname, opts) in kernel_grid() {
+        for cutoff in [None, Some(1.0), Some(1e9)] {
+            assert_engines_agree(
+                &x,
+                &y,
+                &band,
+                &opts,
+                cutoff,
+                &format!("non-staircase {kname}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn non_finite_inputs_never_reach_the_engines() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(
+            matches!(
+                TimeSeries::new(vec![0.0, bad, 1.0]),
+                Err(TsError::NonFinite { .. })
+            ),
+            "series construction must reject {bad}"
+        );
+    }
+}
+
+#[test]
+fn env_selection_and_explicit_override_agree() {
+    // whatever SDTW_ENGINE says for this process, pinning the engine
+    // explicitly must reproduce it bit for bit when it names the same
+    // engine — and the two pins must agree with each other regardless
+    let engine = SDtw::new(SDtwConfig::default()).unwrap();
+    let x = TimeSeries::new((0..60).map(|i| (i as f64 / 6.0).sin()).collect()).unwrap();
+    let y = TimeSeries::new((0..55).map(|i| (i as f64 / 5.0).cos()).collect()).unwrap();
+    let ambient = engine.query(&x, &y).run().unwrap().unwrap();
+    let selected = engine
+        .query(&x, &y)
+        .dp_engine(DtwEngine::selected())
+        .run()
+        .unwrap()
+        .unwrap();
+    assert_eq!(ambient.distance.to_bits(), selected.distance.to_bits());
+    let wave = engine
+        .query(&x, &y)
+        .dp_engine(DtwEngine::Wavefront)
+        .run()
+        .unwrap()
+        .unwrap();
+    let rows = engine
+        .query(&x, &y)
+        .dp_engine(DtwEngine::Rows)
+        .run()
+        .unwrap()
+        .unwrap();
+    assert_eq!(wave.distance.to_bits(), rows.distance.to_bits());
+    assert_eq!(wave.cells_filled, rows.cells_filled);
+}
