@@ -49,8 +49,8 @@ pub fn spec_for(key: &str) -> Option<OptionSpec> {
     let spec = match key {
         "dist" => OptionSpec {
             engine: true,
-            value: &[],
-            flag: &["path"],
+            value: &["trace"],
+            flag: &["path", "trace-stdout"],
         },
         "features" => OptionSpec {
             engine: false,
@@ -64,8 +64,8 @@ pub fn spec_for(key: &str) -> Option<OptionSpec> {
         },
         "distmat" => OptionSpec {
             engine: true,
-            value: &["queries", "out"],
-            flag: &["serial"],
+            value: &["queries", "out", "trace"],
+            flag: &["serial", "trace-stdout"],
         },
         "index build" => OptionSpec {
             engine: true,
@@ -74,8 +74,8 @@ pub fn spec_for(key: &str) -> Option<OptionSpec> {
         },
         "index query" => OptionSpec {
             engine: false,
-            value: &["k"],
-            flag: &["serial", "json"],
+            value: &["k", "trace"],
+            flag: &["serial", "json", "trace-stdout"],
         },
         "stream find" => OptionSpec {
             engine: true,
@@ -89,14 +89,16 @@ pub fn spec_for(key: &str) -> Option<OptionSpec> {
                 "queries",
                 "shards",
                 "paa",
+                "trace",
             ],
-            flag: &["raw", "monitor", "json", "parallel"],
+            flag: &["raw", "monitor", "json", "parallel", "trace-stdout"],
         },
         "generate" => OptionSpec {
             engine: false,
             value: &["seed"],
             flag: &[],
         },
+        "report" => OptionSpec::EMPTY,
         _ => return None,
     };
     Some(spec)

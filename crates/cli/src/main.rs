@@ -8,20 +8,29 @@
 //! sdtw index build <corpus.txt> <out.json> [--policy P] [--width W] [--radius F] [--znorm]
 //! sdtw index query <index.json> <queries.txt> [--k K] [--serial] [--json]
 //! sdtw stream find <haystack.txt> <query.txt> [--k K] [--tau T] [--monitor] [--raw]
+//! sdtw report <trace.ndjson>...
 //! sdtw generate <gun|trace|50words> <out.txt> [--seed S]
 //! ```
 //!
 //! Corpora are UCR text files (one series per line, label first). The
 //! `generate` subcommand writes the synthetic analogue datasets so every
 //! other subcommand has data to work on out of the box.
+//!
+//! Every distance-computing subcommand accepts `--trace <file>` /
+//! `--trace-stdout` to emit one NDJSON [`QueryTrace`] line per logical
+//! query; `sdtw report` aggregates those files into prune/latency
+//! tables.
 
 mod args;
 
 use args::Args;
 use rayon::prelude::*;
-use sdtw::{ConstraintPolicy, FeatureStore, KernelChoice, SDtw, SDtwConfig, SalientConfig};
+use sdtw::{
+    ConstraintPolicy, DtwEngine, FeatureStore, KernelChoice, SDtw, SDtwConfig, SalientConfig,
+};
 use sdtw_datasets::UcrAnalog;
 use sdtw_index::{CascadeStats, IndexConfig, SdtwIndex};
+use sdtw_obs::{InputShape, QueryTrace, Recorder, TraceReport, WorkloadKind};
 use sdtw_salient::feature::extract_feature_set;
 use sdtw_stream::{MonitorBank, StreamConfig, SubseqMatcher, SubseqResult};
 use sdtw_tseries::io::{read_ucr_file, write_ucr_file};
@@ -38,6 +47,8 @@ commands:
                                       --path           (print the warp path)
                                       --kernel <std|amerced>  (cost kernel, default std)
                                       --penalty <w>    (amerced warp penalty, default 1.0)
+                                      --trace <file> / --trace-stdout
+                                                       (emit the NDJSON query trace)
   features <corpus> <i>      salient features of series i
                              options: --bins <n> (descriptor length, default 64)
                                       --json     (machine-readable output)
@@ -51,6 +62,9 @@ commands:
                                       --queries <file>  (query-vs-corpus matrix
                                                          instead of pairwise)
                                       --out <file.json> (write the matrix)
+                                      --trace <file> / --trace-stdout
+                                                        (one NDJSON trace for
+                                                         the whole batch)
   index build <corpus> <out> prebuild a kNN index (envelopes, summaries,
                              cached salient descriptors) as JSON
                              options: --policy, --width, --kernel, --penalty
@@ -62,6 +76,8 @@ commands:
                              options: --k <n> (default 5)
                                       --serial (disable parallelism)
                                       --json   (machine-readable output)
+                                      --trace <file> / --trace-stdout
+                                               (one NDJSON trace per query)
   stream find <hay> <q>      subsequence search: the k best non-overlapping
                              occurrences of a query pattern inside a long
                              series, via the rolling LB_Kim -> PAA ->
@@ -95,6 +111,13 @@ commands:
                                                        a shared-ingest bank
                                                        under --queries)
                                       --json          (machine-readable output)
+                                      --trace <file> / --trace-stdout
+                                                      (one NDJSON trace per
+                                                       query)
+  report <trace.ndjson>...   aggregate NDJSON trace files (written by
+                             --trace) into per-stage prune percentages,
+                             p50/p95 span durations, and a cells-per-query
+                             histogram
   generate <kind> <out>      write a synthetic corpus (gun|trace|50words)
                              options: --seed <n> (default 20120827)
 ";
@@ -160,6 +183,58 @@ fn load_series(corpus: &[TimeSeries], idx: usize) -> Result<&TimeSeries, String>
         .ok_or_else(|| format!("index {idx} out of range (corpus has {})", corpus.len()))
 }
 
+/// Where `--trace <file>` / `--trace-stdout` sends NDJSON trace lines.
+/// Lines are buffered and written in one `flush` so a failed run never
+/// leaves a truncated trace file behind.
+struct TraceSink {
+    /// `None` means stdout.
+    path: Option<String>,
+    lines: Vec<String>,
+}
+
+impl TraceSink {
+    /// The sink the command line asked for, if any. `--trace` and
+    /// `--trace-stdout` are mutually exclusive, and stdout traces cannot
+    /// combine with `--json` (the interleaved stream would parse as
+    /// neither format).
+    fn from_args(a: &Args) -> Result<Option<TraceSink>, String> {
+        let path = a.options.get("trace").cloned();
+        let stdout = a.flag("trace-stdout");
+        if path.is_some() && stdout {
+            return Err("--trace and --trace-stdout are mutually exclusive".into());
+        }
+        if stdout && a.flag("json") {
+            return Err(
+                "--trace-stdout would interleave with --json output; use --trace <file>".into(),
+            );
+        }
+        if path.is_none() && !stdout {
+            return Ok(None);
+        }
+        Ok(Some(TraceSink {
+            path,
+            lines: Vec::new(),
+        }))
+    }
+
+    fn push(&mut self, trace: &QueryTrace) {
+        self.lines.push(trace.to_json_line());
+    }
+
+    fn flush(self) -> Result<(), String> {
+        let mut doc = self.lines.join("\n");
+        doc.push('\n');
+        match self.path {
+            Some(p) => {
+                std::fs::write(&p, doc).map_err(|e| format!("{p}: {e}"))?;
+                println!("wrote {} trace line(s) to {p}", self.lines.len());
+            }
+            None => print!("{doc}"),
+        }
+        Ok(())
+    }
+}
+
 fn cmd_dist(a: &Args) -> Result<(), String> {
     let [path, i, j] = a.positional.as_slice() else {
         return Err("dist needs <corpus> <i> <j>".into());
@@ -169,14 +244,23 @@ fn cmd_dist(a: &Args) -> Result<(), String> {
     let j: usize = j.parse().map_err(|_| "j must be an index")?;
     let mut config = config_from(a)?;
     config.dtw.compute_path = a.flag("path");
+    let mut sink = TraceSink::from_args(a)?;
     let engine = SDtw::new(config).map_err(|e| e.to_string())?;
     let x = load_series(&corpus, i)?;
     let y = load_series(&corpus, j)?;
+    let mut rec = if sink.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let t0 = std::time::Instant::now();
     let out = engine
         .query(x, y)
+        .recorder(&mut rec)
         .run()
         .map_err(|e| e.to_string())?
         .expect("no cutoff configured");
+    let wall = t0.elapsed();
     println!(
         "distance {:.6}  kernel {}  cells {}  coverage {:.1}%  pairs {}/{}",
         out.distance,
@@ -189,6 +273,28 @@ fn cmd_dist(a: &Args) -> Result<(), String> {
     if let Some(p) = out.path {
         let steps: Vec<String> = p.steps().iter().map(|(a, b)| format!("{a}:{b}")).collect();
         println!("path {}", steps.join(" "));
+    }
+    if let Some(mut sink) = sink.take() {
+        let mut trace = QueryTrace::new(format!("{i}x{j}"), WorkloadKind::Distance);
+        trace.shape = InputShape {
+            x_len: x.len() as u64,
+            y_len: y.len() as u64,
+            k: 1,
+            policy: engine.config().policy.label(),
+            kernel: engine.config().dtw.kernel_label(),
+            engine: format!("{:?}", DtwEngine::selected()).to_lowercase(),
+        };
+        trace.counters.passes = 1;
+        trace.counters.cascade.candidates = 1;
+        trace.counters.cascade.dp_completed = 1;
+        trace.counters.cascade.cells_filled = out.cells_filled as u64;
+        trace.descriptor_comparisons = out.descriptor_comparisons as u64;
+        trace.band_area = out.band_area as u64;
+        trace.full_grid = (x.len() * y.len()) as u64;
+        trace.spans = rec.finish();
+        trace.wall = wall;
+        sink.push(&trace);
+        sink.flush()?;
     }
     Ok(())
 }
@@ -299,6 +405,7 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
         None => None,
     };
     let out_path = a.options.get("out");
+    let mut sink = TraceSink::from_args(a)?;
     let engine = SDtw::new(config).map_err(|e| e.to_string())?;
     let store = FeatureStore::new(engine.config().salient.clone()).map_err(|e| e.to_string())?;
 
@@ -318,15 +425,22 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
     let t1 = std::time::Instant::now();
     let (stats, summary, json) = match &queries {
         Some(queries) => {
-            let m = sdtw_eval::compute_query_matrix(queries, &corpus, &engine, &store, parallel)
-                .map_err(|e| e.to_string())?;
+            let (m, trace) =
+                sdtw_eval::compute_query_matrix_traced(queries, &corpus, &engine, &store, parallel)
+                    .map_err(|e| e.to_string())?;
+            if let Some(sink) = sink.as_mut() {
+                sink.push(&trace);
+            }
             let summary = format!("matrix {} queries x {} corpus", m.queries(), m.corpus());
             let json = serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?;
             (m.stats, summary, json)
         }
         None => {
-            let m = sdtw_eval::compute_matrix(&corpus, &engine, &store, parallel)
+            let (m, trace) = sdtw_eval::compute_matrix_traced(&corpus, &engine, &store, parallel)
                 .map_err(|e| e.to_string())?;
+            if let Some(sink) = sink.as_mut() {
+                sink.push(&trace);
+            }
             let summary = format!("matrix {} x {} (pairwise)", m.n(), m.n());
             let json = serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?;
             (m.stats, summary, json)
@@ -359,6 +473,9 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
     if let Some(out) = out_path {
         std::fs::write(out, json).map_err(|e| e.to_string())?;
         println!("wrote {out}");
+    }
+    if let Some(sink) = sink {
+        sink.flush()?;
     }
     Ok(())
 }
@@ -415,16 +532,39 @@ fn cmd_index_query(a: &Args) -> Result<(), String> {
     }
     let k = a.opt_parse("k", 5usize)?;
     let parallel = !a.flag("serial");
+    let mut sink = TraceSink::from_args(a)?;
     let t0 = std::time::Instant::now();
-    let results = index
-        .batch_query(&queries, k, parallel)
-        .map_err(|e| e.to_string())?;
+    let results = match sink.as_mut() {
+        None => index
+            .batch_query(&queries, k, parallel)
+            .map_err(|e| e.to_string())?,
+        Some(sink) => {
+            // the traced path answers each query through `query_traced`
+            // (bit-identical results) and emits one NDJSON line per query
+            let run = |i: usize| index.query_traced(&queries[i], k, &format!("q{i}"));
+            let traced: Vec<_> = if parallel {
+                (0..queries.len()).into_par_iter().map(run).collect()
+            } else {
+                (0..queries.len()).map(run).collect()
+            };
+            let mut results = Vec::with_capacity(traced.len());
+            for item in traced {
+                let (result, trace) = item.map_err(|e| e.to_string())?;
+                sink.push(&trace);
+                results.push(result);
+            }
+            results
+        }
+    };
     let wall = t0.elapsed();
     if a.flag("json") {
         println!(
             "{}",
             serde_json::to_string_pretty(&results).map_err(|e| e.to_string())?
         );
+        if let Some(sink) = sink {
+            sink.flush()?;
+        }
         return Ok(());
     }
     let mut total = CascadeStats::default();
@@ -465,6 +605,9 @@ fn cmd_index_query(a: &Args) -> Result<(), String> {
              reports LB_Kim/LB_Keogh inadmissible; queries ran on early \
              abandoning alone"
         );
+    }
+    if let Some(sink) = sink {
+        sink.flush()?;
     }
     Ok(())
 }
@@ -603,40 +746,86 @@ fn cmd_stream_find(a: &Args) -> Result<(), String> {
         (false, false, _) => "batch",
     };
 
+    let mut sink = TraceSink::from_args(a)?;
+    let tracing = sink.is_some();
+    let mut traces: Vec<QueryTrace> = Vec::new();
     let t0 = std::time::Instant::now();
     let results: Vec<SubseqResult> = if a.flag("monitor") {
         let mut bank = MonitorBank::uniform(matchers.clone(), k, tau).map_err(|e| e.to_string())?;
+        bank.set_tracing(tracing);
         bank.process(series.values()).map_err(|e| e.to_string())?;
-        (0..bank.query_count())
+        let results = (0..bank.query_count())
             .map(|q| SubseqResult {
                 matches: bank.matches(q),
                 stats: *bank.stats(q),
             })
-            .collect()
+            .collect();
+        if tracing {
+            traces = (0..bank.query_count())
+                .map(|q| bank.trace(q, &format!("q{q}")))
+                .collect();
+        }
+        results
     } else if a.flag("parallel") && matchers.len() == 1 {
         // one long haystack: shard it across the rayon pool
-        vec![matchers[0]
-            .find_k_parallel(series, k, tau, shards)
-            .map_err(|e| e.to_string())?]
+        if tracing {
+            let (result, trace) = matchers[0]
+                .find_k_parallel_traced(series, k, tau, shards, "q0")
+                .map_err(|e| e.to_string())?;
+            traces.push(trace);
+            vec![result]
+        } else {
+            vec![matchers[0]
+                .find_k_parallel(series, k, tau, shards)
+                .map_err(|e| e.to_string())?]
+        }
     } else if a.flag("parallel") {
         // many queries: fan them across the pool, one serial scan each
-        let results: Vec<Result<SubseqResult, String>> = (0..matchers.len())
+        let fanned: Vec<Result<(SubseqResult, Option<QueryTrace>), String>> = (0..matchers.len())
             .into_par_iter()
             .map(|i| {
-                matchers[i]
-                    .find_under(series, k, tau)
-                    .map_err(|e| e.to_string())
+                if tracing {
+                    matchers[i]
+                        .find_under_traced(series, k, tau, &format!("q{i}"))
+                        .map(|(r, t)| (r, Some(t)))
+                        .map_err(|e| e.to_string())
+                } else {
+                    matchers[i]
+                        .find_under(series, k, tau)
+                        .map(|r| (r, None))
+                        .map_err(|e| e.to_string())
+                }
             })
             .collect();
-        results.into_iter().collect::<Result<_, _>>()?
+        let mut results = Vec::with_capacity(fanned.len());
+        for item in fanned {
+            let (result, trace) = item?;
+            traces.extend(trace);
+            results.push(result);
+        }
+        results
     } else {
-        matchers
-            .iter()
-            .map(|m| m.find_under(series, k, tau).map_err(|e| e.to_string()))
-            .collect::<Result<_, _>>()?
+        let mut results = Vec::with_capacity(matchers.len());
+        for (i, m) in matchers.iter().enumerate() {
+            if tracing {
+                let (result, trace) = m
+                    .find_under_traced(series, k, tau, &format!("q{i}"))
+                    .map_err(|e| e.to_string())?;
+                traces.push(trace);
+                results.push(result);
+            } else {
+                results.push(m.find_under(series, k, tau).map_err(|e| e.to_string())?);
+            }
+        }
+        results
     };
     let wall = t0.elapsed();
 
+    if let Some(sink) = sink.as_mut() {
+        for trace in &traces {
+            sink.push(trace);
+        }
+    }
     if a.flag("json") {
         // single-query invocations keep their historical contract (one
         // bare SubseqResult object); only --queries emits an array
@@ -647,6 +836,9 @@ fn cmd_stream_find(a: &Args) -> Result<(), String> {
         }
         .map_err(|e| e.to_string())?;
         println!("{json}");
+        if let Some(sink) = sink {
+            sink.flush()?;
+        }
         return Ok(());
     }
     println!(
@@ -677,6 +869,26 @@ fn cmd_stream_find(a: &Args) -> Result<(), String> {
         print_stream_result(label, result, tau);
     }
     print_stream_stats(&merged, wall);
+    if let Some(sink) = sink {
+        sink.flush()?;
+    }
+    Ok(())
+}
+
+fn cmd_report(a: &Args) -> Result<(), String> {
+    if a.positional.is_empty() {
+        return Err("report needs one or more <trace.ndjson> files".into());
+    }
+    // concatenate all files into one NDJSON document — traces from
+    // different workloads aggregate fine (the tables are per-stage and
+    // per-phase, not per-workload)
+    let mut text = String::new();
+    for path in &a.positional {
+        text.push_str(&std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?);
+        text.push('\n');
+    }
+    let report = TraceReport::from_ndjson(&text)?;
+    print!("{}", report.render());
     Ok(())
 }
 
@@ -710,6 +922,7 @@ fn run() -> Result<(), String> {
         "distmat" => cmd_distmat(&args),
         "index" => cmd_index(&args),
         "stream" => cmd_stream(&args),
+        "report" => cmd_report(&args),
         "generate" => cmd_generate(&args),
         "help" | "-h" => {
             print!("{USAGE}");
@@ -1083,6 +1296,99 @@ mod tests {
 
         std::fs::remove_file(&hay_path).ok();
         std::fs::remove_file(&queries_path).ok();
+    }
+
+    #[test]
+    fn trace_option_round_trips_through_report() {
+        let dir = std::env::temp_dir().join("sdtw_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("corpus.txt");
+        let index_path = dir.join("index.json");
+        let trace_path = dir.join("trace.ndjson");
+        let ds = UcrAnalog::Gun.generate(33);
+        write_ucr_file(&corpus_path, &ds.series[..8]).unwrap();
+        let c = corpus_path.to_str().unwrap();
+        let i = index_path.to_str().unwrap();
+        let t = trace_path.to_str().unwrap();
+        let argv = |tokens: &[&str]| Args::parse(tokens.iter().map(|s| s.to_string())).unwrap();
+
+        // index query --trace: one NDJSON line per query
+        cmd_index(&argv(&[
+            "index", "build", c, i, "--policy", "sakoe", "--width", "0.2",
+        ]))
+        .unwrap();
+        cmd_index(&argv(&["index", "query", i, c, "--k", "3", "--trace", t])).unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let report = TraceReport::from_ndjson(&text).unwrap();
+        assert_eq!(report.len(), 8, "one trace per query");
+        assert!(report.render().contains("per-stage prune table"));
+        cmd_report(&argv(&["report", t])).unwrap();
+
+        // dist --trace: a single distance-workload line
+        cmd_dist(&argv(&[
+            "dist", c, "0", "1", "--policy", "sakoe", "--width", "0.2", "--trace", t,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let report = TraceReport::from_ndjson(&text).unwrap();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.traces()[0].workload.label(), "distance");
+        assert_eq!(report.traces()[0].counters.cascade.dp_completed, 1);
+
+        // distmat --trace: one batch-level line
+        cmd_distmat(&argv(&[
+            "distmat", c, "--policy", "sakoe", "--width", "0.2", "--trace", t,
+        ]))
+        .unwrap();
+        let report =
+            TraceReport::from_ndjson(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.traces()[0].workload.label(), "distance-matrix");
+
+        // stream find --trace across the serial / sharded / monitor modes
+        let hay_path = dir.join("hay.txt");
+        let mut hay: Vec<f64> = Vec::new();
+        for s in &ds.series[1..5] {
+            hay.extend_from_slice(s.values());
+        }
+        let hay = TimeSeries::new(hay).unwrap();
+        write_ucr_file(&hay_path, std::slice::from_ref(&hay)).unwrap();
+        let h = hay_path.to_str().unwrap();
+        let base = [
+            "stream", "find", h, c, "--policy", "sakoe", "--width", "0.2",
+        ];
+        for extra in [
+            &["--trace", t][..],
+            &["--parallel", "--shards", "2", "--trace", t][..],
+            &["--monitor", "--trace", t][..],
+        ] {
+            let mut tokens: Vec<&str> = base.to_vec();
+            tokens.extend_from_slice(extra);
+            cmd_stream(&argv(&tokens)).unwrap();
+            let report =
+                TraceReport::from_ndjson(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+            assert_eq!(report.len(), 1, "mode {extra:?}");
+            assert!(
+                report.merged_counters().cascade.candidates > 0,
+                "mode {extra:?} recorded window visits"
+            );
+        }
+
+        // conflicting sink requests are refused up front
+        let both = argv(&["dist", c, "0", "1", "--trace", t, "--trace-stdout"]);
+        let err = cmd_dist(&both).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let json_stdout = argv(&["index", "query", i, c, "--json", "--trace-stdout"]);
+        let err = cmd_index(&json_stdout).unwrap_err();
+        assert!(err.contains("--trace <file>"), "{err}");
+
+        // report rejects garbage and missing files
+        assert!(cmd_report(&argv(&["report"])).is_err());
+        assert!(cmd_report(&argv(&["report", "/nonexistent/x.ndjson"])).is_err());
+
+        for p in [&corpus_path, &index_path, &trace_path, &hay_path] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

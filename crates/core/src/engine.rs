@@ -87,6 +87,29 @@ impl PhaseTiming {
     pub fn total(&self) -> Duration {
         self.extraction.unwrap_or_default() + self.per_pair()
     }
+
+    /// Derives the three-phase view from trace spans — the canonical
+    /// attribution now lives in [`sdtw_obs::SpanRecord`]s and this struct
+    /// is a projection of them: `Extraction` spans sum into
+    /// [`PhaseTiming::extraction`] (absent when none ran, preserving the
+    /// cache-hit semantics above), `BandPlan` into
+    /// [`PhaseTiming::matching`], `DpFill` into
+    /// [`PhaseTiming::dynamic_programming`]. Other phases (lower-bound
+    /// screens, merges) have no slot here and are ignored.
+    pub fn from_spans<'s>(spans: impl IntoIterator<Item = &'s sdtw_obs::SpanRecord>) -> Self {
+        let mut timing = PhaseTiming::default();
+        for span in spans {
+            match span.phase {
+                sdtw_obs::TracePhase::Extraction => {
+                    timing.extraction = Some(timing.extraction.unwrap_or_default() + span.duration);
+                }
+                sdtw_obs::TracePhase::BandPlan => timing.matching += span.duration,
+                sdtw_obs::TracePhase::DpFill => timing.dynamic_programming += span.duration,
+                _ => {}
+            }
+        }
+        timing
+    }
 }
 
 /// Outcome of one sDTW distance computation.

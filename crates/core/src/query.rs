@@ -23,6 +23,7 @@ use crate::engine::{PhaseTiming, SDtw, SDtwOutcome};
 use crate::store::FeatureStore;
 use sdtw_dtw::engine::{dtw_run_options_values_with, DtwEngine, DtwScratch};
 use sdtw_dtw::{Band, KernelChoice};
+use sdtw_obs::{Recorder, SpanRecord, TracePhase};
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::{TimeSeries, TsError};
 use std::sync::Arc;
@@ -99,6 +100,7 @@ pub struct Query<'a> {
     scratch: Option<&'a mut DtwScratch>,
     kernel: Option<KernelChoice>,
     dp_engine: Option<DtwEngine>,
+    recorder: Option<&'a mut Recorder>,
 }
 
 impl SDtw {
@@ -142,6 +144,7 @@ impl SDtw {
             scratch: None,
             kernel: None,
             dp_engine: None,
+            recorder: None,
         }
     }
 }
@@ -204,6 +207,17 @@ impl<'a> Query<'a> {
         self
     }
 
+    /// Attaches a telemetry [`Recorder`]: the call's extraction, band
+    /// planning, and DP phases are added to the recorder's aggregated
+    /// spans (`Extraction` / `BandPlan` / `DpFill`). The default is no
+    /// recorder, which costs nothing; a [`Recorder::disabled()`] handle
+    /// costs one branch per phase. Batch drivers keep one recorder per
+    /// logical query and attach it to every per-pair call.
+    pub fn recorder(mut self, rec: &'a mut Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
     /// Pins the DP fill order for this call — [`DtwEngine::Wavefront`]
     /// or [`DtwEngine::Rows`] — instead of the process-wide
     /// [`DtwEngine::selected`] default (the `SDTW_ENGINE` environment
@@ -237,6 +251,7 @@ impl<'a> Query<'a> {
             scratch,
             kernel,
             dp_engine,
+            recorder,
         } = self;
         let config = engine.config();
         let (xv, yv) = (input.x_values(), input.y_values());
@@ -346,6 +361,29 @@ impl<'a> Query<'a> {
             scratch,
         );
         let dynamic_programming = t_dp.elapsed();
+
+        // Route the measured phases through trace spans: the attached
+        // recorder aggregates them across the whole logical query, and
+        // the outcome's `PhaseTiming` is a projection of the same spans
+        // (`PhaseTiming::from_spans`) rather than a hand-assembled
+        // struct. Abandoned runs record their work too — the time was
+        // spent whether or not a distance came back.
+        let ext = extraction.unwrap_or_default();
+        let spans = [
+            extraction.map(|d| phase_span(TracePhase::Extraction, Duration::ZERO, d)),
+            Some(phase_span(TracePhase::BandPlan, ext, matching)),
+            Some(phase_span(
+                TracePhase::DpFill,
+                ext + matching,
+                dynamic_programming,
+            )),
+        ];
+        if let Some(rec) = recorder {
+            for s in spans.iter().flatten() {
+                rec.add(s.phase, s.duration);
+            }
+        }
+
         let Some(result) = result else {
             return Ok(None);
         };
@@ -368,11 +406,85 @@ impl<'a> Query<'a> {
             raw_pairs,
             consistent_pairs,
             descriptor_comparisons,
-            timing: PhaseTiming {
-                extraction,
-                matching,
-                dynamic_programming,
-            },
+            timing: PhaseTiming::from_spans(spans.iter().flatten()),
         }))
+    }
+}
+
+/// A run-local span for the three-phase view: offsets model the strictly
+/// sequential execution of one call (extraction → matching → DP); the
+/// thread slot is unused because these spans are projected into
+/// [`PhaseTiming`] and recorder aggregates, not exported verbatim.
+fn phase_span(phase: TracePhase, start: Duration, duration: Duration) -> SpanRecord {
+    SpanRecord {
+        phase,
+        start,
+        duration,
+        count: 1,
+        thread: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SDtwConfig;
+
+    fn series(n: usize, phase: f64) -> TimeSeries {
+        TimeSeries::new((0..n).map(|i| (i as f64 / 7.0 + phase).sin()).collect()).unwrap()
+    }
+
+    #[test]
+    fn recorder_aggregates_phase_spans_across_calls() {
+        let engine = SDtw::new(SDtwConfig::default()).unwrap();
+        let (x, y) = (series(96, 0.0), series(96, 0.4));
+        let mut rec = Recorder::enabled();
+        for _ in 0..3 {
+            engine.query(&x, &y).recorder(&mut rec).run().unwrap();
+        }
+        let spans = rec.finish();
+        let dp = spans
+            .iter()
+            .find(|s| s.phase == TracePhase::DpFill)
+            .expect("DP span recorded");
+        assert_eq!(dp.count, 3, "one DP execution per call, aggregated");
+        assert!(spans.iter().any(|s| s.phase == TracePhase::BandPlan));
+        assert!(
+            spans.iter().any(|s| s.phase == TracePhase::Extraction),
+            "on-the-fly extraction is attributed"
+        );
+    }
+
+    #[test]
+    fn timing_view_is_derived_from_the_same_spans() {
+        let engine = SDtw::new(SDtwConfig::default()).unwrap();
+        let (x, y) = (series(64, 0.0), series(64, 0.9));
+        let out = engine.query(&x, &y).run().unwrap().unwrap();
+        // supplied-features path reports extraction as absent
+        assert!(out.timing.extraction.is_some());
+        let fx: Vec<_> = Vec::new();
+        let out2 = engine
+            .query(&x, &y)
+            .features(&fx, &fx)
+            .run()
+            .unwrap()
+            .unwrap();
+        assert_eq!(out2.timing.extraction, None, "absent, not zero");
+    }
+
+    #[test]
+    fn disabled_recorder_changes_nothing() {
+        let engine = SDtw::new(SDtwConfig::default()).unwrap();
+        let (x, y) = (series(80, 0.0), series(80, 0.2));
+        let baseline = engine.query(&x, &y).run().unwrap().unwrap();
+        let mut rec = Recorder::disabled();
+        let traced = engine
+            .query(&x, &y)
+            .recorder(&mut rec)
+            .run()
+            .unwrap()
+            .unwrap();
+        assert_eq!(baseline.distance.to_bits(), traced.distance.to_bits());
+        assert!(rec.finish().is_empty());
     }
 }

@@ -413,113 +413,11 @@ impl Cascade {
     }
 }
 
-/// How many candidates each cascade stage disposed of, plus the DP work
-/// actually paid. One `CascadeStats` is produced per query (or per
-/// shard/monitor); batch drivers aggregate them with
-/// [`CascadeStats::merge`].
-///
-/// Invariant (asserted by tests): every candidate is accounted for exactly
-/// once —
-/// `candidates == pruned_kim + pruned_paa + pruned_keogh + pruned_keogh_rev
-/// + abandoned + dp_completed`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CascadeStats {
-    /// Cascade entries considered (corpus entries per query, or window
-    /// visits per search).
-    pub candidates: u64,
-    /// Dropped by the O(1) LB_Kim endpoint/extremum bound.
-    pub pruned_kim: u64,
-    /// Dropped by the coarse PAA pre-filter (segment means against the
-    /// coarse envelope tube).
-    pub pruned_paa: u64,
-    /// Dropped by LB_Keogh (samples vs the other side's precomputed
-    /// envelope).
-    pub pruned_keogh: u64,
-    /// Dropped by the reversed LB_Keogh (the other side's samples vs
-    /// this side's envelope) — the classic second chance when the first
-    /// direction is too loose.
-    pub pruned_keogh_rev: u64,
-    /// Candidates for which at least one configured sample-phase stage
-    /// didn't satisfy its admissibility conditions (unequal lengths, or
-    /// a band escaping the envelope window); they skip the inapplicable
-    /// stages on their way to the DP. Not a disposal — informational
-    /// only.
-    pub lb_inapplicable: u64,
-    /// DP runs cut short by early abandoning against the best-so-far.
-    pub abandoned: u64,
-    /// DP runs carried to completion (the only candidates that could enter
-    /// the top-k).
-    pub dp_completed: u64,
-    /// DP cells filled across all runs (abandoned runs are charged their
-    /// full band conservatively).
-    pub cells_filled: u64,
-    /// True when the engine's cost kernel reported that the standard
-    /// lower bounds are **not** admissible for it
-    /// (`DtwOptions::lower_bounds_admissible`), so every bound stage was
-    /// disabled for the whole query — the logged reason why the prune
-    /// counters are zero. Both built-in kernels (standard and amerced,
-    /// penalty ≥ 0) keep the bounds admissible, so this only fires for
-    /// future discounting kernels. Early abandoning stays on either way.
-    pub bounds_disabled: bool,
-}
-
-impl CascadeStats {
-    /// Folds another stats record into this one. This is how parallel
-    /// shards, monitor banks, and batch drivers aggregate per-worker
-    /// counts: every counter sums; `bounds_disabled` ORs (one disabled
-    /// participant taints the aggregate's interpretation).
-    pub fn merge(&mut self, other: &CascadeStats) {
-        self.candidates += other.candidates;
-        self.pruned_kim += other.pruned_kim;
-        self.pruned_paa += other.pruned_paa;
-        self.pruned_keogh += other.pruned_keogh;
-        self.pruned_keogh_rev += other.pruned_keogh_rev;
-        self.lb_inapplicable += other.lb_inapplicable;
-        self.abandoned += other.abandoned;
-        self.dp_completed += other.dp_completed;
-        self.cells_filled += other.cells_filled;
-        self.bounds_disabled |= other.bounds_disabled;
-    }
-
-    /// Historical name of [`CascadeStats::merge`], kept for callers that
-    /// grew up with it.
-    pub fn absorb(&mut self, other: &CascadeStats) {
-        self.merge(other);
-    }
-
-    /// Records a DP run cut short by early abandoning; the abandoning run
-    /// still paid for part of the grid, so the full band is charged
-    /// conservatively.
-    pub fn record_abandoned(&mut self, band_area: usize) {
-        self.abandoned += 1;
-        self.cells_filled += band_area as u64;
-    }
-
-    /// Records a DP run carried to completion.
-    pub fn record_completed(&mut self, cells_filled: usize) {
-        self.dp_completed += 1;
-        self.cells_filled += cells_filled as u64;
-    }
-
-    /// Candidates disposed of before the DP stage.
-    pub fn pruned_before_dp(&self) -> u64 {
-        self.pruned_kim + self.pruned_paa + self.pruned_keogh + self.pruned_keogh_rev
-    }
-
-    /// Fraction of candidates that never ran the DP to completion
-    /// (lower-bound prunes + abandoned runs), in `[0, 1]`.
-    pub fn prune_rate(&self) -> f64 {
-        if self.candidates == 0 {
-            return 0.0;
-        }
-        (self.pruned_before_dp() + self.abandoned) as f64 / self.candidates as f64
-    }
-
-    /// Whether every candidate is accounted for by exactly one disposal.
-    pub fn is_consistent(&self) -> bool {
-        self.candidates == self.pruned_before_dp() + self.abandoned + self.dp_completed
-    }
-}
+// `CascadeStats` is defined in the telemetry spine (`sdtw_obs`) and
+// re-exported from its historical home here, so every PR 2-6 call site
+// keeps compiling unchanged while the counters stay a view of the
+// canonical `QueryTrace` counter block.
+pub use sdtw_obs::CascadeStats;
 
 #[cfg(test)]
 mod tests {
@@ -535,82 +433,6 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         }
-    }
-
-    #[test]
-    fn merge_sums_fields_and_rates_follow() {
-        let a = CascadeStats {
-            candidates: 11,
-            pruned_kim: 4,
-            pruned_paa: 1,
-            pruned_keogh: 2,
-            pruned_keogh_rev: 1,
-            lb_inapplicable: 1,
-            abandoned: 1,
-            dp_completed: 2,
-            cells_filled: 100,
-            bounds_disabled: false,
-        };
-        assert!(a.is_consistent());
-        let mut b = a;
-        b.merge(&a);
-        assert_eq!(b.candidates, 22);
-        assert_eq!(b.pruned_before_dp(), 16);
-        assert_eq!(b.cells_filled, 200);
-        assert!(b.is_consistent());
-        assert!((a.prune_rate() - 9.0 / 11.0).abs() < 1e-12);
-        // absorb is the historical alias of merge
-        let mut c = CascadeStats::default();
-        c.absorb(&a);
-        assert_eq!(c, a);
-    }
-
-    #[test]
-    fn merge_ors_bounds_disabled() {
-        let mut a = CascadeStats::default();
-        let b = CascadeStats {
-            bounds_disabled: true,
-            ..CascadeStats::default()
-        };
-        a.merge(&b);
-        assert!(a.bounds_disabled);
-        a.merge(&CascadeStats::default());
-        assert!(a.bounds_disabled, "one disabled participant taints the sum");
-    }
-
-    #[test]
-    fn empty_stats_are_consistent_with_zero_rate() {
-        let s = CascadeStats::default();
-        assert!(s.is_consistent());
-        assert_eq!(s.prune_rate(), 0.0);
-    }
-
-    #[test]
-    fn stats_roundtrip_through_serde() {
-        let s = CascadeStats {
-            candidates: 4,
-            pruned_paa: 1,
-            dp_completed: 3,
-            cells_filled: 42,
-            ..Default::default()
-        };
-        let json = serde_json::to_string(&s).unwrap();
-        let back: CascadeStats = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
-    }
-
-    #[test]
-    fn record_helpers_account_dp_work() {
-        let mut s = CascadeStats {
-            candidates: 2,
-            ..CascadeStats::default()
-        };
-        s.record_abandoned(50);
-        s.record_completed(30);
-        assert_eq!(s.abandoned, 1);
-        assert_eq!(s.dp_completed, 1);
-        assert_eq!(s.cells_filled, 80);
-        assert!(s.is_consistent());
     }
 
     #[test]

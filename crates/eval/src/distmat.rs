@@ -11,7 +11,8 @@
 //! the worker count).
 
 use rayon::prelude::*;
-use sdtw::{DtwScratch, FeatureStore, SDtw};
+use sdtw::{DtwScratch, FeatureStore, PhaseTiming, SDtw};
+use sdtw_obs::{InputShape, QueryTrace, Recorder, SpanRecord, TracePhase, WorkloadKind};
 use sdtw_salient::SalientFeature;
 use sdtw_tseries::{TimeSeries, TsError};
 use serde::{Deserialize, Serialize};
@@ -40,13 +41,23 @@ pub struct MatrixStats {
 }
 
 impl MatrixStats {
-    fn absorb(&mut self, other: &MatrixStats) {
-        self.extraction_time += other.extraction_time;
-        self.matching_time += other.matching_time;
-        self.dp_time += other.dp_time;
-        self.cells_filled += other.cells_filled;
-        self.descriptor_comparisons += other.descriptor_comparisons;
-        self.pairs += other.pairs;
+    /// Projects the canonical [`QueryTrace`] into the historical matrix
+    /// view — `MatrixStats` no longer hand-rolls its own timing
+    /// semantics: the time split comes from the trace's spans (via
+    /// [`PhaseTiming::from_spans`], so extraction/matching/DP attribution
+    /// is defined in exactly one place) and the work counters from the
+    /// trace's counter block. Matrix pairs always run the DP to
+    /// completion, so `pairs` is the completed-DP count.
+    pub fn from_trace(trace: &QueryTrace) -> MatrixStats {
+        let timing = PhaseTiming::from_spans(&trace.spans);
+        MatrixStats {
+            extraction_time: timing.extraction.unwrap_or_default(),
+            matching_time: timing.matching,
+            dp_time: timing.dynamic_programming,
+            cells_filled: trace.counters.cascade.cells_filled,
+            descriptor_comparisons: trace.descriptor_comparisons,
+            pairs: trace.counters.cascade.dp_completed,
+        }
     }
 
     /// Total per-pair cost under the paper's accounting (matching + DP;
@@ -178,9 +189,9 @@ fn features_of(
 
 /// Runs `row` over `0..rows`, serially or on the worker pool, with one
 /// [`DtwScratch`] per worker either way. Output is in row order.
-fn run_rows<F>(rows: usize, parallel: bool, row: F) -> Vec<(Vec<f64>, MatrixStats)>
+fn run_rows<F>(rows: usize, parallel: bool, row: F) -> Vec<(Vec<f64>, QueryTrace)>
 where
-    F: Fn(&mut DtwScratch, usize) -> (Vec<f64>, MatrixStats) + Sync,
+    F: Fn(&mut DtwScratch, usize) -> (Vec<f64>, QueryTrace) + Sync,
 {
     if parallel {
         (0..rows)
@@ -193,14 +204,54 @@ where
     }
 }
 
-fn merge(rows: Vec<(Vec<f64>, MatrixStats)>) -> (Vec<f64>, MatrixStats) {
+/// Reassembles row results in order and folds the per-row (shard-local)
+/// traces into one matrix-level trace with the standard merge
+/// discipline.
+fn merge(rows: Vec<(Vec<f64>, QueryTrace)>) -> (Vec<f64>, QueryTrace) {
     let mut data = Vec::with_capacity(rows.iter().map(|(r, _)| r.len()).sum());
-    let mut stats = MatrixStats::default();
-    for (r, s) in rows {
+    let mut trace = QueryTrace::default();
+    for (r, t) in rows {
         data.extend_from_slice(&r);
-        stats.absorb(&s);
+        trace.merge(&t);
     }
-    (data, stats)
+    (data, trace)
+}
+
+/// One row of a matrix: scores `targets(i)` pairs through the engine with
+/// a row-local recorder, returning the distances and the row's trace.
+fn traced_row<'c>(
+    engine: &SDtw,
+    scratch: &mut DtwScratch,
+    row_id: String,
+    x: &TimeSeries,
+    fx: &[SalientFeature],
+    columns: impl Iterator<Item = Option<(&'c TimeSeries, &'c [SalientFeature])>>,
+    cols: usize,
+) -> (Vec<f64>, QueryTrace) {
+    let mut out = vec![0.0; cols];
+    let mut trace = QueryTrace::new(row_id, WorkloadKind::DistanceMatrix);
+    let mut rec = Recorder::enabled();
+    for (j, col) in columns.enumerate() {
+        let Some((y, fy)) = col else {
+            continue; // the skipped diagonal of a full matrix
+        };
+        let o = engine
+            .query(x, y)
+            .features(fx, fy)
+            .scratch(scratch)
+            .recorder(&mut rec)
+            .run()
+            .expect("supplied features cannot fail extraction")
+            .expect("no cutoff configured");
+        out[j] = o.distance;
+        trace.counters.cascade.candidates += 1;
+        trace.counters.cascade.record_completed(o.cells_filled);
+        trace.descriptor_comparisons += o.descriptor_comparisons as u64;
+        trace.band_area += o.band_area as u64;
+        trace.full_grid += (x.len() * y.len()) as u64;
+    }
+    trace.spans = rec.finish();
+    (out, trace)
 }
 
 /// Computes the full pairwise distance matrix of a corpus under an engine.
@@ -221,43 +272,93 @@ pub fn compute_matrix(
     store: &FeatureStore,
     parallel: bool,
 ) -> Result<DistanceMatrix, TsError> {
+    Ok(compute_matrix_traced(corpus, engine, store, parallel)?.0)
+}
+
+/// [`compute_matrix`] plus the canonical [`QueryTrace`] of the whole
+/// batch: per-row (shard-local) traces merged under the standard
+/// discipline, the one-time extraction cost as an `Extraction` span, and
+/// the matrix's [`MatrixStats`] derived from the trace rather than
+/// accumulated separately.
+///
+/// # Errors
+///
+/// Propagates feature-extraction failures.
+pub fn compute_matrix_traced(
+    corpus: &[TimeSeries],
+    engine: &SDtw,
+    store: &FeatureStore,
+    parallel: bool,
+) -> Result<(DistanceMatrix, QueryTrace), TsError> {
+    let t0 = std::time::Instant::now();
     let n = corpus.len();
     let (features, extraction_time) = features_of(corpus, engine, store)?;
     let empty: Vec<SalientFeature> = Vec::new();
     let needs_features = engine.config().policy.needs_alignment();
 
-    let row = |scratch: &mut DtwScratch, i: usize| -> (Vec<f64>, MatrixStats) {
-        let mut out = vec![0.0; n];
-        let mut stats = MatrixStats::default();
-        for j in 0..n {
+    let row = |scratch: &mut DtwScratch, i: usize| -> (Vec<f64>, QueryTrace) {
+        let fx: &[SalientFeature] = if needs_features { &features[i] } else { &empty };
+        let columns = corpus.iter().enumerate().map(|(j, y)| {
             if i == j {
-                continue;
+                return None;
             }
-            let (fx, fy): (&[SalientFeature], &[SalientFeature]) = if needs_features {
-                (&features[i], &features[j])
-            } else {
-                (&empty, &empty)
-            };
-            let o = engine
-                .query(&corpus[i], &corpus[j])
-                .features(fx, fy)
-                .scratch(scratch)
-                .run()
-                .expect("supplied features cannot fail extraction")
-                .expect("no cutoff configured");
-            out[j] = o.distance;
-            stats.matching_time += o.timing.matching;
-            stats.dp_time += o.timing.dynamic_programming;
-            stats.cells_filled += o.cells_filled as u64;
-            stats.descriptor_comparisons += o.descriptor_comparisons as u64;
-            stats.pairs += 1;
-        }
-        (out, stats)
+            let fy: &[SalientFeature] = if needs_features { &features[j] } else { &empty };
+            Some((y, fy))
+        });
+        traced_row(
+            engine,
+            scratch,
+            format!("row{i}"),
+            &corpus[i],
+            fx,
+            columns,
+            n,
+        )
     };
 
-    let (data, mut stats) = merge(run_rows(n, parallel, row));
-    stats.extraction_time = extraction_time;
-    Ok(DistanceMatrix { n, data, stats })
+    let (data, rows_trace) = merge(run_rows(n, parallel, row));
+    let mut trace = matrix_trace("distmat", corpus, corpus, n as u64, engine);
+    trace.merge(&rows_trace);
+    if extraction_time > Duration::ZERO {
+        trace.spans.push(extraction_span(extraction_time, n as u64));
+    }
+    trace.wall = t0.elapsed();
+    let stats = MatrixStats::from_trace(&trace);
+    Ok((DistanceMatrix { n, data, stats }, trace))
+}
+
+/// The identity/shape half of a matrix-level trace.
+fn matrix_trace(
+    id: &str,
+    rows: &[TimeSeries],
+    cols: &[TimeSeries],
+    k: u64,
+    engine: &SDtw,
+) -> QueryTrace {
+    let config = engine.config();
+    let mut trace = QueryTrace::new(id, WorkloadKind::DistanceMatrix);
+    trace.shape = InputShape {
+        x_len: rows.first().map_or(0, |s| s.len() as u64),
+        y_len: cols.first().map_or(0, |s| s.len() as u64),
+        k,
+        policy: config.policy.label(),
+        kernel: config.dtw.kernel_label(),
+        engine: format!("{:?}", sdtw::DtwEngine::selected()).to_lowercase(),
+    };
+    trace
+}
+
+/// The batch's one-time extraction cost as a span (attributed once at
+/// the driver level — per-pair calls run on supplied features and never
+/// extract).
+fn extraction_span(duration: Duration, series: u64) -> SpanRecord {
+    SpanRecord {
+        phase: TracePhase::Extraction,
+        start: Duration::ZERO,
+        duration,
+        count: series,
+        thread: 0,
+    }
 }
 
 /// Computes a query-vs-corpus distance matrix: every query series scored
@@ -277,46 +378,75 @@ pub fn compute_query_matrix(
     store: &FeatureStore,
     parallel: bool,
 ) -> Result<QueryMatrix, TsError> {
+    Ok(compute_query_matrix_traced(queries, corpus, engine, store, parallel)?.0)
+}
+
+/// [`compute_query_matrix`] plus the batch's canonical [`QueryTrace`]
+/// (same contract as [`compute_matrix_traced`]).
+///
+/// # Errors
+///
+/// Propagates feature-extraction failures.
+pub fn compute_query_matrix_traced(
+    queries: &[TimeSeries],
+    corpus: &[TimeSeries],
+    engine: &SDtw,
+    store: &FeatureStore,
+    parallel: bool,
+) -> Result<(QueryMatrix, QueryTrace), TsError> {
+    let t0 = std::time::Instant::now();
     let (q_features, q_extraction) = features_of(queries, engine, store)?;
     let (c_features, c_extraction) = features_of(corpus, engine, store)?;
     let empty: Vec<SalientFeature> = Vec::new();
     let needs_features = engine.config().policy.needs_alignment();
     let cols = corpus.len();
 
-    let row = |scratch: &mut DtwScratch, q: usize| -> (Vec<f64>, MatrixStats) {
-        let mut out = vec![0.0; cols];
-        let mut stats = MatrixStats::default();
-        for (j, cand) in corpus.iter().enumerate() {
-            let (fq, fc): (&[SalientFeature], &[SalientFeature]) = if needs_features {
-                (&q_features[q], &c_features[j])
+    let row = |scratch: &mut DtwScratch, q: usize| -> (Vec<f64>, QueryTrace) {
+        let fq: &[SalientFeature] = if needs_features {
+            &q_features[q]
+        } else {
+            &empty
+        };
+        let columns = corpus.iter().enumerate().map(|(j, cand)| {
+            let fc: &[SalientFeature] = if needs_features {
+                &c_features[j]
             } else {
-                (&empty, &empty)
+                &empty
             };
-            let o = engine
-                .query(&queries[q], cand)
-                .features(fq, fc)
-                .scratch(scratch)
-                .run()
-                .expect("supplied features cannot fail extraction")
-                .expect("no cutoff configured");
-            out[j] = o.distance;
-            stats.matching_time += o.timing.matching;
-            stats.dp_time += o.timing.dynamic_programming;
-            stats.cells_filled += o.cells_filled as u64;
-            stats.descriptor_comparisons += o.descriptor_comparisons as u64;
-            stats.pairs += 1;
-        }
-        (out, stats)
+            Some((cand, fc))
+        });
+        traced_row(
+            engine,
+            scratch,
+            format!("q{q}"),
+            &queries[q],
+            fq,
+            columns,
+            cols,
+        )
     };
 
-    let (data, mut stats) = merge(run_rows(queries.len(), parallel, row));
-    stats.extraction_time = q_extraction + c_extraction;
-    Ok(QueryMatrix {
-        queries: queries.len(),
-        corpus: cols,
-        data,
-        stats,
-    })
+    let (data, rows_trace) = merge(run_rows(queries.len(), parallel, row));
+    let mut trace = matrix_trace("querymat", queries, corpus, queries.len() as u64, engine);
+    trace.merge(&rows_trace);
+    let extraction_time = q_extraction + c_extraction;
+    if extraction_time > Duration::ZERO {
+        trace.spans.push(extraction_span(
+            extraction_time,
+            (queries.len() + corpus.len()) as u64,
+        ));
+    }
+    trace.wall = t0.elapsed();
+    let stats = MatrixStats::from_trace(&trace);
+    Ok((
+        QueryMatrix {
+            queries: queries.len(),
+            corpus: cols,
+            data,
+            stats,
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]
@@ -478,6 +608,33 @@ mod tests {
         let store = FeatureStore::new(sakoe.config().salient.clone()).unwrap();
         let m = compute_matrix(&corpus, &sakoe, &store, false).unwrap();
         assert_eq!(m.stats.extraction_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn traced_matrix_matches_plain_and_stats_derive_from_the_trace() {
+        let corpus = small_corpus();
+        let eng = engine(ConstraintPolicy::adaptive_core_adaptive_width());
+        let store = FeatureStore::new(eng.config().salient.clone()).unwrap();
+        let plain = compute_matrix(&corpus, &eng, &store, false).unwrap();
+        let (traced, trace) = compute_matrix_traced(&corpus, &eng, &store, false).unwrap();
+        for i in 0..plain.n() {
+            for j in 0..plain.n() {
+                assert_eq!(plain.get(i, j).to_bits(), traced.get(i, j).to_bits());
+            }
+        }
+        assert_eq!(trace.workload, WorkloadKind::DistanceMatrix);
+        assert_eq!(traced.stats, MatrixStats::from_trace(&trace));
+        assert_eq!(trace.counters.cascade.dp_completed, traced.stats.pairs);
+        assert!(trace.counters.is_consistent());
+        assert!(
+            trace.spans.iter().any(|s| s.phase == TracePhase::DpFill),
+            "row recorders contribute DP spans"
+        );
+        assert!(trace.band_area > 0);
+        assert!(trace.full_grid >= trace.band_area);
+        // the NDJSON line round-trips
+        let back = QueryTrace::from_json_line(&trace.to_json_line()).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

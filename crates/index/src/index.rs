@@ -7,8 +7,10 @@ use rayon::prelude::*;
 use sdtw::{DtwScratch, SDtw};
 use sdtw_dtw::band::Band;
 use sdtw_dtw::cascade::{Cascade, CascadeScratch, PruneStage, SampleInput};
+use sdtw_dtw::engine::DtwEngine;
 use sdtw_dtw::engine::Normalization;
 use sdtw_dtw::lower_bound::{lb_keogh_batch, lb_kim_batch, Envelope, SeriesSummary, LB_LANES};
+use sdtw_obs::{InputShape, QueryTrace, Recorder, TracePhase, WorkloadKind};
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::transform::z_normalize;
 use sdtw_tseries::{TimeSeries, TsError};
@@ -201,6 +203,62 @@ impl SdtwIndex {
         k: usize,
         scratch: &mut DtwScratch,
     ) -> Result<QueryResult, TsError> {
+        let (result, _, _) = self.query_recorded(query, k, scratch, &mut Recorder::disabled())?;
+        Ok(result)
+    }
+
+    /// kNN query with full telemetry: the result plus a canonical
+    /// [`QueryTrace`] with phase spans (extraction, envelope build,
+    /// LB_Kim ordering, band planning, batched LB_Keogh, DP fill), the
+    /// cascade counters embedded as the trace's counter block, and the
+    /// band/grid denominators for pruning-power metrics.
+    ///
+    /// Results are bit-identical to [`SdtwIndex::query`] — recording
+    /// never changes what the cascade sees.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, or feature extraction failing on the query.
+    pub fn query_traced(
+        &self,
+        query: &TimeSeries,
+        k: usize,
+        query_id: &str,
+    ) -> Result<(QueryResult, QueryTrace), TsError> {
+        let t0 = std::time::Instant::now();
+        let mut scratch = DtwScratch::new();
+        let mut rec = Recorder::enabled();
+        let (result, band_area, full_grid) =
+            self.query_recorded(query, k, &mut scratch, &mut rec)?;
+        let mut trace = QueryTrace::new(query_id, WorkloadKind::IndexKnn);
+        trace.shape = InputShape {
+            x_len: query.len() as u64,
+            y_len: self.entries.first().map_or(0, |e| e.series.len() as u64),
+            k: k as u64,
+            policy: self.config.sdtw.policy.label(),
+            kernel: self.config.sdtw.dtw.kernel_label(),
+            engine: format!("{:?}", DtwEngine::selected()).to_lowercase(),
+        };
+        trace.counters.cascade = result.stats;
+        trace.counters.passes = 1;
+        trace.band_area = band_area;
+        trace.full_grid = full_grid;
+        trace.spans = rec.finish();
+        trace.wall = t0.elapsed();
+        Ok((result, trace))
+    }
+
+    /// The instrumented query body: every public entry point funnels
+    /// here, with a disabled recorder on the untraced paths. Returns the
+    /// result plus the summed band area and unconstrained grid area of
+    /// the candidates that reached the DP stage.
+    fn query_recorded(
+        &self,
+        query: &TimeSeries,
+        k: usize,
+        scratch: &mut DtwScratch,
+        rec: &mut Recorder,
+    ) -> Result<(QueryResult, u64, u64), TsError> {
         if k == 0 {
             return Err(TsError::InvalidParameter {
                 name: "k",
@@ -213,7 +271,9 @@ impl SdtwIndex {
             query.clone()
         };
         let fq = if self.config.sdtw.policy.needs_alignment() {
-            extract_features(&q, &self.config.sdtw.salient)?
+            rec.time(TracePhase::Extraction, || {
+                extract_features(&q, &self.config.sdtw.salient)
+            })?
         } else {
             Vec::new()
         };
@@ -230,7 +290,8 @@ impl SdtwIndex {
         let bounds_ok = self.config.sdtw.dtw.lower_bounds_admissible();
         // the query envelope only feeds the reversed LB_Keogh stage —
         // skip the O(n·radius) build when the bounds are off
-        let q_env = bounds_ok.then(|| Envelope::build(&q, q_radius));
+        let q_env = bounds_ok
+            .then(|| rec.time(TracePhase::EnvelopeBuild, || Envelope::build(&q, q_radius)));
         let cascade = self.cascade(bounds_ok);
         let mut cascade_scratch = CascadeScratch::new();
 
@@ -240,27 +301,33 @@ impl SdtwIndex {
         // by index) tightens the top-k threshold as early as possible.
         // Without admissible bounds it is still a deterministic (and
         // usually helpful) visit-order heuristic — it just never prunes.
-        let summaries: Vec<SeriesSummary> = self.entries.iter().map(|e| e.summary).collect();
-        let mut kim_raw = Vec::with_capacity(summaries.len());
-        lb_kim_batch(&q_summary, &summaries, metric, &mut kim_raw);
-        let mut order: Vec<(f64, usize)> = kim_raw
-            .iter()
-            .enumerate()
-            .map(|(i, &raw)| {
-                (
-                    self.normalize_bound(raw, q.len(), self.entries[i].series.len()),
-                    i,
-                )
-            })
-            .collect();
-        order.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("lower bounds are finite")
-                .then(a.1.cmp(&b.1))
+        let order = rec.time(TracePhase::LbKim, || {
+            let summaries: Vec<SeriesSummary> = self.entries.iter().map(|e| e.summary).collect();
+            let mut kim_raw = Vec::with_capacity(summaries.len());
+            lb_kim_batch(&q_summary, &summaries, metric, &mut kim_raw);
+            let mut order: Vec<(f64, usize)> = kim_raw
+                .iter()
+                .enumerate()
+                .map(|(i, &raw)| {
+                    (
+                        self.normalize_bound(raw, q.len(), self.entries[i].series.len()),
+                        i,
+                    )
+                })
+                .collect();
+            order.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("lower bounds are finite")
+                    .then(a.1.cmp(&b.1))
+            });
+            order
         });
 
         let mut topk = TopK::new(k);
         let mut stats = CascadeStats::default();
+        // (band area, unconstrained grid area) summed over DP candidates —
+        // the pruning-power denominators of a trace
+        let mut areas = (0u64, 0u64);
         let mut pending: Vec<PendingCandidate> = Vec::with_capacity(LB_LANES);
 
         for &(kim, idx) in &order {
@@ -289,7 +356,9 @@ impl SdtwIndex {
                 continue;
             }
             let (n, m) = (q.len(), entry.series.len());
-            let (band, _) = self.engine.plan_band(&fq, &entry.features, n, m);
+            let (band, _) = rec.time(TracePhase::BandPlan, || {
+                self.engine.plan_band(&fq, &entry.features, n, m)
+            });
             // The DP kernel sanitises infeasible bands internally (for the
             // oracle path too — deterministically, so distances cannot
             // diverge); LB admissibility must be judged on those same
@@ -311,6 +380,8 @@ impl SdtwIndex {
                     &mut topk,
                     &mut stats,
                     scratch,
+                    rec,
+                    &mut areas,
                 );
             }
         }
@@ -323,12 +394,12 @@ impl SdtwIndex {
             &mut topk,
             &mut stats,
             scratch,
+            rec,
+            &mut areas,
         );
         debug_assert!(stats.is_consistent(), "every candidate accounted once");
-        Ok(QueryResult {
-            neighbors: topk.into_sorted(),
-            stats,
-        })
+        let neighbors = rec.time(TracePhase::TopKMerge, || topk.into_sorted());
+        Ok((QueryResult { neighbors, stats }, areas.0, areas.1))
     }
 
     /// Drains the deferred candidate queue: one batched forward LB_Keogh
@@ -350,6 +421,8 @@ impl SdtwIndex {
         topk: &mut TopK,
         stats: &mut CascadeStats,
         scratch: &mut DtwScratch,
+        rec: &mut Recorder,
+        areas: &mut (u64, u64),
     ) {
         if pending.is_empty() {
             return;
@@ -358,20 +431,24 @@ impl SdtwIndex {
         let metric = self.config.sdtw.dtw.metric;
         let mut pre: [Option<f64>; LB_LANES] = [None; LB_LANES];
         if cascade.bounds_enabled() {
-            let mut lanes: Vec<usize> = Vec::with_capacity(pending.len());
-            let mut envs: Vec<&Envelope> = Vec::with_capacity(pending.len());
-            for (p, cand) in pending.iter().enumerate() {
-                let entry = &self.entries[cand.idx];
-                if q.len() == entry.series.len() && cand.band.within_window(entry.envelope.radius) {
-                    lanes.push(p);
-                    envs.push(&entry.envelope);
+            rec.time(TracePhase::LbKeogh, || {
+                let mut lanes: Vec<usize> = Vec::with_capacity(pending.len());
+                let mut envs: Vec<&Envelope> = Vec::with_capacity(pending.len());
+                for (p, cand) in pending.iter().enumerate() {
+                    let entry = &self.entries[cand.idx];
+                    if q.len() == entry.series.len()
+                        && cand.band.within_window(entry.envelope.radius)
+                    {
+                        lanes.push(p);
+                        envs.push(&entry.envelope);
+                    }
                 }
-            }
-            let mut bounds = Vec::with_capacity(lanes.len());
-            lb_keogh_batch(q.values(), &envs, metric, &mut bounds);
-            for (&p, &raw) in lanes.iter().zip(&bounds) {
-                pre[p] = Some(raw);
-            }
+                let mut bounds = Vec::with_capacity(lanes.len());
+                lb_keogh_batch(q.values(), &envs, metric, &mut bounds);
+                for (&p, &raw) in lanes.iter().zip(&bounds) {
+                    pre[p] = Some(raw);
+                }
+            });
         }
         for (p, cand) in pending.drain(..).enumerate() {
             let entry = &self.entries[cand.idx];
@@ -384,20 +461,28 @@ impl SdtwIndex {
                 x_envelope: q_env,
                 y_coarse: None,
             };
-            if cascade
-                .screen_samples(stats, &input, &cand.band, threshold, cascade_scratch)
+            // the sample-phase screen covers LB_Keogh and its reversed
+            // second chance; both are attributed to the LbKeogh span
+            if rec
+                .time(TracePhase::LbKeogh, || {
+                    cascade.screen_samples(stats, &input, &cand.band, threshold, cascade_scratch)
+                })
                 .is_some()
             {
                 continue;
             }
-            match self
-                .engine
-                .query(q, &entry.series)
-                .band(&cand.band)
-                .cutoff(threshold)
-                .path(false)
-                .scratch(scratch)
-                .run()
+            areas.0 += cand.band.area() as u64;
+            areas.1 += (q.len() * entry.series.len()) as u64;
+            match rec
+                .time(TracePhase::DpFill, || {
+                    self.engine
+                        .query(q, &entry.series)
+                        .band(&cand.band)
+                        .cutoff(threshold)
+                        .path(false)
+                        .scratch(scratch)
+                        .run()
+                })
                 .expect("band override cannot fail extraction")
             {
                 None => stats.record_abandoned(cand.band.area()),

@@ -78,6 +78,40 @@ fn cascade_does_less_dp_work_than_a_linear_scan() {
 }
 
 #[test]
+fn traced_query_is_bit_identical_and_carries_phase_spans() {
+    use sdtw_obs::TracePhase;
+    let corpus = bench_corpus();
+    let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+    let query = corpus[7].clone();
+    let plain = index.query(&query, 5).unwrap();
+    let (traced, trace) = index.query_traced(&query, 5, "q7").unwrap();
+    // recording must never change what the cascade sees
+    assert_eq!(plain.neighbors.len(), traced.neighbors.len());
+    for (a, b) in plain.neighbors.iter().zip(&traced.neighbors) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+    }
+    assert_eq!(plain.stats, traced.stats);
+    // the trace embeds the same counters and carries the phase spans
+    assert_eq!(trace.counters.cascade, plain.stats);
+    assert_eq!(trace.counters.passes, 1);
+    assert!(trace.counters.is_consistent());
+    let phases: Vec<_> = trace.spans.iter().map(|s| s.phase).collect();
+    assert!(phases.contains(&TracePhase::LbKim), "{phases:?}");
+    assert!(phases.contains(&TracePhase::BandPlan), "{phases:?}");
+    assert!(phases.contains(&TracePhase::DpFill), "{phases:?}");
+    assert!(phases.contains(&TracePhase::TopKMerge), "{phases:?}");
+    // pruning-power denominators: band never exceeds the full grid, and
+    // the cells the DP actually touched never exceed the band
+    assert!(trace.band_area > 0 && trace.band_area <= trace.full_grid);
+    assert!(trace.counters.cascade.cells_filled <= trace.band_area);
+    // round-trips through the NDJSON line byte-for-byte
+    let line = trace.to_json_line();
+    let back = sdtw_obs::QueryTrace::from_json_line(&line).unwrap();
+    assert_eq!(back.to_json_line(), line);
+}
+
+#[test]
 fn sdtw_band_mode_also_prunes_on_structured_data() {
     // adaptive bands wander with the salient alignment; the LB_Keogh
     // stages only apply where the planned band stays inside the envelope

@@ -25,6 +25,7 @@
 use crate::matcher::{SubseqMatch, SubseqMatcher};
 use crate::monitor::{QueryRuntime, StreamIngest};
 use crate::stats::StreamStats;
+use sdtw_obs::{QueryTrace, WorkloadKind};
 use sdtw_tseries::TsError;
 
 /// One query's slot specification for [`MonitorBank::new`].
@@ -214,6 +215,43 @@ impl MonitorBank {
             total.merge(slot.stats());
         }
         total
+    }
+
+    /// Switches span recording on or off for every query (off by
+    /// default — a disabled recorder costs one branch per phase).
+    pub fn set_tracing(&mut self, on: bool) {
+        for slot in &mut self.slots {
+            slot.set_tracing(on);
+        }
+    }
+
+    /// Query `q`'s telemetry so far as one canonical [`QueryTrace`]
+    /// (`workload = monitor-batch`): counters are a snapshot, spans
+    /// drain — a later call carries only spans recorded since this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    pub fn trace(&mut self, q: usize, query_id: &str) -> QueryTrace {
+        let pos = self.ingest.position();
+        self.slots[q].trace(query_id, pos)
+    }
+
+    /// The bank's aggregate telemetry: every query's trace folded
+    /// through [`QueryTrace::merge`] — counters and areas sum across
+    /// queries (`passes` stays 1, the max), spans concatenate. Spans
+    /// drain from every slot, like [`MonitorBank::trace`].
+    pub fn merged_trace(&mut self, query_id: &str) -> QueryTrace {
+        let pos = self.ingest.position();
+        let mut merged = QueryTrace::new(query_id, WorkloadKind::MonitorBatch);
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let t = slot.trace(&format!("{query_id}/q{i}"), pos);
+            if i == 0 {
+                merged.shape = t.shape.clone();
+            }
+            merged.merge(&t);
+        }
+        merged
     }
 
     /// Forgets all stream state for every query (query preparation is

@@ -8,9 +8,10 @@ use sdtw::{DtwScratch, SDtw};
 use sdtw_dtw::cascade::{
     Cascade, CascadeScratch, CascadeStats, CoarseEnvelope, PruneStage, SampleInput, StageKind,
 };
-use sdtw_dtw::engine::Normalization;
+use sdtw_dtw::engine::{DtwEngine, Normalization};
 use sdtw_dtw::lower_bound::{lb_keogh_batch_windows, lb_kim, Envelope, SeriesSummary, LB_LANES};
 use sdtw_dtw::Band;
+use sdtw_obs::{InputShape, QueryTrace, Recorder, SpanRecord, TracePhase, WorkloadKind};
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::stats::WindowedStats;
 use sdtw_tseries::transform::{z_normalize, z_normalize_values};
@@ -31,6 +32,10 @@ use std::collections::BTreeMap;
 /// statistics batch-style). See DESIGN.md §9 for the admissibility
 /// argument.
 const KIM_GUARD: f64 = 1e-7;
+
+/// A serial scan's payload: the result, the spans its recorder kept,
+/// and the summed (band, full-grid) areas of the DP-entering windows.
+type CoreScan = (SubseqResult, Vec<SpanRecord>, (u64, u64));
 
 /// Below this (scale-relative) deviation the rolling σ cannot be
 /// distinguished from the exact σ = 0 of a constant window, where
@@ -288,6 +293,70 @@ impl SubseqMatcher {
         tau: f64,
         scratch: &mut DtwScratch,
     ) -> Result<SubseqResult, TsError> {
+        Ok(self.find_core(series, k, tau, scratch, false)?.0)
+    }
+
+    /// [`SubseqMatcher::find`] with full telemetry: the result plus a
+    /// canonical [`QueryTrace`] carrying phase spans (per-window LB_Kim
+    /// screening, band planning, batched and scalar LB_Keogh, DP fill,
+    /// whole-sweep wall), the [`StreamStats`] as the trace's counter
+    /// block, and the band/grid denominators of the DP-entering windows.
+    ///
+    /// Matches are bit-identical to [`SubseqMatcher::find`] — recording
+    /// never changes what the cascade sees.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, or feature-extraction failures (adaptive policies).
+    pub fn find_traced(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+        query_id: &str,
+    ) -> Result<(SubseqResult, QueryTrace), TsError> {
+        self.find_under_traced(series, k, f64::INFINITY, query_id)
+    }
+
+    /// [`SubseqMatcher::find_under`] with full telemetry — the traced
+    /// twin of the thresholded scan, so a `--tau` search can still emit
+    /// its [`QueryTrace`].
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, a negative/NaN `tau`, or feature-extraction failures.
+    pub fn find_under_traced(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+        tau: f64,
+        query_id: &str,
+    ) -> Result<(SubseqResult, QueryTrace), TsError> {
+        let t0 = std::time::Instant::now();
+        let (result, spans, areas) =
+            self.find_core(series, k, tau, &mut DtwScratch::new(), true)?;
+        let mut trace = QueryTrace::new(query_id, WorkloadKind::SubseqFind);
+        trace.shape = self.trace_shape(series.len() as u64, k as u64);
+        trace.counters = result.stats;
+        trace.band_area = areas.0;
+        trace.full_grid = areas.1;
+        trace.spans = spans;
+        trace.wall = t0.elapsed();
+        Ok((result, trace))
+    }
+
+    /// The serial scan everybody funnels through: the one-shard
+    /// degenerate of the sharded machinery, with an enabled recorder on
+    /// the traced entry point and a disabled (≈free) one otherwise.
+    /// Returns the result plus the recorded spans and the summed
+    /// (band, full-grid) areas of the DP-entering windows.
+    fn find_core(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+        tau: f64,
+        scratch: &mut DtwScratch,
+        traced: bool,
+    ) -> Result<CoreScan, TsError> {
         if k == 0 {
             return Err(TsError::InvalidParameter {
                 name: "k",
@@ -302,16 +371,18 @@ impl SubseqMatcher {
         }
         let xv = series.values();
         if xv.len() < self.m {
-            return Ok(SubseqResult {
-                matches: Vec::new(),
-                stats: StreamStats::default(),
-            });
+            return Ok((
+                SubseqResult {
+                    matches: Vec::new(),
+                    stats: StreamStats::default(),
+                },
+                Vec::new(),
+                (0, 0),
+            ));
         }
         let w_count = xv.len() - self.m + 1;
 
-        // The serial scan is the one-shard degenerate of the sharded
-        // machinery: same sweep order, same thresholds, same stats.
-        let mut shard = ShardScan::new(self, xv, 0, w_count);
+        let mut shard = ShardScan::new(self, xv, 0, w_count, traced);
         shard.eval.dtw = std::mem::take(scratch);
         let mut selected: Vec<SubseqMatch> = Vec::new();
         let mut passes = 0u32;
@@ -326,10 +397,14 @@ impl SubseqMatcher {
         let mut stats = shard.stats;
         stats.passes = passes;
         debug_assert!(stats.is_consistent(), "every cascade entry accounted once");
-        Ok(SubseqResult {
-            matches: selected,
-            stats,
-        })
+        Ok((
+            SubseqResult {
+                matches: selected,
+                stats,
+            },
+            shard.rec.finish(),
+            shard.areas,
+        ))
     }
 
     /// [`SubseqMatcher::find_under`] executed across the rayon pool: the
@@ -365,6 +440,57 @@ impl SubseqMatcher {
         tau: f64,
         shards: usize,
     ) -> Result<SubseqResult, TsError> {
+        Ok(self.find_k_parallel_core(series, k, tau, shards, false)?.0)
+    }
+
+    /// [`SubseqMatcher::find_k_parallel`] with full telemetry: each shard
+    /// records its own spans on the rayon worker that runs it (honest
+    /// thread ids), and the shard-local traces fold through
+    /// [`QueryTrace::merge`] — counters and areas sum, spans concatenate,
+    /// the merged counter block is exactly the result's [`StreamStats`].
+    ///
+    /// Matches stay bit-identical to the serial scan for every shard
+    /// count, recording or not.
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, a negative/NaN `tau`, or feature-extraction failures
+    /// (adaptive policies).
+    pub fn find_k_parallel_traced(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+        tau: f64,
+        shards: usize,
+        query_id: &str,
+    ) -> Result<(SubseqResult, QueryTrace), TsError> {
+        let t0 = std::time::Instant::now();
+        let (result, shard_traces) = self.find_k_parallel_core(series, k, tau, shards, true)?;
+        let mut trace = QueryTrace::new(query_id, WorkloadKind::SubseqFind);
+        trace.shape = self.trace_shape(series.len() as u64, k as u64);
+        for st in &shard_traces {
+            trace.merge(st);
+        }
+        // shard-local counter blocks carry passes = 0 (passes are a
+        // whole-query notion); the canonical merged counters are the
+        // result's, passes included
+        trace.counters = result.stats;
+        trace.wall = t0.elapsed();
+        Ok((result, trace))
+    }
+
+    /// The sharded scan both parallel entry points funnel through.
+    /// Returns the per-shard traces (spans + shard counters + areas;
+    /// identity fields left default) when `traced`, an empty vec
+    /// otherwise.
+    fn find_k_parallel_core(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+        tau: f64,
+        shards: usize,
+        traced: bool,
+    ) -> Result<(SubseqResult, Vec<QueryTrace>), TsError> {
         if k == 0 {
             return Err(TsError::InvalidParameter {
                 name: "k",
@@ -379,10 +505,13 @@ impl SubseqMatcher {
         }
         let xv = series.values();
         if xv.len() < self.m {
-            return Ok(SubseqResult {
-                matches: Vec::new(),
-                stats: StreamStats::default(),
-            });
+            return Ok((
+                SubseqResult {
+                    matches: Vec::new(),
+                    stats: StreamStats::default(),
+                },
+                Vec::new(),
+            ));
         }
         let w_count = xv.len() - self.m + 1;
         let shard_count = if shards == 0 {
@@ -399,7 +528,9 @@ impl SubseqMatcher {
             .map(|s| {
                 let ws = s * w_count / shard_count;
                 let we = (s + 1) * w_count / shard_count;
-                ShardScan::new(self, xv, ws, we)
+                // traced shards get their recorder here, on the worker
+                // thread that will run them — honest thread ordinals
+                ShardScan::new(self, xv, ws, we, traced)
             })
             .collect();
 
@@ -436,10 +567,40 @@ impl SubseqMatcher {
         }
         stats.passes = passes;
         debug_assert!(stats.is_consistent(), "every cascade entry accounted once");
-        Ok(SubseqResult {
-            matches: selected,
-            stats,
-        })
+        let shard_traces = if traced {
+            scans
+                .into_iter()
+                .map(|scan| QueryTrace {
+                    counters: scan.stats,
+                    band_area: scan.areas.0,
+                    full_grid: scan.areas.1,
+                    spans: scan.rec.finish(),
+                    ..QueryTrace::default()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok((
+            SubseqResult {
+                matches: selected,
+                stats,
+            },
+            shard_traces,
+        ))
+    }
+
+    /// The [`InputShape`] block of this matcher's traces: query length,
+    /// haystack/stream length, and the configured policy/kernel/engine.
+    pub(crate) fn trace_shape(&self, y_len: u64, k: u64) -> InputShape {
+        InputShape {
+            x_len: self.m as u64,
+            y_len,
+            k,
+            policy: self.config.sdtw.policy.label(),
+            kernel: self.config.sdtw.dtw.kernel_label(),
+            engine: format!("{:?}", DtwEngine::selected()).to_lowercase(),
+        }
     }
 
     /// Greedy order: ascending distance, ties toward the lower offset.
@@ -455,6 +616,7 @@ impl SubseqMatcher {
     /// precomputed rolling bound (`None` = stage abstained). Shared by
     /// the batch sweeps, the sharded parallel scan, and the streaming
     /// monitors.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn evaluate_window(
         &self,
         raw: &[f64],
@@ -462,9 +624,13 @@ impl SubseqMatcher {
         threshold: f64,
         eval: &mut EvalScratch,
         stats: &mut CascadeStats,
+        rec: &mut Recorder,
+        areas: &mut (u64, u64),
     ) -> Result<WindowVerdict, TsError> {
         debug_assert_eq!(raw.len(), self.m, "window must match the query length");
-        if let Some(kind) = self.cascade.screen_summary(stats, kim, threshold) {
+        if let Some(kind) = rec.time(TracePhase::LbKim, || {
+            self.cascade.screen_summary(stats, kim, threshold)
+        }) {
             return Ok(WindowVerdict::Pruned(kind));
         }
         // From here on the window statistics are exact: the batch-style
@@ -478,12 +644,12 @@ impl SubseqMatcher {
             ..
         } = eval;
         let wv = self.normalize_window(raw, window);
-        let planned = self.plan_window_band(wv)?;
+        let planned = rec.time(TracePhase::BandPlan, || self.plan_window_band(wv))?;
         let band = planned
             .as_ref()
             .or(self.fixed_band.as_ref())
             .expect("alignment-free policies carry a fixed band");
-        self.finish_window(wv, band, None, threshold, dtw, cascade, stats)
+        self.finish_window(wv, band, None, threshold, dtw, cascade, stats, rec, areas)
     }
 
     /// Plans the adaptive band for one prepared (normalised) window —
@@ -518,6 +684,8 @@ impl SubseqMatcher {
         dtw: &mut DtwScratch,
         cascade_scratch: &mut CascadeScratch,
         stats: &mut CascadeStats,
+        rec: &mut Recorder,
+        areas: &mut (u64, u64),
     ) -> Result<WindowVerdict, TsError> {
         let input = SampleInput {
             x: wv,
@@ -527,21 +695,25 @@ impl SubseqMatcher {
             x_envelope: None,
             y_coarse: self.query_coarse.as_ref(),
         };
-        if let Some(kind) =
+        // the sample-phase screen covers the coarse PAA pre-filter and
+        // both LB_Keogh directions; all attributed to the LbKeogh span
+        if let Some(kind) = rec.time(TracePhase::LbKeogh, || {
             self.cascade
                 .screen_samples(stats, &input, band, threshold, cascade_scratch)
-        {
+        }) {
             return Ok(WindowVerdict::Pruned(kind));
         }
-        match self
-            .engine
-            .query_window(&self.query, wv)
-            .band(band)
-            .cutoff(threshold)
-            .path(false)
-            .scratch(dtw)
-            .run()?
-        {
+        areas.0 += band.area() as u64;
+        areas.1 += (self.m * self.m) as u64;
+        match rec.time(TracePhase::DpFill, || {
+            self.engine
+                .query_window(&self.query, wv)
+                .band(band)
+                .cutoff(threshold)
+                .path(false)
+                .scratch(dtw)
+                .run()
+        })? {
             None => {
                 // the abandoning run still paid for part of the grid;
                 // charge the full band conservatively (as the index does)
@@ -713,11 +885,17 @@ struct ShardScan {
     computed: BTreeMap<usize, f64>,
     eval: EvalScratch,
     stats: StreamStats,
+    /// Shard-local phase spans — disabled (≈free) outside the traced
+    /// entry points.
+    rec: Recorder,
+    /// (band area, full grid area) summed over DP-entering windows —
+    /// the pruning-power denominators of a trace.
+    areas: (u64, u64),
 }
 
 impl ShardScan {
     /// Prepares a shard over windows `[ws, we)` of `xv` (`ws < we`).
-    fn new(matcher: &SubseqMatcher, xv: &[f64], ws: usize, we: usize) -> Self {
+    fn new(matcher: &SubseqMatcher, xv: &[f64], ws: usize, we: usize, traced: bool) -> Self {
         debug_assert!(ws < we && we <= xv.len() - matcher.m + 1);
         Self {
             ws,
@@ -729,6 +907,12 @@ impl ShardScan {
                 windows: (we - ws) as u64,
                 ..StreamStats::default()
             },
+            rec: if traced {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            },
+            areas: (0, 0),
         }
     }
 
@@ -756,8 +940,13 @@ impl ShardScan {
             computed,
             eval,
             stats,
+            rec,
+            areas,
             ..
         } = self;
+        // WindowSweep is the enclosing span: its duration covers the
+        // whole pass, the per-stage spans nest inside it
+        let sweep_t0 = rec.is_enabled().then(std::time::Instant::now);
         let EvalScratch {
             dtw,
             cascade: cascade_scratch,
@@ -791,9 +980,12 @@ impl ShardScan {
             // exceeds its fresh flush threshold and falls to a later
             // stage (shifting pruning *credit* between stages only).
             let threshold = best.map_or(tau, |(d, _)| d.min(tau));
-            if matcher
-                .cascade
-                .screen_summary(&mut stats.cascade, kims[w - ws], threshold)
+            if rec
+                .time(TracePhase::LbKim, || {
+                    matcher
+                        .cascade
+                        .screen_summary(&mut stats.cascade, kims[w - ws], threshold)
+                })
                 .is_some()
             {
                 continue;
@@ -808,7 +1000,7 @@ impl ShardScan {
                 Some(l) => &lanes[l],
                 None => raw,
             };
-            let band = matcher.plan_window_band(wv)?;
+            let band = rec.time(TracePhase::BandPlan, || matcher.plan_window_band(wv))?;
             pending.push(PendingWindow { w, lane, band });
             if pending.len() == LB_LANES {
                 Self::flush_pending(
@@ -822,6 +1014,8 @@ impl ShardScan {
                     computed,
                     tau,
                     &mut best,
+                    rec,
+                    areas,
                 )?;
             }
         }
@@ -836,7 +1030,12 @@ impl ShardScan {
             computed,
             tau,
             &mut best,
+            rec,
+            areas,
         )?;
+        if let Some(t0) = sweep_t0 {
+            rec.add(TracePhase::WindowSweep, t0.elapsed());
+        }
         Ok(best)
     }
 
@@ -860,6 +1059,8 @@ impl ShardScan {
         computed: &mut BTreeMap<usize, f64>,
         tau: f64,
         best: &mut Option<(f64, usize)>,
+        rec: &mut Recorder,
+        areas: &mut (u64, u64),
     ) -> Result<(), TsError> {
         if pending.is_empty() {
             return Ok(());
@@ -873,25 +1074,27 @@ impl ShardScan {
         };
         let mut pre: [Option<f64>; LB_LANES] = [None; LB_LANES];
         if matcher.bounds_ok {
-            let mut slots: Vec<usize> = Vec::with_capacity(pending.len());
-            let mut views: Vec<&[f64]> = Vec::with_capacity(pending.len());
-            for (p, cand) in pending.iter().enumerate() {
-                let band = cand.band.as_ref().or(matcher.fixed_band.as_ref());
-                if band.is_some_and(|b| b.within_window(matcher.radius)) {
-                    slots.push(p);
-                    views.push(window_of(cand));
+            rec.time(TracePhase::LbKeogh, || {
+                let mut slots: Vec<usize> = Vec::with_capacity(pending.len());
+                let mut views: Vec<&[f64]> = Vec::with_capacity(pending.len());
+                for (p, cand) in pending.iter().enumerate() {
+                    let band = cand.band.as_ref().or(matcher.fixed_band.as_ref());
+                    if band.is_some_and(|b| b.within_window(matcher.radius)) {
+                        slots.push(p);
+                        views.push(window_of(cand));
+                    }
                 }
-            }
-            let mut bounds = Vec::with_capacity(slots.len());
-            lb_keogh_batch_windows(
-                &views,
-                &matcher.query_envelope,
-                matcher.config.sdtw.dtw.metric,
-                &mut bounds,
-            );
-            for (&p, &raw) in slots.iter().zip(&bounds) {
-                pre[p] = Some(raw);
-            }
+                let mut bounds = Vec::with_capacity(slots.len());
+                lb_keogh_batch_windows(
+                    &views,
+                    &matcher.query_envelope,
+                    matcher.config.sdtw.dtw.metric,
+                    &mut bounds,
+                );
+                for (&p, &raw) in slots.iter().zip(&bounds) {
+                    pre[p] = Some(raw);
+                }
+            });
         }
         for (p, cand) in pending.drain(..).enumerate() {
             let wv: &[f64] = match cand.lane {
@@ -904,8 +1107,17 @@ impl ShardScan {
                 .or(matcher.fixed_band.as_ref())
                 .expect("adaptive windows carry a planned band");
             let threshold = best.map_or(tau, |(d, _)| d.min(tau));
-            let verdict =
-                matcher.finish_window(wv, band, pre[p], threshold, dtw, cascade_scratch, stats)?;
+            let verdict = matcher.finish_window(
+                wv,
+                band,
+                pre[p],
+                threshold,
+                dtw,
+                cascade_scratch,
+                stats,
+                rec,
+                areas,
+            )?;
             if let WindowVerdict::Completed(d) = verdict {
                 computed.insert(cand.w, d);
                 if d <= tau && SubseqMatcher::better(d, cand.w, best) {

@@ -12,6 +12,7 @@
 use crate::matcher::{EvalScratch, SubseqMatch, SubseqMatcher, WindowVerdict};
 use crate::rolling::RollingExtrema;
 use crate::stats::StreamStats;
+use sdtw_obs::{QueryTrace, Recorder, WorkloadKind};
 use sdtw_tseries::stats::WindowedStats;
 use sdtw_tseries::TsError;
 
@@ -103,6 +104,10 @@ pub(crate) struct QueryRuntime {
     /// Completed windows with distance ≤ the acceptance threshold.
     candidates: Vec<SubseqMatch>,
     stats: StreamStats,
+    /// Phase spans — disabled (≈free) until tracing is switched on.
+    rec: Recorder,
+    /// (band area, full grid area) summed over DP-entering windows.
+    areas: (u64, u64),
 }
 
 impl QueryRuntime {
@@ -130,12 +135,39 @@ impl QueryRuntime {
                 passes: 1,
                 ..StreamStats::default()
             },
+            rec: Recorder::disabled(),
+            areas: (0, 0),
         })
     }
 
     /// The wrapped matcher.
     pub(crate) fn matcher(&self) -> &SubseqMatcher {
         &self.matcher
+    }
+
+    /// Switches span recording on or off. Turning it off discards any
+    /// spans recorded so far; counters are unaffected either way.
+    pub(crate) fn set_tracing(&mut self, on: bool) {
+        self.rec = if on {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
+    }
+
+    /// This query's telemetry so far as one canonical [`QueryTrace`]:
+    /// the counter block is a snapshot (counters keep accumulating), the
+    /// spans drain — a later call carries only spans recorded since this
+    /// one. `wall` stays zero: a live stream has no meaningful
+    /// per-query wall clock.
+    pub(crate) fn trace(&mut self, query_id: &str, stream_len: u64) -> QueryTrace {
+        let mut trace = QueryTrace::new(query_id, WorkloadKind::MonitorBatch);
+        trace.shape = self.matcher.trace_shape(stream_len, self.k as u64);
+        trace.counters = self.stats;
+        trace.band_area = self.areas.0;
+        trace.full_grid = self.areas.1;
+        trace.spans = self.rec.take_spans();
+        trace
     }
 
     /// Runs this query's cascade on the window the ingest just
@@ -168,6 +200,8 @@ impl QueryRuntime {
             threshold,
             &mut self.eval,
             &mut self.stats.cascade,
+            &mut self.rec,
+            &mut self.areas,
         )?;
         if let WindowVerdict::Completed(distance) = verdict {
             if distance <= threshold {
@@ -210,13 +244,17 @@ impl QueryRuntime {
         &self.stats
     }
 
-    /// Forgets everything seen (query preparation retained).
+    /// Forgets everything seen (query preparation retained; tracing
+    /// stays in its current on/off state, recorded spans are dropped).
     pub(crate) fn reset(&mut self) {
         self.candidates.clear();
         self.stats = StreamStats {
             passes: 1,
             ..StreamStats::default()
         };
+        self.areas = (0, 0);
+        let on = self.rec.is_enabled();
+        self.set_tracing(on);
     }
 }
 
@@ -336,6 +374,23 @@ impl StreamMonitor {
     /// Accounting so far.
     pub fn stats(&self) -> &StreamStats {
         self.runtime.stats()
+    }
+
+    /// Switches span recording on or off (off by default — a disabled
+    /// recorder costs one branch per phase). Turning it off discards any
+    /// spans recorded so far; counters are unaffected either way.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.runtime.set_tracing(on);
+    }
+
+    /// The monitor's telemetry so far as one canonical
+    /// [`QueryTrace`] (`workload = monitor-batch`): counters are a
+    /// snapshot (they keep accumulating), spans drain — a later call
+    /// carries only spans recorded since this one (and none at all
+    /// unless [`StreamMonitor::set_tracing`] switched recording on).
+    pub fn trace(&mut self, query_id: &str) -> QueryTrace {
+        let pos = self.ingest.position();
+        self.runtime.trace(query_id, pos)
     }
 
     /// Forgets all stream state (query preparation is retained).

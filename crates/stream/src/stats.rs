@@ -1,158 +1,7 @@
-//! Per-search accounting, wrapping the shared cascade stats.
+//! Per-search accounting, re-exported from the telemetry spine.
+//!
+//! `StreamStats` is defined in `sdtw_obs` — it is the counter block every
+//! `QueryTrace` embeds — and re-exported from its historical home here so
+//! every PR 2–6 call site keeps compiling unchanged.
 
-use sdtw_dtw::cascade::CascadeStats;
-use serde::{Deserialize, Serialize};
-
-/// What one subsequence search (or one monitor session) did: the shared
-/// per-stage [`CascadeStats`] plus the window-level counters the
-/// subsequence workload adds on top (multi-pass sweeps, exclusion-zone
-/// skips, distance-cache hits).
-///
-/// `cascade.candidates` counts *cascade entries* — window visits that ran
-/// the LB_Kim → LB_Keogh → DP pipeline — so the [`CascadeStats`]
-/// consistency invariant (`candidates == pruned + abandoned +
-/// dp_completed`) carries over verbatim. Visits resolved without entering
-/// the cascade are counted here instead.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct StreamStats {
-    /// Distinct windows of the searched series (offsets `0 ..= n - m`),
-    /// or windows completed by the monitor so far.
-    pub windows: u64,
-    /// Sweep passes over the windows (the batch matcher runs up to `k`;
-    /// a monitor is a single endless pass).
-    pub passes: u32,
-    /// Window visits skipped because the offset lies inside the exclusion
-    /// zone of an already-selected match.
-    pub skipped_excluded: u64,
-    /// Window visits answered from the completed-distance cache (later
-    /// passes revisit windows the earlier passes already scored).
-    pub cache_hits: u64,
-    /// The shared cascade accounting (LB_Kim / LB_Keogh prunes, early
-    /// abandons, completed DPs, cells filled).
-    pub cascade: CascadeStats,
-}
-
-impl StreamStats {
-    /// Folds another search's accounting into this one — how parallel
-    /// shards and monitor banks aggregate instead of dropping counts.
-    /// Window-level counters and the nested [`CascadeStats`] sum;
-    /// `passes` takes the maximum, because merged participants sweep
-    /// *concurrently* (every shard of one parallel scan runs the same
-    /// pass, and every monitor of a bank is its own single endless
-    /// pass), so summing would overstate the pass count.
-    pub fn merge(&mut self, other: &StreamStats) {
-        self.windows += other.windows;
-        self.passes = self.passes.max(other.passes);
-        self.skipped_excluded += other.skipped_excluded;
-        self.cache_hits += other.cache_hits;
-        self.cascade.merge(&other.cascade);
-    }
-
-    /// Fraction of cascade entries disposed of before the DP completed
-    /// (lower-bound prunes + early abandons), in `[0, 1]`.
-    pub fn prune_rate(&self) -> f64 {
-        self.cascade.prune_rate()
-    }
-
-    /// Fraction of cascade entries disposed of by the lower bounds alone
-    /// (before any DP work), in `[0, 1]`.
-    pub fn lb_prune_rate(&self) -> f64 {
-        if self.cascade.candidates == 0 {
-            return 0.0;
-        }
-        self.cascade.pruned_before_dp() as f64 / self.cascade.candidates as f64
-    }
-
-    /// Whether every cascade entry is accounted for by exactly one
-    /// disposal (delegates to the shared invariant).
-    pub fn is_consistent(&self) -> bool {
-        self.cascade.is_consistent()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn rates_delegate_to_the_shared_cascade() {
-        let s = StreamStats {
-            windows: 10,
-            passes: 2,
-            skipped_excluded: 3,
-            cache_hits: 2,
-            cascade: CascadeStats {
-                candidates: 10,
-                pruned_kim: 4,
-                pruned_keogh: 2,
-                abandoned: 1,
-                dp_completed: 3,
-                ..CascadeStats::default()
-            },
-        };
-        assert!(s.is_consistent());
-        assert!((s.prune_rate() - 0.7).abs() < 1e-12);
-        assert!((s.lb_prune_rate() - 0.6).abs() < 1e-12);
-    }
-
-    #[test]
-    fn merge_sums_counters_and_maxes_passes() {
-        let a = StreamStats {
-            windows: 10,
-            passes: 3,
-            skipped_excluded: 2,
-            cache_hits: 1,
-            cascade: CascadeStats {
-                candidates: 7,
-                pruned_kim: 3,
-                pruned_paa: 1,
-                abandoned: 1,
-                dp_completed: 2,
-                cells_filled: 40,
-                ..CascadeStats::default()
-            },
-        };
-        let b = StreamStats {
-            windows: 5,
-            passes: 2,
-            skipped_excluded: 4,
-            cache_hits: 0,
-            cascade: CascadeStats {
-                candidates: 5,
-                pruned_keogh: 2,
-                dp_completed: 3,
-                cells_filled: 60,
-                ..CascadeStats::default()
-            },
-        };
-        let mut m = a;
-        m.merge(&b);
-        assert_eq!(m.windows, 15);
-        assert_eq!(m.passes, 3, "concurrent sweeps take the max");
-        assert_eq!(m.skipped_excluded, 6);
-        assert_eq!(m.cache_hits, 1);
-        assert_eq!(m.cascade.candidates, 12);
-        assert_eq!(m.cascade.cells_filled, 100);
-        assert!(m.is_consistent());
-    }
-
-    #[test]
-    fn empty_stats_are_consistent() {
-        let s = StreamStats::default();
-        assert!(s.is_consistent());
-        assert_eq!(s.prune_rate(), 0.0);
-        assert_eq!(s.lb_prune_rate(), 0.0);
-    }
-
-    #[test]
-    fn stats_roundtrip_through_serde() {
-        let s = StreamStats {
-            windows: 7,
-            passes: 1,
-            ..StreamStats::default()
-        };
-        let json = serde_json::to_string(&s).unwrap();
-        let back: StreamStats = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
-    }
-}
+pub use sdtw_obs::StreamStats;

@@ -8,6 +8,8 @@
 //! * [`salient`] — SIFT-like salient feature extraction;
 //! * [`align`] — feature matching and inconsistency pruning;
 //! * [`dtw`] — DTW engine, bands, baselines;
+//! * [`obs`] — the canonical query-trace telemetry spine
+//!   ([`obs::QueryTrace`], [`obs::Recorder`], [`obs::TraceReport`]);
 //! * [`core`] — the sDTW engine itself ([`core::SDtw`]);
 //! * [`datasets`] — synthetic UCR-analogue corpora;
 //! * [`eval`] — evaluation harness and metrics;
@@ -27,6 +29,7 @@ pub use sdtw_datasets as datasets;
 pub use sdtw_dtw as dtw;
 pub use sdtw_eval as eval;
 pub use sdtw_index as index;
+pub use sdtw_obs as obs;
 pub use sdtw_salient as salient;
 pub use sdtw_scalespace as scalespace;
 pub use sdtw_stream as stream;
@@ -60,10 +63,14 @@ pub mod prelude {
     };
     pub use sdtw_dtw::{Band, WarpPath};
     pub use sdtw_eval::{
-        compute_matrix, compute_query_matrix, evaluate_policies, DistanceMatrix, EvalOptions,
-        PolicyEval, QueryMatrix,
+        compute_matrix, compute_matrix_traced, compute_query_matrix, compute_query_matrix_traced,
+        evaluate_policies, DistanceMatrix, EvalOptions, PolicyEval, QueryMatrix,
     };
     pub use sdtw_index::{CascadeStats, IndexConfig, Neighbor, SdtwIndex};
+    pub use sdtw_obs::{
+        QueryTrace, Recorder, SpanRecord, TracePhase, TraceReport, WorkloadKind,
+        TRACE_SCHEMA_VERSION,
+    };
     pub use sdtw_stream::{
         BankQuery, MonitorBank, StreamConfig, StreamMonitor, StreamStats, SubseqMatch,
         SubseqMatcher, SubseqResult,

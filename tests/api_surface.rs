@@ -38,12 +38,15 @@ const EXPECTED: &[&str] = &[
     "PolicyEval",
     "Query",
     "QueryMatrix",
+    "QueryTrace",
+    "Recorder",
     "SDtw",
     "SDtwConfig",
     "SDtwOutcome",
     "SalientConfig",
     "SdtwIndex",
     "SeriesSummary",
+    "SpanRecord",
     "StandardKernel",
     "StepPattern",
     "StreamConfig",
@@ -52,14 +55,20 @@ const EXPECTED: &[&str] = &[
     "SubseqMatch",
     "SubseqMatcher",
     "SubseqResult",
+    "TRACE_SCHEMA_VERSION",
     "TimeSeries",
+    "TracePhase",
+    "TraceReport",
     "TsError",
     "UcrAnalog",
     "WarpMap",
     "WarpPath",
     "WindowedStats",
+    "WorkloadKind",
     "compute_matrix",
+    "compute_matrix_traced",
     "compute_query_matrix",
+    "compute_query_matrix_traced",
     "dtw_full",
     "dtw_run",
     "dtw_run_options",
@@ -157,7 +166,16 @@ fn snapshot_items_actually_resolve() {
     ) -> sdtw_suite::dtw::DtwResult = prelude::dtw_full;
     let _ = prelude::dtw_run_options;
     let _ = prelude::compute_query_matrix;
+    let _ = prelude::compute_matrix_traced;
+    let _ = prelude::compute_query_matrix_traced;
     assert_type::<prelude::DtwEngine>();
+    assert_type::<prelude::QueryTrace>();
+    assert_type::<prelude::Recorder>();
+    assert_type::<prelude::SpanRecord>();
+    assert_type::<prelude::TracePhase>();
+    assert_type::<prelude::TraceReport>();
+    assert_type::<prelude::WorkloadKind>();
+    let _: u32 = prelude::TRACE_SCHEMA_VERSION;
     let _ = prelude::lb_keogh_batch;
     let _ = prelude::lb_kim_batch;
     let _: usize = prelude::LB_LANES;

@@ -354,3 +354,107 @@ fn monitor_bank_equals_independent_monitors_on_seeded_data() {
     assert_eq!(bank.merged_stats(), merged_expected);
     assert_eq!(bank.position(), hay.len() as u64);
 }
+
+/// The traced entry points must be pure observers: bit-identical
+/// matches, counters equal to the untraced run, and merged shard traces
+/// whose visit accounting is invariant across shard counts {1, 2, 3, 7}.
+#[test]
+fn traced_scans_are_bit_identical_and_shard_invariant() {
+    let ds = UcrAnalog::Gun.generate(31);
+    let query = ds.series[0].clone();
+    let hay = haystack(&ds.series[1..5]);
+    let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+
+    let plain = matcher.find(&hay, 3).unwrap();
+    let (traced, trace) = matcher.find_traced(&hay, 3, "q-serial").unwrap();
+    assert_eq!(plain.matches.len(), traced.matches.len());
+    for (a, b) in plain.matches.iter().zip(&traced.matches) {
+        assert_eq!(a.offset, b.offset);
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+    }
+    assert_eq!(plain.stats, traced.stats, "recording never changes stats");
+    assert_eq!(trace.counters, plain.stats, "the trace embeds the counters");
+    assert!(trace.counters.is_consistent());
+    let phases: Vec<TracePhase> = trace.spans.iter().map(|s| s.phase).collect();
+    for want in [
+        TracePhase::LbKim,
+        TracePhase::LbKeogh,
+        TracePhase::DpFill,
+        TracePhase::WindowSweep,
+    ] {
+        assert!(phases.contains(&want), "missing {want:?} in {phases:?}");
+    }
+    assert!(trace.band_area > 0 && trace.band_area <= trace.full_grid);
+    assert!(trace.counters.cascade.cells_filled <= trace.band_area);
+
+    // the merged shard traces: same matches, invariant visit accounting
+    let tau = plain.matches.last().unwrap().distance * 1.1;
+    let serial = matcher.find_under(&hay, 3, tau).unwrap();
+    for shards in [1usize, 2, 3, 7] {
+        let (result, t) = matcher
+            .find_k_parallel_traced(&hay, 3, tau, shards, "q-sharded")
+            .unwrap();
+        for (a, b) in serial.matches.iter().zip(&result.matches) {
+            assert_eq!(a.offset, b.offset, "shards={shards}");
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        assert_eq!(t.counters, result.stats, "shards={shards}");
+        assert_eq!(t.counters.windows, serial.stats.windows, "shards={shards}");
+        assert_eq!(t.counters.passes, serial.stats.passes, "shards={shards}");
+        assert_eq!(
+            t.counters.skipped_excluded, serial.stats.skipped_excluded,
+            "shards={shards}"
+        );
+        assert_eq!(
+            t.counters.cascade.candidates + t.counters.cache_hits,
+            serial.stats.cascade.candidates + serial.stats.cache_hits,
+            "shards={shards}: visits shift between categories, never drop"
+        );
+        // every shard contributed spans from its own recorder
+        assert!(
+            t.spans
+                .iter()
+                .filter(|s| s.phase == TracePhase::WindowSweep)
+                .count()
+                >= shards.min(3),
+            "shards={shards}: {} sweep spans",
+            t.spans.len()
+        );
+    }
+}
+
+/// Monitors and banks expose the same canonical trace: counters snapshot
+/// the accumulated stats, spans appear once tracing is switched on, and
+/// the bank's merged trace folds per-query traces like `merged_stats`.
+#[test]
+fn monitor_and_bank_traces_snapshot_the_stream() {
+    let ds = UcrAnalog::Trace.generate(12);
+    let query = ds.series[0].clone();
+    let hay = haystack(&ds.series[1..3]);
+    let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+
+    let mut monitor = StreamMonitor::new(matcher.clone(), 1, f64::INFINITY).unwrap();
+    monitor.set_tracing(true);
+    monitor.process(hay.values()).unwrap();
+    let stats = *monitor.stats();
+    let trace = monitor.trace("mon");
+    assert_eq!(trace.counters, stats);
+    assert_eq!(trace.shape.y_len, hay.len() as u64);
+    assert!(trace.spans.iter().any(|s| s.phase == TracePhase::DpFill));
+    assert!(
+        monitor.trace("mon-again").spans.is_empty(),
+        "spans drain; a second snapshot starts empty"
+    );
+
+    let mut bank = MonitorBank::uniform([matcher.clone(), matcher], 1, f64::INFINITY).unwrap();
+    bank.set_tracing(true);
+    bank.process(hay.values()).unwrap();
+    let merged_stats = bank.merged_stats();
+    let merged = bank.merged_trace("bank");
+    assert_eq!(merged.counters, merged_stats);
+    assert!(merged.spans.iter().any(|s| s.phase == TracePhase::LbKim));
+    // the NDJSON line round-trips byte for byte
+    let line = merged.to_json_line();
+    let back = QueryTrace::from_json_line(&line).unwrap();
+    assert_eq!(back.to_json_line(), line);
+}
