@@ -39,6 +39,7 @@ use sdtw_eval::compute_matrix;
 use sdtw_index::{IndexConfig, SdtwIndex};
 use sdtw_obs::{Recorder, TracePhase};
 use sdtw_salient::extract_features;
+use sdtw_serve::{ServeConfig, ServeEngine, ServeRequest};
 use sdtw_stream::{StreamConfig, SubseqMatcher};
 use sdtw_tseries::TimeSeries;
 use std::hint::black_box;
@@ -517,6 +518,81 @@ fn bench_trace_overhead(c: &mut Criterion) {
     );
 }
 
+/// The resident-service payoff (`BENCH_serve.json`): a warm
+/// [`ServeEngine`] answering a pattern request (snapshot resident,
+/// matcher cached, scratch reused) versus the cold one-shot path a CLI
+/// invocation pays every time (parse the snapshot JSON, rebuild the
+/// engine, prepare the matcher, answer once). Same request, bit-identical
+/// answer — the group *asserts* warm beats cold, and the measured ratio
+/// lands in the `serve_warm_vs_cold/...` record id (the shim's record
+/// schema has no free-form fields). The core count in the group name
+/// qualifies the numbers.
+fn bench_serve(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // archive: 24 entries × 512 samples; query: one 64-sample pattern
+    let corpus: Vec<TimeSeries> = (0..24).map(|k| series(512, 0.17 * k as f64)).collect();
+    let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+    let snapshot = index.to_json().unwrap();
+    let req = ServeRequest::query("bench", series(64, 0.4).values().to_vec(), 5);
+
+    let warm = ServeEngine::new(index, ServeConfig::default()).unwrap();
+    // prime the matcher cache — the warm path is the steady state of a
+    // long-lived daemon, where the pattern has been seen before
+    let (primed, _) = warm.answer(&req);
+    assert!(primed.ok, "{}", primed.error);
+
+    let cold_once = || {
+        let index = SdtwIndex::from_json(&snapshot).unwrap();
+        let engine = ServeEngine::new(index, ServeConfig::default()).unwrap();
+        let (resp, _) = engine.answer(&req);
+        resp
+    };
+
+    let group_name = format!("serve_{cores}core");
+    let mut group = c.benchmark_group(&group_name);
+    group.bench_function("warm_engine_query", |b| {
+        let mut scratch = DtwScratch::new();
+        b.iter(|| {
+            let (resp, _) = warm.answer_with_scratch(&req, &mut scratch);
+            black_box(resp.hits.len())
+        })
+    });
+    group.bench_function("cold_one_shot_query", |b| {
+        b.iter(|| black_box(cold_once().hits.len()))
+    });
+    group.finish();
+
+    // the acceptance guard, measured outside the shim: the warm engine
+    // must beat the cold one-shot on the same request
+    let mut scratch = DtwScratch::new();
+    let warm_ns = min_ns_per_call(
+        &mut || {
+            black_box(warm.answer_with_scratch(&req, &mut scratch).0.hits.len());
+        },
+        40,
+        8,
+    );
+    let cold_ns = min_ns_per_call(
+        &mut || {
+            black_box(cold_once().hits.len());
+        },
+        40,
+        8,
+    );
+    assert!(
+        warm_ns < cold_ns,
+        "warm serve ({warm_ns:.0} ns) must beat the cold one-shot ({cold_ns:.0} ns)"
+    );
+    c.bench_function(
+        &format!(
+            "serve_warm_vs_cold/speedup_{:.1}x_cores_{cores}",
+            cold_ns / warm_ns
+        ),
+        |b| b.iter(|| black_box(cold_ns / warm_ns)),
+    );
+}
+
 criterion_group!(
     benches,
     bench_kernels,
@@ -528,6 +604,7 @@ criterion_group!(
     bench_api_kernel,
     bench_distmat,
     bench_api_knn,
-    bench_trace_overhead
+    bench_trace_overhead,
+    bench_serve
 );
 criterion_main!(benches);

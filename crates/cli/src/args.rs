@@ -98,6 +98,22 @@ pub fn spec_for(key: &str) -> Option<OptionSpec> {
             value: &["seed"],
             flag: &[],
         },
+        "serve" => OptionSpec {
+            engine: false,
+            value: &["index", "socket", "k", "shards", "batch", "trace"],
+            flag: &["pipe"],
+        },
+        "client emit" => OptionSpec {
+            engine: false,
+            value: &["k", "tau"],
+            flag: &["trace"],
+        },
+        "client print" => OptionSpec::EMPTY,
+        "client send" => OptionSpec {
+            engine: false,
+            value: &["k", "tau"],
+            flag: &["trace", "json", "shutdown"],
+        },
         "report" => OptionSpec::EMPTY,
         _ => return None,
     };

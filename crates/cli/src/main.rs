@@ -8,7 +8,11 @@
 //! sdtw index build <corpus.txt> <out.json> [--policy P] [--width W] [--radius F] [--znorm]
 //! sdtw index query <index.json> <queries.txt> [--k K] [--serial] [--json]
 //! sdtw stream find <haystack.txt> <query.txt> [--k K] [--tau T] [--monitor] [--raw]
-//! sdtw report <trace.ndjson>...
+//! sdtw serve --index <index.json> (--pipe | --socket <path>) [--k K] [--trace t.ndjson]
+//! sdtw client emit <queries.txt> [--k K] [--tau T] [--trace]
+//! sdtw client print [responses.ndjson|-]
+//! sdtw client send <socket> <queries.txt> [--k K] [--tau T] [--shutdown]
+//! sdtw report <trace.ndjson>... (`-` reads stdin)
 //! sdtw generate <gun|trace|50words> <out.txt> [--seed S]
 //! ```
 //!
@@ -32,6 +36,9 @@ use sdtw_datasets::UcrAnalog;
 use sdtw_index::{CascadeStats, IndexConfig, SdtwIndex};
 use sdtw_obs::{InputShape, QueryTrace, Recorder, TraceReport, WorkloadKind};
 use sdtw_salient::feature::extract_feature_set;
+use sdtw_serve::{
+    client_roundtrip, run_pipe, ServeConfig, ServeEngine, ServeRequest, ServeResponse, SocketServer,
+};
 use sdtw_stream::{MonitorBank, StreamConfig, SubseqMatcher, SubseqResult};
 use sdtw_tseries::io::{read_ucr_file, write_ucr_file};
 use sdtw_tseries::TimeSeries;
@@ -114,10 +121,47 @@ commands:
                                       --trace <file> / --trace-stdout
                                                       (one NDJSON trace per
                                                        query)
+  serve --index <idx.json>   resident pattern service: load one immutable
+                             index snapshot, then answer NDJSON pattern
+                             requests through the two-level cascade
+                             (coarse entry screen -> subsequence sweep);
+                             results are exact (see `client`)
+                             options: --pipe          (NDJSON requests on
+                                                       stdin, responses on
+                                                       stdout, stop at EOF)
+                                      --socket <path> (Unix-socket daemon,
+                                                       stop on a Shutdown
+                                                       request)
+                                      --k <n>         (default k for
+                                                       requests that omit
+                                                       theirs, 5)
+                                      --shards <n>    (level-2 sweep shards
+                                                       per entry, default 1
+                                                       = per-worker scratch
+                                                       reuse; 0 = one per
+                                                       rayon worker)
+                                      --batch <n>     (pipe-mode batch size
+                                                       for the rayon job
+                                                       queue, default 32)
+                                      --trace <file>  (one NDJSON QueryTrace
+                                                       per request, written
+                                                       at shutdown)
+  client emit <queries>      write one NDJSON request line per query row
+                             (pipe into `sdtw serve --pipe`)
+                             options: --k <n> (0 = daemon default)
+                                      --tau <t>  (inclusive distance cap)
+                                      --trace    (request per-query traces)
+  client print [file|-]      render NDJSON responses humanly (default -,
+                             i.e. stdin — the end of a serve pipeline)
+  client send <sock> <q>     connect to a --socket daemon, send the query
+                             rows, print the answers
+                             options: --k, --tau, --trace, --json (raw
+                                      NDJSON), --shutdown (stop the daemon
+                                      after the answers)
   report <trace.ndjson>...   aggregate NDJSON trace files (written by
                              --trace) into per-stage prune percentages,
                              p50/p95 span durations, and a cells-per-query
-                             histogram
+                             histogram; `-` reads NDJSON from stdin
   generate <kind> <out>      write a synthetic corpus (gun|trace|50words)
                              options: --seed <n> (default 20120827)
 ";
@@ -877,18 +921,189 @@ fn cmd_stream_find(a: &Args) -> Result<(), String> {
 
 fn cmd_report(a: &Args) -> Result<(), String> {
     if a.positional.is_empty() {
-        return Err("report needs one or more <trace.ndjson> files".into());
+        return Err("report needs one or more <trace.ndjson> files (`-` for stdin)".into());
     }
     // concatenate all files into one NDJSON document — traces from
     // different workloads aggregate fine (the tables are per-stage and
     // per-phase, not per-workload)
     let mut text = String::new();
     for path in &a.positional {
-        text.push_str(&std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?);
+        let chunk = if path == "-" {
+            std::io::read_to_string(std::io::stdin()).map_err(|e| format!("stdin: {e}"))?
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        };
+        text.push_str(&chunk);
         text.push('\n');
     }
     let report = TraceReport::from_ndjson(&text)?;
     print!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let index_path = a
+        .options
+        .get("index")
+        .ok_or("serve needs --index <index.json> (build one with `sdtw index build`)")?;
+    let json = std::fs::read_to_string(index_path).map_err(|e| format!("{index_path}: {e}"))?;
+    let index = SdtwIndex::from_json(&json).map_err(|e| e.to_string())?;
+    let trace_path = a.options.get("trace").cloned();
+    let cfg = ServeConfig {
+        default_k: a.opt_parse("k", 5usize)?,
+        shards: a.opt_parse("shards", 1usize)?,
+        trace: trace_path.is_some(),
+    };
+    let engine = ServeEngine::new(index, cfg).map_err(|e| e.to_string())?;
+    let entries = engine.index().len();
+    let traces = match (a.flag("pipe"), a.options.get("socket")) {
+        (true, None) => {
+            // stdout is the response channel in pipe mode — the banner
+            // goes to stderr so the NDJSON stream stays clean
+            eprintln!("sdtw serve: {entries} entries resident, pipe mode (stop at EOF)");
+            let batch = a.opt_parse("batch", 32usize)?.max(1);
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            run_pipe(&engine, stdin.lock(), &mut stdout, batch).map_err(|e| e.to_string())?
+        }
+        (false, Some(path)) => {
+            let server = SocketServer::bind(path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("sdtw serve: {entries} entries resident on {path} (stop via Shutdown)");
+            server
+                .serve(std::sync::Arc::new(engine))
+                .map_err(|e| e.to_string())?
+        }
+        _ => return Err("serve needs exactly one of --pipe or --socket <path>".into()),
+    };
+    if let Some(p) = trace_path {
+        let mut doc = traces.join("\n");
+        if !doc.is_empty() {
+            doc.push('\n');
+        }
+        std::fs::write(&p, doc).map_err(|e| format!("{p}: {e}"))?;
+        eprintln!("wrote {} trace line(s) to {p}", traces.len());
+    }
+    Ok(())
+}
+
+fn cmd_client(a: &Args) -> Result<(), String> {
+    match a.positional.first().map(String::as_str) {
+        Some("emit") => cmd_client_emit(a),
+        Some("print") => cmd_client_print(a),
+        Some("send") => cmd_client_send(a),
+        _ => {
+            Err("client needs a subcommand: `client emit`, `client print`, or `client send`".into())
+        }
+    }
+}
+
+/// Builds one request per row of a UCR query file from the shared
+/// `client` options.
+fn client_requests(a: &Args, queries_path: &str) -> Result<Vec<ServeRequest>, String> {
+    let queries = read_ucr_file(queries_path).map_err(|e| e.to_string())?;
+    if queries.is_empty() {
+        return Err("query file is empty".into());
+    }
+    let k = a.opt_parse("k", 0usize)?; // 0 = the daemon's default
+    let tau = match a.options.get("tau") {
+        None => None,
+        Some(_) => Some(a.opt_parse("tau", f64::INFINITY)?),
+    };
+    Ok(queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let mut r = ServeRequest::query(format!("q{i}"), q.values().to_vec(), k);
+            r.tau = tau;
+            r.trace = a.flag("trace");
+            r
+        })
+        .collect())
+}
+
+fn cmd_client_emit(a: &Args) -> Result<(), String> {
+    let [_, queries_path] = a.positional.as_slice() else {
+        return Err("client emit needs <queries>".into());
+    };
+    for req in client_requests(a, queries_path)? {
+        println!("{}", req.to_json_line());
+    }
+    Ok(())
+}
+
+/// Human rendering of daemon responses (shared by `print` and `send`).
+fn print_responses(resps: &[ServeResponse]) {
+    let (mut pruned, mut swept) = (0u64, 0u64);
+    for r in resps {
+        if !r.ok {
+            println!(
+                "{}: error: {}",
+                if r.id.is_empty() { "?" } else { &r.id },
+                r.error
+            );
+            continue;
+        }
+        pruned += r.entries_pruned;
+        swept += r.entries_swept;
+        let hits: Vec<String> = r
+            .hits
+            .iter()
+            .map(|h| format!("{}@{} ({:.4})", h.entry, h.offset, h.distance))
+            .collect();
+        println!(
+            "{}: {}  [pruned {} / swept {}]",
+            r.id,
+            if hits.is_empty() {
+                "no match under tau".to_string()
+            } else {
+                hits.join("  ")
+            },
+            r.entries_pruned,
+            r.entries_swept,
+        );
+    }
+    let answered = resps.iter().filter(|r| r.ok).count();
+    println!(
+        "{answered}/{} answered  entries pruned {pruned} / swept {swept}",
+        resps.len(),
+    );
+}
+
+fn cmd_client_print(a: &Args) -> Result<(), String> {
+    let path = match a.positional.as_slice() {
+        [_] => "-",
+        [_, p] => p.as_str(),
+        _ => return Err("client print takes at most one <responses.ndjson> (default -)".into()),
+    };
+    let text = if path == "-" {
+        std::io::read_to_string(std::io::stdin()).map_err(|e| format!("stdin: {e}"))?
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    let mut resps = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        resps.push(ServeResponse::from_json_line(line)?);
+    }
+    print_responses(&resps);
+    Ok(())
+}
+
+fn cmd_client_send(a: &Args) -> Result<(), String> {
+    let [_, socket, queries_path] = a.positional.as_slice() else {
+        return Err("client send needs <socket> <queries>".into());
+    };
+    let mut reqs = client_requests(a, queries_path)?;
+    if a.flag("shutdown") {
+        reqs.push(ServeRequest::shutdown("shutdown"));
+    }
+    let resps = client_roundtrip(socket, &reqs).map_err(|e| format!("{socket}: {e}"))?;
+    if a.flag("json") {
+        for r in &resps {
+            println!("{}", r.to_json_line());
+        }
+    } else {
+        print_responses(&resps);
+    }
     Ok(())
 }
 
@@ -922,6 +1137,8 @@ fn run() -> Result<(), String> {
         "distmat" => cmd_distmat(&args),
         "index" => cmd_index(&args),
         "stream" => cmd_stream(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         "report" => cmd_report(&args),
         "generate" => cmd_generate(&args),
         "help" | "-h" => {
@@ -1440,5 +1657,75 @@ mod tests {
         .unwrap();
         cmd_dist(&amerced).unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_socket_and_client_round_trip_via_files() {
+        let dir = std::env::temp_dir().join("sdtw_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("corpus.txt");
+        let queries_path = dir.join("queries.txt");
+        let index_path = dir.join("index.json");
+        let sock_path = dir.join("daemon.sock");
+        let argv = |tokens: &[&str]| Args::parse(tokens.iter().map(|s| s.to_string())).unwrap();
+
+        // corpus: concatenated gun series (long entries, so a short query
+        // pattern has many candidate windows); queries: short prefixes
+        let ds = UcrAnalog::Gun.generate(77);
+        let mut corpus = Vec::new();
+        for pair in ds.series[..8].chunks(2) {
+            let mut vals = Vec::new();
+            for s in pair {
+                vals.extend_from_slice(s.values());
+            }
+            corpus.push(TimeSeries::new(vals).unwrap());
+        }
+        write_ucr_file(&corpus_path, &corpus).unwrap();
+        let queries: Vec<TimeSeries> = ds.series[8..10]
+            .iter()
+            .map(|s| TimeSeries::new(s.values()[..40].to_vec()).unwrap())
+            .collect();
+        write_ucr_file(&queries_path, &queries).unwrap();
+        let c = corpus_path.to_str().unwrap();
+        let q = queries_path.to_str().unwrap();
+        let i = index_path.to_str().unwrap();
+        let s = sock_path.to_str().unwrap();
+
+        cmd_index(&argv(&[
+            "index", "build", c, i, "--policy", "sakoe", "--width", "0.2",
+        ]))
+        .unwrap();
+
+        // daemon on a background thread, scripted client in the foreground
+        let serve_args = argv(&["serve", "--index", i, "--socket", s, "--k", "3"]);
+        let daemon = std::thread::spawn(move || cmd_serve(&serve_args));
+        // wait for the socket to appear
+        for _ in 0..200 {
+            if sock_path.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        cmd_client(&argv(&["client", "send", s, q, "--k", "2", "--shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
+        assert!(!sock_path.exists(), "daemon removed its socket");
+
+        // emit writes one request line per query row
+        let reqs =
+            client_requests(&argv(&["client", "emit", q, "--k", "2", "--tau", "5.5"]), q).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].id, "q0");
+        assert_eq!(reqs[0].k, 2);
+        assert_eq!(reqs[1].tau, Some(5.5));
+
+        // bad invocations are reported, not panicked
+        assert!(cmd_serve(&argv(&["serve", "--pipe"])).is_err());
+        assert!(cmd_serve(&argv(&["serve", "--index", i])).is_err());
+        assert!(cmd_client(&argv(&["client"])).is_err());
+        assert!(cmd_client(&argv(&["client", "send", s])).is_err());
+
+        for p in [&corpus_path, &queries_path, &index_path] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

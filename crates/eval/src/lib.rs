@@ -62,4 +62,6 @@ pub use distmat::{
     DistanceMatrix, MatrixStats, QueryMatrix,
 };
 pub use experiment::{evaluate_policies, EvalOptions, PolicyEval};
-pub use subsequence::{brute_force_matches, select_matches, subsequence_profile};
+pub use subsequence::{
+    brute_force_matches, corpus_brute_force, select_matches, subsequence_profile, CorpusMatch,
+};

@@ -108,6 +108,83 @@ pub fn select_matches(
     picked
 }
 
+/// One hit of the corpus-wide (two-level) oracle: `(entry, offset,
+/// distance)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusMatch {
+    /// Which corpus entry the window lives in.
+    pub entry: usize,
+    /// Window start offset inside that entry.
+    pub offset: usize,
+    /// Exact engine distance of the window.
+    pub distance: f64,
+}
+
+/// The corpus-wide brute-force oracle the serve daemon's two-level
+/// cascade is asserted bit-identical against: **every** entry is swept
+/// by the every-window oracle ([`subsequence_profile`] — no bounds, no
+/// abandoning), then the k best hits are selected globally by greedy
+/// ascending `(distance, entry, offset)` with the non-overlap exclusion
+/// applied within each entry (hits in different entries never conflict).
+/// `tau` is inclusive, exactly as in [`select_matches`].
+///
+/// Restricted to one entry, the global greedy order coincides with the
+/// per-entry `(distance, offset)` order and conflicts only involve that
+/// entry's own picks — so the oracle's per-entry picks are a prefix of
+/// the solo-entry greedy selection, which is the exchange argument
+/// behind the serve cascade's per-entry sweep + global merge (DESIGN
+/// §13).
+///
+/// # Errors
+///
+/// Propagates engine errors (feature extraction under adaptive
+/// policies).
+pub fn corpus_brute_force(
+    engine: &SDtw,
+    query: &TimeSeries,
+    corpus: &[TimeSeries],
+    z_norm: bool,
+    k: usize,
+    exclusion: usize,
+    tau: f64,
+) -> Result<Vec<CorpusMatch>, TsError> {
+    let mut profiles: Vec<Vec<ProfilePoint>> = Vec::with_capacity(corpus.len());
+    for series in corpus {
+        profiles.push(subsequence_profile(engine, query, series, z_norm)?);
+    }
+    let mut picked: Vec<CorpusMatch> = Vec::new();
+    while picked.len() < k {
+        let mut best: Option<CorpusMatch> = None;
+        for (e, profile) in profiles.iter().enumerate() {
+            for &(w, d) in profile {
+                if d > tau
+                    || picked
+                        .iter()
+                        .any(|p| p.entry == e && w.abs_diff(p.offset) < exclusion)
+                {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some(b) => d < b.distance || (d == b.distance && (e, w) < (b.entry, b.offset)),
+                };
+                if better {
+                    best = Some(CorpusMatch {
+                        entry: e,
+                        offset: w,
+                        distance: d,
+                    });
+                }
+            }
+        }
+        match best {
+            None => break,
+            Some(pick) => picked.push(pick),
+        }
+    }
+    Ok(picked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +227,61 @@ mod tests {
         assert!(subsequence_profile(&engine(), &query, &hay, true)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn corpus_oracle_merges_entries_and_respects_per_entry_exclusion() {
+        let query = TimeSeries::new((0..16).map(|i| (i as f64 / 2.5).sin()).collect()).unwrap();
+        let mk = |plant_at: usize, len: usize, slope: f64| {
+            let mut v = vec![0.1; len];
+            for (i, q) in query.values().iter().enumerate() {
+                v[plant_at + i] = *q;
+            }
+            for (i, x) in v.iter_mut().enumerate() {
+                *x += slope * i as f64;
+            }
+            TimeSeries::new(v).unwrap()
+        };
+        let corpus = vec![mk(10, 60, 1e-3), mk(25, 70, 2e-3), mk(5, 50, 3e-3)];
+        let hits =
+            corpus_brute_force(&engine(), &query, &corpus, true, 4, 8, f64::INFINITY).unwrap();
+        assert_eq!(hits.len(), 4);
+        // global ascending (distance, entry, offset) order
+        for pair in hits.windows(2) {
+            assert!(
+                pair[0].distance < pair[1].distance
+                    || (pair[0].distance == pair[1].distance
+                        && (pair[0].entry, pair[0].offset) < (pair[1].entry, pair[1].offset))
+            );
+        }
+        // the three planted sites are the three best hits, one per entry
+        let mut firsts: Vec<(usize, usize)> =
+            hits[..3].iter().map(|h| (h.entry, h.offset)).collect();
+        firsts.sort_unstable();
+        assert!((firsts[0].1 as i64 - 10).abs() <= 2, "{firsts:?}");
+        assert!((firsts[1].1 as i64 - 25).abs() <= 2, "{firsts:?}");
+        assert!((firsts[2].1 as i64 - 5).abs() <= 2, "{firsts:?}");
+        // exclusion is per entry: the fourth hit may share an entry with
+        // an earlier pick but never within the exclusion distance
+        for (i, a) in hits.iter().enumerate() {
+            for b in &hits[i + 1..] {
+                if a.entry == b.entry {
+                    assert!(a.offset.abs_diff(b.offset) >= 8);
+                }
+            }
+        }
+        // agreement with the single-entry oracle when the corpus is one
+        // entry
+        let solo =
+            corpus_brute_force(&engine(), &query, &corpus[..1], true, 2, 8, f64::INFINITY).unwrap();
+        let direct =
+            brute_force_matches(&engine(), &query, &corpus[0], true, 2, 8, f64::INFINITY).unwrap();
+        assert_eq!(solo.len(), direct.len());
+        for (s, (w, d)) in solo.iter().zip(&direct) {
+            assert_eq!(s.entry, 0);
+            assert_eq!(s.offset, *w);
+            assert_eq!(s.distance.to_bits(), d.to_bits());
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::stats::CascadeStats;
 use rayon::prelude::*;
 use sdtw::{DtwScratch, SDtw};
 use sdtw_dtw::band::Band;
-use sdtw_dtw::cascade::{Cascade, CascadeScratch, PruneStage, SampleInput};
+use sdtw_dtw::cascade::{Cascade, CascadeScratch, PruneStage, SampleInput, StageKind};
 use sdtw_dtw::engine::DtwEngine;
 use sdtw_dtw::engine::Normalization;
 use sdtw_dtw::lower_bound::{lb_keogh_batch, lb_kim_batch, Envelope, SeriesSummary, LB_LANES};
@@ -43,6 +43,68 @@ pub struct QueryResult {
     pub stats: CascadeStats,
 }
 
+/// One corpus entry's stage-1 screening record: its normalised LB_Kim
+/// bound against the query, carried in visit order by a
+/// [`CoarseScreen`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryBound {
+    /// Corpus entry index.
+    pub index: usize,
+    /// Normalised LB_Kim bound of the (query, entry) pair — an
+    /// admissible lower bound on their whole-recording distance when
+    /// [`CoarseScreen::admissible`] holds, a visit-order heuristic
+    /// otherwise.
+    pub bound: f64,
+}
+
+/// The stage-1 coarse screen of a query against every indexed entry:
+/// the bucketed ascending visit order the kNN cascade itself uses,
+/// exposed so composing services (the serve daemon's two-level pattern
+/// search) can rank entries without running the whole cascade.
+///
+/// The bounds speak about *whole-recording* distances under the index's
+/// normalisation — a consumer localising subsequences inside entries
+/// must treat them as ranking hints only and prune with its own
+/// window-level bounds (see DESIGN.md §13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseScreen {
+    /// Every entry exactly once, bucketed ascending by bound (stable by
+    /// index within a bucket).
+    pub order: Vec<EntryBound>,
+    /// Whether the configured kernel keeps the LB stages admissible
+    /// (`false` turns every bound into a pure heuristic that must not
+    /// prune).
+    pub admissible: bool,
+}
+
+/// How the kNN cascade disposed of one corpus entry
+/// (see [`SdtwIndex::query_detailed`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EntryOutcome {
+    /// A lower-bound stage proved the entry cannot enter the top-k.
+    Pruned(StageKind),
+    /// The banded DP abandoned early: the partial cost already exceeded
+    /// the running k-th distance.
+    Abandoned,
+    /// The DP completed with this exact distance (the entry is a
+    /// *survivor*; it is in the top-k iff the distance made the cut).
+    Completed(f64),
+}
+
+/// Per-entry record of a detailed kNN query: the coarse stage-1 bound
+/// that ordered the visit plus the cascade's final verdict. The pruned /
+/// abandoned / completed split is the survivor set the serve subsystem's
+/// admissibility tests audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryDisposition {
+    /// Corpus entry index.
+    pub index: usize,
+    /// The normalised LB_Kim bound from the ordering pass.
+    pub coarse_bound: f64,
+    /// The cascade's verdict for this entry.
+    pub outcome: EntryOutcome,
+}
+
 /// Serialisable image of an index (the engine is rebuilt on load).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct IndexSnapshot {
@@ -59,6 +121,52 @@ struct IndexSnapshot {
 struct PendingCandidate {
     idx: usize,
     band: Band,
+    /// The stage-1 bound that ordered the visit (kept for dispositions).
+    kim: f64,
+}
+
+/// Orders scored candidates ascending by bound *approximately*, via one
+/// O(n) stable counting pass over equal-width buckets instead of a full
+/// `O(n log n)` sort — the visit order only seeds how fast the top-k
+/// threshold tightens, so bucket-granular ordering keeps results exact
+/// (every candidate is still screened) while taking the recurring
+/// per-query sort off the serve hot path. Within a bucket the input
+/// (entry-index) order is preserved, so the order is deterministic.
+fn bucketed_ascending(scored: Vec<(f64, usize)>) -> Vec<(f64, usize)> {
+    if scored.len() <= 1 {
+        return scored;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(b, _) in &scored {
+        debug_assert!(b.is_finite(), "lower bounds are finite");
+        lo = lo.min(b);
+        hi = hi.max(b);
+    }
+    let span = hi - lo;
+    if span <= 0.0 || span.is_nan() {
+        // all bounds equal (or degenerate): input order is already the
+        // stable ascending order
+        return scored;
+    }
+    let nb = scored.len().min(64);
+    let bucket_of = |b: f64| (((b - lo) / span) * nb as f64).min((nb - 1) as f64) as usize;
+    let mut counts = vec![0usize; nb];
+    for &(b, _) in &scored {
+        counts[bucket_of(b)] += 1;
+    }
+    let mut next = vec![0usize; nb];
+    let mut acc = 0usize;
+    for (n, c) in next.iter_mut().zip(&counts) {
+        *n = acc;
+        acc += c;
+    }
+    let mut out = vec![(0.0, 0usize); scored.len()];
+    for &(b, i) in &scored {
+        let slot = &mut next[bucket_of(b)];
+        out[*slot] = (b, i);
+        *slot += 1;
+    }
+    out
 }
 
 /// A prebuilt kNN index over a `TimeSeries` corpus.
@@ -248,6 +356,79 @@ impl SdtwIndex {
         Ok((result, trace))
     }
 
+    /// The batched stage-1 ordering pass over a *prepared* (normalised)
+    /// query: every entry's normalised LB_Kim bound, in bucketed
+    /// ascending visit order.
+    fn coarse_order(&self, q: &TimeSeries) -> Vec<(f64, usize)> {
+        let metric = self.config.sdtw.dtw.metric;
+        let q_summary = SeriesSummary::of(q);
+        let summaries: Vec<SeriesSummary> = self.entries.iter().map(|e| e.summary).collect();
+        let mut kim_raw = Vec::with_capacity(summaries.len());
+        lb_kim_batch(&q_summary, &summaries, metric, &mut kim_raw);
+        let scored: Vec<(f64, usize)> = kim_raw
+            .iter()
+            .enumerate()
+            .map(|(i, &raw)| {
+                (
+                    self.normalize_bound(raw, q.len(), self.entries[i].series.len()),
+                    i,
+                )
+            })
+            .collect();
+        bucketed_ascending(scored)
+    }
+
+    /// Runs only the stage-1 coarse screen: every entry's normalised
+    /// LB_Kim bound against `query`, in the same bucketed ascending
+    /// visit order a kNN query would use. O(corpus) with no DP work —
+    /// the level-1 ranking seam of the serve daemon's two-level pattern
+    /// cascade.
+    pub fn coarse_screen(&self, query: &TimeSeries) -> CoarseScreen {
+        let q = if self.config.z_normalize {
+            z_normalize(query)
+        } else {
+            query.clone()
+        };
+        let order = self
+            .coarse_order(&q)
+            .into_iter()
+            .map(|(bound, index)| EntryBound { index, bound })
+            .collect();
+        CoarseScreen {
+            order,
+            admissible: self.config.sdtw.dtw.lower_bounds_admissible(),
+        }
+    }
+
+    /// kNN query that also reports, per corpus entry, the cascade's
+    /// verdict and the stage-1 bound that ordered its visit — the
+    /// survivor set (entries whose DP completed, distances included) and
+    /// the per-entry lower bounds that justify every prune.
+    /// Dispositions are returned in entry-index order, one per entry.
+    ///
+    /// The [`QueryResult`] is bit-identical to [`SdtwIndex::query`].
+    ///
+    /// # Errors
+    ///
+    /// `k == 0`, or feature extraction failing on the query.
+    pub fn query_detailed(
+        &self,
+        query: &TimeSeries,
+        k: usize,
+    ) -> Result<(QueryResult, Vec<EntryDisposition>), TsError> {
+        let mut scratch = DtwScratch::new();
+        let mut dispositions = Vec::with_capacity(self.entries.len());
+        let (result, _, _) = self.query_recorded_into(
+            query,
+            k,
+            &mut scratch,
+            &mut Recorder::disabled(),
+            Some(&mut dispositions),
+        )?;
+        dispositions.sort_by_key(|d| d.index);
+        Ok((result, dispositions))
+    }
+
     /// The instrumented query body: every public entry point funnels
     /// here, with a disabled recorder on the untraced paths. Returns the
     /// result plus the summed band area and unconstrained grid area of
@@ -258,6 +439,19 @@ impl SdtwIndex {
         k: usize,
         scratch: &mut DtwScratch,
         rec: &mut Recorder,
+    ) -> Result<(QueryResult, u64, u64), TsError> {
+        self.query_recorded_into(query, k, scratch, rec, None)
+    }
+
+    /// [`SdtwIndex::query_recorded`] with an optional per-entry
+    /// disposition sink (pushed in visit order; filled for every entry).
+    fn query_recorded_into(
+        &self,
+        query: &TimeSeries,
+        k: usize,
+        scratch: &mut DtwScratch,
+        rec: &mut Recorder,
+        mut dispositions: Option<&mut Vec<EntryDisposition>>,
     ) -> Result<(QueryResult, u64, u64), TsError> {
         if k == 0 {
             return Err(TsError::InvalidParameter {
@@ -277,8 +471,6 @@ impl SdtwIndex {
         } else {
             Vec::new()
         };
-        let metric = self.config.sdtw.dtw.metric;
-        let q_summary = SeriesSummary::of(&q);
         let q_radius = self.config.radius_for(q.len());
         // LB_Kim/LB_Keogh bound the *standard symmetric1* accumulation;
         // the kernel declares whether its costs dominate that (true for
@@ -297,31 +489,12 @@ impl SdtwIndex {
 
         // Stage 1 for everyone up front — batched eight summaries per
         // lane pass (bit-identical to the scalar `lb_kim`): O(1) per
-        // entry, and the visit order it induces (ascending bound, stable
-        // by index) tightens the top-k threshold as early as possible.
-        // Without admissible bounds it is still a deterministic (and
-        // usually helpful) visit-order heuristic — it just never prunes.
-        let order = rec.time(TracePhase::LbKim, || {
-            let summaries: Vec<SeriesSummary> = self.entries.iter().map(|e| e.summary).collect();
-            let mut kim_raw = Vec::with_capacity(summaries.len());
-            lb_kim_batch(&q_summary, &summaries, metric, &mut kim_raw);
-            let mut order: Vec<(f64, usize)> = kim_raw
-                .iter()
-                .enumerate()
-                .map(|(i, &raw)| {
-                    (
-                        self.normalize_bound(raw, q.len(), self.entries[i].series.len()),
-                        i,
-                    )
-                })
-                .collect();
-            order.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .expect("lower bounds are finite")
-                    .then(a.1.cmp(&b.1))
-            });
-            order
-        });
+        // entry, and the visit order it induces (bucketed ascending
+        // bound, stable by index) tightens the top-k threshold as early
+        // as possible without paying a full per-query sort. Without
+        // admissible bounds it is still a deterministic (and usually
+        // helpful) visit-order heuristic — it just never prunes.
+        let order = rec.time(TracePhase::LbKim, || self.coarse_order(&q));
 
         let mut topk = TopK::new(k);
         let mut stats = CascadeStats::default();
@@ -349,10 +522,14 @@ impl SdtwIndex {
             // pruning *credit* between stages, never counts in or out of
             // the top-k).
             let threshold = topk.threshold();
-            if cascade
-                .screen_summary(&mut stats, Some(kim), threshold)
-                .is_some()
-            {
+            if let Some(kind) = cascade.screen_summary(&mut stats, Some(kim), threshold) {
+                if let Some(d) = dispositions.as_deref_mut() {
+                    d.push(EntryDisposition {
+                        index: idx,
+                        coarse_bound: kim,
+                        outcome: EntryOutcome::Pruned(kind),
+                    });
+                }
                 continue;
             }
             let (n, m) = (q.len(), entry.series.len());
@@ -369,7 +546,7 @@ impl SdtwIndex {
             } else {
                 band.sanitize()
             };
-            pending.push(PendingCandidate { idx, band });
+            pending.push(PendingCandidate { idx, band, kim });
             if pending.len() == LB_LANES {
                 self.flush_pending(
                     &mut pending,
@@ -382,6 +559,7 @@ impl SdtwIndex {
                     scratch,
                     rec,
                     &mut areas,
+                    dispositions.as_deref_mut(),
                 );
             }
         }
@@ -396,6 +574,7 @@ impl SdtwIndex {
             scratch,
             rec,
             &mut areas,
+            dispositions,
         );
         debug_assert!(stats.is_consistent(), "every candidate accounted once");
         let neighbors = rec.time(TracePhase::TopKMerge, || topk.into_sorted());
@@ -423,6 +602,7 @@ impl SdtwIndex {
         scratch: &mut DtwScratch,
         rec: &mut Recorder,
         areas: &mut (u64, u64),
+        mut dispositions: Option<&mut Vec<EntryDisposition>>,
     ) {
         if pending.is_empty() {
             return;
@@ -463,12 +643,16 @@ impl SdtwIndex {
             };
             // the sample-phase screen covers LB_Keogh and its reversed
             // second chance; both are attributed to the LbKeogh span
-            if rec
-                .time(TracePhase::LbKeogh, || {
-                    cascade.screen_samples(stats, &input, &cand.band, threshold, cascade_scratch)
-                })
-                .is_some()
-            {
+            if let Some(kind) = rec.time(TracePhase::LbKeogh, || {
+                cascade.screen_samples(stats, &input, &cand.band, threshold, cascade_scratch)
+            }) {
+                if let Some(d) = dispositions.as_deref_mut() {
+                    d.push(EntryDisposition {
+                        index: cand.idx,
+                        coarse_bound: cand.kim,
+                        outcome: EntryOutcome::Pruned(kind),
+                    });
+                }
                 continue;
             }
             areas.0 += cand.band.area() as u64;
@@ -485,10 +669,26 @@ impl SdtwIndex {
                 })
                 .expect("band override cannot fail extraction")
             {
-                None => stats.record_abandoned(cand.band.area()),
+                None => {
+                    stats.record_abandoned(cand.band.area());
+                    if let Some(d) = dispositions.as_deref_mut() {
+                        d.push(EntryDisposition {
+                            index: cand.idx,
+                            coarse_bound: cand.kim,
+                            outcome: EntryOutcome::Abandoned,
+                        });
+                    }
+                }
                 Some(r) => {
                     stats.record_completed(r.cells_filled);
                     topk.offer(cand.idx, r.distance);
+                    if let Some(d) = dispositions.as_deref_mut() {
+                        d.push(EntryDisposition {
+                            index: cand.idx,
+                            coarse_bound: cand.kim,
+                            outcome: EntryOutcome::Completed(r.distance),
+                        });
+                    }
                 }
             }
         }
@@ -618,5 +818,133 @@ impl SdtwIndex {
             engine,
             entries: snapshot.entries,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, phase: f64) -> TimeSeries {
+        TimeSeries::new(
+            (0..n)
+                .map(|i| ((i as f64) / 7.0 + phase).sin() + 0.3 * ((i as f64) / 3.0 + phase).cos())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn corpus(n_entries: usize, len: usize) -> Vec<TimeSeries> {
+        (0..n_entries)
+            .map(|k| series(len, k as f64 * 0.9))
+            .collect()
+    }
+
+    #[test]
+    fn bucketed_order_is_a_permutation_and_roughly_ascending() {
+        let scored: Vec<(f64, usize)> = (0..100)
+            .map(|i| (((i * 37) % 100) as f64 / 10.0, i))
+            .collect();
+        let out = bucketed_ascending(scored.clone());
+        assert_eq!(out.len(), scored.len());
+        let mut seen: Vec<usize> = out.iter().map(|&(_, i)| i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>(), "a permutation");
+        // bucket-granular: each element's bound is within one bucket
+        // width of a truly sorted sequence at the same rank
+        let mut exact: Vec<f64> = scored.iter().map(|&(b, _)| b).collect();
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let width = (exact[99] - exact[0]) / 64.0;
+        for (rank, &(b, _)) in out.iter().enumerate() {
+            assert!(
+                (b - exact[rank]).abs() <= width + 1e-12,
+                "rank {rank}: {b} vs exact {}",
+                exact[rank]
+            );
+        }
+    }
+
+    #[test]
+    fn bucketed_order_degenerate_inputs() {
+        assert_eq!(bucketed_ascending(Vec::new()), Vec::new());
+        assert_eq!(bucketed_ascending(vec![(3.0, 7)]), vec![(3.0, 7)]);
+        // all-equal bounds keep stable input (index) order
+        let flat: Vec<(f64, usize)> = (0..5).map(|i| (2.5, i)).collect();
+        assert_eq!(bucketed_ascending(flat.clone()), flat);
+    }
+
+    #[test]
+    fn bucketed_order_is_deterministic() {
+        let scored: Vec<(f64, usize)> = (0..57).map(|i| (((i * 13) % 29) as f64, i)).collect();
+        assert_eq!(
+            bucketed_ascending(scored.clone()),
+            bucketed_ascending(scored)
+        );
+    }
+
+    #[test]
+    fn coarse_screen_covers_every_entry_with_admissible_bounds() {
+        let c = corpus(17, 64);
+        let index = SdtwIndex::build(&c, IndexConfig::exact_banded(0.2)).unwrap();
+        let screen = index.coarse_screen(&c[4]);
+        assert!(screen.admissible);
+        let mut seen: Vec<usize> = screen.order.iter().map(|e| e.index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..17).collect::<Vec<_>>());
+        // admissibility: every coarse bound is at or below the exact
+        // whole-recording distance of its pair
+        let all = index.query(&c[4], index.len()).unwrap();
+        for eb in &screen.order {
+            let d = all
+                .neighbors
+                .iter()
+                .find(|n| n.index == eb.index)
+                .unwrap()
+                .distance;
+            assert!(
+                eb.bound <= d + 1e-12,
+                "entry {}: bound {} above distance {d}",
+                eb.index,
+                eb.bound
+            );
+        }
+    }
+
+    #[test]
+    fn query_detailed_matches_query_and_accounts_every_entry() {
+        let c = corpus(23, 48);
+        let index = SdtwIndex::build(&c, IndexConfig::exact_banded(0.15)).unwrap();
+        let (detailed, dispositions) = index.query_detailed(&c[7], 3).unwrap();
+        let plain = index.query(&c[7], 3).unwrap();
+        assert_eq!(detailed, plain, "detailed query is bit-identical");
+        assert_eq!(dispositions.len(), index.len(), "one verdict per entry");
+        for (i, d) in dispositions.iter().enumerate() {
+            assert_eq!(d.index, i, "sorted by entry index");
+        }
+        // the survivor set contains every reported neighbour, with the
+        // same (bit-identical) distance
+        for n in &plain.neighbors {
+            match dispositions[n.index].outcome {
+                EntryOutcome::Completed(d) => {
+                    assert_eq!(d.to_bits(), n.distance.to_bits());
+                }
+                other => panic!("neighbour {} not a survivor: {other:?}", n.index),
+            }
+        }
+        // every pruned entry's lower bound justifies its exclusion from
+        // the top-k: coarse bound (Kim prunes) strictly above the k-th
+        // distance at the moment of pruning, hence above no reported
+        // neighbour is lost
+        let kth = plain.neighbors.last().unwrap().distance;
+        for d in &dispositions {
+            if let EntryOutcome::Pruned(StageKind::Kim) = d.outcome {
+                assert!(
+                    d.coarse_bound >= kth,
+                    "entry {}: Kim prune bound {} below final k-th {kth}",
+                    d.index,
+                    d.coarse_bound
+                );
+            }
+        }
     }
 }

@@ -56,6 +56,8 @@ pub mod knn;
 pub mod stats;
 
 pub use config::IndexConfig;
-pub use index::{IndexEntry, QueryResult, SdtwIndex};
+pub use index::{
+    CoarseScreen, EntryBound, EntryDisposition, EntryOutcome, IndexEntry, QueryResult, SdtwIndex,
+};
 pub use knn::Neighbor;
 pub use stats::CascadeStats;

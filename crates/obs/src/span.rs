@@ -30,11 +30,18 @@ pub enum TracePhase {
     TopKMerge,
     /// A whole sweep pass over a shard's windows (stream workloads).
     WindowSweep,
+    /// Serve level 1: the coarse per-entry screen of a pattern request —
+    /// the index visit-order bound plus the admissible per-entry floor
+    /// that decides pruning.
+    EntryScreen,
+    /// Serve level 2: one surviving corpus entry's subsequence sweep
+    /// (the matcher internals attribute their own phases underneath).
+    EntrySweep,
 }
 
 impl TracePhase {
     /// Every phase, in canonical (pipeline) order.
-    pub const ALL: [TracePhase; 10] = [
+    pub const ALL: [TracePhase; 12] = [
         TracePhase::Extraction,
         TracePhase::EnvelopeBuild,
         TracePhase::BandPlan,
@@ -45,6 +52,8 @@ impl TracePhase {
         TracePhase::DpFill,
         TracePhase::TopKMerge,
         TracePhase::WindowSweep,
+        TracePhase::EntryScreen,
+        TracePhase::EntrySweep,
     ];
 
     /// Number of phases (the recorder sizes its slot table with this).
@@ -72,6 +81,8 @@ impl TracePhase {
             TracePhase::DpFill => "dp-fill",
             TracePhase::TopKMerge => "topk-merge",
             TracePhase::WindowSweep => "window-sweep",
+            TracePhase::EntryScreen => "entry-screen",
+            TracePhase::EntrySweep => "entry-sweep",
         }
     }
 }

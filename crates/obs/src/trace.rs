@@ -28,6 +28,10 @@ pub enum WorkloadKind {
     SubseqFind,
     /// A window-batch processed by a live monitor / monitor bank.
     MonitorBatch,
+    /// A two-level pattern request answered by the resident serve
+    /// daemon (`sdtw serve`): the coarse index screen over corpus
+    /// entries folded with the subsequence sweeps inside the survivors.
+    ServePattern,
 }
 
 impl WorkloadKind {
@@ -40,6 +44,7 @@ impl WorkloadKind {
             WorkloadKind::IndexKnn => "index-knn",
             WorkloadKind::SubseqFind => "subseq-find",
             WorkloadKind::MonitorBatch => "monitor-batch",
+            WorkloadKind::ServePattern => "serve-pattern",
         }
     }
 }

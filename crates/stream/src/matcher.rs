@@ -590,6 +590,49 @@ impl SubseqMatcher {
         ))
     }
 
+    /// An admissible lower bound on the distance of the *best* window of
+    /// `series` — the minimum of the rolling LB_Kim bounds over every
+    /// window, in reported-distance units. O(samples), no DP work.
+    ///
+    /// This is the per-entry floor the serve daemon's two-level cascade
+    /// prunes whole recordings with: no subsequence hit inside `series`
+    /// can score below the returned value, so an entry whose floor
+    /// strictly exceeds the running k-th best hit can be skipped without
+    /// sweeping it (ties must still be swept — the global tie-break may
+    /// prefer them). Conservative by construction:
+    ///
+    /// * a window whose rolling bound abstains (ill-conditioned σ, or
+    ///   bounds disabled by the kernel) contributes `0.0`, collapsing
+    ///   the floor to the trivial bound — the entry is always swept;
+    /// * under z-normalisation each rolling bound is deflated by the
+    ///   same `KIM_GUARD` relative slack the in-sweep Kim stage applies
+    ///   (`kim > t + g·(1 + |t| + kim)` solved for `t`), so "floor
+    ///   strictly above the threshold" is *exactly* the per-window
+    ///   guarded prune decision DESIGN §9 proves admissible;
+    /// * a series shorter than the query has no windows and returns
+    ///   `f64::INFINITY` — nothing to find, always prunable.
+    pub fn window_bound_floor(&self, series: &TimeSeries) -> f64 {
+        let xv = series.values();
+        if xv.len() < self.m {
+            return f64::INFINITY;
+        }
+        let guard = if self.config.z_normalize {
+            KIM_GUARD
+        } else {
+            0.0
+        };
+        let w_count = xv.len() - self.m + 1;
+        self.rolling_kims(xv, 0, w_count)
+            .into_iter()
+            .map(|kim| match kim {
+                // thresholds are >= 0, so for t >= 0 the guarded prune
+                // `kim > t + g·(1 + |t| + kim)` is `t < deflated(kim)`
+                Some(kim) => ((kim * (1.0 - guard) - guard) / (1.0 + guard)).max(0.0),
+                None => 0.0,
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// The [`InputShape`] block of this matcher's traces: query length,
     /// haystack/stream length, and the configured policy/kernel/engine.
     pub(crate) fn trace_shape(&self, y_len: u64, k: u64) -> InputShape {
@@ -1157,6 +1200,28 @@ mod tests {
             *v += 0.01 * (i as f64 / 9.0).sin();
         }
         (query, ts(hay))
+    }
+
+    #[test]
+    fn window_bound_floor_is_admissible_and_conservative() {
+        let (query, hay) = planted();
+        for z in [true, false] {
+            let mut cfg = StreamConfig::exact_banded(0.2);
+            cfg.z_normalize = z;
+            let matcher = SubseqMatcher::new(&query, cfg).unwrap();
+            let floor = matcher.window_bound_floor(&hay);
+            assert!(floor >= 0.0 && floor.is_finite());
+            // admissible: no window's exact distance lies below the floor
+            let best = matcher.find(&hay, 1).unwrap().matches[0].distance;
+            assert!(
+                floor <= best,
+                "z={z}: floor {floor} above best window {best}"
+            );
+        }
+        // a haystack shorter than the query has no windows at all
+        let matcher = SubseqMatcher::new(&query, StreamConfig::exact_banded(0.2)).unwrap();
+        let short = ts(vec![0.0; 8]);
+        assert_eq!(matcher.window_bound_floor(&short), f64::INFINITY);
     }
 
     #[test]

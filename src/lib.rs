@@ -16,7 +16,9 @@
 //! * [`index`] — prebuilt corpus kNN index with the cascading
 //!   lower-bound pruning pipeline ([`index::SdtwIndex`]);
 //! * [`stream`] — z-normalised subsequence search over long series and
-//!   live streams ([`stream::SubseqMatcher`], [`stream::StreamMonitor`]).
+//!   live streams ([`stream::SubseqMatcher`], [`stream::StreamMonitor`]);
+//! * [`serve`] — the resident archive-scale pattern service composing
+//!   index and stream behind an NDJSON protocol ([`serve::ServeEngine`]).
 //!
 //! See the repository `README.md` for the quickstart and `DESIGN.md` for
 //! the system inventory and experiment index.
@@ -32,6 +34,7 @@ pub use sdtw_index as index;
 pub use sdtw_obs as obs;
 pub use sdtw_salient as salient;
 pub use sdtw_scalespace as scalespace;
+pub use sdtw_serve as serve;
 pub use sdtw_stream as stream;
 pub use sdtw_tseries as tseries;
 
@@ -71,6 +74,7 @@ pub mod prelude {
         QueryTrace, Recorder, SpanRecord, TracePhase, TraceReport, WorkloadKind,
         TRACE_SCHEMA_VERSION,
     };
+    pub use sdtw_serve::{ServeConfig, ServeEngine, ServeHit, ServeRequest, ServeResponse};
     pub use sdtw_stream::{
         BankQuery, MonitorBank, StreamConfig, StreamMonitor, StreamStats, SubseqMatch,
         SubseqMatcher, SubseqResult,

@@ -46,6 +46,11 @@ const EXPECTED: &[&str] = &[
     "SalientConfig",
     "SdtwIndex",
     "SeriesSummary",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeHit",
+    "ServeRequest",
+    "ServeResponse",
     "SpanRecord",
     "StandardKernel",
     "StepPattern",
@@ -159,6 +164,11 @@ fn snapshot_items_actually_resolve() {
     assert_type::<prelude::BankQuery>();
     assert_type::<prelude::StreamConfig>();
     assert_type::<prelude::WindowedStats>();
+    assert_type::<prelude::ServeEngine>();
+    assert_type::<prelude::ServeConfig>();
+    assert_type::<prelude::ServeRequest>();
+    assert_type::<prelude::ServeResponse>();
+    assert_type::<prelude::ServeHit>();
     let _: fn(
         &prelude::TimeSeries,
         &prelude::TimeSeries,

@@ -1,0 +1,322 @@
+//! Serve exactness and concurrency: the resident two-level engine
+//! (coarse entry screen + per-entry subsequence sweep) versus the
+//! brute-force every-entry / every-window corpus oracle
+//! (`sdtw_eval::corpus_brute_force`), plus the daemon's concurrency
+//! contract.
+//!
+//! The acceptance bar is *bit-identical*: same `(entry, offset)` ids,
+//! same distance bits, ties included, on three seeded corpora, for
+//! k ∈ {1, 5}, with and without z-normalisation. Entries the engine
+//! pruned whole must be *provably* out: their admissible window floor
+//! strictly exceeds the k-th reported distance.
+
+use sdtw_suite::eval::corpus_brute_force;
+use sdtw_suite::prelude::*;
+use std::sync::Arc;
+
+/// Builds a corpus of `entries` series, each the concatenation of `rows`
+/// dataset rows — long enough that a short query pattern has many
+/// candidate windows per entry.
+fn corpus_from(ds: &sdtw_suite::datasets::Dataset, entries: usize, rows: usize) -> Vec<TimeSeries> {
+    (0..entries)
+        .map(|e| {
+            let mut v = Vec::new();
+            for r in 0..rows {
+                v.extend_from_slice(ds.series[1 + (e * rows + r) % (ds.series.len() - 1)].values());
+            }
+            TimeSeries::new(v).expect("concatenation of valid series is valid")
+        })
+        .collect()
+}
+
+/// A short query pattern cut from the dataset's first row.
+fn pattern_from(ds: &sdtw_suite::datasets::Dataset, len: usize) -> TimeSeries {
+    TimeSeries::new(ds.series[0].values()[..len].to_vec()).expect("prefix of a valid series")
+}
+
+/// Asserts serve == corpus oracle on one seeded corpus, both
+/// normalisation modes, k ∈ {1, 5}, and audits every pruned entry's
+/// admissible floor against the k-th reported distance.
+fn assert_serve_exact(analog: UcrAnalog, seed: u64, entries: usize, rows: usize) {
+    let ds = analog.generate(seed);
+    let query = pattern_from(&ds, 40);
+    let corpus = corpus_from(&ds, entries, rows);
+    for z_norm in [true, false] {
+        let config = IndexConfig {
+            z_normalize: z_norm,
+            ..IndexConfig::exact_banded(0.2)
+        };
+        let index = SdtwIndex::build(&corpus, config).unwrap();
+        let engine = ServeEngine::new(index, ServeConfig::default()).unwrap();
+        // the oracle sweeps exactly what the engine sweeps: the entry
+        // series as stored in the snapshot (post any index-time
+        // normalisation), under the same sDTW configuration
+        let oracle_corpus: Vec<TimeSeries> = (0..engine.index().len())
+            .map(|i| engine.index().entry_series(i).clone())
+            .collect();
+        let oracle_engine = SDtw::new(engine.stream_config().sdtw.clone()).unwrap();
+        let exclusion = engine.stream_config().exclusion_for(query.len());
+        for k in [1usize, 5] {
+            let req = ServeRequest::query(format!("{analog:?}-k{k}"), query.values().to_vec(), k);
+            let answer = engine
+                .answer_detailed(&req, &mut DtwScratch::new())
+                .unwrap();
+            let expected = corpus_brute_force(
+                &oracle_engine,
+                &query,
+                &oracle_corpus,
+                z_norm,
+                k,
+                exclusion,
+                f64::INFINITY,
+            )
+            .unwrap();
+            assert_eq!(
+                answer.hits.len(),
+                expected.len(),
+                "{analog:?} znorm={z_norm} k={k}: hit count"
+            );
+            for (h, e) in answer.hits.iter().zip(&expected) {
+                assert_eq!(
+                    (h.entry, h.offset),
+                    (e.entry, e.offset),
+                    "{analog:?} znorm={z_norm} k={k}: ids diverge"
+                );
+                assert_eq!(
+                    h.distance.to_bits(),
+                    e.distance.to_bits(),
+                    "{analog:?} znorm={z_norm} k={k}: distance bits diverge at \
+                     entry {} offset {}",
+                    e.entry,
+                    e.offset,
+                );
+            }
+            // every corpus entry was screened exactly once, and every
+            // pruned entry is provably above the k-th hit: its floor is
+            // an admissible lower bound on all its window distances and
+            // strictly exceeds the final k-th distance
+            assert_eq!(answer.screens.len(), engine.index().len());
+            let kth = answer.hits.last().map_or(f64::INFINITY, |h| h.distance);
+            for s in &answer.screens {
+                if !s.swept {
+                    assert!(
+                        s.floor > kth,
+                        "{analog:?} znorm={z_norm} k={k}: entry {} pruned with \
+                         floor {} <= kth distance {kth}",
+                        s.entry,
+                        s.floor,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_is_exact_versus_the_corpus_oracle_on_gun() {
+    assert_serve_exact(UcrAnalog::Gun, 20120827, 5, 2);
+}
+
+#[test]
+fn serve_is_exact_versus_the_corpus_oracle_on_trace() {
+    assert_serve_exact(UcrAnalog::Trace, 42, 4, 2);
+}
+
+#[test]
+fn serve_is_exact_versus_the_corpus_oracle_on_50words() {
+    assert_serve_exact(UcrAnalog::Words50, 7, 4, 2);
+}
+
+#[test]
+fn serve_respects_a_finite_tau_exactly() {
+    let ds = UcrAnalog::Gun.generate(99);
+    let query = pattern_from(&ds, 40);
+    let corpus = corpus_from(&ds, 4, 2);
+    let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+    let engine = ServeEngine::new(index, ServeConfig::default()).unwrap();
+    let oracle_corpus: Vec<TimeSeries> = (0..engine.index().len())
+        .map(|i| engine.index().entry_series(i).clone())
+        .collect();
+    let oracle_engine = SDtw::new(engine.stream_config().sdtw.clone()).unwrap();
+    let exclusion = engine.stream_config().exclusion_for(query.len());
+
+    // pick a tau that cuts the unbounded top-5 roughly in half, then
+    // re-ask with it — inclusive semantics, bit-identical survivors
+    let mut req = ServeRequest::query("tau-probe", query.values().to_vec(), 5);
+    let (unbounded, _) = engine.answer(&req);
+    assert!(unbounded.ok, "{}", unbounded.error);
+    assert!(unbounded.hits.len() >= 2, "need hits to threshold against");
+    let tau = unbounded.hits[unbounded.hits.len() / 2].distance;
+    req.tau = Some(tau);
+    req.id = "tau-cut".into();
+    let (cut, _) = engine.answer(&req);
+    assert!(cut.ok, "{}", cut.error);
+    let expected = corpus_brute_force(
+        &oracle_engine,
+        &query,
+        &oracle_corpus,
+        false,
+        5,
+        exclusion,
+        tau,
+    )
+    .unwrap();
+    assert_eq!(cut.hits.len(), expected.len());
+    assert!(
+        cut.hits
+            .iter()
+            .any(|h| h.distance.to_bits() == tau.to_bits()),
+        "tau is inclusive: the boundary hit must survive"
+    );
+    for (h, e) in cut.hits.iter().zip(&expected) {
+        assert_eq!((h.entry, h.offset), (e.entry, e.offset));
+        assert_eq!(h.distance.to_bits(), e.distance.to_bits());
+    }
+}
+
+/// Satellite: N threads issuing interleaved requests against one daemon
+/// get bit-identical answers to answering the same requests serially,
+/// and the merged per-request traces are invariant to how many clients
+/// carried them.
+#[test]
+fn concurrent_daemon_answers_match_serial_and_traces_merge_invariantly() {
+    const CLIENTS: usize = 8;
+    let ds = UcrAnalog::Gun.generate(5);
+    let corpus = corpus_from(&ds, 5, 2);
+    let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+    let engine = Arc::new(
+        ServeEngine::new(
+            index,
+            ServeConfig {
+                trace: true,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    // CLIENTS distinct query patterns (different rows and lengths)
+    let requests: Vec<ServeRequest> = (0..CLIENTS)
+        .map(|i| {
+            let row = &ds.series[10 + i];
+            let len = 32 + 4 * i;
+            ServeRequest::query(format!("c{i}"), row.values()[..len].to_vec(), 3)
+        })
+        .collect();
+
+    // serial reference: one worker, one scratch, requests in order
+    let mut serial = Vec::new();
+    let mut serial_traces = Vec::new();
+    let mut scratch = DtwScratch::new();
+    for req in &requests {
+        let (resp, trace) = engine.answer_with_scratch(req, &mut scratch);
+        assert!(resp.ok, "{}", resp.error);
+        serial.push(resp);
+        serial_traces.push(trace.expect("tracing is on"));
+    }
+
+    // concurrent: a daemon socket, one thread per client, all in flight
+    // at once behind a barrier
+    let dir = std::env::temp_dir().join(format!("sdtw-serve-conc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("daemon.sock");
+    let server = sdtw_suite::serve::SocketServer::bind(&sock).unwrap();
+    let daemon = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || server.serve(engine))
+    };
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let workers: Vec<_> = requests
+        .iter()
+        .map(|req| {
+            let req = req.clone();
+            let sock = sock.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                sdtw_suite::serve::client_roundtrip(&sock, std::slice::from_ref(&req))
+                    .unwrap()
+                    .remove(0)
+            })
+        })
+        .collect();
+    let mut concurrent: Vec<ServeResponse> =
+        workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let ack =
+        sdtw_suite::serve::client_roundtrip(&sock, &[ServeRequest::shutdown("stop")]).unwrap();
+    assert!(ack[0].ok);
+    let daemon_trace_lines = daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // bit-identical answers, matched up by request id
+    concurrent.sort_by(|a, b| a.id.cmp(&b.id));
+    assert_eq!(concurrent.len(), serial.len());
+    for (c, s) in concurrent.iter().zip(&serial) {
+        assert_eq!(c.id, s.id);
+        assert!(c.ok, "{}", c.error);
+        assert_eq!(c.entries_pruned, s.entries_pruned);
+        assert_eq!(c.entries_swept, s.entries_swept);
+        assert_eq!(c.hits.len(), s.hits.len());
+        for (ch, sh) in c.hits.iter().zip(&s.hits) {
+            assert_eq!((ch.entry, ch.offset), (sh.entry, sh.offset));
+            assert_eq!(ch.distance.to_bits(), sh.distance.to_bits());
+        }
+    }
+
+    // merged traces are request-count / interleaving invariant: folding
+    // the daemon's per-request traces gives the same canonical counters
+    // as folding the serial run's (spans and wall times differ, the
+    // counter algebra must not)
+    let report = TraceReport::from_ndjson(&daemon_trace_lines.join("\n")).unwrap();
+    assert_eq!(report.len(), CLIENTS, "one trace per request");
+    let mut concurrent_merged = QueryTrace::new("merged", WorkloadKind::ServePattern);
+    for t in report.traces() {
+        assert_eq!(t.workload, WorkloadKind::ServePattern);
+        assert!(t.counters.cascade.is_consistent(), "request {}", t.query_id);
+        concurrent_merged.merge(t);
+    }
+    let mut serial_merged = QueryTrace::new("merged", WorkloadKind::ServePattern);
+    for t in &serial_traces {
+        serial_merged.merge(t);
+    }
+    assert_eq!(concurrent_merged.counters, serial_merged.counters);
+    assert_eq!(concurrent_merged.band_area, serial_merged.band_area);
+    assert_eq!(concurrent_merged.full_grid, serial_merged.full_grid);
+    assert_eq!(
+        concurrent_merged.descriptor_comparisons,
+        serial_merged.descriptor_comparisons
+    );
+}
+
+/// The two DP engines (and shard counts) agree bit-for-bit through the
+/// whole serve path — the per-request trace labels which engine ran.
+#[test]
+fn serve_results_are_shard_invariant() {
+    let ds = UcrAnalog::Trace.generate(3);
+    let corpus = corpus_from(&ds, 4, 2);
+    let query = pattern_from(&ds, 36);
+    let req = ServeRequest::query("shards", query.values().to_vec(), 5);
+    let mut reference: Option<Vec<(usize, usize, u64)>> = None;
+    for shards in [1usize, 0, 3] {
+        let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+        let engine = ServeEngine::new(
+            index,
+            ServeConfig {
+                shards,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let (resp, _) = engine.answer(&req);
+        assert!(resp.ok, "shards={shards}: {}", resp.error);
+        let got: Vec<(usize, usize, u64)> = resp
+            .hits
+            .iter()
+            .map(|h| (h.entry, h.offset, h.distance.to_bits()))
+            .collect();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "shards={shards} diverged"),
+        }
+    }
+}
