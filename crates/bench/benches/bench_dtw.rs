@@ -36,7 +36,7 @@ use sdtw_dtw::lower_bound::{lb_keogh_batch, lb_keogh_values, Envelope, LB_LANES}
 use sdtw_dtw::sakoe::sakoe_chiba_band;
 use sdtw_dtw::Band;
 use sdtw_eval::compute_matrix;
-use sdtw_index::{IndexConfig, SdtwIndex};
+use sdtw_index::{IndexConfig, SdtwIndex, SnapshotCodec, SnapshotFormat};
 use sdtw_obs::{Recorder, TracePhase};
 use sdtw_salient::extract_features;
 use sdtw_serve::{ServeConfig, ServeEngine, ServeRequest};
@@ -533,7 +533,7 @@ fn bench_serve(c: &mut Criterion) {
     // archive: 24 entries × 512 samples; query: one 64-sample pattern
     let corpus: Vec<TimeSeries> = (0..24).map(|k| series(512, 0.17 * k as f64)).collect();
     let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
-    let snapshot = index.to_json().unwrap();
+    let snapshot = SnapshotCodec::encode(&index, SnapshotFormat::Json).unwrap();
     let req = ServeRequest::query("bench", series(64, 0.4).values().to_vec(), 5);
 
     let warm = ServeEngine::new(index, ServeConfig::default()).unwrap();
@@ -543,7 +543,7 @@ fn bench_serve(c: &mut Criterion) {
     assert!(primed.ok, "{}", primed.error);
 
     let cold_once = || {
-        let index = SdtwIndex::from_json(&snapshot).unwrap();
+        let index = SnapshotCodec::decode(&snapshot).unwrap();
         let engine = ServeEngine::new(index, ServeConfig::default()).unwrap();
         let (resp, _) = engine.answer(&req);
         resp

@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sdtw::{FeatureStore, SDtw};
 use sdtw_eval::compute_query_matrix;
-use sdtw_index::{IndexConfig, SdtwIndex};
+use sdtw_index::{IndexConfig, SdtwIndex, SnapshotCodec, SnapshotFormat};
+use sdtw_serve::{ServeConfig, ServeEngine, ServeRequest};
 use sdtw_tseries::TimeSeries;
 use std::hint::black_box;
 
@@ -65,5 +66,65 @@ fn bench_index_vs_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_index_vs_scan);
+/// Snapshot load paths on the 200-series corpus: a cold decode of the
+/// legacy JSON tree, a cold streamed decode of the binary columnar v2
+/// image, and the resident serve engine answering a request with no
+/// load at all (the asymptote loading converges to). The group name
+/// carries the core count, like `engine_parity_<N>core`.
+fn bench_snapshot_load(c: &mut Criterion) {
+    let corpus = corpus();
+    let index = SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap();
+    let json = SnapshotCodec::encode(&index, SnapshotFormat::Json).unwrap();
+    let bin = SnapshotCodec::encode(&index, SnapshotFormat::BinaryV2).unwrap();
+    // the columnar image is also the smaller artifact; decoding it must
+    // beat re-parsing the JSON tree or the format has no reason to exist
+    // (asserted here so a regression fails the bench run, not review)
+    assert!(
+        bin.len() < json.len(),
+        "binary snapshot ({} B) not smaller than JSON ({} B)",
+        bin.len(),
+        json.len()
+    );
+    let t_json = time_per_iter(|| SnapshotCodec::decode(&json).unwrap().len());
+    let t_bin = time_per_iter(|| SnapshotCodec::decode(&bin).unwrap().len());
+    assert!(
+        t_bin < t_json,
+        "cold binary decode ({t_bin:?}) not faster than cold JSON ({t_json:?})"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let group_name = format!("snapshot_load_{cores}core");
+    let mut group = c.benchmark_group(&group_name);
+    group.bench_function("cold_json", |b| {
+        b.iter(|| black_box(SnapshotCodec::decode(&json).unwrap().len()))
+    });
+    group.bench_function("cold_binary", |b| {
+        b.iter(|| black_box(SnapshotCodec::decode(&bin).unwrap().len()))
+    });
+    let engine =
+        ServeEngine::new(SnapshotCodec::decode(&bin).unwrap(), ServeConfig::default()).unwrap();
+    let pattern: Vec<f64> = corpus[0].values().to_vec();
+    group.bench_function("serve_warm_engine", |b| {
+        b.iter(|| {
+            let (resp, _) = engine.answer(&ServeRequest::query("warm", pattern.clone(), 3));
+            black_box(resp.hits.len())
+        })
+    });
+    group.finish();
+}
+
+/// Best-of-20 wall time of one invocation (enough resolution for the
+/// millisecond-scale decode comparison the assertion above needs).
+fn time_per_iter<R>(mut f: impl FnMut() -> R) -> std::time::Duration {
+    (0..20)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            black_box(f());
+            t0.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+criterion_group!(benches, bench_index_vs_scan, bench_snapshot_load);
 criterion_main!(benches);

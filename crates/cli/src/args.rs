@@ -69,8 +69,13 @@ pub fn spec_for(key: &str) -> Option<OptionSpec> {
         },
         "index build" => OptionSpec {
             engine: true,
-            value: &["radius"],
+            value: &["radius", "format", "paa"],
             flag: &["znorm"],
+        },
+        "index convert" => OptionSpec {
+            engine: false,
+            value: &["format"],
+            flag: &[],
         },
         "index query" => OptionSpec {
             engine: false,

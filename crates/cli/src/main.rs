@@ -5,8 +5,9 @@
 //! sdtw features <corpus.txt> <i> [--bins B] [--json]
 //! sdtw retrieve <corpus.txt> <query-index> [--k K] [--policy P] [--width W]
 //! sdtw distmat <corpus.txt> [--policy P] [--width W] [--serial] [--queries q.txt] [--out m.json]
-//! sdtw index build <corpus.txt> <out.json> [--policy P] [--width W] [--radius F] [--znorm]
-//! sdtw index query <index.json> <queries.txt> [--k K] [--serial] [--json]
+//! sdtw index build <corpus.txt> <out> [--policy P] [--width W] [--radius F] [--znorm] [--format bin|json] [--paa W]
+//! sdtw index convert <in> <out> [--format bin|json]
+//! sdtw index query <index> <queries.txt> [--k K] [--serial] [--json]
 //! sdtw stream find <haystack.txt> <query.txt> [--k K] [--tau T] [--monitor] [--raw]
 //! sdtw serve --index <index.json> (--pipe | --socket <path>) [--k K] [--trace t.ndjson]
 //! sdtw client emit <queries.txt> [--k K] [--tau T] [--trace]
@@ -33,7 +34,9 @@ use sdtw::{
     ConstraintPolicy, DtwEngine, FeatureStore, KernelChoice, SDtw, SDtwConfig, SalientConfig,
 };
 use sdtw_datasets::UcrAnalog;
-use sdtw_index::{CascadeStats, IndexConfig, SdtwIndex};
+use sdtw_index::{
+    CascadeStats, IndexConfig, SdtwIndex, SnapshotCodec, SnapshotFormat, DEFAULT_PAA_WIDTH,
+};
 use sdtw_obs::{InputShape, QueryTrace, Recorder, TraceReport, WorkloadKind};
 use sdtw_salient::feature::extract_feature_set;
 use sdtw_serve::{
@@ -73,12 +76,21 @@ commands:
                                                         (one NDJSON trace for
                                                          the whole batch)
   index build <corpus> <out> prebuild a kNN index (envelopes, summaries,
-                             cached salient descriptors) as JSON
+                             coarse PAA envelopes, cached salient descriptors)
                              options: --policy, --width, --kernel, --penalty
                                       --radius <frac> (envelope window, default 0.1)
                                       --znorm         (z-normalise entries+queries)
-  index query <idx> <q>      answer top-k queries from a prebuilt index via
-                             the LB_Kim -> LB_Keogh -> reversed LB_Keogh ->
+                                      --format <bin|json> (snapshot codec;
+                                               default json, bin is the binary
+                                               columnar v2 layout)
+                                      --paa <w> (coarse stage segment width,
+                                             default 8; below 2 disables it)
+  index convert <in> <out>   re-encode an index snapshot between formats
+                             (reads either, auto-detected by magic)
+                             options: --format <bin|json> (default bin)
+  index query <idx> <q>      answer top-k queries from a prebuilt index
+                             (JSON or binary snapshot) via the LB_Kim ->
+                             PAA -> LB_Keogh -> reversed LB_Keogh ->
                              early-abandon cascade (parallel by default)
                              options: --k <n> (default 5)
                                       --serial (disable parallelism)
@@ -527,49 +539,85 @@ fn cmd_distmat(a: &Args) -> Result<(), String> {
 fn cmd_index(a: &Args) -> Result<(), String> {
     match a.positional.first().map(String::as_str) {
         Some("build") => cmd_index_build(a),
+        Some("convert") => cmd_index_convert(a),
         Some("query") => cmd_index_query(a),
-        _ => Err("index needs a subcommand: `index build` or `index query`".into()),
+        _ => {
+            Err("index needs a subcommand: `index build`, `index convert` or `index query`".into())
+        }
+    }
+}
+
+/// Parses the `--format` option into a snapshot codec choice.
+fn snapshot_format_from(a: &Args, default: SnapshotFormat) -> Result<SnapshotFormat, String> {
+    match a.options.get("format").map(String::as_str) {
+        None => Ok(default),
+        Some("bin" | "binary") => Ok(SnapshotFormat::BinaryV2),
+        Some("json") => Ok(SnapshotFormat::Json),
+        Some(other) => Err(format!("--format {other}: expected `bin` or `json`")),
     }
 }
 
 fn cmd_index_build(a: &Args) -> Result<(), String> {
     let [_, corpus_path, out_path] = a.positional.as_slice() else {
-        return Err("index build needs <corpus> <out.json>".into());
+        return Err("index build needs <corpus> <out>".into());
     };
     let corpus = read_ucr_file(corpus_path).map_err(|e| e.to_string())?;
     if corpus.is_empty() {
         return Err("corpus is empty".into());
     }
+    let format = snapshot_format_from(a, SnapshotFormat::Json)?;
     let sdtw_config = config_from(a)?;
     let policy = sdtw_config.policy;
     let config = IndexConfig {
         sdtw: sdtw_config,
         z_normalize: a.flag("znorm"),
         lb_radius_frac: a.opt_parse("radius", 0.1)?,
+        paa_width: a.opt_parse("paa", DEFAULT_PAA_WIDTH)?,
     };
     let t0 = std::time::Instant::now();
     let index = SdtwIndex::build(&corpus, config).map_err(|e| e.to_string())?;
     let built = t0.elapsed();
-    let json = index.to_json().map_err(|e| e.to_string())?;
-    std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
+    let bytes = SnapshotCodec::encode(&index, format).map_err(|e| e.to_string())?;
+    std::fs::write(out_path, &bytes).map_err(|e| e.to_string())?;
     println!(
-        "indexed {} series  policy {}  kernel {}  radius {:.0}%  znorm {}  build {built:?}",
+        "indexed {} series  policy {}  kernel {}  radius {:.0}%  paa {}  znorm {}  build {built:?}",
         index.len(),
         policy.label(),
         index.config().sdtw.dtw.kernel_label(),
         index.config().lb_radius_frac * 100.0,
+        index.config().paa_width,
         index.config().z_normalize,
     );
-    println!("wrote {out_path} ({} bytes)", json.len());
+    println!(
+        "wrote {out_path} ({} bytes, {} snapshot)",
+        bytes.len(),
+        format.label()
+    );
+    Ok(())
+}
+
+fn cmd_index_convert(a: &Args) -> Result<(), String> {
+    let [_, in_path, out_path] = a.positional.as_slice() else {
+        return Err("index convert needs <in> <out>".into());
+    };
+    let format = snapshot_format_from(a, SnapshotFormat::BinaryV2)?;
+    let index = SnapshotCodec::read_file(in_path).map_err(|e| e.to_string())?;
+    let bytes = SnapshotCodec::encode(&index, format).map_err(|e| e.to_string())?;
+    std::fs::write(out_path, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "converted {in_path} -> {out_path} ({} entries, {} bytes, {} snapshot)",
+        index.len(),
+        bytes.len(),
+        format.label()
+    );
     Ok(())
 }
 
 fn cmd_index_query(a: &Args) -> Result<(), String> {
     let [_, index_path, queries_path] = a.positional.as_slice() else {
-        return Err("index query needs <index.json> <queries>".into());
+        return Err("index query needs <index> <queries>".into());
     };
-    let json = std::fs::read_to_string(index_path).map_err(|e| e.to_string())?;
-    let index = SdtwIndex::from_json(&json).map_err(|e| e.to_string())?;
+    let index = SnapshotCodec::read_file(index_path).map_err(|e| e.to_string())?;
     let queries = read_ucr_file(queries_path).map_err(|e| e.to_string())?;
     if queries.is_empty() {
         return Err("query file is empty".into());
@@ -628,9 +676,10 @@ fn cmd_index_query(a: &Args) -> Result<(), String> {
         println!("query {q:>3}: {}", hits.join("  "));
     }
     println!(
-        "cascade over {} candidates: kim {}  keogh {}  keogh-rev {}  abandoned {}  dp {}  (lb n/a {})",
+        "cascade over {} candidates: kim {}  paa {}  keogh {}  keogh-rev {}  abandoned {}  dp {}  (lb n/a {})",
         total.candidates,
         total.pruned_kim,
+        total.pruned_paa,
         total.pruned_keogh,
         total.pruned_keogh_rev,
         total.abandoned,
@@ -945,16 +994,15 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     let index_path = a
         .options
         .get("index")
-        .ok_or("serve needs --index <index.json> (build one with `sdtw index build`)")?;
-    let json = std::fs::read_to_string(index_path).map_err(|e| format!("{index_path}: {e}"))?;
-    let index = SdtwIndex::from_json(&json).map_err(|e| e.to_string())?;
+        .ok_or("serve needs --index <index> (build one with `sdtw index build`)")?;
     let trace_path = a.options.get("trace").cloned();
     let cfg = ServeConfig {
         default_k: a.opt_parse("k", 5usize)?,
         shards: a.opt_parse("shards", 1usize)?,
         trace: trace_path.is_some(),
     };
-    let engine = ServeEngine::new(index, cfg).map_err(|e| e.to_string())?;
+    // JSON or binary columnar snapshot, auto-detected by the codec
+    let engine = ServeEngine::load(index_path, cfg).map_err(|e| format!("{index_path}: {e}"))?;
     let entries = engine.index().len();
     let traces = match (a.flag("pipe"), a.options.get("socket")) {
         (true, None) => {
@@ -1319,6 +1367,72 @@ mod tests {
         ];
         cmd_index(&Args::parse(query_am.iter().map(|s| s.to_string())).unwrap()).unwrap();
         std::fs::remove_file(&amerced_path).ok();
+
+        // binary snapshot end-to-end: build --format bin, query it,
+        // convert in both directions, query the converted artifacts
+        let bin_path = dir.join("index.bin");
+        let build_bin = [
+            "index",
+            "build",
+            corpus_path.to_str().unwrap(),
+            bin_path.to_str().unwrap(),
+            "--policy",
+            "sakoe",
+            "--width",
+            "0.2",
+            "--format",
+            "bin",
+            "--paa",
+            "4",
+        ];
+        cmd_index(&Args::parse(build_bin.iter().map(|s| s.to_string())).unwrap()).unwrap();
+        let head = std::fs::read(&bin_path).unwrap();
+        assert_eq!(&head[..8], b"SDTWIDX2", "binary magic on disk");
+        let conv_json = dir.join("converted.json");
+        let conv_bin = dir.join("converted.bin");
+        let convert_down = [
+            "index",
+            "convert",
+            bin_path.to_str().unwrap(),
+            conv_json.to_str().unwrap(),
+            "--format",
+            "json",
+        ];
+        cmd_index(&Args::parse(convert_down.iter().map(|s| s.to_string())).unwrap()).unwrap();
+        let convert_up = [
+            "index",
+            "convert",
+            index_path.to_str().unwrap(),
+            conv_bin.to_str().unwrap(),
+        ];
+        cmd_index(&Args::parse(convert_up.iter().map(|s| s.to_string())).unwrap()).unwrap();
+        for idx in [&bin_path, &conv_json, &conv_bin] {
+            let query_bin = [
+                "index",
+                "query",
+                idx.to_str().unwrap(),
+                corpus_path.to_str().unwrap(),
+                "--k",
+                "2",
+                "--serial",
+            ];
+            cmd_index(&Args::parse(query_bin.iter().map(|s| s.to_string())).unwrap()).unwrap();
+        }
+        // unknown codec names are reported, not panicked
+        let bad_format = [
+            "index",
+            "convert",
+            bin_path.to_str().unwrap(),
+            conv_json.to_str().unwrap(),
+            "--format",
+            "tar",
+        ];
+        assert!(
+            cmd_index(&Args::parse(bad_format.iter().map(|s| s.to_string())).unwrap()).is_err()
+        );
+        std::fs::remove_file(&bin_path).ok();
+        std::fs::remove_file(&conv_json).ok();
+        std::fs::remove_file(&conv_bin).ok();
 
         // bad invocations are reported, not panicked
         assert!(cmd_index(&Args::parse(["index".to_string()]).unwrap()).is_err());

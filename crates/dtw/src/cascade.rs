@@ -193,9 +193,67 @@ impl CoarseEnvelope {
         }
     }
 
+    /// Reassembles a coarse envelope from parts a codec decoded,
+    /// re-validating the structural invariants [`CoarseEnvelope::build`]
+    /// guarantees: width ≥ 2, a non-empty source, matching column
+    /// lengths, and exactly `ceil(source_len / width)` segments. The
+    /// tube *values* are trusted (like any snapshot payload — rebuild
+    /// from the envelope if provenance is in doubt).
+    ///
+    /// # Errors
+    ///
+    /// [`sdtw_tseries::TsError::InvalidParameter`] naming the violated
+    /// invariant.
+    pub fn from_parts(
+        upper: Vec<f64>,
+        lower: Vec<f64>,
+        width: usize,
+        source_len: usize,
+        radius: usize,
+    ) -> Result<Self, sdtw_tseries::TsError> {
+        let invalid = |reason: String| sdtw_tseries::TsError::InvalidParameter {
+            name: "coarse_envelope",
+            reason,
+        };
+        if width < 2 {
+            return Err(invalid(format!("segment width must be >= 2, got {width}")));
+        }
+        if source_len == 0 {
+            return Err(invalid("source length must be non-zero".to_string()));
+        }
+        let segments = source_len.div_ceil(width);
+        if upper.len() != segments || lower.len() != segments {
+            return Err(invalid(format!(
+                "expected {segments} segments for source_len {source_len} / width {width}, \
+                 got upper {} / lower {}",
+                upper.len(),
+                lower.len()
+            )));
+        }
+        Ok(Self {
+            upper,
+            lower,
+            width,
+            source_len,
+            radius,
+        })
+    }
+
     /// Segment width the envelope was compressed with.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The per-segment upper tube (`max` of the source envelope's upper
+    /// side over each segment).
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// The per-segment lower tube (`min` of the source envelope's lower
+    /// side over each segment).
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
     }
 
     /// Length of the series the source envelope covered.
@@ -635,5 +693,32 @@ mod tests {
     fn coarse_envelope_rejects_fine_widths() {
         let env = Envelope::build_from_values(&[0.0, 1.0], 1);
         let _ = CoarseEnvelope::build(&env, 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let env = Envelope {
+            upper: vec![1.0, 3.0, 2.0, 5.0, 4.0],
+            lower: vec![-1.0, 0.0, -2.0, 1.0, 0.5],
+            radius: 2,
+        };
+        let built = CoarseEnvelope::build(&env, 2);
+        let re = CoarseEnvelope::from_parts(
+            built.upper().to_vec(),
+            built.lower().to_vec(),
+            built.width(),
+            built.source_len(),
+            built.radius(),
+        )
+        .unwrap();
+        assert_eq!(re, built, "accessors + from_parts are a round trip");
+        // violated invariants are rejected, not silently accepted
+        assert!(CoarseEnvelope::from_parts(vec![0.0], vec![0.0], 1, 2, 0).is_err());
+        assert!(CoarseEnvelope::from_parts(vec![0.0], vec![0.0], 2, 0, 0).is_err());
+        assert!(
+            CoarseEnvelope::from_parts(vec![0.0; 2], vec![0.0; 3], 2, 5, 0).is_err(),
+            "column lengths must agree with the segmentation"
+        );
+        assert!(CoarseEnvelope::from_parts(vec![0.0; 4], vec![0.0; 4], 2, 5, 0).is_err());
     }
 }

@@ -2,7 +2,7 @@
 
 use sdtw::{ConstraintPolicy, SDtwConfig};
 use sdtw_tseries::TsError;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Configuration of a [`crate::SdtwIndex`].
 ///
@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// descriptors cached in the index at build time). Whatever the mode,
 /// query results are identical — ids and distances — to brute-forcing the
 /// same engine over the corpus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct IndexConfig {
     /// The engine configuration queries are answered under.
     pub sdtw: SDtwConfig,
@@ -26,7 +26,19 @@ pub struct IndexConfig {
     /// pairs whose (sanitised) band stays inside this window — larger
     /// values keep the bounds applicable to wider bands but loosen them.
     pub lb_radius_frac: f64,
+    /// Segment width of the coarse PAA pre-filter stage, slotted between
+    /// LB_Kim and LB_Keogh in the query cascade (same convention as
+    /// `sdtw_stream`): each entry carries a
+    /// [`sdtw_dtw::cascade::CoarseEnvelope`] built from its LB_Keogh
+    /// envelope, screened in `O(len / width)` metric evaluations before
+    /// the `O(len)` fine bound runs. Values below 2 disable the stage
+    /// (and the per-entry coarse artefact) entirely.
+    pub paa_width: usize,
 }
+
+/// Default PAA segment width of the coarse index stage (matching
+/// `sdtw_stream`'s default).
+pub const DEFAULT_PAA_WIDTH: usize = 8;
 
 impl Default for IndexConfig {
     fn default() -> Self {
@@ -34,7 +46,26 @@ impl Default for IndexConfig {
             sdtw: SDtwConfig::default(),
             z_normalize: false,
             lb_radius_frac: 0.1,
+            paa_width: DEFAULT_PAA_WIDTH,
         }
+    }
+}
+
+// Hand-written (the derive has no field defaults): pre-PAA snapshots
+// carry no `paa_width` member, and they must keep loading — absent means
+// the default width, exactly what `SdtwIndex`'s snapshot loader then
+// backfills coarse envelopes for.
+impl serde::Deserialize for IndexConfig {
+    fn from_json(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            sdtw: serde::Deserialize::from_json(serde::obj_get(v, "sdtw")?)?,
+            z_normalize: serde::Deserialize::from_json(serde::obj_get(v, "z_normalize")?)?,
+            lb_radius_frac: serde::Deserialize::from_json(serde::obj_get(v, "lb_radius_frac")?)?,
+            paa_width: match v.get("paa_width") {
+                Some(w) => serde::Deserialize::from_json(w)?,
+                None => DEFAULT_PAA_WIDTH,
+            },
+        })
     }
 }
 
@@ -52,6 +83,7 @@ impl IndexConfig {
             // the band's half-width is width_frac/2 of M (+1 for the
             // sanitiser's corner bridging); leave comfortable headroom
             lb_radius_frac: width_frac,
+            paa_width: DEFAULT_PAA_WIDTH,
         }
     }
 
@@ -145,10 +177,25 @@ mod tests {
         let c = IndexConfig {
             z_normalize: true,
             lb_radius_frac: 0.25,
+            paa_width: 4,
             ..IndexConfig::default()
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: IndexConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn pre_paa_snapshots_default_the_width() {
+        // a config serialised before the coarse stage existed has no
+        // `paa_width` member; it must load with the default, not error
+        let c = IndexConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("paa_width"));
+        let legacy = json.replace(&format!(",\"paa_width\":{DEFAULT_PAA_WIDTH}"), "");
+        assert!(!legacy.contains("paa_width"), "member stripped: {legacy}");
+        let back: IndexConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.paa_width, DEFAULT_PAA_WIDTH);
+        assert_eq!(back, c);
     }
 }

@@ -6,7 +6,9 @@ use crate::stats::CascadeStats;
 use rayon::prelude::*;
 use sdtw::{DtwScratch, SDtw};
 use sdtw_dtw::band::Band;
-use sdtw_dtw::cascade::{Cascade, CascadeScratch, PruneStage, SampleInput, StageKind};
+use sdtw_dtw::cascade::{
+    Cascade, CascadeScratch, CoarseEnvelope, PruneStage, SampleInput, StageKind,
+};
 use sdtw_dtw::engine::DtwEngine;
 use sdtw_dtw::engine::Normalization;
 use sdtw_dtw::lower_bound::{lb_keogh_batch, lb_kim_batch, Envelope, SeriesSummary, LB_LANES};
@@ -21,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// LB_Keogh envelope, and the salient descriptors the sDTW band planner
 /// reuses across all queries (paper §3.4: extraction is a one-time,
 /// indexable cost).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct IndexEntry {
     /// The stored series (post-normalisation when the index z-normalises).
     pub series: TimeSeries,
@@ -31,6 +33,28 @@ pub struct IndexEntry {
     pub summary: SeriesSummary,
     /// Cached salient features (empty when the policy ignores alignment).
     pub features: Vec<SalientFeature>,
+    /// Coarse PAA compression of `envelope` for the pre-filter stage
+    /// (`None` when [`IndexConfig::paa_width`] disables the stage).
+    pub coarse: Option<CoarseEnvelope>,
+}
+
+// Hand-written for schema evolution: entries serialised before the PAA
+// stage existed have no `coarse` member — they decode to `None` and the
+// snapshot loader backfills the artefact deterministically from the
+// stored envelope.
+impl serde::Deserialize for IndexEntry {
+    fn from_json(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            series: serde::Deserialize::from_json(serde::obj_get(v, "series")?)?,
+            envelope: serde::Deserialize::from_json(serde::obj_get(v, "envelope")?)?,
+            summary: serde::Deserialize::from_json(serde::obj_get(v, "summary")?)?,
+            features: serde::Deserialize::from_json(serde::obj_get(v, "features")?)?,
+            coarse: match v.get("coarse") {
+                Some(c) => serde::Deserialize::from_json(c)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// Answer to one kNN query: neighbours ascending by `(distance, index)`,
@@ -231,11 +255,14 @@ impl SdtwIndex {
                 } else {
                     Vec::new()
                 };
+                let coarse = (config.paa_width >= 2)
+                    .then(|| CoarseEnvelope::build(&envelope, config.paa_width));
                 Ok(IndexEntry {
                     series,
                     envelope,
                     summary,
                     features,
+                    coarse,
                 })
             })
             .collect::<Result<Vec<_>, TsError>>()?;
@@ -285,15 +312,26 @@ impl SdtwIndex {
     }
 
     /// The shared pruning pipeline a query of this index runs: LB_Kim →
-    /// LB_Keogh → reversed LB_Keogh, with the bound stages disabled
-    /// entirely when the configured kernel reports them inadmissible.
+    /// coarse PAA → LB_Keogh → reversed LB_Keogh, with the bound stages
+    /// disabled entirely when the configured kernel reports them
+    /// inadmissible. The PAA stage sits between Kim and Keogh because
+    /// its `O(len / width)` cost fills the gap between the O(1) summary
+    /// bound and the O(len) fine bound — and since its bound never
+    /// exceeds LB_Keogh's (with the same applicability condition), it
+    /// only shifts pruning *credit* earlier, never changing the top-k.
+    /// When [`IndexConfig::paa_width`] disables it, the stage is omitted
+    /// from the list entirely so `lb_inapplicable` accounting matches
+    /// the pre-PAA cascade exactly.
     fn cascade(&self, bounds_enabled: bool) -> Cascade {
+        let mut stages = Vec::with_capacity(4);
+        stages.push(PruneStage::Kim { guard: 0.0 });
+        if self.config.paa_width >= 2 {
+            stages.push(PruneStage::Paa);
+        }
+        stages.push(PruneStage::Keogh);
+        stages.push(PruneStage::KeoghRev);
         Cascade::new(
-            vec![
-                PruneStage::Kim { guard: 0.0 },
-                PruneStage::Keogh,
-                PruneStage::KeoghRev,
-            ],
+            stages,
             self.config.sdtw.dtw.metric,
             self.config.sdtw.dtw.normalization,
             bounds_enabled,
@@ -639,7 +677,7 @@ impl SdtwIndex {
                 y_envelope: Some(&entry.envelope),
                 y_keogh_raw: pre[p],
                 x_envelope: q_env,
-                y_coarse: None,
+                y_coarse: entry.coarse.as_ref(),
             };
             // the sample-phase screen covers LB_Keogh and its reversed
             // second chance; both are attributed to the LbKeogh span
@@ -736,51 +774,60 @@ impl SdtwIndex {
         results.into_iter().collect()
     }
 
-    /// Serialises the index to JSON (configuration + entries; the engine
-    /// is rebuilt on load).
-    ///
-    /// # Errors
-    ///
-    /// Serialisation failures (propagated from the serde layer).
-    pub fn to_json(&self) -> Result<String, TsError> {
+    /// Serialises the index to the JSON snapshot text (the codec's
+    /// [`crate::SnapshotFormat::Json`] payload).
+    pub(crate) fn encode_json(&self) -> Result<String, TsError> {
         let snapshot = IndexSnapshot {
             config: self.config.clone(),
             entries: self.entries.clone(),
         };
-        serde_json::to_string(&snapshot).map_err(|e| TsError::InvalidParameter {
-            name: "index_snapshot",
-            reason: e.to_string(),
+        serde_json::to_string(&snapshot).map_err(|e| TsError::SnapshotDecode {
+            format: "json",
+            offset: None,
+            context: e.to_string(),
         })
     }
 
-    /// Loads an index from a JSON snapshot, revalidating the
-    /// configuration and the per-entry structural invariants: envelope
-    /// length/radius and summary length must match the stored series and
-    /// configuration, cached features must lie within their series, and
-    /// alignment-free policies must carry no features. Feature *content*
-    /// (descriptor values) is trusted, like any database file — rebuild
-    /// from the raw corpus if the snapshot's provenance is in doubt.
-    ///
-    /// # Errors
-    ///
-    /// Parse failures, configuration validation failures, or corrupted
-    /// entries.
-    pub fn from_json(json: &str) -> Result<Self, TsError> {
+    /// Decodes the JSON snapshot text and assembles the index through
+    /// the shared validation path.
+    pub(crate) fn decode_json(json: &str) -> Result<Self, TsError> {
         let snapshot: IndexSnapshot =
-            serde_json::from_str(json).map_err(|e| TsError::InvalidParameter {
-                name: "index_json",
-                reason: e.to_string(),
+            serde_json::from_str(json).map_err(|e| TsError::SnapshotDecode {
+                format: "json",
+                offset: None,
+                context: e.to_string(),
             })?;
-        snapshot.config.validate()?;
-        let engine = SDtw::new(snapshot.config.sdtw.clone())?;
-        let needs_features = snapshot.config.sdtw.policy.needs_alignment();
-        let corrupt = |i: usize, what: String| TsError::InvalidParameter {
-            name: "index_json",
-            reason: format!("entry {i}: {what}"),
+        Self::from_snapshot_parts(snapshot.config, snapshot.entries, "json")
+    }
+
+    /// The one assembly path every snapshot codec funnels into:
+    /// revalidates the configuration, rebuilds the engine, checks the
+    /// per-entry structural invariants — envelope length/radius and
+    /// summary length must match the stored series and configuration,
+    /// cached features must lie within their series, alignment-free
+    /// policies must carry no features, and any stored coarse envelope
+    /// must agree with the configured PAA width — then backfills coarse
+    /// envelopes missing from pre-PAA snapshots (deterministically, from
+    /// the stored envelope, so a migrated index answers bit-identically
+    /// to a freshly built one). Artefact *content* (descriptor values,
+    /// tube values) is trusted, like any database file — rebuild from
+    /// the raw corpus if the snapshot's provenance is in doubt.
+    pub(crate) fn from_snapshot_parts(
+        config: IndexConfig,
+        mut entries: Vec<IndexEntry>,
+        format: &'static str,
+    ) -> Result<Self, TsError> {
+        config.validate()?;
+        let engine = SDtw::new(config.sdtw.clone())?;
+        let needs_features = config.sdtw.policy.needs_alignment();
+        let corrupt = |i: usize, what: String| TsError::SnapshotDecode {
+            format,
+            offset: None,
+            context: format!("entry {i}: {what}"),
         };
-        for (i, e) in snapshot.entries.iter().enumerate() {
+        for (i, e) in entries.iter().enumerate() {
             let len = e.series.len();
-            let expected_radius = snapshot.config.radius_for(len);
+            let expected_radius = config.radius_for(len);
             if e.envelope.upper.len() != len
                 || e.envelope.lower.len() != len
                 || e.envelope.radius != expected_radius
@@ -812,12 +859,80 @@ impl SdtwIndex {
                     ));
                 }
             }
+            if let Some(c) = &e.coarse {
+                if config.paa_width < 2 {
+                    return Err(corrupt(
+                        i,
+                        "coarse envelope present but the PAA stage is disabled".to_string(),
+                    ));
+                }
+                let segments = len.div_ceil(config.paa_width);
+                if c.width() != config.paa_width
+                    || c.source_len() != len
+                    || c.radius() != expected_radius
+                    || c.upper().len() != segments
+                    || c.lower().len() != segments
+                {
+                    return Err(corrupt(
+                        i,
+                        format!(
+                            "coarse envelope inconsistent with series/config \
+                             (width {}, source_len {}, radius {}, segments {}/{}; \
+                             expected width {}, len {len}, radius {expected_radius}, \
+                             segments {segments})",
+                            c.width(),
+                            c.source_len(),
+                            c.radius(),
+                            c.upper().len(),
+                            c.lower().len(),
+                            config.paa_width,
+                        ),
+                    ));
+                }
+            }
+        }
+        if config.paa_width >= 2 {
+            for e in &mut entries {
+                if e.coarse.is_none() {
+                    e.coarse = Some(CoarseEnvelope::build(&e.envelope, config.paa_width));
+                }
+            }
         }
         Ok(Self {
-            config: snapshot.config,
+            config,
             engine,
-            entries: snapshot.entries,
+            entries,
         })
+    }
+
+    /// Serialises the index to JSON (configuration + entries; the engine
+    /// is rebuilt on load).
+    ///
+    /// # Errors
+    ///
+    /// Serialisation failures (propagated from the serde layer).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SnapshotCodec::encode` (JSON or the binary columnar v2 format)"
+    )]
+    pub fn to_json(&self) -> Result<String, TsError> {
+        self.encode_json()
+    }
+
+    /// Loads an index from a JSON snapshot, revalidating the
+    /// configuration and the per-entry structural invariants (see
+    /// [`crate::SnapshotCodec`] for the shared validation contract).
+    ///
+    /// # Errors
+    ///
+    /// Parse failures, configuration validation failures, or corrupted
+    /// entries.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SnapshotCodec::decode`, which auto-detects JSON and binary snapshots"
+    )]
+    pub fn from_json(json: &str) -> Result<Self, TsError> {
+        Self::decode_json(json)
     }
 }
 

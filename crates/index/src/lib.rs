@@ -9,6 +9,7 @@
 //! | stage | cost | prunes a candidate when |
 //! |---|---|---|
 //! | LB_Kim | O(1) | endpoint/extremum bound > k-th best |
+//! | coarse PAA | O(n/w) | query PAA vs precomputed coarse envelope > k-th best |
 //! | LB_Keogh | O(n) | query vs precomputed entry envelope > k-th best |
 //! | reversed LB_Keogh | O(n) | entry vs query envelope > k-th best |
 //! | early-abandoned banded DP | ≤ O(band) | a completed DP row's minimum > k-th best |
@@ -22,7 +23,8 @@
 //! [`Envelope`](sdtw_dtw::Envelope), and cached salient descriptors so
 //! the sDTW band planner never re-extracts (paper §3.4). Queries reuse
 //! one DP scratch each, batch queries run rayon-parallel, and the whole
-//! index round-trips through JSON.
+//! index round-trips through [`SnapshotCodec`] — the binary columnar v2
+//! snapshot format or the legacy JSON tree, auto-detected on load.
 //!
 //! # Example
 //!
@@ -53,11 +55,13 @@
 pub mod config;
 pub mod index;
 pub mod knn;
+pub mod snapshot;
 pub mod stats;
 
-pub use config::IndexConfig;
+pub use config::{IndexConfig, DEFAULT_PAA_WIDTH};
 pub use index::{
     CoarseScreen, EntryBound, EntryDisposition, EntryOutcome, IndexEntry, QueryResult, SdtwIndex,
 };
 pub use knn::Neighbor;
+pub use snapshot::{SnapshotCodec, SnapshotFormat};
 pub use stats::CascadeStats;

@@ -43,6 +43,7 @@ fn every_cascade_stage_prunes_on_the_bench_corpus() {
     assert!(total.is_consistent());
     assert_eq!(total.candidates, (queries.len() * corpus.len()) as u64);
     assert!(total.pruned_kim > 0, "LB_Kim never fired: {total:?}");
+    assert!(total.pruned_paa > 0, "coarse PAA never fired: {total:?}");
     assert!(total.pruned_keogh > 0, "LB_Keogh never fired: {total:?}");
     assert!(
         total.pruned_keogh_rev > 0,

@@ -5,7 +5,7 @@ use crate::protocol::{RequestOp, ServeHit, ServeRequest, ServeResponse};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use sdtw_dtw::engine::{DtwEngine, DtwScratch};
-use sdtw_index::SdtwIndex;
+use sdtw_index::{SdtwIndex, SnapshotCodec};
 use sdtw_obs::{InputShape, QueryTrace, Recorder, TracePhase, WorkloadKind};
 use sdtw_stream::{StreamConfig, SubseqMatcher};
 use sdtw_tseries::{TimeSeries, TsError};
@@ -126,6 +126,21 @@ impl ServeEngine {
             matchers: Mutex::new(HashMap::new()),
             corpus_samples,
         })
+    }
+
+    /// Loads an index snapshot from disk — JSON or binary columnar v2,
+    /// auto-detected by [`SnapshotCodec`] — and wraps it as a resident
+    /// engine. The daemon path: binary snapshots stream column-by-column
+    /// straight into the engine without an intermediate JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot I/O/decode failures, then as [`ServeEngine::new`].
+    pub fn load<P: AsRef<std::path::Path>>(
+        path: P,
+        cfg: ServeConfig,
+    ) -> Result<ServeEngine, TsError> {
+        ServeEngine::new(SnapshotCodec::read_file(path)?, cfg)
     }
 
     /// The shared snapshot.

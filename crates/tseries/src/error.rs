@@ -42,6 +42,20 @@ pub enum TsError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A persisted snapshot (index, trace, …) failed to decode.
+    ///
+    /// Shared by every snapshot codec so callers see *where* a payload
+    /// went bad: the codec that rejected it, the byte offset for binary
+    /// payloads (`None` for tree-shaped JSON), and the field or entry
+    /// being decoded.
+    SnapshotDecode {
+        /// The codec that rejected the payload (`"json"`, `"binary-v2"`).
+        format: &'static str,
+        /// Byte offset of the failure within the payload, when known.
+        offset: Option<u64>,
+        /// Field/entry context plus the underlying reason.
+        context: String,
+    },
     /// Wrapper around I/O failures while reading/writing dataset files.
     Io(std::io::Error),
 }
@@ -63,6 +77,19 @@ impl fmt::Display for TsError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             TsError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            TsError::SnapshotDecode {
+                format,
+                offset,
+                context,
+            } => match offset {
+                Some(at) => {
+                    write!(
+                        f,
+                        "snapshot decode error ({format}) at byte {at}: {context}"
+                    )
+                }
+                None => write!(f, "snapshot decode error ({format}): {context}"),
+            },
             TsError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -104,6 +131,22 @@ mod tests {
             reason: "bad float".into(),
         };
         assert!(e.to_string().contains("line 12"));
+
+        let e = TsError::SnapshotDecode {
+            format: "binary-v2",
+            offset: Some(36),
+            context: "section table truncated".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("binary-v2") && s.contains("byte 36"), "got: {s}");
+        let e = TsError::SnapshotDecode {
+            format: "json",
+            offset: None,
+            context: "entry 3: envelope inconsistent".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("json") && s.contains("entry 3"), "got: {s}");
+        assert!(!s.contains("byte"), "got: {s}");
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub mod prelude {
         compute_matrix, compute_matrix_traced, compute_query_matrix, compute_query_matrix_traced,
         evaluate_policies, DistanceMatrix, EvalOptions, PolicyEval, QueryMatrix,
     };
-    pub use sdtw_index::{CascadeStats, IndexConfig, Neighbor, SdtwIndex};
+    pub use sdtw_index::{
+        CascadeStats, IndexConfig, Neighbor, SdtwIndex, SnapshotCodec, SnapshotFormat,
+    };
     pub use sdtw_obs::{
         QueryTrace, Recorder, SpanRecord, TracePhase, TraceReport, WorkloadKind,
         TRACE_SCHEMA_VERSION,

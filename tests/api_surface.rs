@@ -51,6 +51,8 @@ const EXPECTED: &[&str] = &[
     "ServeHit",
     "ServeRequest",
     "ServeResponse",
+    "SnapshotCodec",
+    "SnapshotFormat",
     "SpanRecord",
     "StandardKernel",
     "StepPattern",

@@ -254,6 +254,7 @@ fn cascade_stats_are_reproducible_across_execution_modes() {
                     },
                     z_normalize: false,
                     lb_radius_frac: 0.2,
+                    ..IndexConfig::default()
                 };
                 let index = SdtwIndex::build(&series, config).unwrap();
                 let queries: Vec<TimeSeries> = series.iter().take(2).cloned().collect();

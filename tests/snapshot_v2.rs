@@ -1,0 +1,106 @@
+//! Binary snapshot wire-format ratchet, mirroring `trace_schema.rs`: the
+//! columnar v2 encoding of a deterministic golden index is pinned to a
+//! committed fixture byte-for-byte, and foreign format versions are
+//! rejected with a clear error — the on-disk layout only changes
+//! deliberately, together with this file and the fixture.
+//!
+//! The golden index is built from a seeded synthetic corpus with fixed
+//! constants (ragged lengths, labels, ids — every column populated), so
+//! regeneration is exact:
+//!
+//! ```text
+//! cargo test --test snapshot_v2 -- --ignored regenerate_fixture
+//! ```
+
+use sdtw_suite::prelude::*;
+
+/// The committed golden binary snapshot.
+const FIXTURE: &[u8] = include_bytes!("fixtures/index_v2.bin");
+
+/// A deterministic index exercising every column of the v2 layout:
+/// ragged entry lengths (the `entry_lens`/`samples`/`coarse_*` splits),
+/// labels and ids on some-but-not-all entries (both sentinel encodings),
+/// and the default PAA width (coarse columns populated).
+fn golden_index() -> SdtwIndex {
+    let corpus: Vec<TimeSeries> = (0..7)
+        .map(|k| {
+            let len = 19 + 5 * k; // ragged, never a multiple of the width
+            let values = (0..len)
+                .map(|i| ((i as f64) / 5.5 + (k as f64) * 1.3).sin() + (k as f64) * 0.01)
+                .collect();
+            let mut s = TimeSeries::new(values).unwrap();
+            if k % 2 == 0 {
+                s = s.labeled(k as u32);
+            }
+            if k % 3 != 0 {
+                s = s.identified(1000 + k as u64);
+            }
+            s
+        })
+        .collect();
+    SdtwIndex::build(&corpus, IndexConfig::exact_banded(0.2)).unwrap()
+}
+
+#[test]
+fn golden_snapshot_encodes_byte_for_byte() {
+    let bytes = SnapshotCodec::encode(&golden_index(), SnapshotFormat::BinaryV2).unwrap();
+    assert_eq!(
+        bytes, FIXTURE,
+        "binary layout drifted; if intentional, regenerate \
+         tests/fixtures/index_v2.bin (see module docs) and bump the \
+         snapshot format version"
+    );
+}
+
+#[test]
+fn golden_fixture_decodes_back_identically() {
+    let index = golden_index();
+    let parsed = SnapshotCodec::decode(FIXTURE).expect("fixture decodes");
+    assert_eq!(parsed.entries(), index.entries());
+    assert_eq!(parsed.config(), index.config());
+    // and re-encoding the parsed index is a byte-for-byte fixed point
+    let again = SnapshotCodec::encode(&parsed, SnapshotFormat::BinaryV2).unwrap();
+    assert_eq!(again, FIXTURE);
+}
+
+#[test]
+fn golden_fixture_answers_queries_identically_to_a_fresh_build() {
+    let fresh = golden_index();
+    let loaded = SnapshotCodec::decode(FIXTURE).unwrap();
+    for (q, entry) in fresh.entries().iter().enumerate() {
+        let a = fresh.query(&entry.series, 3).unwrap();
+        let b = loaded.query(&entry.series, 3).unwrap();
+        assert_eq!(a.neighbors, b.neighbors, "query {q}");
+        assert_eq!(a.stats, b.stats, "query {q}");
+    }
+}
+
+#[test]
+fn foreign_format_versions_are_rejected() {
+    // flip the version field (bytes 8..12, u32 LE) to a future version
+    let mut foreign = FIXTURE.to_vec();
+    foreign[8] = 3;
+    let err = SnapshotCodec::decode(&foreign).unwrap_err().to_string();
+    assert!(
+        err.contains("version 3") && err.contains("reads version 2"),
+        "err was: {err}"
+    );
+}
+
+#[test]
+fn corrupted_fixture_bytes_are_rejected() {
+    // structural corruption (section table) trips the header checksum
+    let mut corrupt = FIXTURE.to_vec();
+    corrupt[40] ^= 0x01;
+    assert!(SnapshotCodec::decode(&corrupt).is_err());
+}
+
+/// Regenerates the committed fixture. Run explicitly (see module docs);
+/// `golden_snapshot_encodes_byte_for_byte` then proves it is current.
+#[test]
+#[ignore = "writes tests/fixtures/index_v2.bin"]
+fn regenerate_fixture() {
+    let bytes = SnapshotCodec::encode(&golden_index(), SnapshotFormat::BinaryV2).unwrap();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/index_v2.bin");
+    std::fs::write(path, bytes).unwrap();
+}
