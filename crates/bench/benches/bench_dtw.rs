@@ -16,6 +16,10 @@
 //! wavefront fill against the row fill on identical inputs (the core
 //! count in the group name qualifies the ratio — see DESIGN §11), and
 //! `lb_batch` pins the 8-lane LB_Keogh pass against eight scalar calls.
+//! `simd_lanes_<N>core` pins the explicit-lane diagonal sweep against
+//! the scalar cell loop on the same wavefront engine (DESIGN §15) and
+//! *asserts* the lane fill wins on full grids; the measured speedup and
+//! lane width land in the `simd_lanes_guard/...` record id.
 //!
 //! The `trace_overhead_<N>core` group is the telemetry zero-cost guard
 //! (DESIGN §12): a disabled [`Recorder`] threaded through the hot paths
@@ -29,11 +33,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdtw::{ConstraintPolicy, FeatureStore, KernelChoice, SDtw, SDtwConfig};
 use sdtw_dtw::engine::{
-    dtw_full, dtw_run_options, dtw_run_options_values_with, DtwEngine, DtwOptions, DtwScratch,
+    dtw_full, dtw_run_options, dtw_run_options_values_pinned, dtw_run_options_values_with,
+    DtwEngine, DtwOptions, DtwScratch,
 };
 use sdtw_dtw::itakura::itakura_band;
-use sdtw_dtw::lower_bound::{lb_keogh_batch, lb_keogh_values, Envelope, LB_LANES};
+use sdtw_dtw::lower_bound::{
+    lb_keogh_batch, lb_keogh_batch_with, lb_keogh_values, Envelope, LB_LANES,
+};
 use sdtw_dtw::sakoe::sakoe_chiba_band;
+use sdtw_dtw::simd::{SimdMode, LANE_WIDTH};
 use sdtw_dtw::Band;
 use sdtw_eval::compute_matrix;
 use sdtw_index::{IndexConfig, SdtwIndex, SnapshotCodec, SnapshotFormat};
@@ -284,6 +292,111 @@ fn bench_lb_batch(c: &mut Criterion) {
         })
     });
     group.finish();
+}
+
+/// The explicit-SIMD lane sweep against the scalar cell loop on the
+/// wavefront engine's own turf — identical inputs, identical (bitwise)
+/// outputs, only the per-diagonal interior loop differs — plus the
+/// pinned lane-vs-scalar batched LB_Keogh pass. The group name carries
+/// the core count (the lanes are *instruction-level* parallelism, so a
+/// 1-core runner is exactly where the speedup must show), and the guard
+/// record id carries the measured fill speedup and the lane width. The
+/// body *asserts* the lane fill beats the scalar fill on full grids —
+/// that assertion is the perf-regression tripwire the tracked baseline
+/// backs up with numbers.
+fn bench_simd_lanes(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let group_name = format!("simd_lanes_{cores}core");
+    let mut group = c.benchmark_group(&group_name);
+    let opts = DtwOptions::default();
+    let mut scratch = DtwScratch::new();
+    for &n in &[256usize, 512] {
+        let x = series(n, 0.0);
+        let y = series(n, 1.3);
+        let band = Band::full(n, n);
+        for (mname, mode) in [("lanes", SimdMode::Lanes), ("scalar", SimdMode::Scalar)] {
+            group.bench_with_input(BenchmarkId::new(format!("fill_{mname}"), n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        dtw_run_options_values_pinned(
+                            DtwEngine::Wavefront,
+                            mode,
+                            x.values(),
+                            y.values(),
+                            &band,
+                            &opts,
+                            None,
+                            &mut scratch,
+                        )
+                        .expect("no cutoff")
+                        .distance,
+                    )
+                })
+            });
+        }
+    }
+
+    // the batched LB pass, pinned per mode over one ragged batch
+    // (3 lanes + a 5-envelope tail — the cascade's typical shape)
+    let n = 256;
+    let x = series(n, 0.0);
+    let envelopes: Vec<Envelope> = (0..3 * LB_LANES + 5)
+        .map(|k| Envelope::build(&series(n, 0.7 + 0.1 * k as f64), n / 20))
+        .collect();
+    let env_refs: Vec<&Envelope> = envelopes.iter().collect();
+    let metric = DtwOptions::default().metric;
+    let mut out = Vec::with_capacity(env_refs.len());
+    for (mname, mode) in [("lanes", SimdMode::Lanes), ("scalar", SimdMode::Scalar)] {
+        group.bench_function(&format!("lb_batch_{mname}"), |b| {
+            b.iter(|| {
+                lb_keogh_batch_with(mode, x.values(), &env_refs, metric, &mut out);
+                black_box(out.iter().sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+
+    // the guard proper, measured outside the shim: the lane fill must
+    // beat the scalar fill on the 512-point full grid
+    let n = 512;
+    let x = series(n, 0.0);
+    let y = series(n, 1.3);
+    let band = Band::full(n, n);
+    let fill_ns = |mode: SimdMode| {
+        let mut scratch = DtwScratch::new();
+        min_ns_per_call(
+            &mut || {
+                black_box(
+                    dtw_run_options_values_pinned(
+                        DtwEngine::Wavefront,
+                        mode,
+                        x.values(),
+                        y.values(),
+                        &band,
+                        &opts,
+                        None,
+                        &mut scratch,
+                    )
+                    .expect("no cutoff")
+                    .distance,
+                );
+            },
+            20,
+            8,
+        )
+    };
+    let scalar_ns = fill_ns(SimdMode::Scalar);
+    let lanes_ns = fill_ns(SimdMode::Lanes);
+    let speedup = scalar_ns / lanes_ns;
+    assert!(
+        speedup >= 1.2,
+        "lane fill ({lanes_ns:.0} ns) must beat the scalar fill ({scalar_ns:.0} ns) by ≥ 1.2× \
+         on a full grid (measured {speedup:.2}x; the tracked baseline records ~3.8x)"
+    );
+    c.bench_function(
+        &format!("simd_lanes_guard/fill_speedup_{speedup:.2}x_w{LANE_WIDTH}_cores_{cores}"),
+        |b| b.iter(|| black_box(speedup)),
+    );
 }
 
 /// 200 synthetic series (length 48) — big enough that the 200×200 matrix
@@ -599,6 +712,7 @@ criterion_group!(
     bench_traceback,
     bench_scratch_reuse,
     bench_engine_parity,
+    bench_simd_lanes,
     bench_lb_batch,
     bench_api_pairwise,
     bench_api_kernel,

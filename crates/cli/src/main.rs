@@ -32,6 +32,7 @@ use args::Args;
 use rayon::prelude::*;
 use sdtw::{
     ConstraintPolicy, DtwEngine, FeatureStore, KernelChoice, SDtw, SDtwConfig, SalientConfig,
+    SimdMode,
 };
 use sdtw_datasets::UcrAnalog;
 use sdtw_index::{
@@ -1177,6 +1178,12 @@ fn cmd_generate(a: &Args) -> Result<(), String> {
 }
 
 fn run() -> Result<(), String> {
+    // Validate the execution-shape environment overrides before any work:
+    // a misspelt SDTW_ENGINE/SDTW_SIMD surfaces as a proper error here
+    // instead of a panic (or a silently benchmarked default) deep inside
+    // the first query.
+    DtwEngine::from_env().map_err(|e| e.to_string())?;
+    SimdMode::from_env().map_err(|e| e.to_string())?;
     let args = Args::parse(std::env::args().skip(1))?;
     match args.command.as_str() {
         "dist" => cmd_dist(&args),

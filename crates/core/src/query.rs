@@ -13,6 +13,7 @@
 //! | scratch reuse | [`Query::scratch`] | allocate internally |
 //! | cost kernel | [`Query::kernel`] | the engine's `dtw.kernel` |
 //! | DP engine | [`Query::dp_engine`] | `SDTW_ENGINE` / wavefront |
+//! | SIMD mode | [`Query::simd`] | `SDTW_SIMD` / lanes |
 //!
 //! All combinations resolve through one internal `run()`; the deprecated
 //! `SDtw::distance*` methods are thin shims over it and bit-identical to
@@ -21,8 +22,8 @@
 
 use crate::engine::{PhaseTiming, SDtw, SDtwOutcome};
 use crate::store::FeatureStore;
-use sdtw_dtw::engine::{dtw_run_options_values_with, DtwEngine, DtwScratch};
-use sdtw_dtw::{Band, KernelChoice};
+use sdtw_dtw::engine::{dtw_run_options_values_pinned, DtwEngine, DtwScratch};
+use sdtw_dtw::{Band, KernelChoice, SimdMode};
 use sdtw_obs::{Recorder, SpanRecord, TracePhase};
 use sdtw_salient::{extract_features, SalientFeature};
 use sdtw_tseries::{TimeSeries, TsError};
@@ -100,6 +101,7 @@ pub struct Query<'a> {
     scratch: Option<&'a mut DtwScratch>,
     kernel: Option<KernelChoice>,
     dp_engine: Option<DtwEngine>,
+    simd: Option<SimdMode>,
     recorder: Option<&'a mut Recorder>,
 }
 
@@ -144,6 +146,7 @@ impl SDtw {
             scratch: None,
             kernel: None,
             dp_engine: None,
+            simd: None,
             recorder: None,
         }
     }
@@ -229,6 +232,19 @@ impl<'a> Query<'a> {
         self
     }
 
+    /// Pins the SIMD mode of the wavefront fill for this call —
+    /// [`SimdMode::Lanes`] (explicit `F64Lanes` diagonal sweeps) or
+    /// [`SimdMode::Scalar`] (one cell at a time) — instead of the
+    /// process-wide [`SimdMode::selected`] default (the `SDTW_SIMD`
+    /// environment variable, lanes when unset). The two modes are
+    /// bit-identical in distances and abandon decisions; this override
+    /// exists for differential tests and benchmarks. The row engine
+    /// ignores it.
+    pub fn simd(mut self, simd: SimdMode) -> Self {
+        self.simd = Some(simd);
+        self
+    }
+
     /// Executes the query: resolve features, plan (or adopt) the band,
     /// run the banded DP under the configured kernel.
     ///
@@ -251,6 +267,7 @@ impl<'a> Query<'a> {
             scratch,
             kernel,
             dp_engine,
+            simd,
             recorder,
         } = self;
         let config = engine.config();
@@ -351,8 +368,9 @@ impl<'a> Query<'a> {
             }
         };
         let t_dp = Instant::now();
-        let result = dtw_run_options_values_with(
+        let result = dtw_run_options_values_pinned(
             dp_engine.unwrap_or_else(DtwEngine::selected),
+            simd.unwrap_or_else(SimdMode::selected),
             xv,
             yv,
             band,
@@ -470,6 +488,34 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(out2.timing.extraction, None, "absent, not zero");
+    }
+
+    #[test]
+    fn simd_override_is_bit_identical_across_modes() {
+        let engine = SDtw::new(SDtwConfig::default()).unwrap();
+        let (x, y) = (series(130, 0.0), series(117, 0.6));
+        for dp in [DtwEngine::Wavefront, DtwEngine::Rows] {
+            let scalar = engine
+                .query(&x, &y)
+                .dp_engine(dp)
+                .simd(SimdMode::Scalar)
+                .run()
+                .unwrap()
+                .unwrap();
+            let lanes = engine
+                .query(&x, &y)
+                .dp_engine(dp)
+                .simd(SimdMode::Lanes)
+                .run()
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                scalar.distance.to_bits(),
+                lanes.distance.to_bits(),
+                "engine {dp:?}"
+            );
+            assert_eq!(scalar.cells_filled, lanes.cells_filled);
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! `O(band area)`, so their distances and abandon decisions are
 //! bit-identical (`tests/differential_engine.rs` is the harness that
 //! keeps this checkable); [`DtwEngine::selected`] picks the process-wide
-//! engine from `SDTW_ENGINE`. Out-of-band parents are treated as `+∞`;
+//! engine from `SDTW_ENGINE`, and [`SimdMode::selected`] independently
+//! picks whether the wavefront's diagonal sweep runs in explicit
+//! [`F64Lanes`] vectors or one scalar cell at a time (`SDTW_SIMD`,
+//! bit-identical either way). Out-of-band parents are treated as `+∞`;
 //! the band sanitiser guarantees the corner cell stays reachable.
 //!
 //! The execution surface is **one** function pair:
@@ -33,6 +36,7 @@
 use crate::band::Band;
 use crate::kernel::{AmercedKernel, DtwKernel, KernelChoice, StandardKernel};
 use crate::path::WarpPath;
+use crate::simd::{F64Lanes, LaneMask, SimdMode, LANE_WIDTH};
 use sdtw_tseries::{ElementMetric, TimeSeries, TsError};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
@@ -68,21 +72,46 @@ impl DtwEngine {
         }
     }
 
+    /// Resolves an optional `SDTW_ENGINE` value to an engine: `None`
+    /// (unset) is the default; an unparsable value is a proper
+    /// [`TsError::InvalidParameter`], never a panic. This is the pure core
+    /// of [`DtwEngine::from_env`], split out so tests can exercise the
+    /// error path without mutating the process environment.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidParameter`] on an unrecognised value.
+    pub fn from_env_value(value: Option<&str>) -> Result<Self, TsError> {
+        match value {
+            None => Ok(Self::default()),
+            Some(v) => Self::parse(v).ok_or_else(|| TsError::InvalidParameter {
+                name: "SDTW_ENGINE",
+                reason: format!("must be 'wavefront' or 'rows', got '{v}'"),
+            }),
+        }
+    }
+
+    /// Reads and validates the `SDTW_ENGINE` environment variable.
+    /// Front-ends (the CLI) call this once at startup so a misspelt forced
+    /// engine surfaces as an error message instead of a panic or a
+    /// silently benchmarked default.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidParameter`] on an unrecognised value.
+    pub fn from_env() -> Result<Self, TsError> {
+        Self::from_env_value(std::env::var("SDTW_ENGINE").ok().as_deref())
+    }
+
     /// The process-wide engine selection: the `SDTW_ENGINE` environment
     /// variable, read once and cached (the CI matrix forces each value in
-    /// turn); unset defaults to [`DtwEngine::Wavefront`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unrecognised `SDTW_ENGINE` value — a misspelt forced
-    /// engine must fail loudly, not silently benchmark the default.
+    /// turn); unset defaults to [`DtwEngine::Wavefront`]. An invalid value
+    /// falls back to the default here — validation lives in
+    /// [`DtwEngine::from_env`], which front-ends invoke at startup to fail
+    /// fast with a proper error.
     pub fn selected() -> Self {
         static SELECTED: OnceLock<DtwEngine> = OnceLock::new();
-        *SELECTED.get_or_init(|| match std::env::var("SDTW_ENGINE") {
-            Err(_) => Self::default(),
-            Ok(v) => Self::parse(&v)
-                .unwrap_or_else(|| panic!("SDTW_ENGINE must be 'wavefront' or 'rows', got '{v}'")),
-        })
+        *SELECTED.get_or_init(|| Self::from_env().unwrap_or_default())
     }
 }
 
@@ -237,7 +266,9 @@ pub struct DtwResult {
 
 /// Reusable DP buffers: the band-sparse accumulation matrix's row offsets
 /// and cell storage (row engine), plus the three rotating anti-diagonal
-/// buffers of the wavefront engine.
+/// buffers of the wavefront engine (which the explicit-SIMD lane sweep
+/// loads [`LANE_WIDTH`] cells at a time — plain contiguous `Vec<f64>`
+/// storage is exactly the layout the lanes want).
 ///
 /// A [`dtw_run`] call without caller scratch allocates one internally;
 /// batch workloads (distance matrices, nearest-neighbour loops) instead
@@ -384,26 +415,111 @@ fn fill<'a, K: DtwKernel, const ABANDON: bool>(
     Some(d)
 }
 
+/// A parent read outside the recorded span of its diagonal buffer is out
+/// of band, hence `+∞`.
+#[inline(always)]
+fn span_read(buf: &[f64], span: (usize, usize), i: usize) -> f64 {
+    if span.0 <= i && i <= span.1 {
+        buf[i - span.0]
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// One scalar pass over rows `lo..hi` of diagonal `d` (span origin `a`) —
+/// the per-cell reference expression of the wavefront sweep. The lane
+/// path delegates its head/ragged-tail cells (and any span narrower than
+/// one vector) here, so scalar and lane fills share one cell definition.
+#[allow(clippy::too_many_arguments)]
+// private kernel of fill_wavefront
+// the index loop addresses the band rows and both sample buffers at once
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+fn wavefront_cells_scalar<K: DtwKernel, const ABANDON: bool>(
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    staircase: bool,
+    metric: ElementMetric,
+    kernel: &K,
+    d: usize,
+    a: usize,
+    lo: usize,
+    hi: usize,
+    prev: &[f64],
+    prev_span: (usize, usize),
+    prev2: &[f64],
+    prev2_span: (usize, usize),
+    cur: &mut [f64],
+    diag_min: &mut f64,
+) {
+    for i in lo..hi {
+        let j = d - i;
+        if !staircase && !band.row(i).contains(j) {
+            cur[i - a] = f64::INFINITY;
+            continue;
+        }
+        let local = metric.eval(xv[i], yv[j]);
+        // the same three-way kernel expression as the row engine; arms
+        // whose parent cannot exist (i == 0 or j == 0) drop out exactly
+        // as min(x, +inf) would
+        let v = if i == 0 {
+            if j == band.row(0).lo {
+                kernel.start(local)
+            } else {
+                kernel.left(span_read(prev, prev_span, 0), local)
+            }
+        } else if j == 0 {
+            kernel.up(span_read(prev, prev_span, i - 1), local)
+        } else {
+            let up = span_read(prev, prev_span, i - 1);
+            let left = span_read(prev, prev_span, i);
+            let diag = span_read(prev2, prev2_span, i - 1);
+            kernel
+                .up(up, local)
+                .min(kernel.left(left, local))
+                .min(kernel.diagonal(diag, local))
+        };
+        cur[i - a] = v;
+        if ABANDON {
+            *diag_min = diag_min.min(v);
+        }
+    }
+}
+
 /// Wavefront fill: sweeps anti-diagonals `d = i + j` of the banded
 /// lattice and returns the raw corner cost. Cell `(i, j)` reads its `up`
 /// and `left` parents from diagonal `d - 1` and its `diagonal` parent
 /// from `d - 2`, so only three flat buffers stay alive and the inner loop
-/// over a diagonal carries no serial dependency (the shape a SIMD/GPU
-/// backend maps onto directly). The per-cell expression is the row
+/// over a diagonal carries no serial dependency (the shape the explicit
+/// SIMD lanes map onto directly). The per-cell expression is the row
 /// engine's verbatim, hence bit-identical values by induction over `d`.
+///
+/// With `LANES`, the interior of each diagonal span — the rows whose
+/// three parent reads are proven inside the recorded spans of the two
+/// live diagonals, so no per-cell span check is needed — is swept
+/// [`LANE_WIDTH`] cells at a time on [`F64Lanes`] through the kernel's
+/// `*_lanes` seam; the head before the interior, the ragged tail after
+/// the last full vector, and any span narrower than one vector run the
+/// scalar per-cell code above. Non-staircase membership is applied by
+/// mask-select (`+∞` into excluded lanes — the value the scalar path
+/// writes). Every lane executes the scalar op sequence bit-for-bit, so
+/// `LANES` never changes a single stored cell.
 ///
 /// With `ABANDON`, abandons when neither of the two live diagonals holds
 /// a cell at or under `cutoff`: a warp path advances `i + j` by 1 or 2
 /// per step, so every path from origin to corner visits diagonal `d - 1`
-/// or `d`, and kernels never decrease cost along a path.
+/// or `d`, and kernels never decrease cost along a path. The lane path
+/// folds a vector minimum and reduces it with [`F64Lanes::horizontal_min`]
+/// — `f64::min` over non-NaN values is order-independent, so the reduced
+/// value (and hence every abandon decision) is identical to the scalar
+/// left-to-right fold.
 ///
 /// Band cells are enumerated per diagonal as one contiguous row interval.
 /// For staircase bands (both edges non-decreasing — every classic policy)
 /// the interval is exact; otherwise a conservative interval is scanned
 /// with per-cell membership tests and out-of-band slots pinned to `+∞`.
-// Index loops again address the band rows and both sample buffers at once.
-#[allow(clippy::needless_range_loop)]
-fn fill_wavefront<K: DtwKernel, const ABANDON: bool>(
+fn fill_wavefront<K: DtwKernel, const ABANDON: bool, const LANES: bool>(
     xv: &[f64],
     yv: &[f64],
     band: &Band,
@@ -439,16 +555,6 @@ fn fill_wavefront<K: DtwKernel, const ABANDON: bool>(
         }
     }
 
-    // a parent read outside the recorded span of its diagonal is out of
-    // band, hence +inf
-    let read = |buf: &[f64], span: (usize, usize), i: usize| -> f64 {
-        if span.0 <= i && i <= span.1 {
-            buf[i - span.0]
-        } else {
-            f64::INFINITY
-        }
-    };
-
     let raw = 'sweep: {
         let total = n + m - 1;
         // two-pointer row-span state, advanced monotonically with d
@@ -482,37 +588,106 @@ fn fill_wavefront<K: DtwKernel, const ABANDON: bool>(
             let b = b.min(d);
             let mut diag_min = f64::INFINITY;
             if a <= b {
-                for i in a..=b {
-                    let j = d - i;
-                    if !staircase && !band.row(i).contains(j) {
-                        cur[i - a] = f64::INFINITY;
-                        continue;
-                    }
-                    let local = metric.eval(xv[i], yv[j]);
-                    // the same three-way kernel expression as the row
-                    // engine; arms whose parent cannot exist (i == 0 or
-                    // j == 0) drop out exactly as min(x, +inf) would
-                    let v = if i == 0 {
-                        if j == band.row(0).lo {
-                            kernel.start(local)
-                        } else {
-                            kernel.left(read(&prev, prev_span, 0), local)
+                // lane-safe interior of the span: rows whose `up`/`left`
+                // reads (prev[i-1], prev[i]) and `diag` read (prev2[i-1])
+                // are all inside the recorded spans, and which are neither
+                // in row 0 nor column 0 — within it, parents load straight
+                // from the buffers with no span or edge checks. (When a
+                // live span is the empty sentinel (1, 0), lo > hi and the
+                // interior vanishes; +1 on the sentinel cannot overflow.)
+                let lane_lo = a.max(1).max(prev_span.0 + 1).max(prev2_span.0 + 1);
+                let lane_hi = b
+                    .min(d.saturating_sub(1))
+                    .min(prev_span.1)
+                    .min(prev2_span.1 + 1);
+                if LANES && lane_lo <= lane_hi && lane_hi - lane_lo + 1 >= LANE_WIDTH {
+                    wavefront_cells_scalar::<K, ABANDON>(
+                        xv,
+                        yv,
+                        band,
+                        staircase,
+                        metric,
+                        kernel,
+                        d,
+                        a,
+                        a,
+                        lane_lo,
+                        &prev,
+                        prev_span,
+                        &prev2,
+                        prev2_span,
+                        &mut cur,
+                        &mut diag_min,
+                    );
+                    let mut lane_min = F64Lanes::splat(f64::INFINITY);
+                    let mut i0 = lane_lo;
+                    while i0 + LANE_WIDTH <= lane_hi + 1 {
+                        let xs = F64Lanes::load(&xv[i0..]);
+                        // ascending rows read descending columns j = d - i:
+                        // a contiguous yv window, loaded reversed
+                        let ys = F64Lanes::load_reversed(&yv[d - i0 + 1 - LANE_WIDTH..]);
+                        let local = kernel.local_lanes(metric, xs, ys);
+                        let up = F64Lanes::load(&prev[i0 - 1 - prev_span.0..]);
+                        let left = F64Lanes::load(&prev[i0 - prev_span.0..]);
+                        let diag = F64Lanes::load(&prev2[i0 - 1 - prev2_span.0..]);
+                        let mut v = kernel
+                            .up_lanes(up, local)
+                            .min(kernel.left_lanes(left, local))
+                            .min(kernel.diagonal_lanes(diag, local));
+                        if !staircase {
+                            // out-of-band lanes get the +inf the scalar
+                            // path writes; their computed values (finite,
+                            // never NaN) are discarded by the select
+                            let member =
+                                LaneMask::from_fn(|l| band.row(i0 + l).contains(d - i0 - l));
+                            v = F64Lanes::select(member, v, F64Lanes::splat(f64::INFINITY));
                         }
-                    } else if j == 0 {
-                        kernel.up(read(&prev, prev_span, i - 1), local)
-                    } else {
-                        let up = read(&prev, prev_span, i - 1);
-                        let left = read(&prev, prev_span, i);
-                        let diag = read(&prev2, prev2_span, i - 1);
-                        kernel
-                            .up(up, local)
-                            .min(kernel.left(left, local))
-                            .min(kernel.diagonal(diag, local))
-                    };
-                    cur[i - a] = v;
-                    if ABANDON {
-                        diag_min = diag_min.min(v);
+                        v.store(&mut cur[i0 - a..]);
+                        if ABANDON {
+                            lane_min = lane_min.min(v);
+                        }
+                        i0 += LANE_WIDTH;
                     }
+                    if ABANDON {
+                        diag_min = diag_min.min(lane_min.horizontal_min());
+                    }
+                    wavefront_cells_scalar::<K, ABANDON>(
+                        xv,
+                        yv,
+                        band,
+                        staircase,
+                        metric,
+                        kernel,
+                        d,
+                        a,
+                        i0,
+                        b + 1,
+                        &prev,
+                        prev_span,
+                        &prev2,
+                        prev2_span,
+                        &mut cur,
+                        &mut diag_min,
+                    );
+                } else {
+                    wavefront_cells_scalar::<K, ABANDON>(
+                        xv,
+                        yv,
+                        band,
+                        staircase,
+                        metric,
+                        kernel,
+                        d,
+                        a,
+                        a,
+                        b + 1,
+                        &prev,
+                        prev_span,
+                        &prev2,
+                        prev2_span,
+                        &mut cur,
+                        &mut diag_min,
+                    );
                 }
             }
             if ABANDON && kernel.normalize(frontier_min.min(diag_min), xv.len(), yv.len()) > cutoff
@@ -623,9 +798,8 @@ pub fn dtw_run_values<K: DtwKernel>(
 }
 
 /// [`dtw_run_values`] with the fill engine forced explicitly instead of
-/// resolved from [`DtwEngine::selected`]. This is the dispatch point the
-/// cross-engine differential harness drives; production callers go
-/// through [`dtw_run_values`].
+/// resolved from [`DtwEngine::selected`] (the SIMD mode still resolves
+/// from [`SimdMode::selected`]; [`dtw_run_values_pinned`] forces both).
 ///
 /// Requesting [`DtwEngine::Wavefront`] with `compute_path` set falls back
 /// to the row engine — the traceback walk needs the full accumulation
@@ -647,6 +821,46 @@ pub fn dtw_run_values_with<K: DtwKernel>(
     cutoff: Option<f64>,
     scratch: &mut DtwScratch,
 ) -> Option<DtwResult> {
+    dtw_run_values_pinned(
+        engine,
+        SimdMode::selected(),
+        xv,
+        yv,
+        band,
+        metric,
+        kernel,
+        compute_path,
+        cutoff,
+        scratch,
+    )
+}
+
+/// [`dtw_run_values`] with **both** execution-shape knobs forced
+/// explicitly: the fill engine and the SIMD mode. This is the dispatch
+/// point the cross-engine/cross-mode differential harness drives — it
+/// pins `scalar` and `lanes` inside one process to prove them
+/// bit-identical; production callers go through [`dtw_run_values`] (env
+/// selection) or the core `Query` builder (per-query override).
+///
+/// The SIMD mode only affects the wavefront fill; the row engine (and the
+/// path-mode fallback onto it) has a serial inner loop and ignores it.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or an empty slice (programmer errors).
+#[allow(clippy::too_many_arguments)] // mirror of dtw_run, see there
+pub fn dtw_run_values_pinned<K: DtwKernel>(
+    engine: DtwEngine,
+    simd: SimdMode,
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    metric: ElementMetric,
+    kernel: &K,
+    compute_path: bool,
+    cutoff: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<DtwResult> {
     assert!(!xv.is_empty() && !yv.is_empty(), "series must be non-empty");
     assert_eq!(band.n(), xv.len(), "band rows must match |X|");
     assert_eq!(band.m(), yv.len(), "band cols must match |Y|");
@@ -659,12 +873,33 @@ pub fn dtw_run_values_with<K: DtwKernel>(
     };
 
     if engine == DtwEngine::Wavefront && !compute_path {
-        let raw = match cutoff {
-            Some(t) => fill_wavefront::<K, true>(xv, yv, band, metric, kernel, t, scratch)?,
-            None => {
-                fill_wavefront::<K, false>(xv, yv, band, metric, kernel, f64::INFINITY, scratch)
-                    .expect("a sweep without a cutoff never abandons")
+        let raw = match (cutoff, simd) {
+            (Some(t), SimdMode::Lanes) => {
+                fill_wavefront::<K, true, true>(xv, yv, band, metric, kernel, t, scratch)?
             }
+            (Some(t), SimdMode::Scalar) => {
+                fill_wavefront::<K, true, false>(xv, yv, band, metric, kernel, t, scratch)?
+            }
+            (None, SimdMode::Lanes) => fill_wavefront::<K, false, true>(
+                xv,
+                yv,
+                band,
+                metric,
+                kernel,
+                f64::INFINITY,
+                scratch,
+            )
+            .expect("a sweep without a cutoff never abandons"),
+            (None, SimdMode::Scalar) => fill_wavefront::<K, false, false>(
+                xv,
+                yv,
+                band,
+                metric,
+                kernel,
+                f64::INFINITY,
+                scratch,
+            )
+            .expect("a sweep without a cutoff never abandons"),
         };
         debug_assert!(raw.is_finite(), "sanitised band must reach the corner cell");
         let distance = kernel.normalize(raw, xv.len(), yv.len());
@@ -752,7 +987,8 @@ pub fn dtw_run_options_values(
 
 /// [`dtw_run_options_values`] with the fill engine forced explicitly (see
 /// [`dtw_run_values_with`] for the engine contract and the path-mode
-/// fallback).
+/// fallback). The SIMD mode still resolves from [`SimdMode::selected`];
+/// [`dtw_run_options_values_pinned`] forces both.
 ///
 /// # Panics
 ///
@@ -767,9 +1003,42 @@ pub fn dtw_run_options_values_with(
     cutoff: Option<f64>,
     scratch: &mut DtwScratch,
 ) -> Option<DtwResult> {
+    dtw_run_options_values_pinned(
+        engine,
+        SimdMode::selected(),
+        xv,
+        yv,
+        band,
+        opts,
+        cutoff,
+        scratch,
+    )
+}
+
+/// [`dtw_run_options_values`] with both the fill engine and the SIMD mode
+/// forced explicitly (see [`dtw_run_values_pinned`] for the contract).
+/// This is the options-driven leg of the differential harness and the
+/// dispatch target of the core `Query::simd` builder knob.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, an empty slice, or an invalid amerced
+/// penalty (programmer errors).
+#[allow(clippy::too_many_arguments)] // mirror of dtw_run, see there
+pub fn dtw_run_options_values_pinned(
+    engine: DtwEngine,
+    simd: SimdMode,
+    xv: &[f64],
+    yv: &[f64],
+    band: &Band,
+    opts: &DtwOptions,
+    cutoff: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<DtwResult> {
     match opts.kernel {
-        KernelChoice::Standard => dtw_run_values_with(
+        KernelChoice::Standard => dtw_run_values_pinned(
             engine,
+            simd,
             xv,
             yv,
             band,
@@ -779,8 +1048,9 @@ pub fn dtw_run_options_values_with(
             cutoff,
             scratch,
         ),
-        KernelChoice::Amerced { penalty } => dtw_run_values_with(
+        KernelChoice::Amerced { penalty } => dtw_run_values_pinned(
             engine,
+            simd,
             xv,
             yv,
             band,

@@ -25,6 +25,8 @@
 //! [`crate::engine::dtw_run_options`].
 
 use crate::engine::{Normalization, StepPattern};
+use crate::simd::{lanes_eval, F64Lanes};
+use sdtw_tseries::ElementMetric;
 use serde::{Deserialize, Serialize};
 
 /// The cost model of one DTW recurrence: how each parent transition is
@@ -51,6 +53,13 @@ use serde::{Deserialize, Serialize};
 ///   cell cannot exist (first row/column) on the strength of
 ///   `min(x, +∞) == x`; a kernel that collapsed infinities would break
 ///   the row/wavefront bit-identity the differential harness asserts.
+/// * **Lane bit-identity** — the `*_lanes` methods must compute, in every
+///   lane, the *bit-identical* result of the corresponding scalar method
+///   on that lane's inputs. The defaults guarantee this by delegating
+///   per-lane; an override may only reorder *across* lanes (which is what
+///   makes it vectorisable), never alter the per-lane op sequence —
+///   `SDTW_SIMD=lanes` vs `=scalar` bit-identity rests on it, and the
+///   differential harness asserts it per kernel.
 pub trait DtwKernel {
     /// Cost of the origin cell of a warp path (no parent).
     #[inline]
@@ -66,6 +75,35 @@ pub trait DtwKernel {
 
     /// Cost of arriving from the diagonal parent (`(i-1, j-1)`).
     fn diagonal(&self, parent: f64, local: f64) -> f64;
+
+    /// Lanewise local cost: lane `l` must equal `metric.eval(x[l], y[l])`
+    /// bitwise. The default delegates per lane; built-in kernels override
+    /// with [`lanes_eval`] (same per-lane op sequence, vector shape).
+    #[inline]
+    fn local_lanes(&self, metric: ElementMetric, x: F64Lanes, y: F64Lanes) -> F64Lanes {
+        F64Lanes::from_fn(|l| metric.eval(x.lane(l), y.lane(l)))
+    }
+
+    /// Lanewise [`DtwKernel::up`]: lane `l` must equal
+    /// `self.up(parent[l], local[l])` bitwise.
+    #[inline]
+    fn up_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
+        F64Lanes::from_fn(|l| self.up(parent.lane(l), local.lane(l)))
+    }
+
+    /// Lanewise [`DtwKernel::left`]: lane `l` must equal
+    /// `self.left(parent[l], local[l])` bitwise.
+    #[inline]
+    fn left_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
+        F64Lanes::from_fn(|l| self.left(parent.lane(l), local.lane(l)))
+    }
+
+    /// Lanewise [`DtwKernel::diagonal`]: lane `l` must equal
+    /// `self.diagonal(parent[l], local[l])` bitwise.
+    #[inline]
+    fn diagonal_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
+        F64Lanes::from_fn(|l| self.diagonal(parent.lane(l), local.lane(l)))
+    }
 
     /// Converts a raw accumulated cost into reported-distance units.
     /// Must be monotone non-decreasing in `raw` (early-abandon thresholds
@@ -119,6 +157,27 @@ impl DtwKernel for StandardKernel {
     fn diagonal(&self, parent: f64, local: f64) -> f64 {
         // symmetric2 charges the diagonal transition 2·d
         parent + self.diagonal_weight * local
+    }
+
+    #[inline(always)]
+    fn local_lanes(&self, metric: ElementMetric, x: F64Lanes, y: F64Lanes) -> F64Lanes {
+        lanes_eval(metric, x, y)
+    }
+
+    #[inline(always)]
+    fn up_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
+        parent + local
+    }
+
+    #[inline(always)]
+    fn left_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
+        parent + local
+    }
+
+    #[inline(always)]
+    fn diagonal_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
+        // same association as the scalar: parent + (w * local)
+        parent + F64Lanes::splat(self.diagonal_weight) * local
     }
 
     #[inline(always)]
@@ -200,6 +259,27 @@ impl DtwKernel for AmercedKernel {
 
     #[inline(always)]
     fn diagonal(&self, parent: f64, local: f64) -> f64 {
+        parent + local
+    }
+
+    #[inline(always)]
+    fn local_lanes(&self, metric: ElementMetric, x: F64Lanes, y: F64Lanes) -> F64Lanes {
+        lanes_eval(metric, x, y)
+    }
+
+    #[inline(always)]
+    fn up_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
+        // same association as the scalar: (parent + local) + ω
+        parent + local + F64Lanes::splat(self.penalty)
+    }
+
+    #[inline(always)]
+    fn left_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
+        parent + local + F64Lanes::splat(self.penalty)
+    }
+
+    #[inline(always)]
+    fn diagonal_lanes(&self, parent: F64Lanes, local: F64Lanes) -> F64Lanes {
         parent + local
     }
 
@@ -343,6 +423,65 @@ mod tests {
             let back: KernelChoice = serde_json::from_str(&json).unwrap();
             assert_eq!(k, back);
         }
+    }
+
+    #[test]
+    fn lane_methods_match_scalar_methods_bitwise() {
+        use crate::simd::LANE_WIDTH;
+        let parents = F64Lanes::from_fn(|l| 0.37 * l as f64 + 0.1);
+        let locals = F64Lanes::from_fn(|l| 1.13 * (LANE_WIDTH - l) as f64);
+        let xs = F64Lanes::from_fn(|l| 0.7 * l as f64 - 2.0);
+        let ys = F64Lanes::from_fn(|l| -0.3 * l as f64 + 1.0);
+        let std2 = StandardKernel::new(StepPattern::Symmetric2, Normalization::None);
+        let am = AmercedKernel::new(0.75, Normalization::None);
+
+        fn check<K: DtwKernel>(k: &K, p: F64Lanes, d: F64Lanes, x: F64Lanes, y: F64Lanes) {
+            use crate::simd::LANE_WIDTH;
+            for metric in [ElementMetric::Squared, ElementMetric::Absolute] {
+                let lanes = k.local_lanes(metric, x, y);
+                for l in 0..LANE_WIDTH {
+                    assert_eq!(
+                        lanes.lane(l).to_bits(),
+                        metric.eval(x.lane(l), y.lane(l)).to_bits()
+                    );
+                }
+            }
+            let (u, le, di) = (k.up_lanes(p, d), k.left_lanes(p, d), k.diagonal_lanes(p, d));
+            for l in 0..LANE_WIDTH {
+                assert_eq!(u.lane(l).to_bits(), k.up(p.lane(l), d.lane(l)).to_bits());
+                assert_eq!(le.lane(l).to_bits(), k.left(p.lane(l), d.lane(l)).to_bits());
+                assert_eq!(
+                    di.lane(l).to_bits(),
+                    k.diagonal(p.lane(l), d.lane(l)).to_bits()
+                );
+            }
+        }
+        check(&std2, parents, locals, xs, ys);
+        check(&am, parents, locals, xs, ys);
+
+        // a kernel relying on the default (per-lane delegating) impls
+        struct Plain;
+        impl DtwKernel for Plain {
+            fn up(&self, p: f64, d: f64) -> f64 {
+                p + 2.0 * d
+            }
+            fn left(&self, p: f64, d: f64) -> f64 {
+                p + d + 0.5
+            }
+            fn diagonal(&self, p: f64, d: f64) -> f64 {
+                p + d
+            }
+            fn normalize(&self, raw: f64, _: usize, _: usize) -> f64 {
+                raw
+            }
+            fn lower_bounds_admissible(&self) -> bool {
+                false
+            }
+            fn label(&self) -> String {
+                "plain".into()
+            }
+        }
+        check(&Plain, parents, locals, xs, ys);
     }
 
     #[test]

@@ -34,7 +34,11 @@
 //!   step weighting, normalisation) with the standard and amerced (ADTW)
 //!   kernels, plus the serialisable [`kernel::KernelChoice`] selector;
 //! * [`multires`] — coarse-to-fine (FastDTW-style) corridor DTW, the
-//!   reduced-representation family the paper calls orthogonal to sDTW.
+//!   reduced-representation family the paper calls orthogonal to sDTW;
+//! * [`simd`] — the portable explicit-SIMD lane layer: the aligned
+//!   [`simd::F64Lanes`] vector type the wavefront fill and the batched
+//!   bounds sweep with, and the [`simd::SimdMode`] selector
+//!   (`SDTW_SIMD=scalar|lanes`, bit-identical by differential test).
 //!
 //! The execution surface is the unified [`engine::dtw_run`] /
 //! [`engine::dtw_run_options`] pair; the historical `dtw_banded*` entry
@@ -72,6 +76,7 @@ pub mod lower_bound;
 pub mod multires;
 pub mod path;
 pub mod sakoe;
+pub mod simd;
 
 pub use band::Band;
 pub use cascade::{
@@ -83,14 +88,16 @@ pub use engine::{
     dtw_banded_with_scratch,
 };
 pub use engine::{
-    dtw_full, dtw_run, dtw_run_options, dtw_run_options_values, dtw_run_options_values_with,
-    dtw_run_values, dtw_run_values_with, DtwEngine, DtwOptions, DtwResult, DtwScratch,
-    Normalization, StepPattern,
+    dtw_full, dtw_run, dtw_run_options, dtw_run_options_values, dtw_run_options_values_pinned,
+    dtw_run_options_values_with, dtw_run_values, dtw_run_values_pinned, dtw_run_values_with,
+    DtwEngine, DtwOptions, DtwResult, DtwScratch, Normalization, StepPattern,
 };
 pub use kernel::{AmercedKernel, DtwKernel, KernelChoice, StandardKernel};
 pub use lower_bound::{
-    lb_keogh, lb_keogh_batch, lb_keogh_batch_windows, lb_keogh_values, lb_kim, lb_kim_batch,
-    Envelope, SeriesSummary, LB_LANES,
+    lb_keogh, lb_keogh_batch, lb_keogh_batch_windows, lb_keogh_batch_windows_with,
+    lb_keogh_batch_with, lb_keogh_values, lb_kim, lb_kim_batch, lb_kim_batch_with, Envelope,
+    SeriesSummary, LB_LANES,
 };
 pub use multires::{dtw_multires, dtw_multires_with_scratch, MultiresScratch};
 pub use path::WarpPath;
+pub use simd::{F64Lanes, LaneMask, SimdMode, LANE_WIDTH};

@@ -138,8 +138,11 @@ struct IndexSnapshot {
 
 /// A Kim-surviving candidate parked in the deferred queue until enough
 /// accumulate to batch their forward LB_Keogh bounds ([`LB_LANES`] at a
-/// time). The band is planned at enqueue time — in serial visit order —
-/// so deferral changes *when* the per-sample stages run, never what they
+/// time — the queue capacity is never assumed to be a literal `8`; the
+/// width comes from the `sdtw_dtw::simd` lane layer through that one
+/// const, so widening the SIMD lanes re-sizes this queue automatically).
+/// The band is planned at enqueue time — in serial visit order — so
+/// deferral changes *when* the per-sample stages run, never what they
 /// see.
 #[derive(Debug)]
 struct PendingCandidate {

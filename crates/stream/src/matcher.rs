@@ -892,7 +892,10 @@ impl SubseqMatcher {
 
 /// A Kim-surviving window parked in the deferred queue until enough
 /// accumulate to batch their forward LB_Keogh bounds (one
-/// [`lb_keogh_batch_windows`] lane pass over up to [`LB_LANES`] windows).
+/// [`lb_keogh_batch_windows`] lane pass over up to [`LB_LANES`] windows —
+/// the queue capacity and the normalised-window staging buffers are both
+/// sized from that one const, which the `sdtw_dtw::simd` lane layer
+/// defines, so no chunk-width assumption lives in this crate).
 /// Normalisation and band planning happen at enqueue time — in serial
 /// sweep order — so deferral changes *when* the sample-phase stages run,
 /// never what they see.

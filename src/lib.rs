@@ -64,6 +64,7 @@ pub mod prelude {
         lb_keogh, lb_keogh_batch, lb_keogh_batch_windows, lb_kim, lb_kim_batch, Envelope,
         SeriesSummary, LB_LANES,
     };
+    pub use sdtw_dtw::simd::{F64Lanes, SimdMode, LANE_WIDTH};
     pub use sdtw_dtw::{Band, WarpPath};
     pub use sdtw_eval::{
         compute_matrix, compute_matrix_traced, compute_query_matrix, compute_query_matrix_traced,

@@ -26,9 +26,11 @@ const EXPECTED: &[&str] = &[
     "ElementMetric",
     "Envelope",
     "EvalOptions",
+    "F64Lanes",
     "FeatureStore",
     "IndexConfig",
     "KernelChoice",
+    "LANE_WIDTH",
     "LB_LANES",
     "MatchConfig",
     "MonitorBank",
@@ -51,6 +53,7 @@ const EXPECTED: &[&str] = &[
     "ServeHit",
     "ServeRequest",
     "ServeResponse",
+    "SimdMode",
     "SnapshotCodec",
     "SnapshotFormat",
     "SpanRecord",
@@ -191,6 +194,9 @@ fn snapshot_items_actually_resolve() {
     let _ = prelude::lb_keogh_batch;
     let _ = prelude::lb_kim_batch;
     let _: usize = prelude::LB_LANES;
+    assert_type::<prelude::F64Lanes>();
+    assert_type::<prelude::SimdMode>();
+    let _: usize = prelude::LANE_WIDTH;
     // the DtwKernel trait is usable through the prelude
     fn _takes_kernel<K: prelude::DtwKernel>(_k: &K) {}
 }

@@ -1,9 +1,11 @@
 //! Differential harness: the wavefront (anti-diagonal) DP engine against
-//! the row-sequential reference, over a seeded grid of kernels × band
-//! families × path/cutoff modes. The two engines must agree **bit for
-//! bit** — distances, cells filled, warp paths, and early-abandon
-//! decisions — because every per-cell expression is shared; any drift
-//! here is an indexing bug in the diagonal sweep, never a tolerance
+//! the row-sequential reference — and, orthogonally, the explicit-SIMD
+//! lane sweep against the scalar cell loop — over a seeded grid of
+//! kernels × band families × path/cutoff modes. Every engine × SIMD-mode
+//! combination must agree **bit for bit** — distances, cells filled,
+//! warp paths, and early-abandon decisions — because every per-cell
+//! expression is shared; any drift here is an indexing bug in the
+//! diagonal sweep (or a lane-interior bound error), never a tolerance
 //! question.
 //!
 //! The same harness drives the edge cases: degenerate lengths, bands
@@ -16,18 +18,30 @@ use common::{structured_series, TestRng};
 use sdtw_suite::core::{ConstraintPolicy, SDtw, SDtwConfig};
 use sdtw_suite::dtw::band::ColRange;
 use sdtw_suite::dtw::engine::{
-    dtw_run_options_values_with, DtwEngine, DtwOptions, DtwResult, DtwScratch, Normalization,
+    dtw_run_options_values_pinned, DtwEngine, DtwOptions, DtwResult, DtwScratch, Normalization,
     StepPattern,
 };
 use sdtw_suite::dtw::itakura::itakura_band;
 use sdtw_suite::dtw::sakoe::sakoe_chiba_band;
+use sdtw_suite::dtw::simd::SimdMode;
 use sdtw_suite::dtw::{Band, KernelChoice};
 use sdtw_suite::salient::extract_features;
 use sdtw_suite::tseries::{TimeSeries, TsError};
 
-/// Runs one configuration under both engines and asserts bit-identity of
-/// every observable: abandon decision, distance bits, cells filled, and
-/// the warp path (when traced). Returns the wavefront outcome.
+/// Every engine × SIMD-mode combination the grid pins. The row engine
+/// ignores the SIMD mode by contract, so running it under both modes
+/// doubles as a regression check of exactly that.
+const COMBOS: [(&str, DtwEngine, SimdMode); 4] = [
+    ("wavefront/lanes", DtwEngine::Wavefront, SimdMode::Lanes),
+    ("wavefront/scalar", DtwEngine::Wavefront, SimdMode::Scalar),
+    ("rows/lanes", DtwEngine::Rows, SimdMode::Lanes),
+    ("rows/scalar", DtwEngine::Rows, SimdMode::Scalar),
+];
+
+/// Runs one configuration under every engine × SIMD-mode combination and
+/// asserts bit-identity of every observable: abandon decision, distance
+/// bits, cells filled, and the warp path (when traced). Returns the
+/// wavefront/lanes outcome.
 fn assert_engines_agree(
     xv: &[f64],
     yv: &[f64],
@@ -37,40 +51,42 @@ fn assert_engines_agree(
     label: &str,
 ) -> Option<DtwResult> {
     let mut scratch = DtwScratch::new();
-    let wave = dtw_run_options_values_with(
-        DtwEngine::Wavefront,
-        xv,
-        yv,
-        band,
-        opts,
-        cutoff,
-        &mut scratch,
-    );
-    let rows =
-        dtw_run_options_values_with(DtwEngine::Rows, xv, yv, band, opts, cutoff, &mut scratch);
-    match (&wave, &rows) {
-        (None, None) => {}
-        (Some(w), Some(r)) => {
-            assert_eq!(
-                w.distance.to_bits(),
-                r.distance.to_bits(),
-                "distance diverged [{label}]: wavefront {} vs rows {}",
-                w.distance,
-                r.distance
-            );
-            assert_eq!(
-                w.cells_filled, r.cells_filled,
-                "cell accounting diverged [{label}]"
-            );
-            assert_eq!(w.path, r.path, "warp path diverged [{label}]");
-        }
-        _ => panic!(
-            "abandon decisions diverged [{label}]: wavefront {:?} vs rows {:?}",
-            wave.as_ref().map(|r| r.distance),
-            rows.as_ref().map(|r| r.distance)
-        ),
+    let mut results: Vec<(&str, Option<DtwResult>)> = Vec::with_capacity(COMBOS.len());
+    for (name, engine, simd) in COMBOS {
+        results.push((
+            name,
+            dtw_run_options_values_pinned(engine, simd, xv, yv, band, opts, cutoff, &mut scratch),
+        ));
     }
-    wave
+    let (ref_name, reference) = &results[0];
+    for (name, got) in &results[1..] {
+        match (reference, got) {
+            (None, None) => {}
+            (Some(w), Some(r)) => {
+                assert_eq!(
+                    w.distance.to_bits(),
+                    r.distance.to_bits(),
+                    "distance diverged [{label}]: {ref_name} {} vs {name} {}",
+                    w.distance,
+                    r.distance
+                );
+                assert_eq!(
+                    w.cells_filled, r.cells_filled,
+                    "cell accounting diverged [{label}]: {ref_name} vs {name}"
+                );
+                assert_eq!(
+                    w.path, r.path,
+                    "warp path diverged [{label}]: {ref_name} vs {name}"
+                );
+            }
+            _ => panic!(
+                "abandon decisions diverged [{label}]: {ref_name} {:?} vs {name} {:?}",
+                reference.as_ref().map(|r| r.distance),
+                got.as_ref().map(|r| r.distance)
+            ),
+        }
+    }
+    results.swap_remove(0).1
 }
 
 /// The three kernels the grid sweeps: standard symmetric1 (the paper's
